@@ -1,0 +1,70 @@
+//! Criterion: optimizer runtime — the paper claims "our algorithm returns
+//! the optimal solutions within seconds" (§7.1). The branch-and-bound +
+//! DP here should comfortably clear that bar.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use winofuse_core::bnb::{AlgoPolicy, GroupPlanner};
+use winofuse_core::dp;
+use winofuse_core::framework::Framework;
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_model::zoo;
+
+const MB: u64 = 1024 * 1024;
+
+fn bench_group_search(c: &mut Criterion) {
+    let net = zoo::vgg_e_fused_prefix();
+    let dev = FpgaDevice::zc706();
+    c.bench_function("bnb_plan_7layer_group", |b| {
+        b.iter(|| {
+            // Fresh planner each iteration: measure the search, not the memo.
+            let mut planner =
+                GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+            planner.plan(0..net.len()).unwrap()
+        })
+    });
+}
+
+fn bench_full_optimize(c: &mut Criterion) {
+    let dev = FpgaDevice::zc706();
+    let vgg = zoo::vgg_e_fused_prefix();
+    c.bench_function("optimize_vgg_prefix_2MB", |b| {
+        b.iter(|| Framework::new(dev.clone()).optimize(&vgg, 2 * MB).unwrap())
+    });
+
+    let alex = zoo::alexnet().conv_body().unwrap();
+    let budget = alex
+        .fused_transfer_bytes(0..alex.len(), winofuse_model::DataType::Fixed16)
+        .unwrap();
+    c.bench_function("optimize_alexnet_body_minT", |b| {
+        b.iter(|| {
+            Framework::new(dev.clone())
+                .with_max_group_layers(alex.len())
+                .optimize(&alex, budget)
+                .unwrap()
+        })
+    });
+
+    // Full VGG-E body (21 fusable layers) — the big instance.
+    let full = zoo::vgg_e().conv_body().unwrap();
+    c.bench_function("optimize_vgg_e_body_64MB", |b| {
+        b.iter(|| Framework::new(dev.clone()).optimize(&full, 64 * MB).unwrap())
+    });
+}
+
+fn bench_unit_dp(c: &mut Criterion) {
+    let dev = FpgaDevice::zc706();
+    let vgg = zoo::vgg_e_fused_prefix();
+    c.bench_function("unit_dp_vgg_prefix_2MB", |b| {
+        let mut planner = GroupPlanner::new(&vgg, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        // Warm the fusion[i][j] cache (the paper generates it offline).
+        let _ = dp::optimize_units(&mut planner, &vgg, 2 * MB).unwrap();
+        b.iter(|| dp::optimize_units(&mut planner, &vgg, 2 * MB).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_group_search, bench_full_optimize, bench_unit_dp
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: Cook–Toom transform generation (exact rational arithmetic)
+//! and filter-bank transformation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use winofuse_conv::cook_toom::WinogradTransform;
+use winofuse_conv::tensor::random_tensor;
+use winofuse_conv::winograd::TransformedFilters;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cook_toom_generate");
+    for (m, r) in [(2usize, 3usize), (4, 3), (6, 3), (4, 5)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("F({m},{r})")),
+            &(m, r),
+            |b, &(m, r)| b.iter(|| WinogradTransform::generate(m, r).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_filter_transform(c: &mut Criterion) {
+    let t = winofuse_conv::cook_toom::f43();
+    let mut group = c.benchmark_group("filter_transform_GgGt");
+    for ch in [8usize, 32] {
+        let k = random_tensor(ch, ch, 3, 3, ch as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(ch * ch), &ch, |b, _| {
+            b.iter(|| TransformedFilters::new(&k, &t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_generation, bench_filter_transform
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! **Ablation: algorithm heterogeneity** — the design choice the paper is
+//! named for. For each network and transfer budget, compare the paper's
+//! heterogeneous exploration against both homogeneous policies
+//! (conventional-only and Winograd-preferred) and break down where the
+//! win comes from.
+
+use winofuse_bench::{banner, fmt_cycles, MB};
+use winofuse_core::bnb::AlgoPolicy;
+use winofuse_core::framework::Framework;
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_model::network::Network;
+use winofuse_model::shape::DataType;
+use winofuse_model::zoo;
+
+fn run_case(name: &str, net: &Network, budget: u64, max_group: usize) {
+    let device = FpgaDevice::zc706();
+    println!("\n--- {name} (budget {:.2} MB) ---", budget as f64 / MB as f64);
+    println!(
+        "{:<20} {:>14} {:>9} {:>7} {:>6}",
+        "policy", "latency (cyc)", "GOPS", "groups", "wino"
+    );
+    let mut hetero_latency = 0;
+    for (label, policy) in [
+        ("heterogeneous", AlgoPolicy::heterogeneous()),
+        ("conventional-only", AlgoPolicy::conventional_only()),
+        ("winograd-preferred", AlgoPolicy::winograd_preferred()),
+    ] {
+        let fw = Framework::new(device.clone())
+            .with_policy(policy)
+            .with_max_group_layers(max_group);
+        match fw.optimize(net, budget) {
+            Ok(d) => {
+                if label == "heterogeneous" {
+                    hetero_latency = d.timing.latency;
+                } else {
+                    assert!(
+                        hetero_latency <= d.timing.latency,
+                        "heterogeneous must dominate {label}"
+                    );
+                }
+                println!(
+                    "{:<20} {:>14} {:>9.1} {:>7} {:>6}",
+                    label,
+                    fmt_cycles(d.timing.latency),
+                    d.timing.effective_gops,
+                    d.partition.groups.len(),
+                    d.partition.strategy.winograd_layer_count()
+                );
+            }
+            Err(e) => println!("{label:<20} infeasible: {e}"),
+        }
+    }
+}
+
+fn main() {
+    banner("Ablation", "heterogeneous vs homogeneous algorithm policies", None);
+
+    let vgg = zoo::vgg_e_fused_prefix();
+    for budget in [2 * MB, 4 * MB, 16 * MB] {
+        run_case("VGG-E prefix", &vgg, budget, 8);
+    }
+
+    let alex = zoo::alexnet().conv_body().expect("alexnet body");
+    let alex_budget = alex.fused_transfer_bytes(0..alex.len(), DataType::Fixed16).unwrap();
+    run_case("AlexNet body", &alex, alex_budget, alex.len());
+    run_case("AlexNet body", &alex, 4 * MB, alex.len());
+
+    // Bandwidth sensitivity: when DRAM is scarce, Winograd's pressure
+    // shows and the heterogeneous optimizer shifts back toward the
+    // conventional algorithm.
+    println!("\n--- bandwidth sensitivity (VGG-E prefix, 2 MB budget) ---");
+    println!("{:<12} {:>14} {:>9} {:>6}", "bandwidth", "latency (cyc)", "GOPS", "wino");
+    let mut last_wino = usize::MAX;
+    for gbps in [42u64, 21, 8, 2] {
+        let dev = FpgaDevice::zc706().with_bandwidth(gbps * 100_000_000);
+        let fw = Framework::new(dev);
+        let d = fw.optimize(&vgg, 2 * MB).expect("feasible");
+        let wino = d.partition.strategy.winograd_layer_count();
+        println!(
+            "{:>7.1} GB/s {:>14} {:>9.1} {:>6}",
+            gbps as f64 / 10.0,
+            fmt_cycles(d.timing.latency),
+            d.timing.effective_gops,
+            wino
+        );
+        assert!(wino <= last_wino || wino == 0 || last_wino == usize::MAX,
+            "winograd use should not grow as bandwidth shrinks");
+        last_wino = wino.min(last_wino);
+    }
+}

@@ -1,0 +1,92 @@
+//! **Ablation: line-buffer vs tile-based fusion** — the architecture
+//! choice of §4.2. The paper replaces Alwani et al.'s tile-based reuse
+//! buffers ("complex operations [...] due to mutative boundary
+//! conditions. Besides, these buffers occupy additional BRAMs") with
+//! circular line buffers. This experiment quantifies both costs:
+//!
+//! 1. BRAM: tile-pyramid buffers vs `K+S`-row line buffers, per tile size,
+//! 2. compute: the recomputation a tile-based design *without* reuse
+//!    buffers would pay (the trade-off \[1\] studied).
+
+use winofuse_bench::{banner, MB};
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_fpga::engine::{Algorithm, EngineConfig};
+use winofuse_fusion::baseline;
+use winofuse_fusion::pipeline::{group_timing, LayerConfig};
+use winofuse_fusion::pyramid::Pyramid;
+use winofuse_model::zoo;
+
+fn main() {
+    let net = zoo::vgg_e_fused_prefix();
+    let device = FpgaDevice::zc706();
+    banner("Ablation", "line-buffer vs tile-based fusion on the VGG-E prefix", Some(&net));
+
+    // Our line-buffer group (modest uniform engines — architecture only).
+    let configs: Vec<LayerConfig> = (0..net.len())
+        .map(|i| {
+            LayerConfig::build(
+                &net,
+                i,
+                EngineConfig { algorithm: Algorithm::Conventional, parallelism: 16 },
+            )
+            .expect("conventional p=16 always builds")
+        })
+        .collect();
+    let line = group_timing(&configs, &device).expect("line-buffer group");
+    println!(
+        "line-buffer fusion: {} BRAM18K for all buffers/FIFOs (no recomputation by construction)",
+        line.resources.bram_18k
+    );
+
+    // Tile-based designs across tile sizes.
+    let pyramid = Pyramid::for_network(&net, 0, net.len()).unwrap();
+    let out = net.output_shape().unwrap();
+    println!(
+        "\n{:>6} {:>16} {:>18} {:>14}",
+        "tile", "pyramid base", "recompute ratio", "(if no reuse)"
+    );
+    for tile in [1usize, 2, 4, 8, 14, 28] {
+        let base = pyramid.required_input(tile);
+        let ratio = pyramid.recompute_ratio(tile, out.height);
+        println!("{tile:>6} {base:>13} px {ratio:>17.2}x {:>14}", "");
+    }
+    println!("(reuse buffers avoid the recompute but pay BRAM instead — below)");
+
+    let alwani = baseline::design(&net, 0, net.len(), &device).expect("baseline fits");
+    println!(
+        "\ntile-based fusion (tile {}): {} BRAM18K total ({} more than line buffers)",
+        alwani.tile,
+        alwani.resources.bram_18k,
+        alwani.resources.bram_18k.saturating_sub(line.resources.bram_18k)
+    );
+    println!(
+        "boundary-management throughput derating: {:.0}%",
+        (1.0 - baseline::BOUNDARY_EFFICIENCY) * 100.0
+    );
+
+    // Smaller BRAM budgets hurt the tile design first.
+    println!("\nBRAM sensitivity:");
+    println!("{:>12} {:>12} {:>16}", "BRAM budget", "tile chosen", "latency (cyc)");
+    for bram in [1090u64, 700, 500, 400] {
+        let dev = device.with_resources(winofuse_fpga::ResourceVec::new(
+            bram,
+            900,
+            437_200,
+            218_600,
+        ));
+        match baseline::design(&net, 0, net.len(), &dev) {
+            Ok(d) => println!("{bram:>12} {:>12} {:>16}", d.tile, d.latency),
+            Err(_) => println!("{bram:>12} {:>12} {:>16}", "-", "infeasible"),
+        }
+    }
+
+    assert!(
+        alwani.resources.bram_18k > line.resources.bram_18k,
+        "tile buffers must cost more BRAM than line buffers"
+    );
+    assert!(
+        pyramid.recompute_ratio(1, out.height) > pyramid.recompute_ratio(8, out.height),
+        "smaller tiles must recompute more"
+    );
+    let _ = MB;
+}

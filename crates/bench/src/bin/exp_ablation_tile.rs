@@ -1,0 +1,66 @@
+//! **Ablation: Winograd tile size** — §2.1: "There are multiple tile size
+//! choices for Winograd algorithm. In this paper, we use a uniform size
+//! F(4×4, 3×3)." This experiment shows why: per tile size m, the DSP
+//! efficiency, transform adder cost, numerical constants and the achieved
+//! end-to-end latency when the whole framework is forced to that tile.
+
+use winofuse_bench::{banner, fmt_cycles, MB};
+use winofuse_conv::cook_toom::WinogradTransform;
+use winofuse_core::bnb::AlgoPolicy;
+use winofuse_core::framework::Framework;
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_model::zoo;
+
+fn main() {
+    banner("Ablation", "Winograd output tile size m for r = 3 kernels", None);
+
+    println!(
+        "{:>3} {:>6} {:>11} {:>12} {:>12} {:>12} {:>14}",
+        "m", "alpha", "mults/tile", "DSP-eff", "in-adds", "out-adds", "odd constants"
+    );
+    for m in [1usize, 2, 3, 4, 6] {
+        let t = WinogradTransform::generate(m, 3).expect("small tiles generate");
+        println!(
+            "{:>3} {:>6} {:>11} {:>11.2}x {:>12} {:>12} {:>14}",
+            m,
+            t.alpha(),
+            t.multiplies_2d(),
+            t.dsp_efficiency(),
+            t.input_transform_adds(),
+            t.output_transform_adds(),
+            t.nontrivial_constants()
+        );
+    }
+    println!("(DSP efficiency grows with m, but so do adder networks and constant");
+    println!(" precision pressure — the paper settles on m = 4.)");
+
+    // End-to-end: force the framework to each tile size on the VGG prefix.
+    let net = zoo::vgg_e_fused_prefix();
+    let device = FpgaDevice::zc706();
+    let ops = net.total_ops();
+    println!("\nVGG-E prefix at 2 MB, Winograd tile forced to m:");
+    println!("{:>3} {:>14} {:>9} {:>6}", "m", "latency (cyc)", "GOPS", "wino");
+    let mut results = Vec::new();
+    for m in [2usize, 3, 4, 6] {
+        let policy = AlgoPolicy { conventional: true, winograd: true, winograd_m: m };
+        let fw = Framework::new(device.clone()).with_policy(policy);
+        let d = fw.optimize(&net, 2 * MB).expect("feasible");
+        println!(
+            "{:>3} {:>14} {:>9.1} {:>6}",
+            m,
+            fmt_cycles(d.timing.latency),
+            device.effective_gops(ops, d.timing.latency),
+            d.partition.strategy.winograd_layer_count()
+        );
+        results.push((m, d.timing.latency));
+    }
+    let best = results.iter().min_by_key(|(_, l)| *l).unwrap();
+    println!("\nbest tile on this workload: m = {} (paper uses m = 4)", best.0);
+    // m=1 is degenerate (no saving); bigger tiles must beat it.
+    let t1 = WinogradTransform::generate(1, 3).unwrap();
+    assert_eq!(t1.dsp_efficiency(), 1.0);
+    assert!(
+        WinogradTransform::generate(4, 3).unwrap().dsp_efficiency() == 4.0,
+        "F(4,3) efficiency is exactly 4"
+    );
+}

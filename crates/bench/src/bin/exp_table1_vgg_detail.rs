@@ -1,0 +1,81 @@
+//! **Table 1** — detailed comparison under the 2 MB transfer constraint:
+//! resources, power and energy efficiency of our strategy vs the
+//! fused-layer accelerator of Alwani et al. \[1\], on the VGG-E prefix.
+//!
+//! Paper values for reference (ours / \[1\]): BRAM18K 909/818, DSP 824/...,
+//! FF 120,957/90,854, LUT 155,xxx/118,400, power ≈9.4 W, with a large
+//! energy-efficiency advantage for the heterogeneous design.
+
+use winofuse_bench::{banner, fmt_cycles, MB};
+use winofuse_core::framework::Framework;
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_fpga::energy::EnergyModel;
+use winofuse_fpga::ResourceVec;
+use winofuse_fusion::baseline;
+use winofuse_model::zoo;
+
+fn main() {
+    let net = zoo::vgg_e_fused_prefix();
+    let device = FpgaDevice::zc706();
+    banner("Table 1", "detailed comparison under the 2 MB transfer constraint", Some(&net));
+    let total_ops = net.total_ops();
+    let energy = EnergyModel::new();
+
+    let fw = Framework::new(device.clone());
+    let ours = fw.optimize(&net, 2 * MB).expect("2 MB is feasible");
+    // Peak-group resources: groups execute sequentially, so the busiest
+    // group defines instantaneous utilization (here there is one group).
+    let ours_res: ResourceVec = ours
+        .partition
+        .groups
+        .iter()
+        .map(|g| g.timing.resources)
+        .max_by_key(|r| r.dsp)
+        .unwrap_or(ResourceVec::ZERO);
+    let ours_secs = device.cycles_to_seconds(ours.timing.latency);
+    let ours_power = energy.power_watts(&ours_res);
+    let ours_eff = energy.energy_efficiency_gops_per_watt(&ours_res, total_ops, ours_secs);
+
+    let alwani = baseline::design(&net, 0, net.len(), &device).expect("baseline fits");
+    let alw_secs = device.cycles_to_seconds(alwani.latency);
+    let alw_power = energy.power_watts(&alwani.resources);
+    let alw_eff = energy.energy_efficiency_gops_per_watt(&alwani.resources, total_ops, alw_secs);
+
+    println!("{:<28} {:>14} {:>14}", "", "Ours", "[1]");
+    let row = |label: &str, a: String, b: String| {
+        println!("{label:<28} {a:>14} {b:>14}");
+    };
+    row("BRAM18K", ours_res.bram_18k.to_string(), alwani.resources.bram_18k.to_string());
+    row("DSP48E", ours_res.dsp.to_string(), alwani.resources.dsp.to_string());
+    row("FF", ours_res.ff.to_string(), alwani.resources.ff.to_string());
+    row("LUT", ours_res.lut.to_string(), alwani.resources.lut.to_string());
+    row("Power (W)", format!("{ours_power:.2}"), format!("{alw_power:.2}"));
+    row("Latency (cycles)", fmt_cycles(ours.timing.latency), fmt_cycles(alwani.latency));
+    row(
+        "Effective perf (GOPS)",
+        format!("{:.1}", ours.timing.effective_gops),
+        format!("{:.1}", alwani.effective_gops(total_ops, &device)),
+    );
+    row(
+        "Energy eff (GOPS/W)",
+        format!("{ours_eff:.1}"),
+        format!("{alw_eff:.1}"),
+    );
+
+    println!(
+        "\nspeedup: {:.2}x | power ratio: {:.2}x | energy-efficiency gain: {:.2}x",
+        alwani.latency as f64 / ours.timing.latency as f64,
+        ours_power / alw_power,
+        ours_eff / alw_eff
+    );
+    println!("paper: \"similar amount of resource and power but [...] much better performance\"");
+
+    // Shape assertions.
+    assert!(ours.timing.latency < alwani.latency, "ours must be faster at 2 MB");
+    assert!(
+        (0.5..2.0).contains(&(ours_power / alw_power)),
+        "power must be comparable (got ratio {:.2})",
+        ours_power / alw_power
+    );
+    assert!(ours_eff > alw_eff, "energy efficiency must improve");
+}

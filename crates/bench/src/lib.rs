@@ -1,0 +1,120 @@
+//! # winofuse-bench — experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§7), plus
+//! ablation studies (see DESIGN.md §4 for the index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `exp_fig1_roofline` | Fig. 1 — roofline motivation (A, B, B′, C) |
+//! | `exp_fig5_vgg` | Fig. 5 — VGG prefix latency vs transfer constraint, ours vs Alwani \[1\] |
+//! | `exp_table1_vgg_detail` | Table 1 — detailed comparison at T = 2 MB |
+//! | `exp_table2_alexnet` | Table 2 — AlexNet per-layer implementation details |
+//! | `exp_energy` | §7.2 prose — transfer/compute energy savings |
+//! | `exp_ablation_hetero` | heterogeneous vs homogeneous algorithm policies |
+//! | `exp_ablation_linebuffer` | line-buffer vs tile-based fusion costs |
+//! | `exp_ablation_tile` | Winograd tile-size choice m ∈ {2,3,4,6} |
+//!
+//! Criterion benches (`cargo bench`): convolution kernels, Cook–Toom
+//! transform generation, the optimizer ("returns the optimal solutions
+//! within seconds", §7.1) and the behavioral simulator.
+
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_model::network::Network;
+
+/// One mebibyte, the unit of the paper's transfer-constraint axis.
+pub const MB: u64 = 1024 * 1024;
+
+/// The transfer-constraint sweep used for Fig. 5-style experiments. The
+/// fully fused VGG prefix needs ~1.82 MB, so the sweep starts at 2 MB
+/// (five points, like the paper's figure).
+pub const FIG5_SWEEP_MB: [u64; 5] = [2, 3, 4, 5, 6];
+
+/// Formats a cycle count with thousands separators.
+pub fn fmt_cycles(c: u64) -> String {
+    let s = c.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Effective GOPS of `ops` work finished in `cycles` on `device`.
+pub fn gops(device: &FpgaDevice, ops: u64, cycles: u64) -> f64 {
+    device.effective_gops(ops, cycles)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, what: &str, net: Option<&Network>) {
+    println!("================================================================");
+    println!("{id}: {what}");
+    if let Some(n) = net {
+        println!("network: {n}");
+    }
+    println!("================================================================");
+}
+
+/// Writes experiment data as CSV under `experiment-results/` next to the
+/// workspace (the raw numbers behind a figure, for plotting elsewhere).
+/// Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_results_csv(
+    name: &str,
+    header: &str,
+    rows: &[String],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("experiment-results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut contents = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    contents.push_str(header);
+    contents.push('\n');
+    for r in rows {
+        contents.push_str(r);
+        contents.push('\n');
+    }
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_formatting() {
+        assert_eq!(fmt_cycles(0), "0");
+        assert_eq!(fmt_cycles(999), "999");
+        assert_eq!(fmt_cycles(1000), "1,000");
+        assert_eq!(fmt_cycles(12_345_678), "12,345,678");
+    }
+
+    #[test]
+    fn csv_writer_roundtrips() {
+        let path = write_results_csv(
+            "unit-test",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_feasible() {
+        assert!(FIG5_SWEEP_MB.windows(2).all(|w| w[0] < w[1]));
+        // Every point must exceed the fused prefix minimum (~1.82 MB).
+        use winofuse_model::shape::DataType;
+        let net = winofuse_model::zoo::vgg_e_fused_prefix();
+        let min = net.fused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap();
+        assert!(FIG5_SWEEP_MB[0] * MB >= min);
+    }
+}

@@ -1,0 +1,256 @@
+//! Pragma consistency checking: the stand-in for C/RTL co-simulation.
+//!
+//! The paper validates generated code with Vivado HLS C simulation and
+//! C/RTL co-simulation (§7.1). Without a synthesizer, this module
+//! re-parses the *emitted* sources and cross-checks the structure against
+//! the strategy that produced them:
+//!
+//! * exactly one `DATAFLOW` pragma per fusion group,
+//! * one `hls::stream` channel per fused layer boundary,
+//! * every `UNROLL factor=` matches the layer's chosen parallelism,
+//! * every layer function is defined exactly once and called in dataflow
+//!   order.
+
+use std::collections::HashMap;
+
+use winofuse_core::framework::OptimizedDesign;
+use winofuse_model::network::Network;
+
+use crate::project::HlsProject;
+use crate::template::c_ident;
+use crate::CodegenError;
+
+/// Structural statistics recovered from an emitted project.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PragmaStats {
+    /// `DATAFLOW` pragma count.
+    pub dataflow: usize,
+    /// `PIPELINE` pragma count.
+    pub pipeline: usize,
+    /// `UNROLL factor=` values in order of appearance.
+    pub unroll_factors: Vec<usize>,
+    /// `STREAM variable=` channel declarations.
+    pub stream_channels: usize,
+    /// `ARRAY_PARTITION` pragma count.
+    pub array_partition: usize,
+    /// Function definitions found (`void name(`).
+    pub functions: Vec<String>,
+}
+
+/// Parses pragma statistics out of emitted C++ text.
+pub fn parse_pragmas(source: &str) -> PragmaStats {
+    let mut stats = PragmaStats::default();
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("#pragma HLS") {
+            if trimmed.contains("DATAFLOW") {
+                stats.dataflow += 1;
+            }
+            if trimmed.contains("PIPELINE") {
+                stats.pipeline += 1;
+            }
+            if trimmed.contains("ARRAY_PARTITION") {
+                stats.array_partition += 1;
+            }
+            if trimmed.contains("STREAM variable=") {
+                stats.stream_channels += 1;
+            }
+            if let Some(pos) = trimmed.find("UNROLL factor=") {
+                let tail = &trimmed[pos + "UNROLL factor=".len()..];
+                let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+                if let Ok(v) = digits.parse() {
+                    stats.unroll_factors.push(v);
+                }
+            }
+        } else if let Some(rest) = trimmed.strip_prefix("void ") {
+            if let Some(paren) = rest.find('(') {
+                stats.functions.push(rest[..paren].to_string());
+            }
+        }
+    }
+    stats
+}
+
+/// Cross-checks an emitted project against the design that generated it.
+///
+/// # Errors
+///
+/// Returns [`CodegenError::ConsistencyCheck`] describing the first
+/// structural mismatch found.
+pub fn verify_project(
+    net: &Network,
+    design: &OptimizedDesign,
+    project: &HlsProject,
+) -> Result<PragmaStats, CodegenError> {
+    let all = project.concatenated_sources();
+    let stats = parse_pragmas(&all);
+
+    let groups = &design.partition.groups;
+    if stats.dataflow != groups.len() {
+        return Err(CodegenError::ConsistencyCheck(format!(
+            "expected {} DATAFLOW pragmas (one per group), found {}",
+            groups.len(),
+            stats.dataflow
+        )));
+    }
+
+    let expected_channels: usize = groups.iter().map(|g| g.configs.len() - 1).sum();
+    if stats.stream_channels != expected_channels {
+        return Err(CodegenError::ConsistencyCheck(format!(
+            "expected {expected_channels} stream channels, found {}",
+            stats.stream_channels
+        )));
+    }
+
+    // Every layer function defined exactly once.
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for f in &stats.functions {
+        *counts.entry(f.as_str()).or_default() += 1;
+    }
+    for layer in net.layers() {
+        let ident = c_ident(&layer.name);
+        match counts.get(ident.as_str()) {
+            Some(1) => {}
+            Some(n) => {
+                return Err(CodegenError::ConsistencyCheck(format!(
+                    "layer function `{ident}` defined {n} times"
+                )))
+            }
+            None => {
+                return Err(CodegenError::ConsistencyCheck(format!(
+                    "layer function `{ident}` missing from the emitted project"
+                )))
+            }
+        }
+    }
+
+    // Every chosen parallelism appears as an unroll factor.
+    for g in groups {
+        for cfg in &g.configs {
+            let p = cfg.engine.parallelism;
+            if !stats.unroll_factors.contains(&p) {
+                return Err(CodegenError::ConsistencyCheck(format!(
+                    "parallelism {p} of layer `{}` not reflected in any UNROLL factor",
+                    cfg.layer.name
+                )));
+            }
+        }
+    }
+
+    // Per-group: the group's source must call its layers in order.
+    for (gi, g) in groups.iter().enumerate() {
+        let src = project
+            .file(&format!("fusion_group_{gi}.cpp"))
+            .ok_or_else(|| {
+                CodegenError::ConsistencyCheck(format!("missing source for group {gi}"))
+            })?;
+        let mut last_pos = 0usize;
+        for cfg in &g.configs {
+            let call = format!("{}(", c_ident(&cfg.layer.name));
+            // The call site is after the definition; search from the top
+            // function onward.
+            let top_pos = src.find("void fusion_group_").unwrap_or(0);
+            let pos = src[top_pos..].find(&call).map(|p| p + top_pos).ok_or_else(|| {
+                CodegenError::ConsistencyCheck(format!(
+                    "group {gi} top function never calls `{call}`"
+                ))
+            })?;
+            if pos < last_pos {
+                return Err(CodegenError::ConsistencyCheck(format!(
+                    "group {gi} calls `{call}` out of dataflow order"
+                )));
+            }
+            last_pos = pos;
+        }
+    }
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winofuse_core::framework::Framework;
+    use winofuse_fpga::device::FpgaDevice;
+    use winofuse_model::zoo;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn parse_pragmas_counts() {
+        let src = r#"
+void f(int x) {
+#pragma HLS DATAFLOW
+#pragma HLS PIPELINE II=1
+#pragma HLS UNROLL factor=16
+#pragma HLS STREAM variable=ch_0 depth=10
+#pragma HLS ARRAY_PARTITION variable=a complete dim=1
+}
+void g() {}
+"#;
+        let s = parse_pragmas(src);
+        assert_eq!(s.dataflow, 1);
+        assert_eq!(s.pipeline, 1);
+        assert_eq!(s.unroll_factors, vec![16]);
+        assert_eq!(s.stream_channels, 1);
+        assert_eq!(s.array_partition, 1);
+        assert_eq!(s.functions, vec!["f".to_string(), "g".to_string()]);
+    }
+
+    #[test]
+    fn generated_projects_verify() {
+        for (net, budget) in [
+            (zoo::small_test_net(), 8 * MB),
+            (zoo::mixed_test_net(), 8 * MB),
+            (zoo::vgg_e_fused_prefix(), 2 * MB),
+        ] {
+            let design = Framework::new(FpgaDevice::zc706()).optimize(&net, budget).unwrap();
+            let project = HlsProject::generate(&net, &design).unwrap();
+            let stats = verify_project(&net, &design, &project)
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            assert!(stats.pipeline > 0);
+            assert!(stats.array_partition > 0);
+        }
+    }
+
+    #[test]
+    fn tampered_project_fails_verification() {
+        let net = zoo::small_test_net();
+        let design = Framework::new(FpgaDevice::zc706()).optimize(&net, 8 * MB).unwrap();
+        let project = HlsProject::generate(&net, &design).unwrap();
+        // Strip the DATAFLOW pragmas.
+        let files: Vec<(String, String)> = project
+            .files()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.replace("#pragma HLS DATAFLOW", "")))
+            .collect();
+        let tampered = HlsProjectForTest { files }.into_project();
+        assert!(matches!(
+            verify_project(&net, &design, &tampered),
+            Err(CodegenError::ConsistencyCheck(_))
+        ));
+    }
+
+    /// Test helper to rebuild a project from raw files.
+    struct HlsProjectForTest {
+        files: Vec<(String, String)>,
+    }
+
+    impl HlsProjectForTest {
+        fn into_project(self) -> HlsProject {
+            // HlsProject has private fields; round-trip through disk.
+            let dir = std::env::temp_dir().join(format!(
+                "winofuse_tamper_{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            for (n, c) in &self.files {
+                std::fs::write(dir.join(n), c).unwrap();
+            }
+            let p = HlsProject::read_from_dir(&dir).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            p
+        }
+    }
+}

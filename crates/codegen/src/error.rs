@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the code generator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// The strategy references a layer the templates cannot express.
+    UnsupportedLayer(String),
+    /// A generated project failed its pragma consistency check.
+    ConsistencyCheck(String),
+    /// Winograd transform generation failed for the requested tile.
+    Transform(String),
+    /// Filesystem error while writing a project out.
+    Io(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnsupportedLayer(m) => write!(f, "unsupported layer: {m}"),
+            CodegenError::ConsistencyCheck(m) => write!(f, "consistency check failed: {m}"),
+            CodegenError::Transform(m) => write!(f, "transform generation failed: {m}"),
+            CodegenError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl Error for CodegenError {}
+
+impl From<std::io::Error> for CodegenError {
+    fn from(e: std::io::Error) -> Self {
+        CodegenError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CodegenError::UnsupportedLayer("fc6".into()).to_string().contains("fc6"));
+    }
+}

@@ -1,0 +1,155 @@
+//! The fusion-group top function: DATAFLOW wrapper with stream channels.
+//!
+//! "For the layers to be fused in a group, we wrap them with a top
+//! function \[...\]. Then, to enable the inter-layer pipeline we add
+//! DATAFLOW directive to the top function which allows the data flow
+//! through the layers. \[...\] Thus, the FIFO channels are used." (§6)
+
+use std::fmt::Write as _;
+
+use winofuse_core::bnb::GroupPlan;
+use winofuse_fpga::engine::Algorithm;
+use winofuse_model::layer::LayerKind;
+use winofuse_model::shape::DataType;
+
+use crate::template::c_ident;
+use crate::CodegenError;
+
+/// Renders the top function for one fusion group.
+///
+/// # Errors
+///
+/// Returns [`CodegenError::UnsupportedLayer`] when the group contains a
+/// layer without a template.
+pub fn render_group_top(group_index: usize, plan: &GroupPlan) -> Result<String, CodegenError> {
+    let dtype = DataType::Fixed16;
+    if plan.configs.is_empty() {
+        return Err(CodegenError::UnsupportedLayer("fusion group has no layers".into()));
+    }
+    let mut s = String::new();
+
+    let _ = writeln!(
+        s,
+        "// Fusion group {group_index}: layers {}..{} ({} layers), transfer {} KB",
+        plan.start,
+        plan.end,
+        plan.configs.len(),
+        (plan.timing.dram_fmap_bytes) / 1024
+    );
+    let weight_args: Vec<String> = plan
+        .configs
+        .iter()
+        .filter_map(|cfg| match (&cfg.layer.kind, cfg.engine.algorithm) {
+            (LayerKind::Conv(c), Algorithm::Conventional) => Some(format!(
+                "const data_t {}_w[{}][{}][{}][{}]",
+                c_ident(&cfg.layer.name),
+                c.num_output,
+                c.channels_per_group(cfg.input.channels),
+                c.kernel,
+                c.kernel
+            )),
+            (LayerKind::Conv(c), Algorithm::Winograd { m }) => {
+                let alpha = m + c.kernel - 1;
+                Some(format!(
+                    "const data_t {}_wt[{}][{}][{alpha}][{alpha}]",
+                    c_ident(&cfg.layer.name),
+                    c.num_output,
+                    c.channels_per_group(cfg.input.channels)
+                ))
+            }
+            _ => None,
+        })
+        .collect();
+
+    let _ = writeln!(
+        s,
+        "void fusion_group_{group_index}(hls::stream<data_t> &group_in, hls::stream<data_t> &group_out{}{}) {{",
+        if weight_args.is_empty() { "" } else { ", " },
+        weight_args.join(", ")
+    );
+    let _ = writeln!(s, "#pragma HLS DATAFLOW");
+    let _ = writeln!(s, "#pragma HLS INTERFACE axis port=group_in");
+    let _ = writeln!(s, "#pragma HLS INTERFACE axis port=group_out");
+    // DATAPACK on the DRAM-facing streams maximizes bandwidth (§6).
+    let _ = writeln!(s, "#pragma HLS DATA_PACK variable=group_in");
+    let _ = writeln!(s, "#pragma HLS DATA_PACK variable=group_out");
+    let _ = writeln!(s);
+
+    // One FIFO channel per fused boundary, sized to one intermediate row.
+    for (i, cfg) in plan.configs.iter().enumerate().take(plan.configs.len() - 1) {
+        let depth = cfg.output.row_bytes(dtype) / dtype.bytes();
+        let _ = writeln!(s, "    static hls::stream<data_t> ch_{i}; // {}", cfg.output);
+        let _ = writeln!(s, "#pragma HLS STREAM variable=ch_{i} depth={depth}");
+    }
+    let _ = writeln!(s);
+
+    for (i, cfg) in plan.configs.iter().enumerate() {
+        let name = c_ident(&cfg.layer.name);
+        let input = if i == 0 { "group_in".to_string() } else { format!("ch_{}", i - 1) };
+        let output = if i + 1 == plan.configs.len() {
+            "group_out".to_string()
+        } else {
+            format!("ch_{i}")
+        };
+        let weights = match (&cfg.layer.kind, cfg.engine.algorithm) {
+            (LayerKind::Conv(_), Algorithm::Conventional) => format!(", {name}_w"),
+            (LayerKind::Conv(_), Algorithm::Winograd { .. }) => format!(", {name}_wt"),
+            _ => String::new(),
+        };
+        let _ = writeln!(s, "    {name}({input}, {output}{weights});");
+    }
+    let _ = writeln!(s, "}}");
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winofuse_core::bnb::{AlgoPolicy, GroupPlanner};
+    use winofuse_fpga::device::FpgaDevice;
+    use winofuse_model::zoo;
+
+    fn vgg_plan() -> GroupPlan {
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        planner.plan(0..net.len()).unwrap()
+    }
+
+    #[test]
+    fn top_has_dataflow_and_streams() {
+        let code = render_group_top(0, &vgg_plan()).unwrap();
+        assert!(code.contains("void fusion_group_0("));
+        assert_eq!(code.matches("#pragma HLS DATAFLOW").count(), 1);
+        // 7 layers -> 6 internal channels.
+        assert_eq!(code.matches("#pragma HLS STREAM variable=ch_").count(), 6);
+        assert!(code.contains("#pragma HLS DATA_PACK variable=group_in"));
+    }
+
+    #[test]
+    fn top_chains_channels_in_order() {
+        let code = render_group_top(0, &vgg_plan()).unwrap();
+        assert!(code.contains("conv1_1(group_in, ch_0"));
+        assert!(code.contains("pool1(ch_1, ch_2);"));
+        assert!(code.contains("conv3_1(ch_5, group_out"));
+    }
+
+    #[test]
+    fn weight_arguments_follow_algorithms() {
+        let plan = vgg_plan();
+        let code = render_group_top(0, &plan).unwrap();
+        for cfg in &plan.configs {
+            if let LayerKind::Conv(_) = cfg.layer.kind {
+                let name = c_ident(&cfg.layer.name);
+                match cfg.engine.algorithm {
+                    Algorithm::Conventional => {
+                        assert!(code.contains(&format!("{name}_w[")), "{name} weights")
+                    }
+                    Algorithm::Winograd { .. } => {
+                        assert!(code.contains(&format!("{name}_wt[")), "{name} t-weights")
+                    }
+                }
+            }
+        }
+    }
+}

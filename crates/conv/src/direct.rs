@@ -1,0 +1,252 @@
+//! The conventional (direct) convolution algorithm — Eq. (1) of the paper.
+//!
+//! ```text
+//! Y[i,j,n] = Σ_m Σ_u Σ_v  D[i·S+u, j·S+v, m] · G[n,u,v,m]
+//! ```
+//!
+//! This is the general algorithm the paper's framework falls back to for
+//! layers where Winograd is inefficient (large kernels, stride > 1), and
+//! the reference every other algorithm in this crate is validated against.
+
+use crate::fixed::{Accumulator, Fix16};
+use crate::tensor::{Scalar, Tensor};
+use crate::{ConvError, ConvGeometry};
+
+fn check_shapes<T: Scalar>(
+    input: &Tensor<T>,
+    kernels: &Tensor<T>,
+    geom: ConvGeometry,
+) -> Result<(), ConvError> {
+    if input.h() != geom.height() || input.w() != geom.width() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("input {}x{}", geom.height(), geom.width()),
+            found: format!("input {}x{}", input.h(), input.w()),
+        });
+    }
+    if kernels.h() != geom.kernel() || kernels.w() != geom.kernel() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("kernel {}x{}", geom.kernel(), geom.kernel()),
+            found: format!("kernel {}x{}", kernels.h(), kernels.w()),
+        });
+    }
+    if kernels.c() != input.c() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("{} kernel channels", input.c()),
+            found: format!("{}", kernels.c()),
+        });
+    }
+    Ok(())
+}
+
+/// Convolves `input` (`N×M×H×W`) with `kernels` (`Nout×M×K×K`) using the
+/// conventional sliding-window algorithm with implicit zero padding.
+///
+/// Works for any [`Scalar`]; accumulation happens in the element type
+/// itself (for the bit-faithful fixed-point datapath with a widened
+/// accumulator use [`conv2d_fix16`]).
+///
+/// # Errors
+///
+/// Returns [`ConvError::ShapeMismatch`] when tensor shapes disagree with
+/// `geom`.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_conv::{direct, tensor::Tensor, ConvGeometry};
+///
+/// # fn main() -> Result<(), winofuse_conv::ConvError> {
+/// let geom = ConvGeometry::new(4, 4, 3, 1, 0)?;
+/// let input = Tensor::filled(1, 1, 4, 4, 1.0f32);
+/// let kernel = Tensor::filled(1, 1, 3, 3, 1.0f32);
+/// let out = direct::conv2d(&input, &kernel, geom)?;
+/// assert_eq!(out.get(0, 0, 0, 0), 9.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d<T: Scalar>(
+    input: &Tensor<T>,
+    kernels: &Tensor<T>,
+    geom: ConvGeometry,
+) -> Result<Tensor<T>, ConvError> {
+    check_shapes(input, kernels, geom)?;
+    let (batch, in_c, _, _) = input.shape();
+    let out_c = kernels.n();
+    let (oh, ow) = (geom.output_height(), geom.output_width());
+    let (k, s, pad) = (geom.kernel(), geom.stride(), geom.pad() as isize);
+
+    let mut out = Tensor::zeros(batch, out_c, oh, ow);
+    for b in 0..batch {
+        for n in 0..out_c {
+            for i in 0..oh {
+                for j in 0..ow {
+                    let mut acc = T::zero();
+                    for m in 0..in_c {
+                        for u in 0..k {
+                            for v in 0..k {
+                                let hh = (i * s + u) as isize - pad;
+                                let ww = (j * s + v) as isize - pad;
+                                let d = input.get_padded(b, m, hh, ww);
+                                acc = acc + d * kernels.get(n, m, u, v);
+                            }
+                        }
+                    }
+                    out.set(b, n, i, j, acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fixed-point convolution with the hardware-faithful datapath: exact
+/// 32-bit products accumulated in a wide register, rounded and saturated
+/// once at writeback (see [`Accumulator`]).
+///
+/// # Errors
+///
+/// Returns [`ConvError::ShapeMismatch`] when tensor shapes disagree with
+/// `geom`.
+pub fn conv2d_fix16(
+    input: &Tensor<Fix16>,
+    kernels: &Tensor<Fix16>,
+    geom: ConvGeometry,
+) -> Result<Tensor<Fix16>, ConvError> {
+    check_shapes(input, kernels, geom)?;
+    let (batch, in_c, _, _) = input.shape();
+    let out_c = kernels.n();
+    let (oh, ow) = (geom.output_height(), geom.output_width());
+    let (k, s, pad) = (geom.kernel(), geom.stride(), geom.pad() as isize);
+
+    let mut out = Tensor::zeros(batch, out_c, oh, ow);
+    for b in 0..batch {
+        for n in 0..out_c {
+            for i in 0..oh {
+                for j in 0..ow {
+                    let mut acc = Accumulator::new();
+                    for m in 0..in_c {
+                        for u in 0..k {
+                            for v in 0..k {
+                                let hh = (i * s + u) as isize - pad;
+                                let ww = (j * s + v) as isize - pad;
+                                acc.mac(input.get_padded(b, m, hh, ww), kernels.get(n, m, u, v));
+                            }
+                        }
+                    }
+                    out.set(b, n, i, j, acc.finish());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::random_tensor;
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // 1x1 kernel of value 1 on a single channel.
+        let geom = ConvGeometry::new(3, 3, 1, 1, 0).unwrap();
+        let input = random_tensor(1, 1, 3, 3, 1);
+        let kernel = Tensor::filled(1, 1, 1, 1, 1.0f32);
+        let out = conv2d(&input, &kernel, geom).unwrap();
+        assert!(out.approx_eq(&input, 0.0));
+    }
+
+    #[test]
+    fn box_filter_sums_window() {
+        let geom = ConvGeometry::new(4, 4, 2, 2, 0).unwrap();
+        let input = Tensor::from_fn(1, 1, 4, 4, |_, _, h, w| (h * 4 + w) as f32);
+        let kernel = Tensor::filled(1, 1, 2, 2, 1.0f32);
+        let out = conv2d(&input, &kernel, geom).unwrap();
+        // Windows: {0,1,4,5}=10, {2,3,6,7}=18, {8,9,12,13}=42, {10,11,14,15}=50.
+        assert_eq!(out.as_slice(), &[10.0, 18.0, 42.0, 50.0]);
+    }
+
+    #[test]
+    fn channels_accumulate() {
+        let geom = ConvGeometry::new(2, 2, 1, 1, 0).unwrap();
+        let input = Tensor::filled(1, 3, 2, 2, 2.0f32);
+        let kernel = Tensor::filled(1, 3, 1, 1, 1.5f32);
+        let out = conv2d(&input, &kernel, geom).unwrap();
+        assert!(out.as_slice().iter().all(|&v| (v - 9.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn padding_uses_zeros() {
+        let geom = ConvGeometry::new(2, 2, 3, 1, 1).unwrap();
+        let input = Tensor::filled(1, 1, 2, 2, 1.0f32);
+        let kernel = Tensor::filled(1, 1, 3, 3, 1.0f32);
+        let out = conv2d(&input, &kernel, geom).unwrap();
+        // Every output sees exactly the 4 ones (corners of the 3x3 window
+        // always cover all four input pixels for a 2x2 input with pad 1).
+        assert_eq!(out.as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let geom = ConvGeometry::new(5, 5, 1, 2, 0).unwrap();
+        let input = Tensor::from_fn(1, 1, 5, 5, |_, _, h, w| (h * 5 + w) as f32);
+        let kernel = Tensor::filled(1, 1, 1, 1, 1.0f32);
+        let out = conv2d(&input, &kernel, geom).unwrap();
+        assert_eq!(out.shape(), (1, 1, 3, 3));
+        assert_eq!(out.get(0, 0, 1, 1), 12.0);
+        assert_eq!(out.get(0, 0, 2, 2), 24.0);
+    }
+
+    #[test]
+    fn batch_dimension_is_independent() {
+        let geom = ConvGeometry::new(3, 3, 3, 1, 0).unwrap();
+        let mut input = Tensor::zeros(2, 1, 3, 3);
+        input.set(0, 0, 1, 1, 1.0f32);
+        input.set(1, 0, 1, 1, 2.0f32);
+        let kernel = Tensor::filled(1, 1, 3, 3, 1.0f32);
+        let out = conv2d(&input, &kernel, geom).unwrap();
+        assert_eq!(out.get(0, 0, 0, 0), 1.0);
+        assert_eq!(out.get(1, 0, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let geom = ConvGeometry::new(4, 4, 3, 1, 0).unwrap();
+        let input = Tensor::<f32>::zeros(1, 2, 4, 4);
+        let bad_kernel = Tensor::<f32>::zeros(1, 3, 3, 3); // channel mismatch
+        assert!(conv2d(&input, &bad_kernel, geom).is_err());
+        let bad_size = Tensor::<f32>::zeros(1, 2, 5, 5); // input size mismatch
+        let kernel = Tensor::<f32>::zeros(1, 2, 3, 3);
+        assert!(conv2d(&bad_size, &kernel, geom).is_err());
+    }
+
+    #[test]
+    fn fix16_matches_f32_within_quantization() {
+        let geom = ConvGeometry::new(6, 6, 3, 1, 1).unwrap();
+        let input = random_tensor(1, 3, 6, 6, 11);
+        let kernels = random_tensor(2, 3, 3, 3, 12);
+        let f = conv2d(&input, &kernels, geom).unwrap();
+        let q = conv2d_fix16(&input.cast(), &kernels.cast(), geom).unwrap();
+        // 27 MACs of values in [-1,1): quantization error stays small.
+        let qf: Tensor<f32> = q.cast();
+        assert!(f.max_abs_diff(&qf).unwrap() < 0.15);
+    }
+
+    #[test]
+    fn fix16_wide_accumulator_beats_narrow() {
+        // Sum 64 products of 1-ulp inputs: narrow per-step rounding in the
+        // generic path loses them (each product rounds to 0 at Q8.8 scale
+        // only if below half-ulp; here products are 0.25 ulp), the wide
+        // accumulator keeps them.
+        let geom = ConvGeometry::new(8, 8, 8, 1, 0).unwrap();
+        let v = Fix16::from_raw(1); // 1 ulp
+        let half = Fix16::from_f32(0.25);
+        let input = Tensor::filled(1, 1, 8, 8, v);
+        let kernel = Tensor::filled(1, 1, 8, 8, half);
+        let wide = conv2d_fix16(&input, &kernel, geom).unwrap();
+        let narrow = conv2d(&input, &kernel, geom).unwrap();
+        // 64 products of 0.25 ulp = 16 ulp exact.
+        assert_eq!(wide.get(0, 0, 0, 0), Fix16::from_raw(16));
+        assert_eq!(narrow.get(0, 0, 0, 0), Fix16::ZERO);
+    }
+}

@@ -1,0 +1,382 @@
+//! FFT-based convolution — the third computation structure §1 of the
+//! paper lists for convolutional layers ("a straightforward and general
+//! approach or other algorithms such as matrix multiplication, FFT").
+//!
+//! A radix-2 iterative Cooley–Tukey FFT over [`Complex`] computes linear
+//! convolution by the convolution theorem; cross-correlation (what CNN
+//! "convolution" actually is) falls out by flipping the kernel. FFT
+//! convolution amortizes well only for large kernels — the complexity
+//! comparison against direct and Winograd is exposed via
+//! [`fft_conv_multiplies`] and used by the algorithm ablation bench.
+
+use crate::tensor::Tensor;
+use crate::{ConvError, ConvGeometry};
+
+/// A complex number over `f64` (precision for the transform; tensors stay
+/// `f32` at the API boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Creates `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex addition.
+    pub fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Complex {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+/// In-place iterative radix-2 FFT (decimation in time).
+///
+/// # Errors
+///
+/// Returns [`ConvError::InvalidGeometry`] when the length is not a
+/// nonzero power of two.
+pub fn fft(data: &mut [Complex]) -> Result<(), ConvError> {
+    transform(data, false)
+}
+
+/// In-place inverse FFT (includes the `1/n` normalization).
+///
+/// # Errors
+///
+/// Returns [`ConvError::InvalidGeometry`] when the length is not a
+/// nonzero power of two.
+pub fn ifft(data: &mut [Complex]) -> Result<(), ConvError> {
+    transform(data, true)?;
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(1.0 / n);
+    }
+    Ok(())
+}
+
+fn transform(data: &mut [Complex], inverse: bool) -> Result<(), ConvError> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(ConvError::InvalidGeometry(format!(
+            "fft length must be a nonzero power of two, got {n}"
+        )));
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar_unit(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2].mul(w);
+                data[start + k] = a.add(b);
+                data[start + k + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// 2-D FFT over a row-major `rows × cols` buffer (both dimensions must be
+/// powers of two).
+///
+/// # Errors
+///
+/// Same conditions as [`fft`], per dimension.
+pub fn fft2d(data: &mut [Complex], rows: usize, cols: usize, inverse: bool) -> Result<(), ConvError> {
+    if data.len() != rows * cols {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("{} elements", rows * cols),
+            found: format!("{}", data.len()),
+        });
+    }
+    // Rows.
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        if inverse {
+            ifft(row)?;
+        } else {
+            fft(row)?;
+        }
+    }
+    // Columns (gather/scatter through a scratch buffer).
+    let mut col = vec![Complex::ZERO; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        if inverse {
+            ifft(&mut col)?;
+        } else {
+            fft(&mut col)?;
+        }
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+    Ok(())
+}
+
+/// Convolution (CNN cross-correlation) of `input` with `kernels` via the
+/// convolution theorem. Produces the same result as
+/// [`crate::direct::conv2d`] for stride 1; strided layers are computed by
+/// subsampling the stride-1 result (FFT cannot exploit stride).
+///
+/// # Errors
+///
+/// Returns [`ConvError::ShapeMismatch`] when shapes disagree with `geom`.
+pub fn conv2d(
+    input: &Tensor<f32>,
+    kernels: &Tensor<f32>,
+    geom: ConvGeometry,
+) -> Result<Tensor<f32>, ConvError> {
+    if input.h() != geom.height() || input.w() != geom.width() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("input {}x{}", geom.height(), geom.width()),
+            found: format!("{}x{}", input.h(), input.w()),
+        });
+    }
+    if kernels.c() != input.c() || kernels.h() != geom.kernel() || kernels.w() != geom.kernel() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!(
+                "kernels Nx{}x{}x{}",
+                input.c(),
+                geom.kernel(),
+                geom.kernel()
+            ),
+            found: format!("{}x{}x{}x{}", kernels.n(), kernels.c(), kernels.h(), kernels.w()),
+        });
+    }
+    let (h, w, k, s, pad) = (
+        geom.height(),
+        geom.width(),
+        geom.kernel(),
+        geom.stride(),
+        geom.pad(),
+    );
+    let (oh, ow) = (geom.output_height(), geom.output_width());
+    let ph = (h + k - 1).next_power_of_two();
+    let pw = (w + k - 1).next_power_of_two();
+
+    let mut out = Tensor::zeros(input.n(), kernels.n(), oh, ow);
+    let mut x_hat = vec![Complex::ZERO; ph * pw];
+    let mut k_hat = vec![Complex::ZERO; ph * pw];
+    let mut acc = vec![Complex::ZERO; ph * pw];
+
+    for b in 0..input.n() {
+        for n in 0..kernels.n() {
+            for v in acc.iter_mut() {
+                *v = Complex::ZERO;
+            }
+            for m in 0..input.c() {
+                // FFT of the input channel.
+                for v in x_hat.iter_mut() {
+                    *v = Complex::ZERO;
+                }
+                for i in 0..h {
+                    for j in 0..w {
+                        x_hat[i * pw + j] = Complex::new(input.get(b, m, i, j) as f64, 0.0);
+                    }
+                }
+                fft2d(&mut x_hat, ph, pw, false)?;
+                // FFT of the *flipped* kernel (correlation = convolution
+                // with the flipped filter).
+                for v in k_hat.iter_mut() {
+                    *v = Complex::ZERO;
+                }
+                for u in 0..k {
+                    for vv in 0..k {
+                        k_hat[(k - 1 - u) * pw + (k - 1 - vv)] =
+                            Complex::new(kernels.get(n, m, u, vv) as f64, 0.0);
+                    }
+                }
+                fft2d(&mut k_hat, ph, pw, false)?;
+                for (a, (x, kk)) in acc.iter_mut().zip(x_hat.iter().zip(&k_hat)) {
+                    *a = a.add(x.mul(*kk));
+                }
+            }
+            let mut full = acc.clone();
+            fft2d(&mut full, ph, pw, true)?;
+            // Linear convolution c = x * flip(k); correlation output
+            // out[i][j] = c[i·S + K−1 − pad][j·S + K−1 − pad]. A window
+            // entirely inside the zero padding has no linear-convolution
+            // index (it would be negative) and is exactly zero.
+            for i in 0..oh {
+                for j in 0..ow {
+                    let (ci, cj) = (i * s + k - 1, j * s + k - 1);
+                    // Windows entirely in the padding (left: index would
+                    // be negative; right: beyond the linear-conv extent
+                    // h+k-1, which the zero padding keeps at exactly 0)
+                    // contribute nothing.
+                    if ci < pad || cj < pad || ci - pad >= h + k - 1 || cj - pad >= w + k - 1 {
+                        continue; // out stays zero
+                    }
+                    out.set(b, n, i, j, full[(ci - pad) * pw + (cj - pad)].re as f32);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Real multiplications of FFT convolution for one (input channel, output
+/// channel) plane pair: `3 · P·P·log₂(P·P) + 4·P·P` (three 2-D transforms
+/// amortized + the pointwise product, 4 real mults per complex one),
+/// where `P` is the padded power-of-two size.
+pub fn fft_conv_multiplies(geom: ConvGeometry) -> u64 {
+    let ph = (geom.height() + geom.kernel() - 1).next_power_of_two() as u64;
+    let pw = (geom.width() + geom.kernel() - 1).next_power_of_two() as u64;
+    let n = ph * pw;
+    let log = (64 - n.leading_zeros() - 1) as u64;
+    3 * n * log + 4 * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use crate::tensor::random_tensor;
+
+    #[test]
+    fn fft_roundtrip() {
+        let mut data: Vec<Complex> =
+            (0..16).map(|i| Complex::new(i as f64 * 0.5 - 3.0, (i % 3) as f64)).collect();
+        let original = data.clone();
+        fft(&mut data).unwrap();
+        ifft(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data).unwrap();
+        for v in &data {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 12];
+        assert!(fft(&mut data).is_err());
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft(&mut empty).is_err());
+    }
+
+    #[test]
+    fn fft2d_roundtrip() {
+        let mut data: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i * 7 % 13) as f64, 0.0)).collect();
+        let original = data.clone();
+        fft2d(&mut data, 4, 8, false).unwrap();
+        fft2d(&mut data, 4, 8, true).unwrap();
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.re - b.re).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_direct_no_pad() {
+        let geom = ConvGeometry::new(8, 8, 3, 1, 0).unwrap();
+        let x = random_tensor(1, 2, 8, 8, 1);
+        let k = random_tensor(3, 2, 3, 3, 2);
+        let a = direct::conv2d(&x, &k, geom).unwrap();
+        let b = conv2d(&x, &k, geom).unwrap();
+        assert!(a.approx_eq(&b, 1e-4), "max diff {}", a.max_abs_diff(&b).unwrap());
+    }
+
+    #[test]
+    fn matches_direct_with_padding() {
+        let geom = ConvGeometry::new(10, 10, 3, 1, 1).unwrap();
+        let x = random_tensor(1, 3, 10, 10, 3);
+        let k = random_tensor(2, 3, 3, 3, 4);
+        let a = direct::conv2d(&x, &k, geom).unwrap();
+        let b = conv2d(&x, &k, geom).unwrap();
+        assert!(a.approx_eq(&b, 1e-4), "max diff {}", a.max_abs_diff(&b).unwrap());
+    }
+
+    #[test]
+    fn matches_direct_with_stride() {
+        let geom = ConvGeometry::new(9, 9, 3, 2, 1).unwrap();
+        let x = random_tensor(1, 2, 9, 9, 5);
+        let k = random_tensor(2, 2, 3, 3, 6);
+        let a = direct::conv2d(&x, &k, geom).unwrap();
+        let b = conv2d(&x, &k, geom).unwrap();
+        assert!(a.approx_eq(&b, 1e-4), "max diff {}", a.max_abs_diff(&b).unwrap());
+    }
+
+    #[test]
+    fn matches_direct_large_kernel() {
+        // The regime where FFT actually pays: 7x7 kernel.
+        let geom = ConvGeometry::new(12, 12, 7, 1, 3).unwrap();
+        let x = random_tensor(1, 2, 12, 12, 7);
+        let k = random_tensor(1, 2, 7, 7, 8);
+        let a = direct::conv2d(&x, &k, geom).unwrap();
+        let b = conv2d(&x, &k, geom).unwrap();
+        assert!(a.approx_eq(&b, 1e-3), "max diff {}", a.max_abs_diff(&b).unwrap());
+    }
+
+    #[test]
+    fn complexity_crossover() {
+        // For 3x3 kernels on 224-wide maps, FFT needs *more* multiplies
+        // per plane pair than direct (that's why the paper's framework
+        // explores winograd instead); for large kernels it wins.
+        let small_k = ConvGeometry::new(56, 56, 3, 1, 1).unwrap();
+        let direct_small = small_k.macs_per_channel_pair();
+        assert!(fft_conv_multiplies(small_k) > direct_small);
+
+        // Large kernel on a large map (the power-of-two padding must not
+        // dominate): 11x11 on 100x100 pads to 128x128.
+        let big_k = ConvGeometry::new(100, 100, 11, 1, 5).unwrap();
+        let direct_big = big_k.macs_per_channel_pair();
+        assert!(fft_conv_multiplies(big_k) < direct_big);
+    }
+}

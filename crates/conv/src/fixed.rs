@@ -1,0 +1,288 @@
+//! 16-bit fixed-point arithmetic matching the paper's FPGA datapath.
+//!
+//! The paper's designs use a 16-bit fixed data type (§7.1). [`Fix16`] is a
+//! Q8.8 signed fixed-point number with **saturating** conversion and
+//! arithmetic, mirroring what a DSP48E-based datapath with a widened
+//! accumulator does: products are formed exactly in 32 bits and rounded
+//! back to Q8.8; sums saturate at the type's range.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::tensor::Scalar;
+
+/// Number of fractional bits in [`Fix16`].
+pub const FRAC_BITS: u32 = 8;
+const ONE_RAW: i32 = 1 << FRAC_BITS;
+
+/// Signed Q8.8 fixed-point value stored in 16 bits.
+///
+/// Range: `[-128.0, 127.996]`, resolution `2⁻⁸ ≈ 0.0039`.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_conv::fixed::Fix16;
+///
+/// let a = Fix16::from_f32(1.5);
+/// let b = Fix16::from_f32(2.25);
+/// assert_eq!((a * b).to_f32(), 3.375);
+/// assert_eq!((a + b).to_f32(), 3.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fix16(i16);
+
+impl Fix16 {
+    /// The value zero.
+    pub const ZERO: Fix16 = Fix16(0);
+    /// The value one.
+    pub const ONE: Fix16 = Fix16(ONE_RAW as i16);
+    /// Largest representable value (`127 + 255/256`).
+    pub const MAX: Fix16 = Fix16(i16::MAX);
+    /// Smallest representable value (`-128`).
+    pub const MIN: Fix16 = Fix16(i16::MIN);
+
+    /// Creates a value from its raw two's-complement Q8.8 bits.
+    pub fn from_raw(raw: i16) -> Self {
+        Fix16(raw)
+    }
+
+    /// Raw two's-complement Q8.8 bits.
+    pub fn to_raw(self) -> i16 {
+        self.0
+    }
+
+    /// Converts from `f32`, rounding to nearest and saturating at the
+    /// representable range (NaN maps to zero).
+    pub fn from_f32(v: f32) -> Self {
+        if v.is_nan() {
+            return Fix16::ZERO;
+        }
+        let scaled = (v * ONE_RAW as f32).round();
+        if scaled >= i16::MAX as f32 {
+            Fix16::MAX
+        } else if scaled <= i16::MIN as f32 {
+            Fix16::MIN
+        } else {
+            Fix16(scaled as i16)
+        }
+    }
+
+    /// Converts to `f32` exactly (every `Fix16` is representable).
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / ONE_RAW as f32
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Fix16(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Fix16(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication: exact 32-bit product, rounded to nearest
+    /// Q8.8, then saturated.
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        let wide = self.0 as i32 * rhs.0 as i32;
+        // Round to nearest (ties away from zero) before dropping FRAC_BITS.
+        let rounded = if wide >= 0 {
+            (wide + (ONE_RAW / 2)) >> FRAC_BITS
+        } else {
+            -((-wide + (ONE_RAW / 2)) >> FRAC_BITS)
+        };
+        if rounded > i16::MAX as i32 {
+            Fix16::MAX
+        } else if rounded < i16::MIN as i32 {
+            Fix16::MIN
+        } else {
+            Fix16(rounded as i16)
+        }
+    }
+
+    /// Absolute value (saturating: `|MIN|` maps to `MAX`).
+    pub fn abs(self) -> Self {
+        if self.0 == i16::MIN {
+            Fix16::MAX
+        } else {
+            Fix16(self.0.abs())
+        }
+    }
+}
+
+impl Add for Fix16 {
+    type Output = Fix16;
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sub for Fix16 {
+    type Output = Fix16;
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Mul for Fix16 {
+    type Output = Fix16;
+    fn mul(self, rhs: Self) -> Self {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Neg for Fix16 {
+    type Output = Fix16;
+    fn neg(self) -> Self {
+        Fix16(self.0.saturating_neg())
+    }
+}
+
+impl fmt::Display for Fix16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<i16> for Fix16 {
+    /// Interprets the argument as an **integer** value (not raw bits),
+    /// saturating at the Q8.8 range.
+    fn from(v: i16) -> Self {
+        Fix16::from_f32(v as f32)
+    }
+}
+
+impl Scalar for Fix16 {
+    fn zero() -> Self {
+        Fix16::ZERO
+    }
+    fn from_f32(v: f32) -> Self {
+        Fix16::from_f32(v)
+    }
+    fn to_f32(self) -> f32 {
+        Fix16::to_f32(self)
+    }
+}
+
+/// A 32-bit accumulator for dot products of [`Fix16`] values, mirroring the
+/// widened accumulation register of a DSP48E MAC cascade.
+///
+/// Products are accumulated exactly in Q16.16; [`Accumulator::finish`]
+/// rounds and saturates back to Q8.8 once at the end, exactly like the
+/// hardware writeback stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accumulator(i64);
+
+impl Accumulator {
+    /// Creates an empty (zero) accumulator.
+    pub fn new() -> Self {
+        Accumulator(0)
+    }
+
+    /// Adds the exact product `a·b` to the accumulator.
+    pub fn mac(&mut self, a: Fix16, b: Fix16) {
+        self.0 += a.to_raw() as i64 * b.to_raw() as i64;
+    }
+
+    /// Rounds the Q16.16 accumulation to nearest Q8.8 and saturates.
+    pub fn finish(self) -> Fix16 {
+        let wide = self.0;
+        let half = (ONE_RAW / 2) as i64;
+        let rounded = if wide >= 0 { (wide + half) >> FRAC_BITS } else { -((-wide + half) >> FRAC_BITS) };
+        if rounded > i16::MAX as i64 {
+            Fix16::MAX
+        } else if rounded < i16::MIN as i64 {
+            Fix16::MIN
+        } else {
+            Fix16::from_raw(rounded as i16)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for v in [-128.0, -1.0, -0.5, 0.0, 0.25, 1.0, 3.375, 127.0] {
+            assert_eq!(Fix16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn conversion_saturates() {
+        assert_eq!(Fix16::from_f32(1e9), Fix16::MAX);
+        assert_eq!(Fix16::from_f32(-1e9), Fix16::MIN);
+        assert_eq!(Fix16::from_f32(f32::NAN), Fix16::ZERO);
+    }
+
+    #[test]
+    fn addition_saturates() {
+        let big = Fix16::from_f32(127.0);
+        assert_eq!(big + big, Fix16::MAX);
+        let small = Fix16::from_f32(-127.0);
+        assert_eq!(small + small, Fix16::MIN);
+    }
+
+    #[test]
+    fn multiplication_rounds_to_nearest() {
+        // 0.0039 * 0.5 = 0.00195 -> rounds to 0.0039 (1 ulp), not 0.
+        let ulp = Fix16::from_raw(1);
+        let half = Fix16::from_f32(0.5);
+        assert_eq!((ulp * half).to_raw(), 1);
+        // 1 ulp * 0.25 = 0.25 ulp -> rounds to 0.
+        let quarter = Fix16::from_f32(0.25);
+        assert_eq!((ulp * quarter).to_raw(), 0);
+    }
+
+    #[test]
+    fn multiplication_saturates() {
+        let v = Fix16::from_f32(100.0);
+        assert_eq!(v * v, Fix16::MAX);
+        assert_eq!(v * -v, Fix16::MIN);
+    }
+
+    #[test]
+    fn negation_of_min_saturates() {
+        assert_eq!(-Fix16::MIN, Fix16::MAX);
+        assert_eq!(Fix16::MIN.abs(), Fix16::MAX);
+    }
+
+    #[test]
+    fn accumulator_is_exact_until_finish() {
+        // Sum of 256 products of 1 ulp * 1.0 = 256 ulp = 1.0; a per-step
+        // rounding implementation would round each product fine here, but
+        // 0.5-ulp products would vanish: check those accumulate exactly.
+        let mut acc = Accumulator::new();
+        let ulp = Fix16::from_raw(1);
+        let half = Fix16::from_f32(0.5);
+        for _ in 0..512 {
+            acc.mac(ulp, half); // each product is 0.5 ulp exactly
+        }
+        assert_eq!(acc.finish(), Fix16::from_f32(1.0));
+    }
+
+    #[test]
+    fn accumulator_saturates_at_finish() {
+        let mut acc = Accumulator::new();
+        let big = Fix16::from_f32(100.0);
+        for _ in 0..10 {
+            acc.mac(big, Fix16::ONE);
+        }
+        assert_eq!(acc.finish(), Fix16::MAX);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Fix16::from_f32(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(Fix16::from_f32(-1.0) < Fix16::from_f32(0.5));
+        assert!(Fix16::from_f32(2.0) > Fix16::from_f32(1.996));
+    }
+}

@@ -1,0 +1,221 @@
+//! Convolution lowered to matrix multiplication (im2col + GEMM).
+//!
+//! §1 of the paper lists matrix multiplication as one of the alternative
+//! computation structures for convolutional layers. The lowering unrolls
+//! every sliding window into a column of a patch matrix, then a single
+//! GEMM against the flattened kernels produces all output feature maps.
+
+use crate::tensor::{Scalar, Tensor};
+use crate::{ConvError, ConvGeometry};
+
+/// The patch matrix produced by [`im2col`]: shape
+/// `(C·K·K) × (outH·outW)`, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> PatchMatrix<T> {
+    /// Number of rows (`C·K·K`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`outH·outW`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+}
+
+/// Unrolls one batch element of `input` into the im2col patch matrix for
+/// the given geometry.
+///
+/// # Errors
+///
+/// Returns [`ConvError::ShapeMismatch`] when `input` disagrees with `geom`
+/// or `batch` is out of range.
+pub fn im2col<T: Scalar>(
+    input: &Tensor<T>,
+    geom: ConvGeometry,
+    batch: usize,
+) -> Result<PatchMatrix<T>, ConvError> {
+    if input.h() != geom.height() || input.w() != geom.width() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("input {}x{}", geom.height(), geom.width()),
+            found: format!("{}x{}", input.h(), input.w()),
+        });
+    }
+    if batch >= input.n() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("batch < {}", input.n()),
+            found: format!("{batch}"),
+        });
+    }
+    let (c, k, s, pad) = (input.c(), geom.kernel(), geom.stride(), geom.pad() as isize);
+    let (oh, ow) = (geom.output_height(), geom.output_width());
+    let rows = c * k * k;
+    let cols = oh * ow;
+    let mut data = Vec::with_capacity(rows * cols);
+    for m in 0..c {
+        for u in 0..k {
+            for v in 0..k {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let hh = (i * s + u) as isize - pad;
+                        let ww = (j * s + v) as isize - pad;
+                        data.push(input.get_padded(batch, m, hh, ww));
+                    }
+                }
+            }
+        }
+    }
+    Ok(PatchMatrix { rows, cols, data })
+}
+
+/// Convolution via im2col + GEMM. Produces the same result as
+/// [`crate::direct::conv2d`].
+///
+/// # Errors
+///
+/// Returns [`ConvError::ShapeMismatch`] when shapes disagree with `geom`.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_conv::{direct, im2col, tensor::random_tensor, ConvGeometry};
+///
+/// # fn main() -> Result<(), winofuse_conv::ConvError> {
+/// let geom = ConvGeometry::new(6, 6, 3, 2, 1)?;
+/// let x = random_tensor(1, 3, 6, 6, 1);
+/// let w = random_tensor(4, 3, 3, 3, 2);
+/// let a = direct::conv2d(&x, &w, geom)?;
+/// let b = im2col::conv2d(&x, &w, geom)?;
+/// assert!(a.approx_eq(&b, 1e-4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d<T: Scalar>(
+    input: &Tensor<T>,
+    kernels: &Tensor<T>,
+    geom: ConvGeometry,
+) -> Result<Tensor<T>, ConvError> {
+    if kernels.c() != input.c() || kernels.h() != geom.kernel() || kernels.w() != geom.kernel() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!(
+                "kernels {}x{}x{}x{}",
+                kernels.n(),
+                input.c(),
+                geom.kernel(),
+                geom.kernel()
+            ),
+            found: format!(
+                "{}x{}x{}x{}",
+                kernels.n(),
+                kernels.c(),
+                kernels.h(),
+                kernels.w()
+            ),
+        });
+    }
+    let (oh, ow) = (geom.output_height(), geom.output_width());
+    let out_c = kernels.n();
+    let kk = input.c() * geom.kernel() * geom.kernel();
+    let mut out = Tensor::zeros(input.n(), out_c, oh, ow);
+    let kflat = kernels.as_slice(); // N×(C·K·K) row-major already
+
+    for b in 0..input.n() {
+        let patches = im2col(input, geom, b)?;
+        // GEMM: out[n][col] = Σ_r kflat[n][r] · patches[r][col]
+        for n in 0..out_c {
+            for col in 0..patches.cols() {
+                let mut acc = T::zero();
+                for r in 0..kk {
+                    acc = acc + kflat[n * kk + r] * patches.get(r, col);
+                }
+                out.set(b, n, col / ow, col % ow, acc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use crate::tensor::random_tensor;
+
+    #[test]
+    fn patch_matrix_shape() {
+        let geom = ConvGeometry::new(4, 4, 3, 1, 0).unwrap();
+        let x = random_tensor(1, 2, 4, 4, 3);
+        let p = im2col(&x, geom, 0).unwrap();
+        assert_eq!(p.rows(), 2 * 9);
+        assert_eq!(p.cols(), 4);
+    }
+
+    #[test]
+    fn patch_matrix_contents() {
+        let geom = ConvGeometry::new(3, 3, 2, 1, 0).unwrap();
+        let x = Tensor::from_fn(1, 1, 3, 3, |_, _, h, w| (h * 3 + w) as f32);
+        let p = im2col(&x, geom, 0).unwrap();
+        // Row 0 = kernel offset (0,0): values at output positions
+        // (0,0),(0,1),(1,0),(1,1) = 0,1,3,4.
+        assert_eq!(
+            (0..4).map(|c| p.get(0, c)).collect::<Vec<_>>(),
+            vec![0.0, 1.0, 3.0, 4.0]
+        );
+        // Last row = offset (1,1): 4,5,7,8.
+        assert_eq!(
+            (0..4).map(|c| p.get(3, c)).collect::<Vec<_>>(),
+            vec![4.0, 5.0, 7.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn matches_direct_on_random_input() {
+        let geom = ConvGeometry::new(7, 7, 3, 1, 1).unwrap();
+        let x = random_tensor(2, 3, 7, 7, 5);
+        let w = random_tensor(4, 3, 3, 3, 6);
+        let a = direct::conv2d(&x, &w, geom).unwrap();
+        let b = conv2d(&x, &w, geom).unwrap();
+        assert!(a.approx_eq(&b, 1e-4), "max diff {}", a.max_abs_diff(&b).unwrap());
+    }
+
+    #[test]
+    fn matches_direct_with_stride_and_pad() {
+        let geom = ConvGeometry::new(11, 11, 5, 2, 2).unwrap();
+        let x = random_tensor(1, 2, 11, 11, 7);
+        let w = random_tensor(3, 2, 5, 5, 8);
+        let a = direct::conv2d(&x, &w, geom).unwrap();
+        let b = conv2d(&x, &w, geom).unwrap();
+        assert!(a.approx_eq(&b, 1e-4));
+    }
+
+    #[test]
+    fn rejects_out_of_range_batch() {
+        let geom = ConvGeometry::new(4, 4, 3, 1, 0).unwrap();
+        let x = random_tensor(1, 1, 4, 4, 9);
+        assert!(im2col(&x, geom, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_kernel_mismatch() {
+        let geom = ConvGeometry::new(4, 4, 3, 1, 0).unwrap();
+        let x = random_tensor(1, 2, 4, 4, 9);
+        let w = random_tensor(1, 2, 5, 5, 9);
+        assert!(conv2d(&x, &w, geom).is_err());
+    }
+}

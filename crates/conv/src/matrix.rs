@@ -1,0 +1,354 @@
+//! Small dense matrices used for Winograd transforms.
+//!
+//! [`Mat`] is generic over the element, so the Cook–Toom generator can work
+//! with exact [`crate::rational::Rational`] entries and the runtime kernels
+//! with `f32`/`f64`.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::rational::Rational;
+use crate::ConvError;
+
+/// Element requirements for matrix arithmetic.
+pub trait MatElem:
+    Copy + PartialEq + fmt::Debug + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+}
+
+impl MatElem for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+}
+
+impl MatElem for f32 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+}
+
+impl MatElem for Rational {
+    fn zero() -> Self {
+        Rational::ZERO
+    }
+    fn one() -> Self {
+        Rational::ONE
+    }
+}
+
+/// A small dense row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_conv::matrix::Mat;
+///
+/// let a = Mat::from_rows(vec![vec![1.0f64, 2.0], vec![3.0, 4.0]]);
+/// let i = Mat::identity(2);
+/// assert_eq!(a.mul(&i), a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: MatElem> Mat<T> {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![T::zero(); rows * cols] }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, T::one());
+        }
+        m
+    }
+
+    /// Creates a matrix from nested row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or the matrix is empty.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let nrows = rows.len();
+        Mat { rows: nrows, cols, data: rows.into_iter().flatten().collect() }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` everywhere.
+    pub fn from_fn<F: FnMut(usize, usize) -> T>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inner dimensions disagree.
+    pub fn mul(&self, rhs: &Mat<T>) -> Mat<T> {
+        assert_eq!(self.cols, rhs.rows, "matrix dimension mismatch in mul");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == T::zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = out.get(i, j) + a * rhs.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat<T> {
+        Mat::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree.
+    pub fn hadamard(&self, rhs: &Mat<T>) -> Mat<T> {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard shape mismatch");
+        Mat::from_fn(self.rows, self.cols, |r, c| self.get(r, c) * rhs.get(r, c))
+    }
+
+    /// Maps every element through `f`, possibly changing the element type.
+    pub fn map<U: MatElem, F: FnMut(T) -> U>(&self, mut f: F) -> Mat<U> {
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Row-major element slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl Mat<Rational> {
+    /// Exact inverse by Gauss–Jordan elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::UnsupportedTransform`] when the matrix is
+    /// singular and [`ConvError::RationalOverflow`] when exact arithmetic
+    /// overflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not square.
+    pub fn inverse(&self) -> Result<Mat<Rational>, ConvError> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Mat::<Rational>::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot_row = (col..n)
+                .find(|&r| !a.get(r, col).is_zero())
+                .ok_or_else(|| {
+                    ConvError::UnsupportedTransform(
+                        "singular evaluation matrix (duplicate interpolation points?)".into(),
+                    )
+                })?;
+            if pivot_row != col {
+                for c in 0..n {
+                    let (x, y) = (a.get(col, c), a.get(pivot_row, c));
+                    a.set(col, c, y);
+                    a.set(pivot_row, c, x);
+                    let (x, y) = (inv.get(col, c), inv.get(pivot_row, c));
+                    inv.set(col, c, y);
+                    inv.set(pivot_row, c, x);
+                }
+            }
+            let pivot = a.get(col, col);
+            let pivot_inv = pivot.recip();
+            for c in 0..n {
+                a.set(col, c, a.get(col, c).checked_mul(pivot_inv)?);
+                inv.set(col, c, inv.get(col, c).checked_mul(pivot_inv)?);
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor.is_zero() {
+                    continue;
+                }
+                for c in 0..n {
+                    let v = a.get(r, c).checked_sub(factor.checked_mul(a.get(col, c))?)?;
+                    a.set(r, c, v);
+                    let v = inv.get(r, c).checked_sub(factor.checked_mul(inv.get(col, c))?)?;
+                    inv.set(r, c, v);
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Converts to an `f64` matrix.
+    pub fn to_f64(&self) -> Mat<f64> {
+        self.map(|v| v.to_f64())
+    }
+
+    /// Converts to an `f32` matrix.
+    pub fn to_f32(&self) -> Mat<f32> {
+        self.map(|v| v.to_f32())
+    }
+}
+
+impl<T: MatElem + fmt::Display> fmt::Display for Mat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.get(r, c))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn identity_mul() {
+        let a = Mat::from_rows(vec![vec![1.0f64, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.mul(&Mat::identity(2)), a);
+        assert_eq!(Mat::identity(2).mul(&a), a);
+    }
+
+    #[test]
+    fn mul_known_product() {
+        let a = Mat::from_rows(vec![vec![1.0f64, 2.0, 3.0]]);
+        let b = Mat::from_rows(vec![vec![1.0f64], vec![0.0], vec![-1.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c.get(0, 0), -2.0);
+        assert_eq!((c.rows(), c.cols()), (1, 1));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(vec![vec![1.0f64, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let a = Mat::from_rows(vec![vec![1.0f64, 2.0], vec![3.0, 4.0]]);
+        let b = Mat::from_rows(vec![vec![2.0f64, 0.5], vec![1.0, 0.25]]);
+        let h = a.hadamard(&b);
+        assert_eq!(h.as_slice(), &[2.0, 1.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn rational_inverse_roundtrip() {
+        let a = Mat::from_rows(vec![
+            vec![rat(1, 1), rat(2, 1), rat(0, 1)],
+            vec![rat(0, 1), rat(1, 1), rat(1, 2)],
+            vec![rat(1, 3), rat(0, 1), rat(1, 1)],
+        ]);
+        let inv = a.inverse().unwrap();
+        assert_eq!(a.mul(&inv), Mat::identity(3));
+        assert_eq!(inv.mul(&a), Mat::identity(3));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Mat::from_rows(vec![vec![rat(1, 1), rat(2, 1)], vec![rat(2, 1), rat(4, 1)]]);
+        assert!(matches!(a.inverse(), Err(ConvError::UnsupportedTransform(_))));
+    }
+
+    #[test]
+    fn inverse_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Mat::from_rows(vec![vec![rat(0, 1), rat(1, 1)], vec![rat(1, 1), rat(0, 1)]]);
+        let inv = a.inverse().unwrap();
+        assert_eq!(a.mul(&inv), Mat::identity(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Mat::from_rows(vec![vec![1.0f64, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let a = Mat::from_rows(vec![vec![rat(1, 2), rat(-1, 4)]]);
+        let f = a.to_f64();
+        assert_eq!(f.as_slice(), &[0.5, -0.25]);
+    }
+}

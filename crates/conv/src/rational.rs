@@ -1,0 +1,295 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Winograd transform matrices have small rational entries (e.g. `-1/6`,
+//! `1/24` for `F(4,3)`). Generating them with floating point would smuggle
+//! rounding error into what hardware implements with exact shift/add
+//! networks, so the Cook–Toom generator works over [`Rational`] and converts
+//! to `f32`/`f64` only at the edge.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::ConvError;
+
+/// An exact rational number `num/den` with `den > 0`, always stored in
+/// lowest terms.
+///
+/// Arithmetic returns `Result` so that an (extremely unlikely for the tile
+/// sizes in question) `i128` overflow surfaces as
+/// [`ConvError::RationalOverflow`] instead of a wrong matrix. The
+/// operator impls panic on overflow and exist for test convenience; library
+/// code uses the checked methods.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_conv::rational::Rational;
+///
+/// let a = Rational::new(1, 3);
+/// let b = Rational::new(1, 6);
+/// assert_eq!((a + b), Rational::new(1, 2));
+/// assert_eq!(Rational::new(2, 4), Rational::new(1, 2)); // normalized
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The value zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The value one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational denominator must be nonzero");
+        if num == 0 {
+            return Rational::ZERO;
+        }
+        let sign = if (num < 0) ^ (den < 0) { -1 } else { 1 };
+        let g = gcd(num, den);
+        Rational { num: sign * (num.abs() / g), den: den.abs() / g }
+    }
+
+    /// Creates the integer `v`.
+    pub fn from_int(v: i64) -> Self {
+        Rational { num: v as i128, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Converts to `f64` (exact for all values arising in Winograd
+    /// transforms of practical size).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Converts to `f32`.
+    pub fn to_f32(&self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Checked addition.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvError::RationalOverflow`] on `i128` overflow.
+    pub fn checked_add(self, rhs: Self) -> Result<Self, ConvError> {
+        let num = self
+            .num
+            .checked_mul(rhs.den)
+            .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .ok_or(ConvError::RationalOverflow)?;
+        let den = self.den.checked_mul(rhs.den).ok_or(ConvError::RationalOverflow)?;
+        Ok(Rational::new(num, den))
+    }
+
+    /// Checked subtraction.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvError::RationalOverflow`] on `i128` overflow.
+    pub fn checked_sub(self, rhs: Self) -> Result<Self, ConvError> {
+        self.checked_add(Rational::new(-rhs.num, rhs.den))
+    }
+
+    /// Checked multiplication.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvError::RationalOverflow`] on `i128` overflow.
+    pub fn checked_mul(self, rhs: Self) -> Result<Self, ConvError> {
+        // Cross-reduce first to keep magnitudes small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .ok_or(ConvError::RationalOverflow)?;
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .ok_or(ConvError::RationalOverflow)?;
+        Ok(Rational::new(num, den))
+    }
+
+    /// Checked division.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvError::RationalOverflow`] on overflow. Panics on division by
+    /// zero (a logic error in transform generation, not an input error).
+    pub fn checked_div(self, rhs: Self) -> Result<Self, ConvError> {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        self.checked_mul(Rational::new(rhs.den, rhs.num))
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Self {
+        assert!(!self.is_zero(), "zero has no reciprocal");
+        Rational::new(self.den, self.num)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Self) -> Self {
+        self.checked_add(rhs).expect("rational overflow")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Self) -> Self {
+        self.checked_sub(rhs).expect("rational overflow")
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Self) -> Self {
+        self.checked_mul(rhs).expect("rational overflow")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Self) -> Self {
+        self.checked_div(rhs).expect("rational overflow")
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Self {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // den > 0 on both sides, so cross-multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 7), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 6);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(b - a, a);
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a / b, Rational::new(1, 2));
+        assert_eq!(-a, Rational::new(-1, 6));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 7) == Rational::ONE);
+    }
+
+    #[test]
+    fn conversion() {
+        assert_eq!(Rational::new(1, 4).to_f64(), 0.25);
+        assert_eq!(Rational::from_int(-3).to_f32(), -3.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 1).to_string(), "3");
+        assert_eq!(Rational::new(-1, 6).to_string(), "-1/6");
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let huge = Rational::new(i128::MAX - 1, 1);
+        assert_eq!(huge.checked_add(huge), Err(ConvError::RationalOverflow));
+        assert_eq!(huge.checked_mul(huge), Err(ConvError::RationalOverflow));
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(Rational::new(-2, 3).recip(), Rational::new(-3, 2));
+    }
+}

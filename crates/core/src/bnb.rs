@@ -1,0 +1,458 @@
+//! Algorithm 2: depth-first branch-and-bound implementation of one fusion
+//! group.
+//!
+//! "Starting from the iᵗʰ layer, it goes deeper until reaching the jᵗʰ
+//! layer. \[...\] Since we employ inter-layer pipeline for the layers within
+//! the same group, the path latency is the latency of the slowest layer
+//! along the path. We use the current best group latency to bound the
+//! following tree traversal. \[...\] When implementing a layer, our
+//! framework explores different algorithms and hardware parallelisms."
+//!
+//! Faithful details: per-layer implementations are cached across the
+//! search (the paper's `ipls[cnt][algo][p]` / `unvisited` arrays),
+//! parallelisms are explored from max to min so the monotone
+//! latency bound can `break` a whole sub-range (lines 11, 16–17), and the
+//! resource feasibility check happens before a child node is created
+//! (line 18). Additions beyond the paper's pseudocode, both admissible:
+//! a suffix resource lower bound, and a DRAM-traffic latency floor that
+//! lets the search stop when a leaf provably cannot be beaten.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_fpga::engine::{parallelism_candidates, Algorithm, EngineConfig};
+use winofuse_fpga::resource::ResourceVec;
+use winofuse_fusion::pipeline::{group_timing, GroupTiming, LayerConfig};
+use winofuse_model::network::Network;
+use winofuse_model::shape::DataType;
+
+use crate::{CoreError, MAX_FUSION_LAYERS};
+
+/// Which algorithms the optimizer may assign (ablation knob; the paper's
+/// heterogeneous framework allows both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AlgoPolicy {
+    /// Allow the conventional algorithm.
+    pub conventional: bool,
+    /// Allow Winograd (with the given output tile `m`).
+    pub winograd: bool,
+    /// Winograd output tile side (the paper uses 4).
+    pub winograd_m: usize,
+}
+
+impl Default for AlgoPolicy {
+    fn default() -> Self {
+        AlgoPolicy { conventional: true, winograd: true, winograd_m: 4 }
+    }
+}
+
+impl AlgoPolicy {
+    /// Heterogeneous exploration (the paper's framework).
+    pub fn heterogeneous() -> Self {
+        Self::default()
+    }
+
+    /// Conventional-only (homogeneous ablation / the baseline's setting).
+    pub fn conventional_only() -> Self {
+        AlgoPolicy { conventional: true, winograd: false, winograd_m: 4 }
+    }
+
+    /// Winograd-wherever-possible (homogeneous ablation; ineligible
+    /// layers still fall back to conventional so networks stay mappable).
+    pub fn winograd_preferred() -> Self {
+        AlgoPolicy { conventional: false, winograd: true, winograd_m: 4 }
+    }
+}
+
+/// One implemented fusion group: resolved per-layer configs + timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupPlan {
+    /// First layer index (inclusive).
+    pub start: usize,
+    /// Last layer index (exclusive).
+    pub end: usize,
+    /// Per-layer resolved configurations.
+    pub configs: Vec<LayerConfig>,
+    /// Pipeline timing and resource totals.
+    pub timing: GroupTiming,
+}
+
+impl GroupPlan {
+    /// Group latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.timing.latency
+    }
+
+    /// Minimal feature-map transfer of the group (first input + last
+    /// output) — `min_t[i][j]` of Algorithm 1.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.timing.dram_fmap_bytes
+    }
+}
+
+/// One entry of a layer's implementation menu.
+#[derive(Debug, Clone)]
+struct MenuEntry {
+    config: LayerConfig,
+    /// Admissible lower bound on how this layer constrains group latency:
+    /// its compute cycles (nothing overlaps below this) or its weight
+    /// stream time, whichever is larger.
+    bound: u64,
+}
+
+/// Branch-and-bound group planner with cross-call memoization.
+pub struct GroupPlanner<'a> {
+    net: &'a Network,
+    device: &'a FpgaDevice,
+    policy: AlgoPolicy,
+    /// `ipls` cache: implementation menu per layer, grouped by algorithm,
+    /// each algorithm's entries sorted by descending parallelism.
+    menus: Vec<Vec<Vec<MenuEntry>>>,
+    /// `fusion[i][j]` cache.
+    cache: HashMap<(usize, usize), Option<GroupPlan>>,
+    /// Maximum layers per fusion group (paper default: 8, §7.1).
+    max_group_layers: usize,
+    /// Per-layer per-dimension minimal resources (for suffix bounds).
+    min_resources: Vec<ResourceVec>,
+}
+
+impl<'a> GroupPlanner<'a> {
+    /// Prepares a planner for `net` on `device` with the given algorithm
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidRequest`] when some layer has no
+    /// feasible implementation at all (e.g. an FC layer, which the
+    /// accelerator does not map — strip it with
+    /// [`Network::conv_body`] first).
+    pub fn new(
+        net: &'a Network,
+        device: &'a FpgaDevice,
+        policy: AlgoPolicy,
+    ) -> Result<Self, CoreError> {
+        let bpc = device.bytes_per_cycle();
+        let mut menus = Vec::with_capacity(net.len());
+        let mut min_resources = Vec::with_capacity(net.len());
+        for (idx, layer) in net.layers().iter().enumerate() {
+            let mut algo_menus: Vec<Vec<MenuEntry>> = Vec::new();
+            let mut algos: Vec<Algorithm> = Vec::new();
+            if policy.winograd && layer.winograd_eligible() {
+                algos.push(Algorithm::Winograd { m: policy.winograd_m });
+            }
+            if policy.conventional || algos.is_empty() {
+                // Conventional is the universal fallback so every layer
+                // stays mappable even under winograd_preferred().
+                algos.push(Algorithm::Conventional);
+            }
+            for algo in algos {
+                let mut entries = Vec::new();
+                for p in parallelism_candidates(layer, algo, device.resources().dsp) {
+                    let cfg = EngineConfig { algorithm: algo, parallelism: p };
+                    let Ok(config) = LayerConfig::build(net, idx, cfg) else {
+                        continue;
+                    };
+                    if !config.estimate.resources.fits_within(device.resources()) {
+                        continue;
+                    }
+                    let weight_cycles = (config.weight_bytes as f64 / bpc).ceil() as u64;
+                    let bound = config.estimate.compute_cycles.max(weight_cycles);
+                    entries.push(MenuEntry { config, bound });
+                }
+                if !entries.is_empty() {
+                    algo_menus.push(entries);
+                }
+            }
+            if algo_menus.is_empty() {
+                return Err(CoreError::InvalidRequest(format!(
+                    "layer {idx} `{}` has no feasible implementation on {}",
+                    layer.name,
+                    device.name()
+                )));
+            }
+            let mut min_r = ResourceVec::new(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+            for e in algo_menus.iter().flatten() {
+                let r = e.config.estimate.resources;
+                min_r = ResourceVec::new(
+                    min_r.bram_18k.min(r.bram_18k),
+                    min_r.dsp.min(r.dsp),
+                    min_r.ff.min(r.ff),
+                    min_r.lut.min(r.lut),
+                );
+            }
+            menus.push(algo_menus);
+            min_resources.push(min_r);
+            let _ = idx;
+        }
+        Ok(GroupPlanner {
+            net,
+            device,
+            policy,
+            menus,
+            cache: HashMap::new(),
+            min_resources,
+            max_group_layers: MAX_FUSION_LAYERS,
+        })
+    }
+
+    /// Overrides the fusion-group size cap (the paper uses 8 for VGG due
+    /// to memory-port limits, but fuses all 10 body layers of AlexNet in
+    /// §7.3 — callers reproducing that experiment raise the cap).
+    /// Clears the plan cache.
+    pub fn set_max_group_layers(&mut self, max: usize) {
+        self.max_group_layers = max.max(1);
+        self.cache.clear();
+    }
+
+    /// The current fusion-group size cap.
+    pub fn max_group_layers(&self) -> usize {
+        self.max_group_layers
+    }
+
+    /// The algorithm policy this planner searches under.
+    pub fn policy(&self) -> AlgoPolicy {
+        self.policy
+    }
+
+    /// Implements layers `[range)` as one fusion group, returning the
+    /// latency-optimal plan or `None` when no assignment fits the device
+    /// (or the range exceeds [`MAX_FUSION_LAYERS`]).
+    ///
+    /// Results are memoized (`fusion[i][j]` is "generated offline" in the
+    /// paper).
+    pub fn plan(&mut self, range: Range<usize>) -> Option<GroupPlan> {
+        let key = (range.start, range.end);
+        if let Some(hit) = self.cache.get(&key) {
+            return hit.clone();
+        }
+        let plan = self.search(range.clone());
+        self.cache.insert(key, plan.clone());
+        plan
+    }
+
+    /// DRAM-traffic latency floor for a group: feature maps + the
+    /// *smallest* possible weight traffic of its layers.
+    fn dram_floor(&self, range: &Range<usize>) -> u64 {
+        let dtype = DataType::Fixed16;
+        let fmap = self
+            .net
+            .fused_transfer_bytes(range.clone(), dtype)
+            .unwrap_or(0);
+        let weights: u64 = range
+            .clone()
+            .map(|i| {
+                self.menus[i]
+                    .iter()
+                    .flatten()
+                    .map(|e| e.config.weight_bytes)
+                    .min()
+                    .unwrap_or(0)
+            })
+            .sum();
+        ((fmap + weights) as f64 / self.device.bytes_per_cycle()).ceil() as u64
+    }
+
+    fn search(&mut self, range: Range<usize>) -> Option<GroupPlan> {
+        if range.is_empty() || range.end > self.net.len() {
+            return None;
+        }
+        if range.len() > self.max_group_layers {
+            return None;
+        }
+        let floor = self.dram_floor(&range);
+
+        // Suffix per-dimension resource lower bounds.
+        let n = range.len();
+        let mut suffix_min = vec![ResourceVec::ZERO; n + 1];
+        for off in (0..n).rev() {
+            suffix_min[off] = suffix_min[off + 1] + self.min_resources[range.start + off];
+        }
+
+        struct Ctx<'m> {
+            menus: &'m [Vec<Vec<MenuEntry>>],
+            suffix_min: Vec<ResourceVec>,
+            capacity: ResourceVec,
+            device: FpgaDevice,
+            start: usize,
+            n: usize,
+            best: Option<(u64, Vec<LayerConfig>, GroupTiming)>,
+            floor: u64,
+        }
+
+        fn visit(
+            ctx: &mut Ctx<'_>,
+            off: usize,
+            chosen: &mut Vec<LayerConfig>,
+            used: ResourceVec,
+            path_bound: u64,
+        ) {
+            let best_latency = ctx.best.as_ref().map(|b| b.0).unwrap_or(u64::MAX);
+            if best_latency <= ctx.floor {
+                return; // provably optimal already
+            }
+            if off == ctx.n {
+                if let Ok(timing) = group_timing(chosen, &ctx.device) {
+                    if timing.resources.fits_within(&ctx.capacity) && timing.latency < best_latency
+                    {
+                        ctx.best = Some((timing.latency, chosen.clone(), timing));
+                    }
+                }
+                return;
+            }
+            let idx = ctx.start + off;
+            for algo_menu in &ctx.menus[idx] {
+                for entry in algo_menu {
+                    let best_latency = ctx.best.as_ref().map(|b| b.0).unwrap_or(u64::MAX);
+                    // Parallelism descends within the menu, so the bound
+                    // only grows: break, don't continue (paper line 16-17).
+                    if entry.bound >= best_latency {
+                        break;
+                    }
+                    let new_used = used + entry.config.estimate.resources;
+                    let optimistic = new_used + ctx.suffix_min[off + 1];
+                    if !optimistic.fits_within(&ctx.capacity) {
+                        continue;
+                    }
+                    chosen.push(entry.config.clone());
+                    visit(ctx, off + 1, chosen, new_used, path_bound.max(entry.bound));
+                    chosen.pop();
+                }
+            }
+        }
+
+        let mut ctx = Ctx {
+            menus: &self.menus,
+            suffix_min,
+            capacity: *self.device.resources(),
+            device: self.device.clone(),
+            start: range.start,
+            n,
+            best: None,
+            floor,
+        };
+        let mut chosen = Vec::with_capacity(n);
+        visit(&mut ctx, 0, &mut chosen, ResourceVec::ZERO, 0);
+
+        ctx.best.map(|(_, configs, timing)| GroupPlan {
+            start: range.start,
+            end: range.end,
+            configs,
+            timing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winofuse_model::zoo;
+
+    #[test]
+    fn single_layer_group_prefers_max_parallelism() {
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let plan = planner.plan(1..2).unwrap();
+        // conv1_2 alone can use a big engine; latency must beat a p=16 one.
+        let modest = LayerConfig::build(
+            &net,
+            1,
+            EngineConfig { algorithm: Algorithm::Conventional, parallelism: 16 },
+        )
+        .unwrap();
+        let modest_t = group_timing(&[modest], &dev).unwrap();
+        assert!(plan.latency() < modest_t.latency);
+    }
+
+    #[test]
+    fn heterogeneous_beats_or_matches_homogeneous() {
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let range = 0..net.len();
+        let hetero = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous())
+            .unwrap()
+            .plan(range.clone())
+            .unwrap();
+        let conv_only = GroupPlanner::new(&net, &dev, AlgoPolicy::conventional_only())
+            .unwrap()
+            .plan(range)
+            .unwrap();
+        assert!(
+            hetero.latency() <= conv_only.latency(),
+            "hetero {} vs conventional-only {}",
+            hetero.latency(),
+            conv_only.latency()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_vgg_group_uses_winograd_somewhere() {
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let plan = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous())
+            .unwrap()
+            .plan(0..net.len())
+            .unwrap();
+        let wino = plan
+            .configs
+            .iter()
+            .filter(|c| matches!(c.engine.algorithm, Algorithm::Winograd { .. }))
+            .count();
+        assert!(wino > 0, "expected at least one winograd layer in the fused VGG prefix");
+        // And the plan must fit the device.
+        assert!(plan.timing.resources.fits_within(dev.resources()));
+    }
+
+    #[test]
+    fn oversized_ranges_rejected() {
+        let net = zoo::vgg_e().conv_body().unwrap();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        assert!(planner.plan(0..MAX_FUSION_LAYERS + 1).is_none());
+        assert!(planner.plan(3..3).is_none());
+    }
+
+    #[test]
+    fn memoization_returns_identical_plans() {
+        let net = zoo::small_test_net();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let a = planner.plan(0..3);
+        let b = planner.plan(0..3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fc_layers_make_planner_construction_fail() {
+        let net = zoo::alexnet(); // contains FC layers
+        let dev = FpgaDevice::zc706();
+        assert!(GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).is_err());
+        // The conv body works.
+        let body = net.conv_body().unwrap();
+        assert!(GroupPlanner::new(&body, &dev, AlgoPolicy::heterogeneous()).is_ok());
+    }
+
+    #[test]
+    fn winograd_preferred_still_maps_strided_layers() {
+        let net = zoo::small_test_net(); // conv1 is stride-2
+        let dev = FpgaDevice::zc706();
+        let plan = GroupPlanner::new(&net, &dev, AlgoPolicy::winograd_preferred())
+            .unwrap()
+            .plan(0..1)
+            .unwrap();
+        assert_eq!(plan.configs[0].engine.algorithm, Algorithm::Conventional);
+    }
+
+    #[test]
+    fn group_plan_reports_min_transfer() {
+        let net = zoo::small_test_net();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let plan = planner.plan(0..net.len()).unwrap();
+        assert_eq!(
+            plan.transfer_bytes(),
+            net.fused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap()
+        );
+    }
+}

@@ -1,0 +1,510 @@
+//! Algorithm 1: dynamic programming over (layer range, transfer budget).
+//!
+//! ```text
+//! L(i,j,t) = min( min_{i≤k<j, x<t} L(i,k,x) + L(k+1,j,t−x),  fusion[i][j] )
+//! ```
+//! subject to `t ≥ min_t[i][j]`, where `fusion[i][j]` comes from the
+//! branch-and-bound of [`crate::bnb`] and `min_t[i][j]` is the group's
+//! irreducible feature-map transfer (§5).
+//!
+//! Two implementations are provided:
+//!
+//! * [`optimize_units`] — the paper's formulation verbatim, with the
+//!   transfer budget discretized in 10 KB units (§7.1) and `k_mark` /
+//!   `t_mark` backtracking tables,
+//! * [`optimize`] — an exact Pareto-frontier formulation: for every layer
+//!   range the full (transfer, latency) trade-off curve is built bottom-up
+//!   and the budget is applied only at the end. No discretization error,
+//!   and large budgets cost nothing extra. The unit DP is kept as a
+//!   cross-check (the tests assert they agree).
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use winofuse_model::network::Network;
+use winofuse_model::shape::DataType;
+
+use crate::bnb::{GroupPlan, GroupPlanner};
+use crate::strategy::Strategy;
+use crate::{CoreError, TRANSFER_UNIT_BYTES};
+
+/// A solved partition: fusion groups with their plans, the per-layer
+/// strategy, and aggregate accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionResult {
+    /// Group plans in execution order.
+    pub groups: Vec<GroupPlan>,
+    /// The per-layer strategy triples.
+    pub strategy: Strategy,
+    /// End-to-end latency in cycles.
+    pub latency: u64,
+    /// Total feature-map transfer in bytes (the quantity `T` bounds).
+    pub fmap_transfer_bytes: u64,
+    /// Total weight transfer in bytes (not bounded by `T`, §5).
+    pub weight_transfer_bytes: u64,
+}
+
+impl PartitionResult {
+    pub(crate) fn from_groups(groups: Vec<GroupPlan>) -> Result<Self, CoreError> {
+        let latency = groups.iter().map(|g| g.timing.latency).sum();
+        let fmap = groups.iter().map(|g| g.timing.dram_fmap_bytes).sum();
+        let weights = groups.iter().map(|g| g.timing.dram_weight_bytes).sum();
+        let pairs: Vec<_> = groups
+            .iter()
+            .flat_map(|g| g.configs.iter().map(|c| (c.engine.algorithm, c.engine.parallelism)))
+            .collect();
+        let ranges: Vec<Range<usize>> = groups.iter().map(|g| g.start..g.end).collect();
+        let strategy = Strategy::from_groups(&ranges, &pairs)?;
+        Ok(PartitionResult {
+            groups,
+            strategy,
+            latency,
+            fmap_transfer_bytes: fmap,
+            weight_transfer_bytes: weights,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pareto-frontier formulation (default)
+// ---------------------------------------------------------------------------
+
+/// How a frontier point was formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    /// The whole range is one fused group.
+    Fused,
+    /// Split after layer `k`; indices into the child frontiers.
+    Split { k: usize, left: usize, right: usize },
+}
+
+/// One point on a range's (transfer, latency) trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrontierPoint {
+    transfer: u64,
+    latency: u64,
+    choice: Choice,
+}
+
+/// Guard against pathological frontier growth: ranges keep at most this
+/// many non-dominated points (dominance pruning alone keeps real networks
+/// far below it; the cross-check tests would catch any distortion).
+const MAX_FRONTIER: usize = 4096;
+
+fn prune(mut points: Vec<FrontierPoint>) -> Vec<FrontierPoint> {
+    points.sort_by_key(|p| (p.transfer, p.latency));
+    let mut out: Vec<FrontierPoint> = Vec::new();
+    for p in points {
+        match out.last() {
+            Some(last) if p.latency >= last.latency => {} // dominated
+            _ => out.push(p),
+        }
+    }
+    if out.len() > MAX_FRONTIER {
+        // Keep the extremes and evenly thin the middle.
+        let stride = out.len().div_ceil(MAX_FRONTIER);
+        let mut thinned: Vec<FrontierPoint> = out.iter().step_by(stride).copied().collect();
+        if thinned.last() != out.last() {
+            thinned.push(*out.last().expect("nonempty"));
+        }
+        out = thinned;
+    }
+    out
+}
+
+struct FrontierBuilder<'a, 'b> {
+    planner: &'b mut GroupPlanner<'a>,
+    memo: HashMap<(usize, usize), Vec<FrontierPoint>>,
+    /// `allowed_cut[k]` — whether the network may be split between layer
+    /// `k` and `k+1`. All-true for plain optimization; module boundaries
+    /// only for the paper's §7.1 GoogleNet coarsening.
+    allowed_cut: Vec<bool>,
+}
+
+impl FrontierBuilder<'_, '_> {
+    fn frontier(&mut self, i: usize, j: usize) -> Vec<FrontierPoint> {
+        if let Some(hit) = self.memo.get(&(i, j)) {
+            return hit.clone();
+        }
+        let mut points = Vec::new();
+        if let Some(plan) = self.planner.plan(i..j + 1) {
+            points.push(FrontierPoint {
+                transfer: plan.transfer_bytes(),
+                latency: plan.latency(),
+                choice: Choice::Fused,
+            });
+        }
+        for k in i..j {
+            if !self.allowed_cut[k] {
+                continue;
+            }
+            let left = self.frontier(i, k);
+            let right = self.frontier(k + 1, j);
+            for (li, lp) in left.iter().enumerate() {
+                for (ri, rp) in right.iter().enumerate() {
+                    points.push(FrontierPoint {
+                        transfer: lp.transfer + rp.transfer,
+                        latency: lp.latency + rp.latency,
+                        choice: Choice::Split { k, left: li, right: ri },
+                    });
+                }
+            }
+        }
+        let pruned = prune(points);
+        self.memo.insert((i, j), pruned.clone());
+        pruned
+    }
+
+    fn reconstruct(&mut self, i: usize, j: usize, idx: usize, out: &mut Vec<GroupPlan>) {
+        let point = self.memo[&(i, j)][idx];
+        match point.choice {
+            Choice::Fused => {
+                let plan = self.planner.plan(i..j + 1).expect("fused point implies a plan");
+                out.push(plan);
+            }
+            Choice::Split { k, left, right } => {
+                self.reconstruct(i, k, left, out);
+                self.reconstruct(k + 1, j, right, out);
+            }
+        }
+    }
+}
+
+/// Solves Problem 1 exactly via Pareto frontiers: minimal end-to-end
+/// latency for `net` on the planner's device with feature-map transfer
+/// ≤ `transfer_budget_bytes`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when even the most-fused partition
+/// exceeds the budget (or no partition is implementable at all).
+pub fn optimize(
+    planner: &mut GroupPlanner<'_>,
+    net: &Network,
+    transfer_budget_bytes: u64,
+) -> Result<PartitionResult, CoreError> {
+    optimize_with_cuts(planner, net, transfer_budget_bytes, None)
+}
+
+/// Like [`optimize`], but splits are only allowed after the layer indices
+/// in `boundaries` — the paper's §7.1 coarsening for module-structured
+/// networks ("we can treat every module as a single layer"): passing the
+/// module end indices makes every module atomic for the partitioner,
+/// shrinking the search space on very deep CNNs.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`]; additionally
+/// [`CoreError::InvalidRequest`] for out-of-range boundaries.
+pub fn optimize_with_cuts(
+    planner: &mut GroupPlanner<'_>,
+    net: &Network,
+    transfer_budget_bytes: u64,
+    boundaries: Option<&[usize]>,
+) -> Result<PartitionResult, CoreError> {
+    let n = net.len();
+    if n == 0 {
+        return Err(CoreError::InvalidRequest("network has no layers".into()));
+    }
+    let allowed_cut = cut_mask(n, boundaries)?;
+    let mut builder = FrontierBuilder { planner, memo: HashMap::new(), allowed_cut };
+    let frontier = builder.frontier(0, n - 1);
+    if frontier.is_empty() {
+        return Err(CoreError::Infeasible(
+            "no partition of the network is implementable on this device".into(),
+        ));
+    }
+    // Points are sorted by transfer with strictly decreasing latency: the
+    // best point within budget is the last one that fits.
+    let within: Vec<(usize, &FrontierPoint)> = frontier
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.transfer <= transfer_budget_bytes)
+        .collect();
+    let Some(&(idx, _)) = within.last() else {
+        let min_needed = frontier.first().map(|p| p.transfer).unwrap_or(0);
+        return Err(CoreError::Infeasible(format!(
+            "transfer budget {transfer_budget_bytes} B below the minimum {min_needed} B"
+        )));
+    };
+    let mut groups = Vec::new();
+    builder.reconstruct(0, n - 1, idx, &mut groups);
+    PartitionResult::from_groups(groups)
+}
+
+/// The full (transfer bytes, latency cycles) trade-off curve of the whole
+/// network — the data behind a Fig. 5-style sweep, exposed for analysis.
+pub fn tradeoff_curve(planner: &mut GroupPlanner<'_>, net: &Network) -> Vec<(u64, u64)> {
+    let n = net.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let allowed_cut = cut_mask(n, None).expect("all-cuts mask is valid");
+    let mut builder = FrontierBuilder { planner, memo: HashMap::new(), allowed_cut };
+    builder.frontier(0, n - 1).iter().map(|p| (p.transfer, p.latency)).collect()
+}
+
+/// Builds the cut-permission mask: all cuts allowed, or only the listed
+/// boundaries (a boundary `k` permits splitting between layers `k` and
+/// `k+1`).
+fn cut_mask(n: usize, boundaries: Option<&[usize]>) -> Result<Vec<bool>, CoreError> {
+    match boundaries {
+        None => Ok(vec![true; n.saturating_sub(1)]),
+        Some(bs) => {
+            let mut mask = vec![false; n.saturating_sub(1)];
+            for &b in bs {
+                if b + 1 >= n {
+                    return Err(CoreError::InvalidRequest(format!(
+                        "cut boundary {b} out of range for {n} layers"
+                    )));
+                }
+                mask[b] = true;
+            }
+            Ok(mask)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unit-discretized formulation (Algorithm 1 verbatim)
+// ---------------------------------------------------------------------------
+
+/// Solves Problem 1 with the paper's discretized DP: budgets in
+/// [`TRANSFER_UNIT_BYTES`] units, `L[i][j][t]` tables and
+/// `k_mark`/`t_mark` backtracking.
+///
+/// Complexity `O(N³T²)` in the worst case; intended for the paper's
+/// budget scales (a few hundred units). Prefer [`optimize`] elsewhere.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`].
+pub fn optimize_units(
+    planner: &mut GroupPlanner<'_>,
+    net: &Network,
+    transfer_budget_bytes: u64,
+) -> Result<PartitionResult, CoreError> {
+    const INF: u64 = u64::MAX / 4;
+    let n = net.len();
+    if n == 0 {
+        return Err(CoreError::InvalidRequest("network has no layers".into()));
+    }
+    let t_units = (transfer_budget_bytes / TRANSFER_UNIT_BYTES) as usize;
+    let tdim = t_units + 1;
+
+    // min_t[i][j] in units (ceil: a group needs its whole transfer).
+    let dtype = DataType::Fixed16;
+    let mut min_t = vec![vec![usize::MAX; n]; n];
+    let mut fusion_lat = vec![vec![INF; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let bytes = net
+                .fused_transfer_bytes(i..j + 1, dtype)
+                .map_err(|e| CoreError::Substrate(e.to_string()))?;
+            min_t[i][j] = bytes.div_ceil(TRANSFER_UNIT_BYTES) as usize;
+            if let Some(plan) = planner.plan(i..j + 1) {
+                fusion_lat[i][j] = plan.latency();
+            }
+        }
+    }
+
+    let idx = |i: usize, j: usize, t: usize| (i * n + j) * tdim + t;
+    let mut l = vec![INF; n * n * tdim];
+    let mut k_mark = vec![usize::MAX; n * n * tdim];
+    let mut t_mark = vec![usize::MAX; n * n * tdim];
+
+    // The paper iterates j outer, i from j down, t ascending (Alg. 1).
+    for j in 0..n {
+        for i in (0..=j).rev() {
+            for t in 0..tdim {
+                if t < min_t[i][j] {
+                    continue; // L = INF
+                }
+                let mut best = fusion_lat[i][j];
+                let mut kf = j;
+                let mut tf = t;
+                for k in i..j {
+                    if min_t[i][k] == usize::MAX
+                        || min_t[k + 1][j] == usize::MAX
+                        || t < min_t[i][k] + min_t[k + 1][j]
+                    {
+                        continue;
+                    }
+                    for x in min_t[i][k]..=t - min_t[k + 1][j] {
+                        let left = l[idx(i, k, x)];
+                        let right = l[idx(k + 1, j, t - x)];
+                        if left >= INF || right >= INF {
+                            continue;
+                        }
+                        let sum = left + right;
+                        if sum < best {
+                            best = sum;
+                            kf = k;
+                            tf = x;
+                        }
+                    }
+                }
+                l[idx(i, j, t)] = best;
+                k_mark[idx(i, j, t)] = kf;
+                t_mark[idx(i, j, t)] = tf;
+            }
+        }
+    }
+
+    let answer = l[idx(0, n - 1, t_units)];
+    if answer >= INF {
+        return Err(CoreError::Infeasible(format!(
+            "transfer budget {transfer_budget_bytes} B ({t_units} units) admits no partition"
+        )));
+    }
+
+    // Reconstruct the group structure from the marks.
+    #[allow(clippy::too_many_arguments)]
+    fn rebuild(
+        i: usize,
+        j: usize,
+        t: usize,
+        n: usize,
+        tdim: usize,
+        k_mark: &[usize],
+        t_mark: &[usize],
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        let at = (i * n + j) * tdim + t;
+        let k = k_mark[at];
+        if k == j {
+            out.push((i, j));
+        } else {
+            let x = t_mark[at];
+            rebuild(i, k, x, n, tdim, k_mark, t_mark, out);
+            rebuild(k + 1, j, t - x, n, tdim, k_mark, t_mark, out);
+        }
+    }
+    let mut ranges = Vec::new();
+    rebuild(0, n - 1, t_units, n, tdim, &k_mark, &t_mark, &mut ranges);
+
+    let mut groups = Vec::with_capacity(ranges.len());
+    for (i, j) in ranges {
+        let plan = planner
+            .plan(i..j + 1)
+            .ok_or_else(|| CoreError::Infeasible(format!("group {i}..{j} lost its plan")))?;
+        groups.push(plan);
+    }
+    PartitionResult::from_groups(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::AlgoPolicy;
+    use winofuse_fpga::device::FpgaDevice;
+    use winofuse_model::zoo;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn small_net_partitions_and_validates() {
+        let net = zoo::small_test_net();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let r = optimize(&mut planner, &net, 10 * MB).unwrap();
+        assert_eq!(r.strategy.len(), net.len());
+        assert!(r.latency > 0);
+        let covered: usize = r.groups.iter().map(|g| g.end - g.start).sum();
+        assert_eq!(covered, net.len());
+    }
+
+    #[test]
+    fn tighter_budget_never_faster() {
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let mut last = 0u64;
+        // The fully fused prefix needs ~1.82 MB, so the sweep starts at 2.
+        for budget in [2, 3, 4, 5, 6].map(|m| m * MB) {
+            let r = optimize(&mut planner, &net, budget).unwrap();
+            assert!(r.fmap_transfer_bytes <= budget, "budget respected");
+            if last > 0 {
+                assert!(r.latency <= last, "loosening the budget must not hurt");
+            }
+            last = r.latency;
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_reports_minimum() {
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        // The absolute floor is input+output of the fully fused prefix
+        // (~1.9 MB); 0.5 MB is below it.
+        match optimize(&mut planner, &net, MB / 2) {
+            Err(CoreError::Infeasible(msg)) => assert!(msg.contains("minimum")),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_dp_agrees_with_pareto() {
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        for budget in [2 * MB, 4 * MB] {
+            let pareto = optimize(&mut planner, &net, budget).unwrap();
+            let units = optimize_units(&mut planner, &net, budget).unwrap();
+            // The unit DP floors budgets to 10 KB units, so it may only be
+            // equal or (rarely, by one unit of transfer) slower.
+            assert!(
+                units.latency >= pareto.latency,
+                "unit DP {} beat exact {} at budget {budget}",
+                units.latency,
+                pareto.latency
+            );
+            let slack = (pareto.latency / 100).max(1); // 1%
+            assert!(
+                units.latency <= pareto.latency + slack,
+                "unit DP {} far from exact {} at budget {budget}",
+                units.latency,
+                pareto.latency
+            );
+        }
+    }
+
+    #[test]
+    fn loose_budget_splits_into_more_groups() {
+        // §7.2: with a 34 MB constraint "each layer forms a group in our
+        // algorithm" — per-layer groups give every layer the whole FPGA.
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let loose = optimize(&mut planner, &net, 64 * MB).unwrap();
+        let tight = optimize(&mut planner, &net, 2 * MB).unwrap();
+        assert!(loose.groups.len() >= tight.groups.len());
+        assert!(loose.latency <= tight.latency);
+    }
+
+    #[test]
+    fn tradeoff_curve_is_monotone() {
+        let net = zoo::small_test_net();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let curve = tradeoff_curve(&mut planner, &net);
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[0].0 < w[1].0, "transfer strictly increasing");
+            assert!(w[0].1 > w[1].1, "latency strictly decreasing");
+        }
+    }
+
+    #[test]
+    fn groups_respect_max_fusion_depth() {
+        let net = zoo::vgg_e().conv_body().unwrap();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let r = optimize(&mut planner, &net, 400 * MB).unwrap();
+        for g in &r.groups {
+            assert!(g.end - g.start <= crate::MAX_FUSION_LAYERS);
+        }
+        assert_eq!(r.strategy.len(), net.len());
+    }
+}

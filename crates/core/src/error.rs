@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the strategy optimizer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// No feasible strategy exists under the given constraints (transfer
+    /// budget below the minimum, or no engine assignment fits the device).
+    Infeasible(String),
+    /// The request itself is malformed (empty network, zero budget, a
+    /// network containing layers the accelerator cannot map).
+    InvalidRequest(String),
+    /// Propagated error from a substrate crate.
+    Substrate(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Infeasible(m) => write!(f, "no feasible strategy: {m}"),
+            CoreError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            CoreError::Substrate(m) => write!(f, "substrate error: {m}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<winofuse_model::ModelError> for CoreError {
+    fn from(e: winofuse_model::ModelError) -> Self {
+        CoreError::Substrate(e.to_string())
+    }
+}
+
+impl From<winofuse_fpga::FpgaError> for CoreError {
+    fn from(e: winofuse_fpga::FpgaError) -> Self {
+        CoreError::Substrate(e.to_string())
+    }
+}
+
+impl From<winofuse_fusion::FusionError> for CoreError {
+    fn from(e: winofuse_fusion::FusionError) -> Self {
+        CoreError::Substrate(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::Infeasible("budget too small".into())
+            .to_string()
+            .contains("budget"));
+        let e: CoreError = winofuse_fpga::FpgaError::InvalidParameter("x".into()).into();
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Brute-force partition enumeration, used to verify the dynamic program.
+//!
+//! Every way of cutting an `n`-layer chain into consecutive groups is one
+//! of `2^(n−1)` bit patterns. For small `n` we can afford to evaluate all
+//! of them with the same group planner the DP uses; the optimum must
+//! match [`crate::dp::optimize`] exactly. (Group implementation itself is
+//! optimal by construction of the branch-and-bound, so the composition is
+//! a full optimality check of Algorithm 1 + Algorithm 2.)
+
+use winofuse_model::network::Network;
+use winofuse_model::shape::DataType;
+
+use crate::bnb::GroupPlanner;
+use crate::dp::PartitionResult;
+use crate::CoreError;
+
+/// Upper limit on layers for exhaustive enumeration (`2^(n−1)` patterns).
+pub const MAX_EXHAUSTIVE_LAYERS: usize = 12;
+
+/// Finds the optimal partition by enumerating every cut pattern.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidRequest`] when the network exceeds
+///   [`MAX_EXHAUSTIVE_LAYERS`],
+/// * [`CoreError::Infeasible`] when no partition satisfies the budget.
+pub fn optimize(
+    planner: &mut GroupPlanner<'_>,
+    net: &Network,
+    transfer_budget_bytes: u64,
+) -> Result<PartitionResult, CoreError> {
+    let n = net.len();
+    if n == 0 {
+        return Err(CoreError::InvalidRequest("network has no layers".into()));
+    }
+    if n > MAX_EXHAUSTIVE_LAYERS {
+        return Err(CoreError::InvalidRequest(format!(
+            "{n} layers exceeds the exhaustive limit of {MAX_EXHAUSTIVE_LAYERS}"
+        )));
+    }
+    let dtype = DataType::Fixed16;
+    let mut best: Option<(u64, Vec<std::ops::Range<usize>>)> = None;
+
+    for mask in 0u32..(1u32 << (n - 1)) {
+        // Bit b set => cut between layer b and b+1.
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        for b in 0..n - 1 {
+            if mask & (1 << b) != 0 {
+                ranges.push(start..b + 1);
+                start = b + 1;
+            }
+        }
+        ranges.push(start..n);
+
+        let mut transfer = 0u64;
+        let mut latency = 0u64;
+        let mut feasible = true;
+        for r in &ranges {
+            let t = net
+                .fused_transfer_bytes(r.clone(), dtype)
+                .map_err(|e| CoreError::Substrate(e.to_string()))?;
+            transfer += t;
+            match planner.plan(r.clone()) {
+                Some(plan) => latency += plan.latency(),
+                None => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if !feasible || transfer > transfer_budget_bytes {
+            continue;
+        }
+        if best.as_ref().map(|(l, _)| latency < *l).unwrap_or(true) {
+            best = Some((latency, ranges));
+        }
+    }
+
+    let (_, ranges) = best.ok_or_else(|| {
+        CoreError::Infeasible(format!(
+            "no partition satisfies a {transfer_budget_bytes} B transfer budget"
+        ))
+    })?;
+    let mut groups = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        groups.push(planner.plan(r).expect("feasibility established above"));
+    }
+    PartitionResult::from_groups(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::AlgoPolicy;
+    use crate::dp;
+    use winofuse_fpga::device::FpgaDevice;
+    use winofuse_model::zoo;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn dp_matches_exhaustive_small_net() {
+        let net = zoo::small_test_net();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        for budget in [1 * MB, 2 * MB, 16 * MB] {
+            let brute = optimize(&mut planner, &net, budget);
+            let smart = dp::optimize(&mut planner, &net, budget);
+            match (brute, smart) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.latency, s.latency, "budget {budget}");
+                    assert_eq!(b.groups.len(), s.groups.len(), "budget {budget}");
+                }
+                (Err(_), Err(_)) => {}
+                (b, s) => panic!("feasibility disagrees at {budget}: {b:?} vs {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_vgg_prefix() {
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        for budget in [2 * MB, 3 * MB, 8 * MB] {
+            let b = optimize(&mut planner, &net, budget).unwrap();
+            let s = dp::optimize(&mut planner, &net, budget).unwrap();
+            assert_eq!(b.latency, s.latency, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_mixed_net() {
+        let net = zoo::mixed_test_net();
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let b = optimize(&mut planner, &net, 4 * MB).unwrap();
+        let s = dp::optimize(&mut planner, &net, 4 * MB).unwrap();
+        assert_eq!(b.latency, s.latency);
+    }
+
+    #[test]
+    fn rejects_oversized_networks() {
+        let net = zoo::vgg_e().conv_body().unwrap(); // 21 layers
+        let dev = FpgaDevice::zc706();
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        assert!(matches!(
+            optimize(&mut planner, &net, 100 * MB),
+            Err(CoreError::InvalidRequest(_))
+        ));
+    }
+}

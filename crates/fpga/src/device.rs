@@ -1,0 +1,253 @@
+//! FPGA device catalog.
+//!
+//! "The specification of the target FPGA includes Block RAMs (BRAMs),
+//! DSPs, off-chip bandwidth and others" (§3). Capacities below are the
+//! published numbers the paper reports (Table 2's "Available" row for the
+//! XC7Z045).
+
+use std::fmt;
+
+use crate::resource::ResourceVec;
+
+/// Bytes per 18-kilobit block RAM (18432 bits).
+pub const BRAM18K_BYTES: u64 = 18_432 / 8;
+
+/// A target FPGA platform: resource capacities, clock and off-chip
+/// bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_fpga::device::FpgaDevice;
+///
+/// let dev = FpgaDevice::zc706();
+/// // 4.2 GB/s at 100 MHz: 42 bytes transferred per cycle.
+/// assert_eq!(dev.bytes_per_cycle(), 42.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    name: String,
+    resources: ResourceVec,
+    clock_hz: u64,
+    bandwidth_bytes_per_sec: u64,
+    reconfig_cycles: u64,
+}
+
+impl FpgaDevice {
+    /// Creates a custom device description.
+    pub fn new(
+        name: impl Into<String>,
+        resources: ResourceVec,
+        clock_hz: u64,
+        bandwidth_bytes_per_sec: u64,
+    ) -> Self {
+        FpgaDevice {
+            name: name.into(),
+            resources,
+            clock_hz,
+            bandwidth_bytes_per_sec,
+            reconfig_cycles: 0,
+        }
+    }
+
+    /// Looks a device up by name. Known names: `zc706` (the paper's
+    /// platform), `vx485t` (Fig. 1), `zedboard` (XC7Z020), `vc709`
+    /// (XC7VX690T), `ku060` (Kintex UltraScale).
+    pub fn by_name(name: &str) -> Option<FpgaDevice> {
+        match name {
+            "zc706" | "xc7z045" => Some(Self::zc706()),
+            "vx485t" | "virtex7" | "xc7vx485t" => Some(Self::virtex7_485t()),
+            "zedboard" | "xc7z020" => Some(Self::zedboard()),
+            "vc709" | "xc7vx690t" => Some(Self::vc709()),
+            "ku060" | "xcku060" => Some(Self::ku060()),
+            _ => None,
+        }
+    }
+
+    /// ZedBoard (XC7Z020): the small embedded sibling of the ZC706.
+    pub fn zedboard() -> Self {
+        FpgaDevice::new(
+            "zedboard-xc7z020",
+            ResourceVec::new(280, 220, 106_400, 53_200),
+            100_000_000,
+            3_200_000_000,
+        )
+    }
+
+    /// VC709 (Virtex-7 XC7VX690T): the large PCIe accelerator card many
+    /// contemporary CNN accelerators targeted.
+    pub fn vc709() -> Self {
+        FpgaDevice::new(
+            "vc709-xc7vx690t",
+            ResourceVec::new(2_940, 3_600, 866_400, 433_200),
+            100_000_000,
+            12_800_000_000,
+        )
+    }
+
+    /// Kintex UltraScale KU060 (the device of several 2016-17 CNN
+    /// accelerator papers).
+    pub fn ku060() -> Self {
+        FpgaDevice::new(
+            "xcku060",
+            ResourceVec::new(2_160, 2_760, 663_360, 331_680),
+            200_000_000,
+            9_600_000_000,
+        )
+    }
+
+    /// The paper's evaluation platform (§7.1): Xilinx ZC706 board with an
+    /// XC7Z045 chip, 100 MHz designs, 4.2 GB/s peak DDR3 bandwidth.
+    pub fn zc706() -> Self {
+        FpgaDevice::new(
+            "zc706-xc7z045",
+            ResourceVec::new(1090, 900, 437_200, 218_600),
+            100_000_000,
+            4_200_000_000,
+        )
+    }
+
+    /// The Virtex-7 485T used in the paper's Fig. 1 motivation (with the
+    /// figure's 4.5 GB/s bandwidth roof).
+    pub fn virtex7_485t() -> Self {
+        FpgaDevice::new(
+            "virtex7-xc7vx485t",
+            ResourceVec::new(2060, 2800, 607_200, 303_600),
+            100_000_000,
+            4_500_000_000,
+        )
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resource capacities (the constraint `R` of Problem 1).
+    pub fn resources(&self) -> &ResourceVec {
+        &self.resources
+    }
+
+    /// Design clock in Hz.
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
+    /// Peak off-chip bandwidth in bytes per second.
+    pub fn bandwidth_bytes_per_sec(&self) -> u64 {
+        self.bandwidth_bytes_per_sec
+    }
+
+    /// Peak off-chip bandwidth expressed per clock cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bandwidth_bytes_per_sec as f64 / self.clock_hz as f64
+    }
+
+    /// Converts a cycle count to seconds at the design clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Effective performance in GOPS for `ops` completed in `cycles`.
+    pub fn effective_gops(&self, ops: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        ops as f64 / self.cycles_to_seconds(cycles) / 1e9
+    }
+
+    /// Returns a copy with a different bandwidth (used by sensitivity
+    /// sweeps).
+    pub fn with_bandwidth(&self, bytes_per_sec: u64) -> FpgaDevice {
+        FpgaDevice { bandwidth_bytes_per_sec: bytes_per_sec, ..self.clone() }
+    }
+
+    /// Returns a copy with scaled resource capacities (used by ablations).
+    pub fn with_resources(&self, resources: ResourceVec) -> FpgaDevice {
+        FpgaDevice { resources, ..self.clone() }
+    }
+
+    /// Cycles to reconfigure the fabric between fusion groups (0 by
+    /// default — the paper's accounting; a full ZC706 bitstream load is
+    /// on the order of 2.5 M cycles at 100 MHz).
+    pub fn reconfig_cycles(&self) -> u64 {
+        self.reconfig_cycles
+    }
+
+    /// Returns a copy with a reconfiguration cost (used by the batch
+    /// pipelining extension).
+    pub fn with_reconfig_cycles(&self, cycles: u64) -> FpgaDevice {
+        FpgaDevice { reconfig_cycles: cycles, ..self.clone() }
+    }
+}
+
+impl fmt::Display for FpgaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {:.0} MHz, {:.1} GB/s)",
+            self.name,
+            self.resources,
+            self.clock_hz as f64 / 1e6,
+            self.bandwidth_bytes_per_sec as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zc706_matches_table2_available_row() {
+        let d = FpgaDevice::zc706();
+        assert_eq!(*d.resources(), ResourceVec::new(1090, 900, 437_200, 218_600));
+        assert_eq!(d.clock_hz(), 100_000_000);
+        assert_eq!(d.bandwidth_bytes_per_sec(), 4_200_000_000);
+    }
+
+    #[test]
+    fn bytes_per_cycle() {
+        assert_eq!(FpgaDevice::zc706().bytes_per_cycle(), 42.0);
+        assert_eq!(FpgaDevice::virtex7_485t().bytes_per_cycle(), 45.0);
+    }
+
+    #[test]
+    fn effective_gops() {
+        let d = FpgaDevice::zc706();
+        // 1e9 ops in 1e8 cycles (1 second at 100 MHz... no: 1e8 cycles = 1s)
+        assert!((d.effective_gops(1_000_000_000, 100_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(d.effective_gops(100, 0), 0.0);
+    }
+
+    #[test]
+    fn with_bandwidth_preserves_rest() {
+        let d = FpgaDevice::zc706().with_bandwidth(1_000_000_000);
+        assert_eq!(d.bytes_per_cycle(), 10.0);
+        assert_eq!(d.resources().dsp, 900);
+    }
+
+    #[test]
+    fn registry_resolves_known_names() {
+        assert_eq!(FpgaDevice::by_name("zc706").unwrap().resources().dsp, 900);
+        assert_eq!(FpgaDevice::by_name("xc7vx485t").unwrap().resources().dsp, 2800);
+        assert_eq!(FpgaDevice::by_name("zedboard").unwrap().resources().dsp, 220);
+        assert_eq!(FpgaDevice::by_name("vc709").unwrap().resources().dsp, 3600);
+        assert_eq!(FpgaDevice::by_name("ku060").unwrap().clock_hz(), 200_000_000);
+        assert!(FpgaDevice::by_name("tpu").is_none());
+    }
+
+    #[test]
+    fn reconfig_default_zero_and_override() {
+        let d = FpgaDevice::zc706();
+        assert_eq!(d.reconfig_cycles(), 0);
+        let r = d.with_reconfig_cycles(2_500_000);
+        assert_eq!(r.reconfig_cycles(), 2_500_000);
+        assert_eq!(r.resources().dsp, 900);
+    }
+
+    #[test]
+    fn display_contains_name() {
+        assert!(FpgaDevice::zc706().to_string().contains("zc706"));
+    }
+}

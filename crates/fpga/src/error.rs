@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the FPGA platform models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FpgaError {
+    /// An engine configuration cannot implement the requested layer (e.g.
+    /// Winograd on a strided convolution).
+    UnsupportedConfig(String),
+    /// A required parameter is zero or otherwise degenerate.
+    InvalidParameter(String),
+    /// The configuration exceeds the device's resources (reported by
+    /// feasibility checks that promise to validate, not by estimators).
+    ResourceExceeded {
+        /// Which dimension overflowed.
+        dimension: &'static str,
+        /// Requested amount.
+        requested: u64,
+        /// Available amount.
+        available: u64,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::UnsupportedConfig(msg) => write!(f, "unsupported engine config: {msg}"),
+            FpgaError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            FpgaError::ResourceExceeded { dimension, requested, available } => write!(
+                f,
+                "resource exceeded: {dimension} needs {requested}, device has {available}"
+            ),
+        }
+    }
+}
+
+impl Error for FpgaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_dimension() {
+        let e = FpgaError::ResourceExceeded { dimension: "DSP48E", requested: 1000, available: 900 };
+        let s = e.to_string();
+        assert!(s.contains("DSP48E") && s.contains("1000") && s.contains("900"));
+    }
+}

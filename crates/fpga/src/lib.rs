@@ -1,0 +1,38 @@
+//! # winofuse-fpga — FPGA platform substrate
+//!
+//! The paper targets real Xilinx silicon through Vivado HLS; this crate is
+//! the analytical stand-in that the rest of the reproduction runs against
+//! (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`resource`] — multi-dimensional resource vectors over
+//!   BRAM18K / DSP48E / FF / LUT, the constraint `R` of Problem 1,
+//! * [`device`] — a device catalog (ZC706's XC7Z045, Virtex-7 485T) with
+//!   clock and DDR bandwidth,
+//! * [`roofline`] — the roofline performance model of §2.2 / Fig. 1,
+//! * [`engine`] — resource and throughput cost models for conventional and
+//!   Winograd convolution engines, pooling and LRN engines, line buffers
+//!   and weight buffers: the `implement()` estimator of Algorithm 2,
+//! * [`energy`] — a linear power/energy model for the Table 1 comparisons.
+//!
+//! ## Example
+//!
+//! ```
+//! use winofuse_fpga::device::FpgaDevice;
+//! use winofuse_fpga::engine::{Algorithm, EngineConfig};
+//!
+//! let dev = FpgaDevice::zc706();
+//! assert_eq!(dev.resources().dsp, 900);
+//! let cfg = EngineConfig { algorithm: Algorithm::winograd_f43(), parallelism: 4 };
+//! assert_eq!(cfg.algorithm.tile_multiplies(3).unwrap(), 36);
+//! ```
+
+pub mod device;
+pub mod energy;
+pub mod engine;
+pub mod resource;
+pub mod roofline;
+
+mod error;
+
+pub use error::FpgaError;
+pub use resource::ResourceVec;

@@ -1,0 +1,189 @@
+//! Multi-dimensional FPGA resource accounting.
+//!
+//! "On FPGAs, resource constraint R is multi-dimensional including BRAMs,
+//! DSP slices and logic cells of the target device" (§5). A
+//! [`ResourceVec`] carries all four dimensions; strategies are feasible
+//! only when their summed vector fits the device in **every** dimension.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Resource usage (or capacity) across the four FPGA dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_fpga::ResourceVec;
+///
+/// let engine = ResourceVec::new(48, 122, 42_578, 31_512);
+/// let device = ResourceVec::new(1090, 900, 437_200, 218_600);
+/// assert!(engine.fits_within(&device));
+/// assert!(!(engine + device).fits_within(&device));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ResourceVec {
+    /// 18-kilobit block RAM count.
+    pub bram_18k: u64,
+    /// DSP48E slice count.
+    pub dsp: u64,
+    /// Flip-flop count.
+    pub ff: u64,
+    /// Look-up table count.
+    pub lut: u64,
+}
+
+impl ResourceVec {
+    /// The zero vector.
+    pub const ZERO: ResourceVec = ResourceVec { bram_18k: 0, dsp: 0, ff: 0, lut: 0 };
+
+    /// Creates a vector from the four dimensions.
+    pub fn new(bram_18k: u64, dsp: u64, ff: u64, lut: u64) -> Self {
+        ResourceVec { bram_18k, dsp, ff, lut }
+    }
+
+    /// Whether `self` fits inside `capacity` in every dimension.
+    pub fn fits_within(&self, capacity: &ResourceVec) -> bool {
+        self.bram_18k <= capacity.bram_18k
+            && self.dsp <= capacity.dsp
+            && self.ff <= capacity.ff
+            && self.lut <= capacity.lut
+    }
+
+    /// Component-wise saturating subtraction (`self − other`, floored at
+    /// zero): the "left resources" check of Algorithm 2, line 18.
+    pub fn saturating_sub(&self, other: &ResourceVec) -> ResourceVec {
+        ResourceVec {
+            bram_18k: self.bram_18k.saturating_sub(other.bram_18k),
+            dsp: self.dsp.saturating_sub(other.dsp),
+            ff: self.ff.saturating_sub(other.ff),
+            lut: self.lut.saturating_sub(other.lut),
+        }
+    }
+
+    /// Scales every dimension by an integer factor.
+    pub fn scale(&self, factor: u64) -> ResourceVec {
+        ResourceVec {
+            bram_18k: self.bram_18k * factor,
+            dsp: self.dsp * factor,
+            ff: self.ff * factor,
+            lut: self.lut * factor,
+        }
+    }
+
+    /// Largest per-dimension utilization fraction against `capacity`
+    /// (dimension with zero capacity counts as fully utilized when
+    /// requested).
+    pub fn max_utilization(&self, capacity: &ResourceVec) -> f64 {
+        let frac = |used: u64, cap: u64| {
+            if cap == 0 {
+                if used == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                used as f64 / cap as f64
+            }
+        };
+        frac(self.bram_18k, capacity.bram_18k)
+            .max(frac(self.dsp, capacity.dsp))
+            .max(frac(self.ff, capacity.ff))
+            .max(frac(self.lut, capacity.lut))
+    }
+
+    /// Per-dimension utilization percentages `(bram, dsp, ff, lut)`.
+    pub fn utilization_percent(&self, capacity: &ResourceVec) -> (f64, f64, f64, f64) {
+        let pct = |used: u64, cap: u64| if cap == 0 { 0.0 } else { used as f64 / cap as f64 * 100.0 };
+        (
+            pct(self.bram_18k, capacity.bram_18k),
+            pct(self.dsp, capacity.dsp),
+            pct(self.ff, capacity.ff),
+            pct(self.lut, capacity.lut),
+        )
+    }
+}
+
+impl Add for ResourceVec {
+    type Output = ResourceVec;
+    fn add(self, rhs: Self) -> Self {
+        ResourceVec {
+            bram_18k: self.bram_18k + rhs.bram_18k,
+            dsp: self.dsp + rhs.dsp,
+            ff: self.ff + rhs.ff,
+            lut: self.lut + rhs.lut,
+        }
+    }
+}
+
+impl AddAssign for ResourceVec {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for ResourceVec {
+    fn sum<I: Iterator<Item = ResourceVec>>(iter: I) -> Self {
+        iter.fold(ResourceVec::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for ResourceVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BRAM18K {}, DSP {}, FF {}, LUT {}",
+            self.bram_18k, self.dsp, self.ff, self.lut
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_is_per_dimension() {
+        let cap = ResourceVec::new(10, 10, 10, 10);
+        assert!(ResourceVec::new(10, 10, 10, 10).fits_within(&cap));
+        assert!(!ResourceVec::new(11, 0, 0, 0).fits_within(&cap));
+        assert!(!ResourceVec::new(0, 0, 0, 11).fits_within(&cap));
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let a = ResourceVec::new(1, 2, 3, 4);
+        let b = ResourceVec::new(10, 20, 30, 40);
+        assert_eq!(a + b, ResourceVec::new(11, 22, 33, 44));
+        let total: ResourceVec = [a, b, a].into_iter().sum();
+        assert_eq!(total, ResourceVec::new(12, 24, 36, 48));
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let a = ResourceVec::new(5, 5, 5, 5);
+        let b = ResourceVec::new(3, 9, 5, 0);
+        assert_eq!(a.saturating_sub(&b), ResourceVec::new(2, 0, 0, 5));
+    }
+
+    #[test]
+    fn utilization() {
+        let cap = ResourceVec::new(100, 200, 1000, 1000);
+        let used = ResourceVec::new(50, 180, 100, 100);
+        assert!((used.max_utilization(&cap) - 0.9).abs() < 1e-9);
+        let (b, d, f, l) = used.utilization_percent(&cap);
+        assert_eq!((b, d, f, l), (50.0, 90.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn zero_capacity_dimension() {
+        let cap = ResourceVec::new(0, 10, 10, 10);
+        assert_eq!(ResourceVec::ZERO.max_utilization(&cap), 0.0);
+        assert!(ResourceVec::new(1, 0, 0, 0).max_utilization(&cap).is_infinite());
+    }
+
+    #[test]
+    fn scale() {
+        assert_eq!(ResourceVec::new(1, 2, 3, 4).scale(3), ResourceVec::new(3, 6, 9, 12));
+    }
+}

@@ -1,0 +1,134 @@
+//! The roofline performance model of §2.2 / Fig. 1.
+//!
+//! "In Roofline model, the X-axis is the computation to communication
+//! (CTC) ratio while the Y-axis represents the attainable performance.
+//! \[...\] Bandwidth roof (e.g. slope) is the product of CTC ratio and
+//! off-chip memory bandwidth. Computational roof describes the peak
+//! performance provided by the available hardware resources."
+
+use std::fmt;
+
+use crate::device::FpgaDevice;
+
+/// A design point on the roofline plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Label for reports (the paper uses A, B, B′, C).
+    pub label: String,
+    /// Computation-to-communication ratio in ops per byte.
+    pub ctc_ops_per_byte: f64,
+    /// Computational roof of the design in GOPS.
+    pub computational_roof_gops: f64,
+    /// Attainable performance in GOPS (min of the two roofs).
+    pub attainable_gops: f64,
+    /// Whether the bandwidth roof is the binding constraint.
+    pub bandwidth_bound: bool,
+}
+
+/// Roofline evaluator for a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Roofline {
+    bandwidth_gbytes_per_sec: f64,
+}
+
+impl Roofline {
+    /// Builds the model from a device's off-chip bandwidth.
+    pub fn for_device(device: &FpgaDevice) -> Self {
+        Roofline { bandwidth_gbytes_per_sec: device.bandwidth_bytes_per_sec() as f64 / 1e9 }
+    }
+
+    /// Builds the model from a raw bandwidth in GB/s.
+    pub fn with_bandwidth_gbps(bandwidth_gbytes_per_sec: f64) -> Self {
+        Roofline { bandwidth_gbytes_per_sec }
+    }
+
+    /// The bandwidth roof at a given CTC ratio: `CTC × BW` (GOPS).
+    pub fn bandwidth_roof_gops(&self, ctc_ops_per_byte: f64) -> f64 {
+        ctc_ops_per_byte * self.bandwidth_gbytes_per_sec
+    }
+
+    /// Evaluates a design point: attainable = min(computational roof,
+    /// bandwidth roof).
+    pub fn evaluate(
+        &self,
+        label: impl Into<String>,
+        ctc_ops_per_byte: f64,
+        computational_roof_gops: f64,
+    ) -> RooflinePoint {
+        let bw_roof = self.bandwidth_roof_gops(ctc_ops_per_byte);
+        let attainable = computational_roof_gops.min(bw_roof);
+        RooflinePoint {
+            label: label.into(),
+            ctc_ops_per_byte,
+            computational_roof_gops,
+            attainable_gops: attainable,
+            bandwidth_bound: bw_roof < computational_roof_gops,
+        }
+    }
+
+    /// The CTC ratio where a computational roof meets the bandwidth roof —
+    /// the minimum data reuse needed to escape bandwidth starvation.
+    pub fn break_even_ctc(&self, computational_roof_gops: f64) -> f64 {
+        computational_roof_gops / self.bandwidth_gbytes_per_sec
+    }
+}
+
+impl fmt::Display for RooflinePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: CTC {:.2} op/B, roof {:.1} GOPS, attainable {:.1} GOPS{}",
+            self.label,
+            self.ctc_ops_per_byte,
+            self.computational_roof_gops,
+            self.attainable_gops,
+            if self.bandwidth_bound { " (bandwidth bound)" } else { " (compute bound)" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let r = Roofline::with_bandwidth_gbps(4.5);
+        // Low CTC: bandwidth bound.
+        let p = r.evaluate("B", 10.0, 3000.0);
+        assert_eq!(p.attainable_gops, 45.0);
+        assert!(p.bandwidth_bound);
+        // High CTC: compute bound.
+        let p = r.evaluate("A", 1000.0, 300.0);
+        assert_eq!(p.attainable_gops, 300.0);
+        assert!(!p.bandwidth_bound);
+    }
+
+    #[test]
+    fn winograd_needs_higher_ctc_than_conventional() {
+        // Same data-reuse structure means the same CTC ratio (§2.2) — so
+        // the algorithm with the higher computational roof saturates
+        // bandwidth at a higher break-even CTC.
+        let r = Roofline::with_bandwidth_gbps(4.5);
+        let conventional_roof = 560.0;
+        let winograd_roof = 4.0 * conventional_roof;
+        assert!(r.break_even_ctc(winograd_roof) > r.break_even_ctc(conventional_roof));
+        assert_eq!(
+            r.break_even_ctc(winograd_roof),
+            4.0 * r.break_even_ctc(conventional_roof)
+        );
+    }
+
+    #[test]
+    fn for_device_uses_device_bandwidth() {
+        let r = Roofline::for_device(&crate::device::FpgaDevice::zc706());
+        assert!((r.bandwidth_roof_gops(1.0) - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_binding_constraint() {
+        let r = Roofline::with_bandwidth_gbps(4.0);
+        assert!(r.evaluate("B", 1.0, 100.0).to_string().contains("bandwidth bound"));
+        assert!(r.evaluate("A", 100.0, 100.0).to_string().contains("compute bound"));
+    }
+}

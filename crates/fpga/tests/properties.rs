@@ -1,0 +1,98 @@
+//! Property tests for the engine cost models: the monotonicities the
+//! branch-and-bound's pruning logic depends on must hold for arbitrary
+//! layers.
+
+use proptest::prelude::*;
+use winofuse_fpga::engine::{estimate_layer, parallelism_candidates, Algorithm, EngineConfig};
+use winofuse_model::layer::{ConvParams, Layer, LayerKind};
+use winofuse_model::shape::FmShape;
+
+fn arb_conv_layer() -> impl Strategy<Value = (Layer, FmShape)> {
+    (
+        1usize..5,   // kernel index -> 1/3/5/7
+        1usize..3,   // stride
+        1usize..32,  // output channels
+        1usize..16,  // input channels
+        8usize..40,  // spatial
+    )
+        .prop_map(|(ki, stride, n, c, hw)| {
+            let kernel = [1, 3, 5, 7][ki - 1];
+            let pad = kernel / 2;
+            let layer = Layer::new("l", LayerKind::Conv(ConvParams::new(n, kernel, stride, pad, true)));
+            (layer, FmShape::new(c, hw, hw))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 2 explores parallelism from max to min and `break`s when
+    /// the latency bound exceeds the incumbent — valid only if compute
+    /// cycles are non-increasing and resources non-decreasing in p.
+    #[test]
+    fn estimates_are_monotone_in_parallelism((layer, input) in arb_conv_layer()) {
+        for algo in [Algorithm::Conventional, Algorithm::winograd_f43()] {
+            let candidates = parallelism_candidates(&layer, algo, 900);
+            let mut prev: Option<(u64, u64)> = None; // (cycles, dsp) at higher p
+            for p in candidates {
+                let Ok(e) = estimate_layer(&layer, input, &EngineConfig { algorithm: algo, parallelism: p })
+                else { continue };
+                if let Some((cycles_hi, dsp_hi)) = prev {
+                    // Candidates descend: lower p => more cycles, fewer DSPs.
+                    prop_assert!(e.compute_cycles >= cycles_hi,
+                        "{algo:?} p={p}: cycles must grow as p shrinks");
+                    prop_assert!(e.resources.dsp <= dsp_hi,
+                        "{algo:?} p={p}: dsp must shrink with p");
+                }
+                prev = Some((e.compute_cycles, e.resources.dsp));
+            }
+        }
+    }
+
+    /// Work conservation: cycles × throughput covers the layer's MACs.
+    #[test]
+    fn compute_cycles_cover_the_work((layer, input) in arb_conv_layer()) {
+        let macs = layer.macs(input);
+        for p in [1usize, 4, 16] {
+            let Ok(e) = estimate_layer(
+                &layer,
+                input,
+                &EngineConfig { algorithm: Algorithm::Conventional, parallelism: p },
+            ) else { continue };
+            prop_assert!(
+                e.compute_cycles * p as u64 >= macs,
+                "p={p}: {} cycles x {p} lanes < {macs} MACs",
+                e.compute_cycles
+            );
+            // ...and not absurdly more (ceil effects only).
+            prop_assert!(e.compute_cycles <= macs / p as u64 + input.height as u64 + 1);
+        }
+    }
+
+    /// Winograd at matched MAC throughput never uses more DSPs than
+    /// conventional (the paper's whole premise).
+    #[test]
+    fn winograd_dsp_advantage_holds((layer, input) in arb_conv_layer()) {
+        let LayerKind::Conv(c) = &layer.kind else { unreachable!() };
+        prop_assume!(c.stride == 1 && (2..=5).contains(&c.kernel));
+        let Ok(w) = estimate_layer(
+            &layer,
+            input,
+            &EngineConfig { algorithm: Algorithm::winograd_f43(), parallelism: 1 },
+        ) else { return Ok(()) };
+        // A conventional engine with the same MACs/cycle:
+        let p = w.macs_per_cycle as usize;
+        prop_assume!(p <= winofuse_fpga::engine::max_parallelism(&layer, Algorithm::Conventional));
+        let conv = estimate_layer(
+            &layer,
+            input,
+            &EngineConfig { algorithm: Algorithm::Conventional, parallelism: p },
+        ).unwrap();
+        prop_assert!(
+            w.resources.dsp <= conv.resources.dsp,
+            "winograd {} DSP vs conventional {} at matched throughput",
+            w.resources.dsp,
+            conv.resources.dsp
+        );
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the fusion architecture models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FusionError {
+    /// A layer range or configuration cannot be fused (unsupported layer
+    /// kind, empty range, ...).
+    InvalidGroup(String),
+    /// The behavioral simulator was driven inconsistently (row pushed out
+    /// of order, evicted row accessed, ...).
+    Simulation(String),
+    /// Propagated error from the model substrate.
+    Model(String),
+    /// Propagated error from the FPGA cost models.
+    Fpga(String),
+    /// Propagated error from the numeric convolution substrate.
+    Conv(String),
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::InvalidGroup(m) => write!(f, "invalid fusion group: {m}"),
+            FusionError::Simulation(m) => write!(f, "simulation error: {m}"),
+            FusionError::Model(m) => write!(f, "model error: {m}"),
+            FusionError::Fpga(m) => write!(f, "fpga model error: {m}"),
+            FusionError::Conv(m) => write!(f, "convolution error: {m}"),
+        }
+    }
+}
+
+impl Error for FusionError {}
+
+impl From<winofuse_model::ModelError> for FusionError {
+    fn from(e: winofuse_model::ModelError) -> Self {
+        FusionError::Model(e.to_string())
+    }
+}
+
+impl From<winofuse_fpga::FpgaError> for FusionError {
+    fn from(e: winofuse_fpga::FpgaError) -> Self {
+        FusionError::Fpga(e.to_string())
+    }
+}
+
+impl From<winofuse_conv::ConvError> for FusionError {
+    fn from(e: winofuse_conv::ConvError) -> Self {
+        FusionError::Conv(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: FusionError = winofuse_conv::ConvError::RationalOverflow.into();
+        assert!(e.to_string().contains("overflow"));
+    }
+}

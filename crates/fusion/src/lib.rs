@@ -1,0 +1,33 @@
+//! # winofuse-fusion — the fusion architecture and its behavioral simulator
+//!
+//! The paper's §4 architecture, reproduced as executable models:
+//!
+//! * [`pyramid`] — the dependency-pyramid geometry of Fig. 2(a): how large
+//!   an input region one output element (or tile) of a fused stack needs,
+//!   and how much recomputation tile-based fusion (Alwani et al. \[1\])
+//!   incurs,
+//! * [`line_buffer`] — the circular `K + S`-row line buffer of §4.2 /
+//!   Fig. 2(b), as a functional data structure,
+//! * [`pipeline`] — the two-level (intra-layer + inter-layer) pipeline
+//!   latency model of §4.3 / Fig. 2(c)(d), including DRAM bandwidth
+//!   contention,
+//! * [`simulator`] — a cycle-approximate, row-synchronous behavioral
+//!   simulator of a fused group that computes *real values* through the
+//!   line buffers and is validated against the layer-by-layer reference
+//!   executor,
+//! * [`baseline`] — an analytical model of the tile-based fused-layer
+//!   accelerator of Alwani et al. (MICRO 2016), the paper's comparison
+//!   target,
+//! * [`vcd`] — Value Change Dump export of a simulation run (one busy
+//!   wire per fused layer, viewable in GTKWave).
+
+pub mod baseline;
+pub mod line_buffer;
+pub mod pipeline;
+pub mod pyramid;
+pub mod simulator;
+pub mod vcd;
+
+mod error;
+
+pub use error::FusionError;

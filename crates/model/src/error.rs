@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while describing, parsing or executing a network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A layer's parameters are inconsistent with its input shape (e.g.
+    /// kernel larger than the padded feature map).
+    ShapeInference {
+        /// Name of the offending layer.
+        layer: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A prototxt document failed to parse.
+    ParseProtoTxt {
+        /// 1-based line where the problem was detected.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The network structure itself is invalid (empty, FC before conv
+    /// output flattening, ...).
+    InvalidNetwork(String),
+    /// A layer index or range was out of bounds.
+    LayerOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of layers available.
+        len: usize,
+    },
+    /// Numeric execution failed in the convolution substrate.
+    Execution(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ShapeInference { layer, reason } => {
+                write!(f, "shape inference failed at layer `{layer}`: {reason}")
+            }
+            ModelError::ParseProtoTxt { line, reason } => {
+                write!(f, "prototxt parse error at line {line}: {reason}")
+            }
+            ModelError::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
+            ModelError::LayerOutOfRange { index, len } => {
+                write!(f, "layer index {index} out of range for {len} layers")
+            }
+            ModelError::Execution(msg) => write!(f, "network execution failed: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+impl From<winofuse_conv::ConvError> for ModelError {
+    fn from(e: winofuse_conv::ConvError) -> Self {
+        ModelError::Execution(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_layer_name() {
+        let e = ModelError::ShapeInference { layer: "conv7".into(), reason: "kernel too big".into() };
+        assert!(e.to_string().contains("conv7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,326 @@
+//! Reference execution of a network, layer by layer, with no fusion.
+//!
+//! This is the numerical gold standard the fusion simulator
+//! (`winofuse-fusion`) is validated against, and it can run each
+//! convolutional layer with any of the algorithms the paper's framework
+//! chooses between — so a heterogeneous strategy can be checked for
+//! functional equivalence end to end.
+
+use winofuse_conv::ops::{self, LrnParams};
+use winofuse_conv::tensor::{random_tensor, Tensor};
+use winofuse_conv::{direct, im2col, winograd, ConvGeometry};
+
+use crate::layer::LayerKind;
+use crate::network::Network;
+use crate::ModelError;
+
+/// Which algorithm executes a convolutional layer in the reference runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RefAlgo {
+    /// Conventional sliding-window convolution (Eq. 1).
+    #[default]
+    Direct,
+    /// im2col + GEMM lowering.
+    Im2col,
+    /// Winograd `F(4×4, 3×3)` (falls back to an error for non-3×3 or
+    /// strided layers; the optimizer never assigns those).
+    WinogradF43,
+}
+
+/// Per-layer weights for a network (synthetic, seeded).
+#[derive(Debug, Clone)]
+pub struct NetworkWeights {
+    entries: Vec<LayerWeights>,
+}
+
+/// Weights of one layer.
+#[derive(Debug, Clone)]
+pub enum LayerWeights {
+    /// Convolution kernels, `N×C×K×K`.
+    Conv(Tensor<f32>),
+    /// Fully connected weight matrix (row-major `out×in`) and bias.
+    Fc {
+        /// Row-major `out_features × in_features` matrix.
+        weights: Vec<f32>,
+        /// Per-output bias.
+        bias: Vec<f32>,
+    },
+    /// The layer has no parameters.
+    None,
+}
+
+impl NetworkWeights {
+    /// Generates deterministic pseudo-random weights for every
+    /// parameterized layer. Values are scaled by `1/√fan_in` so activations
+    /// stay in a numerically friendly range through deep networks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures (impossible for a validated
+    /// network).
+    pub fn random(net: &Network, seed: u64) -> Result<Self, ModelError> {
+        let shapes = net.shapes()?;
+        let mut entries = Vec::with_capacity(net.len());
+        for (i, layer) in net.layers().iter().enumerate() {
+            let input = shapes[i];
+            let w = match &layer.kind {
+                LayerKind::Conv(c) => {
+                    let ch_per_group = c.channels_per_group(input.channels);
+                    let fan_in = (ch_per_group * c.kernel * c.kernel) as f32;
+                    let scale = fan_in.sqrt().recip();
+                    let mut t = random_tensor(
+                        c.num_output,
+                        ch_per_group,
+                        c.kernel,
+                        c.kernel,
+                        seed.wrapping_add(i as u64 * 7919),
+                    );
+                    for v in t.as_mut_slice() {
+                        *v *= scale;
+                    }
+                    LayerWeights::Conv(t)
+                }
+                LayerKind::Fc(fc) => {
+                    let in_f = input.elements();
+                    let scale = (in_f as f32).sqrt().recip();
+                    let flat = random_tensor(1, 1, fc.num_output, in_f, seed.wrapping_add(i as u64 * 104729));
+                    let weights = flat.as_slice().iter().map(|v| v * scale).collect();
+                    LayerWeights::Fc { weights, bias: vec![0.0; fc.num_output] }
+                }
+                _ => LayerWeights::None,
+            };
+            entries.push(w);
+        }
+        Ok(NetworkWeights { entries })
+    }
+
+    /// Weights of layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of range.
+    pub fn layer(&self, index: usize) -> &LayerWeights {
+        &self.entries[index]
+    }
+
+    /// Number of layer entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Runs the network with the conventional algorithm everywhere, returning
+/// the output of every layer (`result[i]` = output of layer `i`).
+///
+/// # Errors
+///
+/// Returns [`ModelError::Execution`] when the input tensor does not match
+/// the network's input shape or a numeric kernel rejects its arguments.
+pub fn forward(
+    net: &Network,
+    weights: &NetworkWeights,
+    input: &Tensor<f32>,
+) -> Result<Vec<Tensor<f32>>, ModelError> {
+    forward_with(net, weights, input, |_| RefAlgo::Direct)
+}
+
+/// Runs the network choosing a convolution algorithm per layer index.
+///
+/// # Errors
+///
+/// Same conditions as [`forward`]; additionally
+/// [`ModelError::Execution`] when `WinogradF43` is requested for a layer it
+/// cannot implement (kernel ≠ 3×3 or stride ≠ 1).
+pub fn forward_with<F: FnMut(usize) -> RefAlgo>(
+    net: &Network,
+    weights: &NetworkWeights,
+    input: &Tensor<f32>,
+    mut algo_for: F,
+) -> Result<Vec<Tensor<f32>>, ModelError> {
+    let in_shape = net.input_shape();
+    if input.c() != in_shape.channels || input.h() != in_shape.height || input.w() != in_shape.width
+    {
+        return Err(ModelError::Execution(format!(
+            "input tensor {}x{}x{} does not match network input {}",
+            input.c(),
+            input.h(),
+            input.w(),
+            in_shape
+        )));
+    }
+    let mut outputs = Vec::with_capacity(net.len());
+    let mut cur = input.clone();
+    for (i, layer) in net.layers().iter().enumerate() {
+        let next = match &layer.kind {
+            LayerKind::Conv(c) => {
+                let LayerWeights::Conv(kernels) = weights.layer(i) else {
+                    return Err(ModelError::Execution(format!(
+                        "missing conv weights for layer {i} `{}`",
+                        layer.name
+                    )));
+                };
+                let geom = ConvGeometry::rect(cur.h(), cur.w(), c.kernel, c.stride, c.pad)?;
+                let algo = algo_for(i);
+                let run = |x: &Tensor<f32>, k: &Tensor<f32>| -> Result<Tensor<f32>, ModelError> {
+                    Ok(match algo {
+                        RefAlgo::Direct => direct::conv2d(x, k, geom)?,
+                        RefAlgo::Im2col => im2col::conv2d(x, k, geom)?,
+                        RefAlgo::WinogradF43 => winograd::conv2d_f43(x, k, geom)?,
+                    })
+                };
+                let mut y = if c.groups <= 1 {
+                    run(&cur, kernels)?
+                } else {
+                    // Grouped convolution: each group's kernels see only
+                    // their channel slice.
+                    let cg = c.channels_per_group(cur.c());
+                    let ng = c.num_output / c.groups;
+                    let out_shape = layer
+                        .output_shape(crate::shape::FmShape::new(cur.c(), cur.h(), cur.w()))?;
+                    let mut out =
+                        Tensor::zeros(cur.n(), c.num_output, out_shape.height, out_shape.width);
+                    for g in 0..c.groups {
+                        let x = cur.slice_channels(g * cg, (g + 1) * cg);
+                        let k = kernels.slice_channels_n(g * ng, (g + 1) * ng);
+                        out.write_channels(g * ng, &run(&x, &k)?);
+                    }
+                    out
+                };
+                if c.relu {
+                    y = ops::relu(&y);
+                }
+                y
+            }
+            LayerKind::Pool(p) => {
+                let geom = ConvGeometry::rect(cur.h(), cur.w(), p.kernel, p.stride, p.pad)?;
+                ops::pool(&cur, geom, p.kind)?
+            }
+            LayerKind::Lrn(spec) => ops::lrn(
+                &cur,
+                LrnParams {
+                    local_size: spec.local_size,
+                    alpha: spec.alpha,
+                    beta: spec.beta,
+                    k: spec.k,
+                },
+            )?,
+            LayerKind::Relu => ops::relu(&cur),
+            LayerKind::Fc(fc) => {
+                let LayerWeights::Fc { weights: w, bias } = weights.layer(i) else {
+                    return Err(ModelError::Execution(format!(
+                        "missing fc weights for layer {i} `{}`",
+                        layer.name
+                    )));
+                };
+                let mut y = ops::fully_connected(&cur, w, bias, fc.num_output)?;
+                if fc.relu {
+                    y = ops::relu(&y);
+                }
+                y
+            }
+            LayerKind::Softmax => ops::softmax(&cur)?,
+        };
+        outputs.push(next.clone());
+        cur = next;
+    }
+    Ok(outputs)
+}
+
+// Re-exported so downstream crates can build inputs without importing
+// winofuse-conv directly.
+pub use winofuse_conv::tensor::random_tensor as random_input;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn forward_small_net_shapes() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 1).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 2);
+        let outs = forward(&net, &w, &x).unwrap();
+        assert_eq!(outs.len(), net.len());
+        let shapes = net.shapes().unwrap();
+        for (i, out) in outs.iter().enumerate() {
+            let s = shapes[i + 1];
+            assert_eq!((out.c(), out.h(), out.w()), (s.channels, s.height, s.width));
+        }
+    }
+
+    #[test]
+    fn relu_fold_makes_outputs_nonnegative() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 3).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 4);
+        let outs = forward(&net, &w, &x).unwrap();
+        // Every conv in the small net has relu folded.
+        assert!(outs[0].as_slice().iter().all(|&v| v >= 0.0));
+        assert!(outs[1].as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn heterogeneous_algorithms_agree() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 5).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 6);
+        let a = forward(&net, &w, &x).unwrap();
+        // conv1 is stride-2 (direct only); conv2/conv3 are 3x3 s1.
+        let b = forward_with(&net, &w, &x, |i| match i {
+            0 => RefAlgo::Im2col,
+            1 => RefAlgo::WinogradF43,
+            3 => RefAlgo::WinogradF43,
+            _ => RefAlgo::Direct,
+        })
+        .unwrap();
+        for (ya, yb) in a.iter().zip(&b) {
+            assert!(ya.approx_eq(yb, 1e-2), "diff {}", ya.max_abs_diff(yb).unwrap());
+        }
+    }
+
+    #[test]
+    fn winograd_on_strided_layer_is_an_error() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 7).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 8);
+        let r = forward_with(&net, &w, &x, |_| RefAlgo::WinogradF43);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 9).unwrap();
+        let x = random_tensor(1, 3, 16, 16, 10);
+        assert!(forward(&net, &w, &x).is_err());
+    }
+
+    #[test]
+    fn full_alexnet_runs_to_softmax() {
+        let net = zoo::alexnet();
+        let w = NetworkWeights::random(&net, 11).unwrap();
+        let x = random_tensor(1, 3, 227, 227, 12);
+        let outs = forward(&net, &w, &x).unwrap();
+        let prob = outs.last().unwrap();
+        assert_eq!(prob.c(), 1000);
+        let sum: f32 = prob.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "softmax sum {sum}");
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let net = zoo::small_test_net();
+        let a = NetworkWeights::random(&net, 42).unwrap();
+        let b = NetworkWeights::random(&net, 42).unwrap();
+        match (a.layer(0), b.layer(0)) {
+            (LayerWeights::Conv(x), LayerWeights::Conv(y)) => assert_eq!(x, y),
+            _ => panic!("expected conv weights"),
+        }
+    }
+}

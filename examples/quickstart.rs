@@ -1,0 +1,46 @@
+//! Quickstart: optimize a small CNN for the ZC706 and print the strategy.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use winofuse::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small mixed network: a strided 5x5 conv (Winograd-ineligible),
+    // two 3x3 convs and a max pool.
+    let net = winofuse::model::zoo::small_test_net();
+    println!("network: {net}");
+    println!(
+        "total work: {:.2} GMACs, {:.2} Gops",
+        net.total_macs() as f64 / 1e9,
+        net.total_ops() as f64 / 1e9
+    );
+
+    // The paper's evaluation platform.
+    let device = FpgaDevice::zc706();
+    println!("device:  {device}");
+
+    // Optimize under an 8 MB feature-map transfer budget.
+    let fw = Framework::new(device);
+    let design = fw.optimize(&net, 8 * 1024 * 1024)?;
+
+    println!("\n--- optimal strategy ---");
+    println!("{}", design.partition.strategy);
+    println!("{}", fw.report(&net, &design));
+
+    // Emit the Vivado HLS project the paper's code generator would.
+    let project = HlsProject::generate(&net, &design)?;
+    println!("emitted files:");
+    for (name, contents) in project.files() {
+        println!("  {name} ({} bytes)", contents.len());
+    }
+
+    // Consistency check: pragmas must reflect the strategy.
+    let stats = winofuse::codegen::check::verify_project(&net, &design, &project)?;
+    println!(
+        "\npragma check: {} DATAFLOW, {} PIPELINE, {} stream channel(s) — consistent",
+        stats.dataflow, stats.pipeline, stats.stream_channels
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! The paper's VGG case study (§7.2): explore the transfer/performance
+//! trade-off of the first five convolutional + two pooling layers of
+//! VGGNet-E, and compare against the tile-based fused-layer baseline of
+//! Alwani et al. (MICRO 2016).
+//!
+//! ```text
+//! cargo run --release --example vgg_explore
+//! ```
+
+use winofuse::fusion::baseline;
+use winofuse::prelude::*;
+
+const MB: u64 = 1024 * 1024;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = winofuse::model::zoo::vgg_e_fused_prefix();
+    let device = FpgaDevice::zc706();
+    let total_ops = net.total_ops();
+    println!("network: {net} ({:.2} Gops per frame)", total_ops as f64 / 1e9);
+
+    // The baseline: one fixed tile-based fused design, conventional only.
+    let alwani = baseline::design(&net, 0, net.len(), &device)?;
+    println!(
+        "\nbaseline [Alwani et al., MICRO'16]: tile {}, latency {} cycles ({:.1} GOPS), {}",
+        alwani.tile,
+        alwani.latency,
+        alwani.effective_gops(total_ops, &device),
+        alwani.resources
+    );
+
+    // Our framework across transfer constraints (Fig. 5's sweep).
+    let fw = Framework::new(device.clone());
+    println!("\n{:>8} {:>14} {:>10} {:>9} {:>8} {:>7}", "T (MB)", "latency (cyc)", "GOPS", "groups", "wino", "speedup");
+    for t_mb in [2, 3, 4, 5, 6] {
+        let design = fw.optimize(&net, t_mb * MB)?;
+        let gops = device.effective_gops(total_ops, design.timing.latency);
+        println!(
+            "{:>8} {:>14} {:>10.1} {:>9} {:>8} {:>6.2}x",
+            t_mb,
+            design.timing.latency,
+            gops,
+            design.partition.groups.len(),
+            design.partition.strategy.winograd_layer_count(),
+            alwani.latency as f64 / design.timing.latency as f64
+        );
+    }
+
+    // The full Pareto curve (every optimal design the DP can reach).
+    println!("\nfull transfer/latency trade-off curve:");
+    let curve = fw.tradeoff_curve(&net)?;
+    for (transfer, latency) in &curve {
+        println!(
+            "  {:>7.2} MB -> {:>12} cycles ({:>6.1} GOPS)",
+            *transfer as f64 / MB as f64,
+            latency,
+            device.effective_gops(total_ops, *latency)
+        );
+    }
+
+    // Homogeneous ablations at the Table 1 budget.
+    println!("\nalgorithm ablation at T = 2 MB:");
+    for (label, policy) in [
+        ("heterogeneous", AlgoPolicy::heterogeneous()),
+        ("conventional-only", AlgoPolicy::conventional_only()),
+        ("winograd-preferred", AlgoPolicy::winograd_preferred()),
+    ] {
+        let d = Framework::new(device.clone()).with_policy(policy).optimize(&net, 2 * MB)?;
+        println!(
+            "  {label:<20} {:>12} cycles ({:>6.1} GOPS)",
+            d.timing.latency,
+            device.effective_gops(total_ops, d.timing.latency)
+        );
+    }
+    Ok(())
+}

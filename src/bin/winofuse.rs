@@ -1,0 +1,320 @@
+//! `winofuse` — command-line driver for the whole tool-flow.
+//!
+//! ```text
+//! winofuse info     <model.prototxt>
+//! winofuse optimize <model.prototxt> [--budget-mb N] [--device zc706|vx485t]
+//!                   [--policy hetero|conv|wino] [--max-group N]
+//! winofuse curve    <model.prototxt> [--device ...] [--policy ...]
+//! winofuse codegen  <model.prototxt> --out DIR [--budget-mb N] [--testbench]
+//! winofuse simulate <model.prototxt> [--budget-mb N] [--seed N]
+//! ```
+//!
+//! This is the paper's Fig. 3 pipeline as a single executable: Caffe
+//! configuration in, strategy / HLS project / simulation report out.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use winofuse::codegen::{check, testbench, HlsProject};
+use winofuse::core::bnb::AlgoPolicy;
+use winofuse::fusion::simulator::FusedGroupSim;
+use winofuse::model::runtime::NetworkWeights;
+use winofuse::model::{prototxt, DataType, Network};
+use winofuse::prelude::{FpgaDevice, Framework};
+
+const MB: u64 = 1024 * 1024;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: winofuse <info|optimize|curve|codegen|simulate> <model.prototxt> [options]\n\
+         options:\n\
+           --budget-mb N     feature-map transfer budget in MiB (default 8)\n\
+           --budget-kb N     ... or in KiB (overrides --budget-mb)\n\
+           --device NAME     zc706 (default), vx485t, zedboard, vc709, ku060\n\
+           --policy NAME     hetero (default), conv, or wino\n\
+           --max-group N     max layers per fusion group (default 8)\n\
+           --out DIR         output directory (codegen)\n\
+           --testbench       also emit golden-vector C testbenches (codegen)\n\
+           --seed N          synthetic weight/input seed (simulate; default 42)\n\
+           --frames N        batch size for amortized timing (optimize; default 1)\n\
+           --reconfig-cycles N  inter-group reconfiguration cost (default 0)"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Debug)]
+struct Options {
+    budget_bytes: u64,
+    device: FpgaDevice,
+    policy: AlgoPolicy,
+    max_group: usize,
+    out: Option<PathBuf>,
+    testbench: bool,
+    seed: u64,
+    frames: u64,
+    reconfig_cycles: Option<u64>,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut o = Options {
+        budget_bytes: 8 * MB,
+        device: FpgaDevice::zc706(),
+        policy: AlgoPolicy::heterogeneous(),
+        max_group: winofuse::core::MAX_FUSION_LAYERS,
+        out: None,
+        testbench: false,
+        seed: 42,
+        frames: 1,
+        reconfig_cycles: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            }).clone()
+        };
+        match arg.as_str() {
+            "--budget-mb" => {
+                o.budget_bytes = value("--budget-mb").parse::<u64>().unwrap_or_else(|_| usage()) * MB
+            }
+            "--budget-kb" => {
+                o.budget_bytes =
+                    value("--budget-kb").parse::<u64>().unwrap_or_else(|_| usage()) * 1024
+            }
+            "--device" => {
+                let name = value("--device");
+                o.device = FpgaDevice::by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown device `{name}` (zc706 | vx485t | zedboard | vc709 | ku060)");
+                    usage()
+                })
+            }
+            "--frames" => o.frames = value("--frames").parse().unwrap_or_else(|_| usage()),
+            "--reconfig-cycles" => {
+                let c = value("--reconfig-cycles").parse().unwrap_or_else(|_| usage());
+                o.reconfig_cycles = Some(c)
+            }
+            "--policy" => {
+                o.policy = match value("--policy").as_str() {
+                    "hetero" => AlgoPolicy::heterogeneous(),
+                    "conv" => AlgoPolicy::conventional_only(),
+                    "wino" => AlgoPolicy::winograd_preferred(),
+                    other => {
+                        eprintln!("unknown policy `{other}` (hetero | conv | wino)");
+                        usage()
+                    }
+                }
+            }
+            "--max-group" => {
+                o.max_group = value("--max-group").parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => o.out = Some(PathBuf::from(value("--out"))),
+            "--testbench" => o.testbench = true,
+            "--seed" => o.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage()
+            }
+        }
+    }
+    o
+}
+
+fn load_network(path: &str) -> Result<Network, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let net = prototxt::parse(&text).map_err(|e| format!("parse `{path}`: {e}"))?;
+    // The accelerator maps the convolutional body only (the paper omits
+    // FC layers, §7.3).
+    net.conv_body().map_err(|e| format!("{e}"))
+}
+
+fn framework(o: &Options) -> Framework {
+    let mut device = o.device.clone();
+    if let Some(c) = o.reconfig_cycles {
+        device = device.with_reconfig_cycles(c);
+    }
+    Framework::new(device).with_policy(o.policy).with_max_group_layers(o.max_group)
+}
+
+fn cmd_info(net: &Network, o: &Options) -> Result<(), String> {
+    println!("network: {net}");
+    println!("device:  {}", o.device);
+    let shapes = net.shapes().map_err(|e| e.to_string())?;
+    println!(
+        "\n{:<16} {:<8} {:>14} {:>14} {:>12}",
+        "layer", "kind", "input", "output", "MMACs"
+    );
+    for (i, layer) in net.layers().iter().enumerate() {
+        println!(
+            "{:<16} {:<8} {:>14} {:>14} {:>12.2}",
+            layer.name,
+            layer.kind.tag(),
+            shapes[i].to_string(),
+            shapes[i + 1].to_string(),
+            layer.macs(shapes[i]) as f64 / 1e6
+        );
+    }
+    println!(
+        "\ntotal: {:.2} GMACs, {:.2} Gops, {:.2} M weights",
+        net.total_macs() as f64 / 1e9,
+        net.total_ops() as f64 / 1e9,
+        net.total_weights() as f64 / 1e6
+    );
+    let fused = net
+        .fused_transfer_bytes(0..net.len(), DataType::Fixed16)
+        .map_err(|e| e.to_string())?;
+    let unfused = net
+        .unfused_transfer_bytes(0..net.len(), DataType::Fixed16)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "feature-map transfer: {:.2} MB unfused, {:.2} MB fully fused",
+        unfused as f64 / MB as f64,
+        fused as f64 / MB as f64
+    );
+    Ok(())
+}
+
+fn cmd_optimize(net: &Network, o: &Options) -> Result<(), String> {
+    let fw = framework(o);
+    let design = fw.optimize(net, o.budget_bytes).map_err(|e| e.to_string())?;
+    println!("strategy:\n{}", design.partition.strategy);
+    print!("{}", fw.report(net, &design));
+    println!(
+        "power: {:.1} W, energy/frame: {:.1} mJ",
+        fw.power_watts(&design),
+        fw.energy_joules(&design) * 1e3
+    );
+    if o.frames > 1 {
+        let batch = fw.batch_timing(&design, o.frames).map_err(|e| e.to_string())?;
+        println!(
+            "batch of {}: {} cycles total ({:.0} cycles/frame, reconfig {} cycles)",
+            batch.frames, batch.total_cycles, batch.cycles_per_frame, batch.reconfig_cycles
+        );
+    }
+    Ok(())
+}
+
+fn cmd_curve(net: &Network, o: &Options) -> Result<(), String> {
+    let fw = framework(o);
+    let curve = fw.tradeoff_curve(net).map_err(|e| e.to_string())?;
+    let ops = net.total_ops();
+    println!("{:>12} {:>14} {:>9}", "transfer", "latency (cyc)", "GOPS");
+    for (t, l) in curve {
+        println!(
+            "{:>9.2} MB {:>14} {:>9.1}",
+            t as f64 / MB as f64,
+            l,
+            o.device.effective_gops(ops, l)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_codegen(net: &Network, o: &Options) -> Result<(), String> {
+    let out = o.out.clone().ok_or("codegen requires --out DIR")?;
+    let fw = framework(o);
+    let design = fw.optimize(net, o.budget_bytes).map_err(|e| e.to_string())?;
+    let project = HlsProject::generate(net, &design).map_err(|e| e.to_string())?;
+    check::verify_project(net, &design, &project).map_err(|e| e.to_string())?;
+    project.write_to_dir(&out).map_err(|e| e.to_string())?;
+    let mut n_files = project.files().len();
+    if o.testbench {
+        let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+        let input = winofuse::conv::tensor::random_tensor(
+            1,
+            net.input_shape().channels,
+            net.input_shape().height,
+            net.input_shape().width,
+            o.seed + 1,
+        );
+        let tbs = testbench::generate_testbenches(net, &design, &weights, &input, &o.device)
+            .map_err(|e| e.to_string())?;
+        for (name, contents) in &tbs {
+            std::fs::write(out.join(name), contents).map_err(|e| e.to_string())?;
+        }
+        n_files += tbs.len();
+    }
+    println!("wrote {n_files} files to {} (pragma check passed)", out.display());
+    Ok(())
+}
+
+fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
+    let fw = framework(o);
+    let design = fw.optimize(net, o.budget_bytes).map_err(|e| e.to_string())?;
+    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let input = winofuse::conv::tensor::random_tensor(
+        1,
+        net.input_shape().channels,
+        net.input_shape().height,
+        net.input_shape().width,
+        o.seed + 1,
+    );
+    let reference =
+        winofuse::model::runtime::forward(net, &weights, &input).map_err(|e| e.to_string())?;
+
+    let mut cur = input;
+    let mut total_cycles = 0u64;
+    println!("{:>6} {:>10} {:>14} {:>12} {:>12}", "group", "layers", "cycles", "read (B)", "max |err|");
+    for plan in &design.partition.groups {
+        let mut sim = FusedGroupSim::new(net, plan.start, &plan.configs, &weights, &o.device)
+            .map_err(|e| e.to_string())?;
+        let r = sim.run(&cur).map_err(|e| e.to_string())?;
+        let gold = &reference[plan.end - 1];
+        let err = r.output.max_abs_diff(gold).map_err(|e| e.to_string())?;
+        println!(
+            "{:>6} {:>7}..{:<2} {:>14} {:>12} {:>12.2e}",
+            plan.start, plan.start, plan.end, r.cycles, r.dram_bytes_read, err
+        );
+        if err > 1e-3 {
+            return Err(format!("group {}..{} diverged: {err}", plan.start, plan.end));
+        }
+        total_cycles += r.cycles;
+        cur = r.output;
+    }
+    println!(
+        "\nsimulated {} cycles total ({:.2} ms at {:.0} MHz); analytic model: {} cycles",
+        total_cycles,
+        o.device.cycles_to_seconds(total_cycles) * 1e3,
+        o.device.clock_hz() as f64 / 1e6,
+        design.timing.latency
+    );
+    println!("fused execution matches the layer-by-layer reference ✓");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let cmd = args[0].as_str();
+    let path = args[1].as_str();
+    let opts = parse_options(&args[2..]);
+
+    let net = match load_network(path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "info" => cmd_info(&net, &opts),
+        "optimize" => cmd_optimize(&net, &opts),
+        "curve" => cmd_curve(&net, &opts),
+        "codegen" => cmd_codegen(&net, &opts),
+        "simulate" => cmd_simulate(&net, &opts),
+        _ => {
+            usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

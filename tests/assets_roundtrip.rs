@@ -1,0 +1,53 @@
+//! The shipped prototxt assets must parse into exactly the zoo networks —
+//! a realistic end of the "Caffe configuration file" contract (§3).
+
+use winofuse::model::{prototxt, zoo, LayerKind};
+
+#[test]
+fn alexnet_asset_matches_zoo() {
+    let text = include_str!("../assets/alexnet.prototxt");
+    let parsed = prototxt::parse(text).expect("asset parses");
+    let reference = zoo::alexnet();
+    assert_eq!(parsed.len(), reference.len(), "layer counts");
+    assert_eq!(parsed.input_shape(), reference.input_shape());
+    for (a, b) in parsed.layers().iter().zip(reference.layers()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.kind, b.kind, "layer `{}`", a.name);
+    }
+    // Grouped layers survive parsing.
+    let conv2 = parsed.layers().iter().find(|l| l.name == "conv2").unwrap();
+    match &conv2.kind {
+        LayerKind::Conv(c) => assert_eq!(c.groups, 2),
+        other => panic!("conv2 is {other:?}"),
+    }
+    assert_eq!(parsed.total_macs(), reference.total_macs());
+}
+
+#[test]
+fn vgg19_asset_matches_zoo() {
+    let text = include_str!("../assets/vgg19.prototxt");
+    let parsed = prototxt::parse(text).expect("asset parses");
+    let reference = zoo::vgg_e();
+    assert_eq!(parsed.len(), reference.len());
+    assert_eq!(parsed.conv_layer_indices().len(), 16);
+    assert_eq!(parsed.total_macs(), reference.total_macs());
+    for (a, b) in parsed.layers().iter().zip(reference.layers()) {
+        assert_eq!(a.kind, b.kind, "layer `{}`", a.name);
+    }
+}
+
+#[test]
+fn assets_optimize_end_to_end() {
+    use winofuse::prelude::*;
+    let net = prototxt::parse(include_str!("../assets/alexnet.prototxt"))
+        .unwrap()
+        .conv_body()
+        .unwrap();
+    let fw = Framework::new(FpgaDevice::zc706()).with_max_group_layers(net.len());
+    let budget = net
+        .fused_transfer_bytes(0..net.len(), DataType::Fixed16)
+        .unwrap();
+    let design = fw.optimize(&net, budget).unwrap();
+    assert_eq!(design.partition.groups.len(), 1);
+    assert!(design.partition.strategy.is_heterogeneous());
+}

@@ -1,0 +1,122 @@
+//! Integration tests for the `winofuse` command-line driver.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const DEMO: &str = r#"
+name: "cli-test"
+input_shape { channels: 3 height: 24 width: 24 }
+layer {
+  name: "conv1"
+  type: "Convolution"
+  convolution_param { num_output: 8 kernel_size: 3 pad: 1 }
+}
+layer { name: "relu1" type: "ReLU" }
+layer {
+  name: "pool1"
+  type: "Pooling"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+"#;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_winofuse"))
+}
+
+fn demo_path(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("winofuse_cli_{tag}_{}.prototxt", std::process::id()));
+    std::fs::write(&p, DEMO).expect("write demo prototxt");
+    p
+}
+
+#[test]
+fn info_prints_layer_table() {
+    let p = demo_path("info");
+    let out = bin().arg("info").arg(&p).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("conv1"));
+    assert!(text.contains("pool1"));
+    assert!(text.contains("feature-map transfer"));
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn optimize_prints_strategy_and_report() {
+    let p = demo_path("optimize");
+    let out = bin().args(["optimize"]).arg(&p).args(["--budget-mb", "2"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("group 0"));
+    assert!(text.contains("utilization"));
+    assert!(text.contains("power"));
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn simulate_validates_against_reference() {
+    let p = demo_path("simulate");
+    let out = bin().arg("simulate").arg(&p).args(["--seed", "3"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("matches the layer-by-layer reference"));
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn codegen_writes_project_with_testbench() {
+    let p = demo_path("codegen");
+    let dir = std::env::temp_dir().join(format!("winofuse_cli_out_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = bin()
+        .arg("codegen")
+        .arg(&p)
+        .args(["--out"])
+        .arg(&dir)
+        .args(["--budget-mb", "2", "--testbench"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("winofuse.h").exists());
+    assert!(dir.join("fusion_group_0.cpp").exists());
+    assert!(dir.join("tb_fusion_group_0.cpp").exists());
+    let tb = std::fs::read_to_string(dir.join("tb_fusion_group_0.cpp")).unwrap();
+    assert!(tb.contains("tb_expected"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Missing file.
+    let out = bin().args(["info", "/nonexistent/x.prototxt"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // Unknown command.
+    let p = demo_path("bad");
+    let out = bin().arg("frobnicate").arg(&p).output().unwrap();
+    assert!(!out.status.success());
+
+    // Infeasible budget.
+    let out = bin().arg("optimize").arg(&p).args(["--budget-kb", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("minimum"));
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn device_and_policy_flags_are_honored() {
+    let p = demo_path("flags");
+    let out = bin()
+        .arg("optimize")
+        .arg(&p)
+        .args(["--budget-mb", "2", "--device", "vx485t", "--policy", "conv"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("conventional"));
+    assert!(!text.contains("winograd(m="));
+    let _ = std::fs::remove_file(p);
+}

@@ -1,0 +1,111 @@
+//! Failure injection: the system must degrade loudly and correctly when
+//! resources, bandwidth, or inputs are pathological.
+
+use winofuse::core::bnb::{AlgoPolicy, GroupPlanner};
+use winofuse::core::CoreError;
+use winofuse::fusion::baseline;
+use winofuse::prelude::*;
+
+const MB: u64 = 1024 * 1024;
+
+fn tiny_device(bram: u64, dsp: u64, ff: u64, lut: u64) -> FpgaDevice {
+    FpgaDevice::new("tiny", ResourceVec::new(bram, dsp, ff, lut), 100_000_000, 4_200_000_000)
+}
+
+#[test]
+fn zero_dsp_device_cannot_host_convolutions() {
+    let net = winofuse::model::zoo::small_test_net();
+    let dev = tiny_device(1090, 0, 437_200, 218_600);
+    match GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()) {
+        Err(CoreError::InvalidRequest(msg)) => assert!(msg.contains("no feasible")),
+        Err(other) => panic!("expected InvalidRequest, got {other:?}"),
+        Ok(_) => panic!("expected failure on a zero-DSP device"),
+    }
+}
+
+#[test]
+fn one_dsp_device_still_maps_but_slowly() {
+    let net = winofuse::model::zoo::small_test_net();
+    let slow_dev = tiny_device(1090, 1, 437_200, 218_600);
+    let fw = Framework::new(slow_dev);
+    let slow = fw.optimize(&net, 32 * MB).expect("p=1 engines always exist");
+    let fast = Framework::new(FpgaDevice::zc706()).optimize(&net, 32 * MB).unwrap();
+    assert!(slow.timing.latency > 10 * fast.timing.latency);
+    // Every engine must be the 1-lane conventional one.
+    for l in slow.partition.strategy.layers() {
+        assert_eq!(l.algorithm, Algorithm::Conventional);
+    }
+}
+
+#[test]
+fn starved_logic_budget_is_respected() {
+    let net = winofuse::model::zoo::small_test_net();
+    // Plenty of DSPs but almost no LUTs: engines must shrink to fit.
+    let dev = tiny_device(1090, 900, 437_200, 9_000);
+    let fw = Framework::new(dev.clone());
+    let d = fw.optimize(&net, 32 * MB).expect("small engines fit 9k LUTs");
+    for g in &d.partition.groups {
+        assert!(g.timing.resources.fits_within(dev.resources()));
+    }
+}
+
+#[test]
+fn bandwidth_starvation_turns_designs_bandwidth_bound() {
+    let net = winofuse::model::zoo::vgg_e_fused_prefix();
+    // 10 MB/s: a hundred times less than any compute rate.
+    let dev = FpgaDevice::zc706().with_bandwidth(10_000_000);
+    let fw = Framework::new(dev);
+    let d = fw.optimize(&net, 4 * MB).unwrap();
+    assert!(
+        d.partition.groups.iter().any(|g| g.timing.bandwidth_bound),
+        "somebody must hit the DRAM wall at 10 MB/s"
+    );
+    // And the whole design is far slower than on the real board.
+    let normal = Framework::new(FpgaDevice::zc706()).optimize(&net, 4 * MB).unwrap();
+    assert!(d.timing.latency > 5 * normal.timing.latency);
+}
+
+#[test]
+fn baseline_reports_infeasible_on_micro_bram() {
+    let net = winofuse::model::zoo::vgg_e_fused_prefix();
+    let dev = FpgaDevice::zc706().with_resources(ResourceVec::new(20, 900, 437_200, 218_600));
+    assert!(baseline::design(&net, 0, net.len(), &dev).is_err());
+}
+
+#[test]
+fn budget_exactly_at_minimum_is_feasible() {
+    let net = winofuse::model::zoo::vgg_e_fused_prefix();
+    let min = net
+        .fused_transfer_bytes(0..net.len(), DataType::Fixed16)
+        .unwrap();
+    let fw = Framework::new(FpgaDevice::zc706());
+    let at = fw.optimize(&net, min).expect("budget == minimum is feasible");
+    assert_eq!(at.timing.fmap_transfer_bytes, min);
+    assert!(matches!(
+        fw.optimize(&net, min - 1),
+        Err(CoreError::Infeasible(_))
+    ));
+}
+
+#[test]
+fn max_group_of_one_forces_layer_by_layer() {
+    let net = winofuse::model::zoo::small_test_net();
+    let fw = Framework::new(FpgaDevice::zc706()).with_max_group_layers(1);
+    let d = fw.optimize(&net, 32 * MB).unwrap();
+    assert_eq!(d.partition.groups.len(), net.len());
+    // With no fusion, transfer equals the unfused sum.
+    assert_eq!(
+        d.timing.fmap_transfer_bytes,
+        net.unfused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap()
+    );
+}
+
+#[test]
+fn fc_network_is_rejected_not_mangled() {
+    let net = winofuse::model::zoo::alexnet(); // includes the FC head
+    let fw = Framework::new(FpgaDevice::zc706());
+    assert!(matches!(
+        fw.optimize(&net, 32 * MB),
+        Err(CoreError::InvalidRequest(_))
+    ));
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the optimizer on randomly generated networks:
+//! the invariants of Problem 1 must hold for *any* valid CNN, not just
+//! the zoo.
+
+use proptest::prelude::*;
+use winofuse::core::bnb::{AlgoPolicy, GroupPlanner};
+use winofuse::core::{dp, exhaustive};
+use winofuse::model::layer::{ConvParams, PoolParams};
+use winofuse::prelude::{FmShape, FpgaDevice, Framework, HlsProject, Network};
+
+const MB: u64 = 1024 * 1024;
+
+/// Strategy for random small CNNs: 2–5 layers over a 3-channel input.
+fn arb_network() -> impl Strategy<Value = Network> {
+    let conv = (1usize..4, 0usize..3, prop::bool::ANY).prop_map(|(kz, st, relu)| {
+        // kernels 1/3/5, strides 1/2/3
+        let kernel = [1, 3, 5][kz % 3];
+        let stride = st + 1;
+        (kernel, stride, relu)
+    });
+    (
+        8usize..24,                      // input size
+        2usize..8,                       // channels
+        prop::collection::vec(conv, 1..4),
+        prop::bool::ANY,                 // trailing pool?
+    )
+        .prop_filter_map("buildable network", |(hw, ch, convs, pool)| {
+            let mut b = Network::builder("prop-net", FmShape::new(3, hw, hw));
+            for (i, (kernel, stride, relu)) in convs.iter().enumerate() {
+                let pad = kernel / 2;
+                b = b.conv(
+                    format!("conv{i}"),
+                    ConvParams::new(ch * (i + 1), *kernel, *stride, pad, *relu),
+                );
+            }
+            if pool {
+                b = b.pool("pool", PoolParams::max2x2());
+            }
+            b.build().ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimizer_invariants_hold(net in arb_network(), budget_mb in 1u64..16) {
+        let dev = FpgaDevice::zc706();
+        let budget = budget_mb * MB;
+        let fw = Framework::new(dev.clone());
+        let Ok(design) = fw.optimize(&net, budget) else {
+            // Infeasible budgets are allowed; nothing more to check.
+            return Ok(());
+        };
+        // 1. Budget respected.
+        prop_assert!(design.timing.fmap_transfer_bytes <= budget);
+        // 2. Groups tile the network in order.
+        let mut expected = 0usize;
+        for g in &design.partition.groups {
+            prop_assert_eq!(g.start, expected);
+            prop_assert!(g.end > g.start);
+            expected = g.end;
+        }
+        prop_assert_eq!(expected, net.len());
+        // 3. Every group fits the device.
+        for g in &design.partition.groups {
+            prop_assert!(g.timing.resources.fits_within(dev.resources()));
+        }
+        // 4. Latency is the sum of group latencies.
+        let sum: u64 = design.partition.groups.iter().map(|g| g.timing.latency).sum();
+        prop_assert_eq!(sum, design.timing.latency);
+        // 5. Strategy triples agree with the group plans.
+        prop_assert_eq!(design.partition.strategy.len(), net.len());
+    }
+
+    #[test]
+    fn dp_is_optimal_vs_exhaustive(net in arb_network(), budget_mb in 1u64..16) {
+        let dev = FpgaDevice::zc706();
+        let budget = budget_mb * MB;
+        let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+        let smart = dp::optimize(&mut planner, &net, budget);
+        let brute = exhaustive::optimize(&mut planner, &net, budget);
+        match (smart, brute) {
+            (Ok(s), Ok(b)) => prop_assert_eq!(s.latency, b.latency),
+            (Err(_), Err(_)) => {}
+            (s, b) => prop_assert!(false, "feasibility disagrees: {:?} vs {:?}", s.is_ok(), b.is_ok()),
+        }
+    }
+
+    #[test]
+    fn codegen_always_verifies(net in arb_network()) {
+        let dev = FpgaDevice::zc706();
+        let fw = Framework::new(dev);
+        let Ok(design) = fw.optimize(&net, 32 * MB) else { return Ok(()); };
+        let project = HlsProject::generate(&net, &design).unwrap();
+        let stats = winofuse::codegen::check::verify_project(&net, &design, &project);
+        prop_assert!(stats.is_ok(), "{:?}", stats.err());
+    }
+
+    #[test]
+    fn tradeoff_curve_matches_point_queries(net in arb_network()) {
+        let dev = FpgaDevice::zc706();
+        let fw = Framework::new(dev);
+        let curve = fw.tradeoff_curve(&net).unwrap();
+        prop_assert!(!curve.is_empty());
+        // Querying exactly at each curve point must reproduce its latency.
+        for &(transfer, latency) in &curve {
+            let d = fw.optimize(&net, transfer).unwrap();
+            prop_assert_eq!(d.timing.latency, latency);
+        }
+    }
+}

@@ -59,7 +59,9 @@ fn bench_fixed_point(c: &mut Criterion) {
     let kq = kf.cast::<winofuse_conv::fixed::Fix16>();
 
     let mut group = c.benchmark_group("datapath");
-    group.bench_function("f32_direct", |b| b.iter(|| direct::conv2d(&xf, &kf, geom).unwrap()));
+    group.bench_function("f32_direct", |b| {
+        b.iter(|| direct::conv2d(&xf, &kf, geom).unwrap())
+    });
     group.bench_function("fix16_wide_accumulator", |b| {
         b.iter(|| direct::conv2d_fix16(&xq, &kq, geom).unwrap())
     });

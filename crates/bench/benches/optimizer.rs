@@ -2,12 +2,13 @@
 //! the optimal solutions within seconds" (§7.1). The branch-and-bound +
 //! DP here should comfortably clear that bar.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use winofuse_core::bnb::{AlgoPolicy, GroupPlanner};
 use winofuse_core::dp;
 use winofuse_core::framework::Framework;
 use winofuse_fpga::device::FpgaDevice;
 use winofuse_model::zoo;
+use winofuse_telemetry::Telemetry;
 
 const MB: u64 = 1024 * 1024;
 
@@ -17,8 +18,7 @@ fn bench_group_search(c: &mut Criterion) {
     c.bench_function("bnb_plan_7layer_group", |b| {
         b.iter(|| {
             // Fresh planner each iteration: measure the search, not the memo.
-            let mut planner =
-                GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+            let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
             planner.plan(0..net.len()).unwrap()
         })
     });
@@ -47,7 +47,11 @@ fn bench_full_optimize(c: &mut Criterion) {
     // Full VGG-E body (21 fusable layers) — the big instance.
     let full = zoo::vgg_e().conv_body().unwrap();
     c.bench_function("optimize_vgg_e_body_64MB", |b| {
-        b.iter(|| Framework::new(dev.clone()).optimize(&full, 64 * MB).unwrap())
+        b.iter(|| {
+            Framework::new(dev.clone())
+                .optimize(&full, 64 * MB)
+                .unwrap()
+        })
     });
 }
 
@@ -62,9 +66,47 @@ fn bench_unit_dp(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The search paths are permanently instrumented, so the contract is
+    // that *disabled* telemetry costs nothing measurable. A cached
+    // disabled handle is one null check — assert its per-op cost is
+    // within noise before timing the search itself.
+    let disabled = Telemetry::disabled();
+    let counter = disabled.counter("bench.noop");
+    const N: u64 = 10_000_000;
+    let t0 = std::time::Instant::now();
+    for _ in 0..N {
+        black_box(&counter).incr();
+    }
+    let per_op_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+    assert!(
+        per_op_ns < 10.0,
+        "disabled counter incr costs {per_op_ns:.2} ns/op — not within noise"
+    );
+    println!("disabled counter incr: {per_op_ns:.3} ns/op");
+
+    // Side-by-side: the same search with telemetry off (the default for
+    // every hot path) and on (counters live, no sink attached).
+    let net = zoo::vgg_e_fused_prefix();
+    let dev = FpgaDevice::zc706();
+    c.bench_function("bnb_plan_telemetry_disabled", |b| {
+        b.iter(|| {
+            let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+            planner.plan(0..net.len()).unwrap()
+        })
+    });
+    c.bench_function("bnb_plan_telemetry_enabled", |b| {
+        b.iter(|| {
+            let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+            planner.set_telemetry(Telemetry::enabled());
+            planner.plan(0..net.len()).unwrap()
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_group_search, bench_full_optimize, bench_unit_dp
+    targets = bench_group_search, bench_full_optimize, bench_unit_dp, bench_telemetry_overhead
 }
 criterion_main!(benches);

@@ -20,7 +20,10 @@ fn bench_simulator(c: &mut Criterion) {
             LayerConfig::build(
                 &net,
                 i,
-                EngineConfig { algorithm: Algorithm::Conventional, parallelism: 8 },
+                EngineConfig {
+                    algorithm: Algorithm::Conventional,
+                    parallelism: 8,
+                },
             )
             .unwrap()
         })

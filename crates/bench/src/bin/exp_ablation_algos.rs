@@ -33,7 +33,9 @@ fn print_network(net: &Network) {
     );
     let shapes = net.shapes().expect("validated network");
     for (i, layer) in net.layers().iter().enumerate() {
-        let LayerKind::Conv(c) = &layer.kind else { continue };
+        let LayerKind::Conv(c) = &layer.kind else {
+            continue;
+        };
         let input = shapes[i];
         let geom = ConvGeometry::rect(input.height, input.width, c.kernel, c.stride, c.pad)
             .expect("validated geometry");
@@ -78,13 +80,19 @@ fn main() {
     let net = zoo::vgg_e_fused_prefix();
     let shapes = net.shapes().unwrap();
     for (i, layer) in net.layers().iter().enumerate() {
-        let LayerKind::Conv(c) = &layer.kind else { continue };
+        let LayerKind::Conv(c) = &layer.kind else {
+            continue;
+        };
         let input = shapes[i];
         let geom =
             ConvGeometry::rect(input.height, input.width, c.kernel, c.stride, c.pad).unwrap();
         let direct = geom.macs_per_channel_pair();
         let fft = fft_conv_multiplies(geom);
-        assert!(fft > direct / 4, "fft should not dominate on {}", layer.name);
+        assert!(
+            fft > direct / 4,
+            "fft should not dominate on {}",
+            layer.name
+        );
         if let Some(w) = wino_multiplies(geom, 4) {
             assert!(w < direct, "winograd must beat direct on {}", layer.name);
             assert!(w < fft, "winograd must beat fft on {}", layer.name);

@@ -4,17 +4,21 @@
 //! (conventional-only and Winograd-preferred) and break down where the
 //! win comes from.
 
-use winofuse_bench::{banner, fmt_cycles, MB};
+use winofuse_bench::{banner, fmt_cycles, write_telemetry_json, MB};
 use winofuse_core::bnb::AlgoPolicy;
 use winofuse_core::framework::Framework;
 use winofuse_fpga::device::FpgaDevice;
 use winofuse_model::network::Network;
 use winofuse_model::shape::DataType;
 use winofuse_model::zoo;
+use winofuse_telemetry::Telemetry;
 
-fn run_case(name: &str, net: &Network, budget: u64, max_group: usize) {
+fn run_case(tele: &Telemetry, name: &str, net: &Network, budget: u64, max_group: usize) {
     let device = FpgaDevice::zc706();
-    println!("\n--- {name} (budget {:.2} MB) ---", budget as f64 / MB as f64);
+    println!(
+        "\n--- {name} (budget {:.2} MB) ---",
+        budget as f64 / MB as f64
+    );
     println!(
         "{:<20} {:>14} {:>9} {:>7} {:>6}",
         "policy", "latency (cyc)", "GOPS", "groups", "wino"
@@ -27,7 +31,8 @@ fn run_case(name: &str, net: &Network, budget: u64, max_group: usize) {
     ] {
         let fw = Framework::new(device.clone())
             .with_policy(policy)
-            .with_max_group_layers(max_group);
+            .with_max_group_layers(max_group)
+            .with_telemetry(tele.clone());
         match fw.optimize(net, budget) {
             Ok(d) => {
                 if label == "heterogeneous" {
@@ -53,23 +58,36 @@ fn run_case(name: &str, net: &Network, budget: u64, max_group: usize) {
 }
 
 fn main() {
-    banner("Ablation", "heterogeneous vs homogeneous algorithm policies", None);
+    banner(
+        "Ablation",
+        "heterogeneous vs homogeneous algorithm policies",
+        None,
+    );
+
+    // One context across every policy/budget run: the summary shows how
+    // much tree the whole ablation explored.
+    let tele = Telemetry::enabled();
 
     let vgg = zoo::vgg_e_fused_prefix();
     for budget in [2 * MB, 4 * MB, 16 * MB] {
-        run_case("VGG-E prefix", &vgg, budget, 8);
+        run_case(&tele, "VGG-E prefix", &vgg, budget, 8);
     }
 
     let alex = zoo::alexnet().conv_body().expect("alexnet body");
-    let alex_budget = alex.fused_transfer_bytes(0..alex.len(), DataType::Fixed16).unwrap();
-    run_case("AlexNet body", &alex, alex_budget, alex.len());
-    run_case("AlexNet body", &alex, 4 * MB, alex.len());
+    let alex_budget = alex
+        .fused_transfer_bytes(0..alex.len(), DataType::Fixed16)
+        .unwrap();
+    run_case(&tele, "AlexNet body", &alex, alex_budget, alex.len());
+    run_case(&tele, "AlexNet body", &alex, 4 * MB, alex.len());
 
     // Bandwidth sensitivity: when DRAM is scarce, Winograd's pressure
     // shows and the heterogeneous optimizer shifts back toward the
     // conventional algorithm.
     println!("\n--- bandwidth sensitivity (VGG-E prefix, 2 MB budget) ---");
-    println!("{:<12} {:>14} {:>9} {:>6}", "bandwidth", "latency (cyc)", "GOPS", "wino");
+    println!(
+        "{:<12} {:>14} {:>9} {:>6}",
+        "bandwidth", "latency (cyc)", "GOPS", "wino"
+    );
     let mut last_wino = usize::MAX;
     for gbps in [42u64, 21, 8, 2] {
         let dev = FpgaDevice::zc706().with_bandwidth(gbps * 100_000_000);
@@ -83,8 +101,14 @@ fn main() {
             d.timing.effective_gops,
             wino
         );
-        assert!(wino <= last_wino || wino == 0 || last_wino == usize::MAX,
-            "winograd use should not grow as bandwidth shrinks");
+        assert!(
+            wino <= last_wino || wino == 0 || last_wino == usize::MAX,
+            "winograd use should not grow as bandwidth shrinks"
+        );
         last_wino = wino.min(last_wino);
+    }
+
+    if let Ok(path) = write_telemetry_json("ablation_hetero", &tele.summary()) {
+        println!("\n(search/DP telemetry written to {})", path.display());
     }
 }

@@ -19,7 +19,11 @@ use winofuse_model::zoo;
 fn main() {
     let net = zoo::vgg_e_fused_prefix();
     let device = FpgaDevice::zc706();
-    banner("Ablation", "line-buffer vs tile-based fusion on the VGG-E prefix", Some(&net));
+    banner(
+        "Ablation",
+        "line-buffer vs tile-based fusion on the VGG-E prefix",
+        Some(&net),
+    );
 
     // Our line-buffer group (modest uniform engines — architecture only).
     let configs: Vec<LayerConfig> = (0..net.len())
@@ -27,7 +31,10 @@ fn main() {
             LayerConfig::build(
                 &net,
                 i,
-                EngineConfig { algorithm: Algorithm::Conventional, parallelism: 16 },
+                EngineConfig {
+                    algorithm: Algorithm::Conventional,
+                    parallelism: 16,
+                },
             )
             .expect("conventional p=16 always builds")
         })
@@ -57,7 +64,10 @@ fn main() {
         "\ntile-based fusion (tile {}): {} BRAM18K total ({} more than line buffers)",
         alwani.tile,
         alwani.resources.bram_18k,
-        alwani.resources.bram_18k.saturating_sub(line.resources.bram_18k)
+        alwani
+            .resources
+            .bram_18k
+            .saturating_sub(line.resources.bram_18k)
     );
     println!(
         "boundary-management throughput derating: {:.0}%",
@@ -66,14 +76,13 @@ fn main() {
 
     // Smaller BRAM budgets hurt the tile design first.
     println!("\nBRAM sensitivity:");
-    println!("{:>12} {:>12} {:>16}", "BRAM budget", "tile chosen", "latency (cyc)");
+    println!(
+        "{:>12} {:>12} {:>16}",
+        "BRAM budget", "tile chosen", "latency (cyc)"
+    );
     for bram in [1090u64, 700, 500, 400] {
-        let dev = device.with_resources(winofuse_fpga::ResourceVec::new(
-            bram,
-            900,
-            437_200,
-            218_600,
-        ));
+        let dev =
+            device.with_resources(winofuse_fpga::ResourceVec::new(bram, 900, 437_200, 218_600));
         match baseline::design(&net, 0, net.len(), &dev) {
             Ok(d) => println!("{bram:>12} {:>12} {:>16}", d.tile, d.latency),
             Err(_) => println!("{bram:>12} {:>12} {:>16}", "-", "infeasible"),

@@ -27,8 +27,9 @@ fn main() {
     let kq: Tensor<Fix16> = kf.cast();
 
     let float_ref = direct::conv2d(&xf, &kf, geom).expect("f32 reference");
-    let fixed_direct: Tensor<f32> =
-        direct::conv2d_fix16(&xq, &kq, geom).expect("fixed direct").cast();
+    let fixed_direct: Tensor<f32> = direct::conv2d_fix16(&xq, &kq, geom)
+        .expect("fixed direct")
+        .cast();
     let base_err = float_ref.max_abs_diff(&fixed_direct).unwrap();
     println!("direct Q8.8 vs f32 reference: max |err| = {base_err:.4} (quantization floor)\n");
 
@@ -39,8 +40,9 @@ fn main() {
     let mut errs = Vec::new();
     for m in [2usize, 3, 4, 6] {
         let t = WinogradTransform::generate(m, 3).expect("transform");
-        let y: Tensor<f32> =
-            winograd::conv2d_fix16_with(&xq, &kq, geom, &t).expect("fixed winograd").cast();
+        let y: Tensor<f32> = winograd::conv2d_fix16_with(&xq, &kq, geom, &t)
+            .expect("fixed winograd")
+            .cast();
         let err = float_ref.max_abs_diff(&y).unwrap();
         errs.push((m, err));
         println!(
@@ -62,8 +64,14 @@ fn main() {
     // the transform-domain format, which is exactly the knob this
     // experiment quantifies.)
     let e = |m: usize| errs.iter().find(|(mm, _)| *mm == m).unwrap().1;
-    assert!(e(2) < e(3) && e(3) < e(4) && e(4) < e(6), "error must grow with m: {errs:?}");
-    assert!(e(2) < 4.0 * base_err.max(1e-3), "F(2,3) should sit near the floor");
+    assert!(
+        e(2) < e(3) && e(3) < e(4) && e(4) < e(6),
+        "error must grow with m: {errs:?}"
+    );
+    assert!(
+        e(2) < 4.0 * base_err.max(1e-3),
+        "F(2,3) should sit near the floor"
+    );
     println!("\nprecision degrades monotonically with m while DSP efficiency grows —");
     println!("another reason the paper settles on the moderate F(4x4,3x3).");
 }

@@ -12,7 +12,11 @@ use winofuse_fpga::device::FpgaDevice;
 use winofuse_model::zoo;
 
 fn main() {
-    banner("Ablation", "Winograd output tile size m for r = 3 kernels", None);
+    banner(
+        "Ablation",
+        "Winograd output tile size m for r = 3 kernels",
+        None,
+    );
 
     println!(
         "{:>3} {:>6} {:>11} {:>12} {:>12} {:>12} {:>14}",
@@ -39,10 +43,17 @@ fn main() {
     let device = FpgaDevice::zc706();
     let ops = net.total_ops();
     println!("\nVGG-E prefix at 2 MB, Winograd tile forced to m:");
-    println!("{:>3} {:>14} {:>9} {:>6}", "m", "latency (cyc)", "GOPS", "wino");
+    println!(
+        "{:>3} {:>14} {:>9} {:>6}",
+        "m", "latency (cyc)", "GOPS", "wino"
+    );
     let mut results = Vec::new();
     for m in [2usize, 3, 4, 6] {
-        let policy = AlgoPolicy { conventional: true, winograd: true, winograd_m: m };
+        let policy = AlgoPolicy {
+            conventional: true,
+            winograd: true,
+            winograd_m: m,
+        };
         let fw = Framework::new(device.clone()).with_policy(policy);
         let d = fw.optimize(&net, 2 * MB).expect("feasible");
         println!(
@@ -55,7 +66,10 @@ fn main() {
         results.push((m, d.timing.latency));
     }
     let best = results.iter().min_by_key(|(_, l)| *l).unwrap();
-    println!("\nbest tile on this workload: m = {} (paper uses m = 4)", best.0);
+    println!(
+        "\nbest tile on this workload: m = {} (paper uses m = 4)",
+        best.0
+    );
     // m=1 is degenerate (no saving); bigger tiles must beat it.
     let t1 = WinogradTransform::generate(1, 3).unwrap();
     assert_eq!(t1.dsp_efficiency(), 1.0);

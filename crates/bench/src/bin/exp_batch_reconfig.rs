@@ -53,7 +53,11 @@ fn main() {
     for frames in [1u64, 2, 4, 8, 16, 64] {
         let bf = fw_costly.batch_timing(&fused, frames).expect("batch");
         let bs = fw_costly.batch_timing(&split, frames).expect("batch");
-        let winner = if bs.cycles_per_frame < bf.cycles_per_frame { "split" } else { "fused" };
+        let winner = if bs.cycles_per_frame < bf.cycles_per_frame {
+            "split"
+        } else {
+            "fused"
+        };
         gaps.push(bs.cycles_per_frame / bf.cycles_per_frame);
         println!(
             "{:>7} | {:>18.0} {:>18.0} | {:>8}",

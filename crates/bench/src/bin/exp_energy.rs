@@ -21,10 +21,16 @@ fn main() {
     let net = zoo::vgg_e_fused_prefix();
     let device = FpgaDevice::zc706();
     let energy = EnergyModel::new();
-    banner("§7.2 energy", "transfer & compute energy savings on the VGG-E prefix", Some(&net));
+    banner(
+        "§7.2 energy",
+        "transfer & compute energy savings on the VGG-E prefix",
+        Some(&net),
+    );
 
     // Unfused reference: every layer loads and stores its feature maps.
-    let unfused_bytes = net.unfused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap();
+    let unfused_bytes = net
+        .unfused_transfer_bytes(0..net.len(), DataType::Fixed16)
+        .unwrap();
     let unfused_energy = energy.transfer_energy_joules(unfused_bytes);
     println!(
         "unfused feature-map traffic: {:.1} MB -> {:.2} mJ per frame",
@@ -82,6 +88,9 @@ fn main() {
         (1.0 - eh / ec) * 100.0
     );
 
-    assert!(savings.iter().all(|&s| s > 0.0), "fusion must always save transfer energy");
+    assert!(
+        savings.iter().all(|&s| s > 0.0),
+        "fusion must always save transfer energy"
+    );
     assert!(eh < ec, "heterogeneous must save compute energy");
 }

@@ -20,7 +20,11 @@ use winofuse_model::zoo;
 fn main() {
     let device = FpgaDevice::virtex7_485t();
     let net = zoo::vgg_e();
-    banner("Figure 1", "roofline motivation (VGG conv2 on Virtex-7 485T, 4.5 GB/s)", None);
+    banner(
+        "Figure 1",
+        "roofline motivation (VGG conv2 on Virtex-7 485T, 4.5 GB/s)",
+        None,
+    );
 
     // The motivating layer: index 1 of VGG-E (conv1_2 = "2nd conv layer").
     let layer_idx = 1;
@@ -45,8 +49,14 @@ fn main() {
     let conv_roof = computational_roof_gops(&device, Algorithm::Conventional, 3);
     let wino_roof = computational_roof_gops(&device, Algorithm::winograd_f43(), 3);
     println!("\ncomputational roof (conventional): {conv_roof:>8.1} GOPS");
-    println!("computational roof (winograd)    : {wino_roof:>8.1} GOPS  ({:.2}x)", wino_roof / conv_roof);
-    println!("bandwidth roof slope             : {:>8.1} GB/s", device.bandwidth_bytes_per_sec() as f64 / 1e9);
+    println!(
+        "computational roof (winograd)    : {wino_roof:>8.1} GOPS  ({:.2}x)",
+        wino_roof / conv_roof
+    );
+    println!(
+        "bandwidth roof slope             : {:>8.1} GB/s",
+        device.bandwidth_bytes_per_sec() as f64 / 1e9
+    );
 
     let roofline = Roofline::for_device(&device);
     let a = roofline.evaluate("A  (conventional)", ctc_single, conv_roof);
@@ -61,7 +71,10 @@ fn main() {
     let ctc_fused = fused_ops as f64 / fused_bytes as f64;
     let c = roofline.evaluate("C  (winograd + fusion)", ctc_fused, wino_roof);
 
-    println!("\n{:<24} {:>12} {:>14} {:>14}  bound", "point", "CTC (op/B)", "roof (GOPS)", "attainable");
+    println!(
+        "\n{:<24} {:>12} {:>14} {:>14}  bound",
+        "point", "CTC (op/B)", "roof (GOPS)", "attainable"
+    );
     for p in [&a, &b, &b_input_only, &c] {
         println!(
             "{:<24} {:>12.1} {:>14.1} {:>14.1}  {}",
@@ -69,7 +82,11 @@ fn main() {
             p.ctc_ops_per_byte,
             p.computational_roof_gops,
             p.attainable_gops,
-            if p.bandwidth_bound { "bandwidth" } else { "compute" }
+            if p.bandwidth_bound {
+                "bandwidth"
+            } else {
+                "compute"
+            }
         );
     }
     println!(
@@ -79,11 +96,15 @@ fn main() {
 
     println!("\npaper shape checks:");
     let ok1 = !a.bandwidth_bound;
-    let ok2 = b_input_only.bandwidth_bound || b.attainable_gops < wino_roof * 0.99 || b.bandwidth_bound;
+    let ok2 =
+        b_input_only.bandwidth_bound || b.attainable_gops < wino_roof * 0.99 || b.bandwidth_bound;
     let ok3 = c.attainable_gops >= b.attainable_gops;
     let ok4 = (3.5..=4.0).contains(&(wino_roof / conv_roof));
     println!("  [{}] A is compute bound", tick(ok1));
-    println!("  [{}] B loses performance to the bandwidth roof (B < B')", tick(ok2));
+    println!(
+        "  [{}] B loses performance to the bandwidth roof (B < B')",
+        tick(ok2)
+    );
     println!("  [{}] fusion (C) recovers performance: C >= B", tick(ok3));
     println!("  [{}] winograd/conventional roof ratio ~ 4x", tick(ok4));
     assert!(ok1 && ok3 && ok4, "figure-1 shape must hold");

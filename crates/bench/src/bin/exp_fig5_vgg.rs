@@ -6,12 +6,15 @@
 //! constraint fully relaxed ("34 MB"), each layer forms its own group and
 //! the design reaches 660 GOPS effective performance.
 
-use winofuse_bench::{banner, fmt_cycles, write_results_csv, FIG5_SWEEP_MB, MB};
+use winofuse_bench::{
+    banner, fmt_cycles, write_results_csv, write_telemetry_json, FIG5_SWEEP_MB, MB,
+};
 use winofuse_core::framework::Framework;
 use winofuse_fpga::device::FpgaDevice;
 use winofuse_fusion::baseline;
 use winofuse_model::shape::DataType;
 use winofuse_model::zoo;
+use winofuse_telemetry::Telemetry;
 
 fn main() {
     let net = zoo::vgg_e_fused_prefix();
@@ -22,7 +25,9 @@ fn main() {
         Some(&net),
     );
     let total_ops = net.total_ops();
-    let min_transfer = net.fused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap();
+    let min_transfer = net
+        .fused_transfer_bytes(0..net.len(), DataType::Fixed16)
+        .unwrap();
     println!(
         "work: {:.2} Gops/frame; fully-fused transfer floor: {:.2} MB",
         total_ops as f64 / 1e9,
@@ -39,7 +44,8 @@ fn main() {
         alwani.dram_fmap_bytes as f64 / MB as f64,
     );
 
-    let fw = Framework::new(device.clone());
+    let tele = Telemetry::enabled();
+    let fw = Framework::new(device.clone()).with_telemetry(tele.clone());
     println!(
         "\n{:>7} | {:>14} {:>8} | {:>14} | {:>8} {:>6} {:>5}",
         "T (MB)", "ours (cycles)", "GOPS", "[1] (cycles)", "speedup", "groups", "wino"
@@ -69,10 +75,15 @@ fn main() {
     let (lo, hi) = speedups
         .iter()
         .fold((f64::MAX, f64::MIN), |(l, h), &s| (l.min(s), h.max(s)));
-    if let Ok(path) =
-        write_results_csv("fig5_vgg", "transfer_mb,ours_cycles,alwani_cycles,speedup", &csv_rows)
-    {
+    if let Ok(path) = write_results_csv(
+        "fig5_vgg",
+        "transfer_mb,ours_cycles,alwani_cycles,speedup",
+        &csv_rows,
+    ) {
         println!("\n(raw data written to {})", path.display());
+    }
+    if let Ok(path) = write_telemetry_json("fig5_vgg", &tele.summary()) {
+        println!("(search/DP telemetry written to {})", path.display());
     }
     println!("\nspeedup over [1]: {lo:.2}x - {hi:.2}x (average {avg:.2}x)");
     println!("paper reports   : 1.42x - 3.85x (average 1.99x)");
@@ -87,7 +98,10 @@ fn main() {
     );
     println!("paper reports at 34 MB: 660 GOPS effective");
 
-    assert!(speedups.iter().all(|&s| s > 1.0), "must beat [1] at every constraint");
+    assert!(
+        speedups.iter().all(|&s| s > 1.0),
+        "must beat [1] at every constraint"
+    );
     assert!(
         relaxed.timing.latency <= fw.optimize(&net, 2 * MB).unwrap().timing.latency,
         "relaxing the constraint must help"

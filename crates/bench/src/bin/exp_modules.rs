@@ -20,7 +20,11 @@ fn main() {
     let modular = zoo::googlenet_like();
     let net = &modular.network;
     let device = FpgaDevice::zc706();
-    banner("§7.1 modules", "GoogleNet-like network: layer vs module granularity", Some(net));
+    banner(
+        "§7.1 modules",
+        "GoogleNet-like network: layer vs module granularity",
+        Some(net),
+    );
     println!(
         "{} layers in {} modules, {:.2} Gops/frame",
         net.len(),
@@ -42,9 +46,7 @@ fn main() {
         let coarse = fw.optimize_modular(&modular, t_mb * MB).expect("feasible");
         let coarse_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        for (mode, d, ms) in
-            [("layers", &full, full_ms), ("modules", &coarse, coarse_ms)]
-        {
+        for (mode, d, ms) in [("layers", &full, full_ms), ("modules", &coarse, coarse_ms)] {
             println!(
                 "{:>8} | {:<9} {:>14} {:>9.1} {:>7} {:>10.1}",
                 t_mb,

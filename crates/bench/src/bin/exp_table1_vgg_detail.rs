@@ -6,7 +6,7 @@
 //! FF 120,957/90,854, LUT 155,xxx/118,400, power ≈9.4 W, with a large
 //! energy-efficiency advantage for the heterogeneous design.
 
-use winofuse_bench::{banner, fmt_cycles, MB};
+use winofuse_bench::{banner, fmt_cycles, write_telemetry_json, MB};
 use winofuse_core::framework::Framework;
 use winofuse_fpga::device::FpgaDevice;
 use winofuse_fpga::energy::EnergyModel;
@@ -17,12 +17,19 @@ use winofuse_model::zoo;
 fn main() {
     let net = zoo::vgg_e_fused_prefix();
     let device = FpgaDevice::zc706();
-    banner("Table 1", "detailed comparison under the 2 MB transfer constraint", Some(&net));
+    banner(
+        "Table 1",
+        "detailed comparison under the 2 MB transfer constraint",
+        Some(&net),
+    );
     let total_ops = net.total_ops();
     let energy = EnergyModel::new();
 
     let fw = Framework::new(device.clone());
-    let ours = fw.optimize(&net, 2 * MB).expect("2 MB is feasible");
+    let (ours, run) = fw.optimize_traced(&net, 2 * MB).expect("2 MB is feasible");
+    if let Ok(path) = write_telemetry_json("table1_vgg_detail", &run) {
+        println!("(search/DP telemetry written to {})\n", path.display());
+    }
     // Peak-group resources: groups execute sequentially, so the busiest
     // group defines instantaneous utilization (here there is one group).
     let ours_res: ResourceVec = ours
@@ -45,12 +52,36 @@ fn main() {
     let row = |label: &str, a: String, b: String| {
         println!("{label:<28} {a:>14} {b:>14}");
     };
-    row("BRAM18K", ours_res.bram_18k.to_string(), alwani.resources.bram_18k.to_string());
-    row("DSP48E", ours_res.dsp.to_string(), alwani.resources.dsp.to_string());
-    row("FF", ours_res.ff.to_string(), alwani.resources.ff.to_string());
-    row("LUT", ours_res.lut.to_string(), alwani.resources.lut.to_string());
-    row("Power (W)", format!("{ours_power:.2}"), format!("{alw_power:.2}"));
-    row("Latency (cycles)", fmt_cycles(ours.timing.latency), fmt_cycles(alwani.latency));
+    row(
+        "BRAM18K",
+        ours_res.bram_18k.to_string(),
+        alwani.resources.bram_18k.to_string(),
+    );
+    row(
+        "DSP48E",
+        ours_res.dsp.to_string(),
+        alwani.resources.dsp.to_string(),
+    );
+    row(
+        "FF",
+        ours_res.ff.to_string(),
+        alwani.resources.ff.to_string(),
+    );
+    row(
+        "LUT",
+        ours_res.lut.to_string(),
+        alwani.resources.lut.to_string(),
+    );
+    row(
+        "Power (W)",
+        format!("{ours_power:.2}"),
+        format!("{alw_power:.2}"),
+    );
+    row(
+        "Latency (cycles)",
+        fmt_cycles(ours.timing.latency),
+        fmt_cycles(alwani.latency),
+    );
     row(
         "Effective perf (GOPS)",
         format!("{:.1}", ours.timing.effective_gops),
@@ -71,7 +102,10 @@ fn main() {
     println!("paper: \"similar amount of resource and power but [...] much better performance\"");
 
     // Shape assertions.
-    assert!(ours.timing.latency < alwani.latency, "ours must be faster at 2 MB");
+    assert!(
+        ours.timing.latency < alwani.latency,
+        "ours must be faster at 2 MB"
+    );
     assert!(
         (0.5..2.0).contains(&(ours_power / alw_power)),
         "power must be comparable (got ratio {:.2})",

@@ -7,7 +7,7 @@
 //! conv4 conventional; totals 839 BRAM / 808 DSP / ~155k FF / ~149k LUT;
 //! utilization ~77/90/35/68 %; latency 1,862,148 cycles.
 
-use winofuse_bench::{banner, fmt_cycles};
+use winofuse_bench::{banner, fmt_cycles, write_telemetry_json};
 use winofuse_core::framework::Framework;
 use winofuse_fpga::device::FpgaDevice;
 use winofuse_fpga::engine::Algorithm;
@@ -17,21 +17,39 @@ use winofuse_model::zoo;
 fn main() {
     let net = zoo::alexnet().conv_body().expect("alexnet has a conv body");
     let device = FpgaDevice::zc706();
-    banner("Table 2", "AlexNet fused into one group (minimal transfer budget)", Some(&net));
+    banner(
+        "Table 2",
+        "AlexNet fused into one group (minimal transfer budget)",
+        Some(&net),
+    );
 
     // §7.3's budget = input of the first layer + output of the last.
-    let budget = net.fused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap();
+    let budget = net
+        .fused_transfer_bytes(0..net.len(), DataType::Fixed16)
+        .unwrap();
     println!("transfer constraint: {} KB", budget / 1024);
 
     // The body is 10 layers; the paper fuses them all (its 8-layer cap
     // notwithstanding) — raise the cap accordingly.
     let fw = Framework::new(device.clone()).with_max_group_layers(net.len());
-    let design = fw.optimize(&net, budget).expect("fusing the whole body is feasible");
-    assert_eq!(design.partition.groups.len(), 1, "all layers fuse into one group");
+    let (design, run) = fw
+        .optimize_traced(&net, budget)
+        .expect("fusing the whole body is feasible");
+    if let Ok(path) = write_telemetry_json("table2_alexnet", &run) {
+        println!("(search/DP telemetry written to {})", path.display());
+    }
+    assert_eq!(
+        design.partition.groups.len(),
+        1,
+        "all layers fuse into one group"
+    );
 
     print!("{}", fw.report(&net, &design));
     println!("latency (paper): 1,862,148 cycles");
-    println!("latency (ours) : {} cycles", fmt_cycles(design.timing.latency));
+    println!(
+        "latency (ours) : {} cycles",
+        fmt_cycles(design.timing.latency)
+    );
 
     // Paper-shape assertions.
     let algos = Framework::conv_algorithms(&net, &design);
@@ -50,7 +68,10 @@ fn main() {
         "a heterogeneous mix is expected (paper: 3 winograd layers), got {wino}"
     );
     let plan = &design.partition.groups[0];
-    let (b, d, f, l) = plan.timing.resources.utilization_percent(device.resources());
+    let (b, d, f, l) = plan
+        .timing
+        .resources
+        .utilization_percent(device.resources());
     println!(
         "\nutilization ours (paper): BRAM {b:.0}% (77%), DSP {d:.0}% (90%), FF {f:.0}% (35%), LUT {l:.0}% (68%)"
     );

@@ -34,7 +34,7 @@ pub fn fmt_cycles(c: u64) -> String {
     let s = c.to_string();
     let mut out = String::new();
     for (i, ch) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(ch);
@@ -83,6 +83,27 @@ pub fn write_results_csv(
     Ok(path)
 }
 
+/// Writes a [`RunTelemetry`] summary as JSON next to the experiment's
+/// CSV (`experiment-results/<name>.telemetry.json`), so a figure's raw
+/// numbers travel with the search/simulator counters that produced
+/// them. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+///
+/// [`RunTelemetry`]: winofuse_telemetry::RunTelemetry
+pub fn write_telemetry_json(
+    name: &str,
+    run: &winofuse_telemetry::RunTelemetry,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("experiment-results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.telemetry.json"));
+    std::fs::write(&path, run.to_json())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,14 +118,26 @@ mod tests {
 
     #[test]
     fn csv_writer_roundtrips() {
-        let path = write_results_csv(
-            "unit-test",
-            "a,b",
-            &["1,2".to_string(), "3,4".to_string()],
-        )
-        .unwrap();
+        let path =
+            write_results_csv("unit-test", "a,b", &["1,2".to_string(), "3,4".to_string()]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn telemetry_writer_roundtrips() {
+        let tele = winofuse_telemetry::Telemetry::enabled();
+        tele.add("unit.test.counter", 7);
+        let path = write_telemetry_json("unit-test", &tele.summary()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = winofuse_telemetry::json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("unit.test.counter"))
+                .and_then(winofuse_telemetry::JsonValue::as_u64),
+            Some(7)
+        );
         let _ = std::fs::remove_file(path);
     }
 
@@ -114,7 +147,9 @@ mod tests {
         // Every point must exceed the fused prefix minimum (~1.82 MB).
         use winofuse_model::shape::DataType;
         let net = winofuse_model::zoo::vgg_e_fused_prefix();
-        let min = net.fused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap();
+        let min = net
+            .fused_transfer_bytes(0..net.len(), DataType::Fixed16)
+            .unwrap();
         assert!(FIG5_SWEEP_MB[0] * MB >= min);
     }
 }

@@ -150,11 +150,14 @@ pub fn verify_project(
             // The call site is after the definition; search from the top
             // function onward.
             let top_pos = src.find("void fusion_group_").unwrap_or(0);
-            let pos = src[top_pos..].find(&call).map(|p| p + top_pos).ok_or_else(|| {
-                CodegenError::ConsistencyCheck(format!(
-                    "group {gi} top function never calls `{call}`"
-                ))
-            })?;
+            let pos = src[top_pos..]
+                .find(&call)
+                .map(|p| p + top_pos)
+                .ok_or_else(|| {
+                    CodegenError::ConsistencyCheck(format!(
+                        "group {gi} top function never calls `{call}`"
+                    ))
+                })?;
             if pos < last_pos {
                 return Err(CodegenError::ConsistencyCheck(format!(
                     "group {gi} calls `{call}` out of dataflow order"
@@ -204,7 +207,9 @@ void g() {}
             (zoo::mixed_test_net(), 8 * MB),
             (zoo::vgg_e_fused_prefix(), 2 * MB),
         ] {
-            let design = Framework::new(FpgaDevice::zc706()).optimize(&net, budget).unwrap();
+            let design = Framework::new(FpgaDevice::zc706())
+                .optimize(&net, budget)
+                .unwrap();
             let project = HlsProject::generate(&net, &design).unwrap();
             let stats = verify_project(&net, &design, &project)
                 .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
@@ -216,7 +221,9 @@ void g() {}
     #[test]
     fn tampered_project_fails_verification() {
         let net = zoo::small_test_net();
-        let design = Framework::new(FpgaDevice::zc706()).optimize(&net, 8 * MB).unwrap();
+        let design = Framework::new(FpgaDevice::zc706())
+            .optimize(&net, 8 * MB)
+            .unwrap();
         let project = HlsProject::generate(&net, &design).unwrap();
         // Strip the DATAFLOW pragmas.
         let files: Vec<(String, String)> = project
@@ -239,10 +246,7 @@ void g() {}
     impl HlsProjectForTest {
         fn into_project(self) -> HlsProject {
             // HlsProject has private fields; round-trip through disk.
-            let dir = std::env::temp_dir().join(format!(
-                "winofuse_tamper_{}",
-                std::process::id()
-            ));
+            let dir = std::env::temp_dir().join(format!("winofuse_tamper_{}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
             std::fs::create_dir_all(&dir).unwrap();
             for (n, c) in &self.files {

@@ -40,6 +40,8 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(CodegenError::UnsupportedLayer("fc6".into()).to_string().contains("fc6"));
+        assert!(CodegenError::UnsupportedLayer("fc6".into())
+            .to_string()
+            .contains("fc6"));
     }
 }

@@ -24,7 +24,9 @@ use crate::CodegenError;
 pub fn render_group_top(group_index: usize, plan: &GroupPlan) -> Result<String, CodegenError> {
     let dtype = DataType::Fixed16;
     if plan.configs.is_empty() {
-        return Err(CodegenError::UnsupportedLayer("fusion group has no layers".into()));
+        return Err(CodegenError::UnsupportedLayer(
+            "fusion group has no layers".into(),
+        ));
     }
     let mut s = String::new();
 
@@ -78,14 +80,22 @@ pub fn render_group_top(group_index: usize, plan: &GroupPlan) -> Result<String, 
     // One FIFO channel per fused boundary, sized to one intermediate row.
     for (i, cfg) in plan.configs.iter().enumerate().take(plan.configs.len() - 1) {
         let depth = cfg.output.row_bytes(dtype) / dtype.bytes();
-        let _ = writeln!(s, "    static hls::stream<data_t> ch_{i}; // {}", cfg.output);
+        let _ = writeln!(
+            s,
+            "    static hls::stream<data_t> ch_{i}; // {}",
+            cfg.output
+        );
         let _ = writeln!(s, "#pragma HLS STREAM variable=ch_{i} depth={depth}");
     }
     let _ = writeln!(s);
 
     for (i, cfg) in plan.configs.iter().enumerate() {
         let name = c_ident(&cfg.layer.name);
-        let input = if i == 0 { "group_in".to_string() } else { format!("ch_{}", i - 1) };
+        let input = if i == 0 {
+            "group_in".to_string()
+        } else {
+            format!("ch_{}", i - 1)
+        };
         let output = if i + 1 == plan.configs.len() {
             "group_out".to_string()
         } else {

@@ -95,8 +95,10 @@ impl WinogradTransform {
                 POINT_SEQUENCE.len()
             )));
         }
-        let points: Vec<Rational> =
-            POINT_SEQUENCE[..n_points].iter().map(|&(n, d)| Rational::new(n as i128, d as i128)).collect();
+        let points: Vec<Rational> = POINT_SEQUENCE[..n_points]
+            .iter()
+            .map(|&(n, d)| Rational::new(n as i128, d as i128))
+            .collect();
 
         // Evaluation matrix E(n): α×n. Row i evaluates a degree-(n−1)
         // polynomial at pᵢ; the last row picks the leading coefficient
@@ -220,7 +222,9 @@ impl WinogradTransform {
     fn matvec_adds(mat: &Mat<Rational>) -> usize {
         (0..mat.rows())
             .map(|r| {
-                let nz = (0..mat.cols()).filter(|&c| !mat.get(r, c).is_zero()).count();
+                let nz = (0..mat.cols())
+                    .filter(|&c| !mat.get(r, c).is_zero())
+                    .count();
                 nz.saturating_sub(1)
             })
             .sum()
@@ -242,9 +246,7 @@ impl WinogradTransform {
         let count = |m: &Mat<Rational>| {
             m.as_slice()
                 .iter()
-                .filter(|v| {
-                    !v.is_zero() && **v != Rational::ONE && **v != -Rational::ONE
-                })
+                .filter(|v| !v.is_zero() && **v != Rational::ONE && **v != -Rational::ONE)
                 .count()
         };
         count(&self.b_t) + count(&self.a_t)
@@ -290,7 +292,13 @@ impl WinogradTransform {
                 g.set(i, col, g.get(i, col) * inv);
             }
         }
-        WinogradTransform { m: self.m, r: self.r, a_t: self.a_t.clone(), g, b_t }
+        WinogradTransform {
+            m: self.m,
+            r: self.r,
+            a_t: self.a_t.clone(),
+            g,
+            b_t,
+        }
     }
 }
 
@@ -345,7 +353,14 @@ mod tests {
         let t = f43();
         assert_eq!(t.alpha(), 6);
         let g = vec![rat(-1, 2), rat(3, 1), rat(1, 7)];
-        let d = vec![rat(1, 1), rat(0, 1), rat(-2, 1), rat(5, 3), rat(4, 1), rat(-1, 6)];
+        let d = vec![
+            rat(1, 1),
+            rat(0, 1),
+            rat(-2, 1),
+            rat(5, 3),
+            rat(4, 1),
+            rat(-1, 6),
+        ];
         assert_eq!(t.apply_1d(&g, &d).unwrap(), direct_1d(&g, &d, 4));
     }
 

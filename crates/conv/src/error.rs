@@ -47,7 +47,10 @@ impl fmt::Display for ConvError {
                 write!(f, "winograd convolution requires stride 1, got {stride}")
             }
             ConvError::RationalOverflow => {
-                write!(f, "rational arithmetic overflow during transform generation")
+                write!(
+                    f,
+                    "rational arithmetic overflow during transform generation"
+                )
             }
         }
     }

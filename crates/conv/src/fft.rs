@@ -33,20 +33,32 @@ impl Complex {
 
     /// `e^{iθ}`.
     pub fn from_polar_unit(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex addition.
+    #[allow(clippy::should_implement_trait)] // free fn style keeps Complex Copy-by-value math explicit
     pub fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 
     /// Complex subtraction.
+    #[allow(clippy::should_implement_trait)] // free fn style keeps Complex Copy-by-value math explicit
     pub fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 
     /// Complex multiplication.
+    #[allow(clippy::should_implement_trait)] // free fn style keeps Complex Copy-by-value math explicit
     pub fn mul(self, rhs: Complex) -> Complex {
         Complex {
             re: self.re * rhs.re - self.im * rhs.im,
@@ -56,7 +68,10 @@ impl Complex {
 
     /// Scales by a real factor.
     pub fn scale(self, s: f64) -> Complex {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -95,7 +110,7 @@ fn transform(data: &mut [Complex], inverse: bool) -> Result<(), ConvError> {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(i, j);
         }
@@ -127,7 +142,12 @@ fn transform(data: &mut [Complex], inverse: bool) -> Result<(), ConvError> {
 /// # Errors
 ///
 /// Same conditions as [`fft`], per dimension.
-pub fn fft2d(data: &mut [Complex], rows: usize, cols: usize, inverse: bool) -> Result<(), ConvError> {
+pub fn fft2d(
+    data: &mut [Complex],
+    rows: usize,
+    cols: usize,
+    inverse: bool,
+) -> Result<(), ConvError> {
     if data.len() != rows * cols {
         return Err(ConvError::ShapeMismatch {
             expected: format!("{} elements", rows * cols),
@@ -188,7 +208,13 @@ pub fn conv2d(
                 geom.kernel(),
                 geom.kernel()
             ),
-            found: format!("{}x{}x{}x{}", kernels.n(), kernels.c(), kernels.h(), kernels.w()),
+            found: format!(
+                "{}x{}x{}x{}",
+                kernels.n(),
+                kernels.c(),
+                kernels.h(),
+                kernels.w()
+            ),
         });
     }
     let (h, w, k, s, pad) = (
@@ -283,8 +309,9 @@ mod tests {
 
     #[test]
     fn fft_roundtrip() {
-        let mut data: Vec<Complex> =
-            (0..16).map(|i| Complex::new(i as f64 * 0.5 - 3.0, (i % 3) as f64)).collect();
+        let mut data: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64 * 0.5 - 3.0, (i % 3) as f64))
+            .collect();
         let original = data.clone();
         fft(&mut data).unwrap();
         ifft(&mut data).unwrap();
@@ -313,8 +340,9 @@ mod tests {
 
     #[test]
     fn fft2d_roundtrip() {
-        let mut data: Vec<Complex> =
-            (0..32).map(|i| Complex::new((i * 7 % 13) as f64, 0.0)).collect();
+        let mut data: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i * 7 % 13) as f64, 0.0))
+            .collect();
         let original = data.clone();
         fft2d(&mut data, 4, 8, false).unwrap();
         fft2d(&mut data, 4, 8, true).unwrap();
@@ -330,7 +358,11 @@ mod tests {
         let k = random_tensor(3, 2, 3, 3, 2);
         let a = direct::conv2d(&x, &k, geom).unwrap();
         let b = conv2d(&x, &k, geom).unwrap();
-        assert!(a.approx_eq(&b, 1e-4), "max diff {}", a.max_abs_diff(&b).unwrap());
+        assert!(
+            a.approx_eq(&b, 1e-4),
+            "max diff {}",
+            a.max_abs_diff(&b).unwrap()
+        );
     }
 
     #[test]
@@ -340,7 +372,11 @@ mod tests {
         let k = random_tensor(2, 3, 3, 3, 4);
         let a = direct::conv2d(&x, &k, geom).unwrap();
         let b = conv2d(&x, &k, geom).unwrap();
-        assert!(a.approx_eq(&b, 1e-4), "max diff {}", a.max_abs_diff(&b).unwrap());
+        assert!(
+            a.approx_eq(&b, 1e-4),
+            "max diff {}",
+            a.max_abs_diff(&b).unwrap()
+        );
     }
 
     #[test]
@@ -350,7 +386,11 @@ mod tests {
         let k = random_tensor(2, 2, 3, 3, 6);
         let a = direct::conv2d(&x, &k, geom).unwrap();
         let b = conv2d(&x, &k, geom).unwrap();
-        assert!(a.approx_eq(&b, 1e-4), "max diff {}", a.max_abs_diff(&b).unwrap());
+        assert!(
+            a.approx_eq(&b, 1e-4),
+            "max diff {}",
+            a.max_abs_diff(&b).unwrap()
+        );
     }
 
     #[test]
@@ -361,7 +401,11 @@ mod tests {
         let k = random_tensor(1, 2, 7, 7, 8);
         let a = direct::conv2d(&x, &k, geom).unwrap();
         let b = conv2d(&x, &k, geom).unwrap();
-        assert!(a.approx_eq(&b, 1e-3), "max diff {}", a.max_abs_diff(&b).unwrap());
+        assert!(
+            a.approx_eq(&b, 1e-3),
+            "max diff {}",
+            a.max_abs_diff(&b).unwrap()
+        );
     }
 
     #[test]

@@ -190,7 +190,11 @@ impl Accumulator {
     pub fn finish(self) -> Fix16 {
         let wide = self.0;
         let half = (ONE_RAW / 2) as i64;
-        let rounded = if wide >= 0 { (wide + half) >> FRAC_BITS } else { -((-wide + half) >> FRAC_BITS) };
+        let rounded = if wide >= 0 {
+            (wide + half) >> FRAC_BITS
+        } else {
+            -((-wide + half) >> FRAC_BITS)
+        };
         if rounded > i16::MAX as i64 {
             Fix16::MAX
         } else if rounded < i16::MIN as i64 {

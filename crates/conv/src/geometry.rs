@@ -65,7 +65,9 @@ impl ConvGeometry {
             )));
         }
         if kernel == 0 {
-            return Err(ConvError::InvalidGeometry("kernel size must be nonzero".into()));
+            return Err(ConvError::InvalidGeometry(
+                "kernel size must be nonzero".into(),
+            ));
         }
         if stride == 0 {
             return Err(ConvError::InvalidGeometry("stride must be nonzero".into()));
@@ -77,7 +79,13 @@ impl ConvGeometry {
                 width + 2 * pad
             )));
         }
-        Ok(Self { height, width, kernel, stride, pad })
+        Ok(Self {
+            height,
+            width,
+            kernel,
+            stride,
+            pad,
+        })
     }
 
     /// Input feature-map height.

@@ -191,7 +191,11 @@ mod tests {
         let w = random_tensor(4, 3, 3, 3, 6);
         let a = direct::conv2d(&x, &w, geom).unwrap();
         let b = conv2d(&x, &w, geom).unwrap();
-        assert!(a.approx_eq(&b, 1e-4), "max diff {}", a.max_abs_diff(&b).unwrap());
+        assert!(
+            a.approx_eq(&b, 1e-4),
+            "max diff {}",
+            a.max_abs_diff(&b).unwrap()
+        );
     }
 
     #[test]

@@ -12,7 +12,13 @@ use crate::ConvError;
 
 /// Element requirements for matrix arithmetic.
 pub trait MatElem:
-    Copy + PartialEq + fmt::Debug + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + Neg<Output = Self>
+    Copy
+    + PartialEq
+    + fmt::Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
 {
     /// Additive identity.
     fn zero() -> Self;
@@ -68,7 +74,11 @@ pub struct Mat<T> {
 impl<T: MatElem> Mat<T> {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![T::zero(); rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity.
@@ -91,7 +101,11 @@ impl<T: MatElem> Mat<T> {
         assert!(cols > 0, "matrix must have at least one column");
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
         let nrows = rows.len();
-        Mat { rows: nrows, cols, data: rows.into_iter().flatten().collect() }
+        Mat {
+            rows: nrows,
+            cols,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)` everywhere.
@@ -171,13 +185,21 @@ impl<T: MatElem> Mat<T> {
     ///
     /// Panics when shapes disagree.
     pub fn hadamard(&self, rhs: &Mat<T>) -> Mat<T> {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "hadamard shape mismatch"
+        );
         Mat::from_fn(self.rows, self.cols, |r, c| self.get(r, c) * rhs.get(r, c))
     }
 
     /// Maps every element through `f`, possibly changing the element type.
     pub fn map<U: MatElem, F: FnMut(T) -> U>(&self, mut f: F) -> Mat<U> {
-        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Row-major element slice.
@@ -237,9 +259,13 @@ impl Mat<Rational> {
                     continue;
                 }
                 for c in 0..n {
-                    let v = a.get(r, c).checked_sub(factor.checked_mul(a.get(col, c))?)?;
+                    let v = a
+                        .get(r, c)
+                        .checked_sub(factor.checked_mul(a.get(col, c))?)?;
                     a.set(r, c, v);
-                    let v = inv.get(r, c).checked_sub(factor.checked_mul(inv.get(col, c))?)?;
+                    let v = inv
+                        .get(r, c)
+                        .checked_sub(factor.checked_mul(inv.get(col, c))?)?;
                     inv.set(r, c, v);
                 }
             }
@@ -328,7 +354,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_rejected() {
         let a = Mat::from_rows(vec![vec![rat(1, 1), rat(2, 1)], vec![rat(2, 1), rat(4, 1)]]);
-        assert!(matches!(a.inverse(), Err(ConvError::UnsupportedTransform(_))));
+        assert!(matches!(
+            a.inverse(),
+            Err(ConvError::UnsupportedTransform(_))
+        ));
     }
 
     #[test]

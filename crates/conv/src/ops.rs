@@ -62,7 +62,10 @@ pub fn pool<T: Scalar + PartialOrd>(
                         for v in 0..k {
                             let hh = (i * s + u) as isize - pad;
                             let ww = (j * s + v) as isize - pad;
-                            if hh < 0 || ww < 0 || hh as usize >= input.h() || ww as usize >= input.w()
+                            if hh < 0
+                                || ww < 0
+                                || hh as usize >= input.h()
+                                || ww as usize >= input.w()
                             {
                                 continue; // padding excluded from pooling
                             }
@@ -134,7 +137,12 @@ pub struct LrnParams {
 impl Default for LrnParams {
     /// AlexNet's published constants: `n=5, α=1e−4, β=0.75, k=2`.
     fn default() -> Self {
-        LrnParams { local_size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 }
+        LrnParams {
+            local_size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 2.0,
+        }
     }
 }
 
@@ -145,7 +153,7 @@ impl Default for LrnParams {
 /// Returns [`ConvError::InvalidGeometry`] when `local_size` is zero or
 /// even (the window must have a center channel).
 pub fn lrn<T: Scalar>(input: &Tensor<T>, params: LrnParams) -> Result<Tensor<T>, ConvError> {
-    if params.local_size == 0 || params.local_size % 2 == 0 {
+    if params.local_size == 0 || params.local_size.is_multiple_of(2) {
         return Err(ConvError::InvalidGeometry(format!(
             "lrn local_size must be odd and nonzero, got {}",
             params.local_size
@@ -166,8 +174,8 @@ pub fn lrn<T: Scalar>(input: &Tensor<T>, params: LrnParams) -> Result<Tensor<T>,
                         let v = input.get(b, cc as usize, h, w).to_f32();
                         sum_sq += v * v;
                     }
-                    let denom =
-                        (params.k + params.alpha / params.local_size as f32 * sum_sq).powf(params.beta);
+                    let denom = (params.k + params.alpha / params.local_size as f32 * sum_sq)
+                        .powf(params.beta);
                     let a = input.get(b, c, h, w).to_f32();
                     out.set(b, c, h, w, T::from_f32(a / denom));
                 }
@@ -193,7 +201,10 @@ pub fn fully_connected<T: Scalar>(
     let in_features = input.c() * input.h() * input.w();
     if weights.len() != out_features * in_features {
         return Err(ConvError::ShapeMismatch {
-            expected: format!("{} weights ({out_features}x{in_features})", out_features * in_features),
+            expected: format!(
+                "{} weights ({out_features}x{in_features})",
+                out_features * in_features
+            ),
             found: format!("{}", weights.len()),
         });
     }
@@ -234,7 +245,9 @@ pub fn softmax<T: Scalar>(input: &Tensor<T>) -> Result<Tensor<T>, ConvError> {
     }
     let mut out = Tensor::zeros(input.n(), input.c(), 1, 1);
     for b in 0..input.n() {
-        let vals: Vec<f32> = (0..input.c()).map(|c| input.get(b, c, 0, 0).to_f32()).collect();
+        let vals: Vec<f32> = (0..input.c())
+            .map(|c| input.get(b, c, 0, 0).to_f32())
+            .collect();
         let max = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = vals.iter().map(|v| (v - max).exp()).collect();
         let total: f32 = exps.iter().sum();
@@ -307,8 +320,14 @@ mod tests {
 
     #[test]
     fn relu_works_on_fix16() {
-        let x: Tensor<Fix16> =
-            Tensor::from_vec(1, 1, 1, 2, vec![Fix16::from_f32(-2.0), Fix16::from_f32(3.0)]).unwrap();
+        let x: Tensor<Fix16> = Tensor::from_vec(
+            1,
+            1,
+            1,
+            2,
+            vec![Fix16::from_f32(-2.0), Fix16::from_f32(3.0)],
+        )
+        .unwrap();
         let y = relu(&x);
         assert_eq!(y.get(0, 0, 0, 0), Fix16::ZERO);
         assert_eq!(y.get(0, 0, 0, 1), Fix16::from_f32(3.0));
@@ -329,7 +348,12 @@ mod tests {
     fn lrn_denominator_formula() {
         // Single channel, local_size 1: b = a / (k + α·a²)^β.
         let x = Tensor::filled(1, 1, 1, 1, 2.0f32);
-        let p = LrnParams { local_size: 1, alpha: 0.5, beta: 1.0, k: 1.0 };
+        let p = LrnParams {
+            local_size: 1,
+            alpha: 0.5,
+            beta: 1.0,
+            k: 1.0,
+        };
         let y = lrn(&x, p).unwrap();
         assert!((y.get(0, 0, 0, 0) - 2.0 / 3.0).abs() < 1e-6);
     }
@@ -337,7 +361,10 @@ mod tests {
     #[test]
     fn lrn_rejects_even_window() {
         let x = random_tensor(1, 4, 2, 2, 1);
-        let p = LrnParams { local_size: 4, ..LrnParams::default() };
+        let p = LrnParams {
+            local_size: 4,
+            ..LrnParams::default()
+        };
         assert!(lrn(&x, p).is_err());
     }
 

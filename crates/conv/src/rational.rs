@@ -65,12 +65,18 @@ impl Rational {
         }
         let sign = if (num < 0) ^ (den < 0) { -1 } else { 1 };
         let g = gcd(num, den);
-        Rational { num: sign * (num.abs() / g), den: den.abs() / g }
+        Rational {
+            num: sign * (num.abs() / g),
+            den: den.abs() / g,
+        }
     }
 
     /// Creates the integer `v`.
     pub fn from_int(v: i64) -> Self {
-        Rational { num: v as i128, den: 1 }
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -110,7 +116,10 @@ impl Rational {
             .checked_mul(rhs.den)
             .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
             .ok_or(ConvError::RationalOverflow)?;
-        let den = self.den.checked_mul(rhs.den).ok_or(ConvError::RationalOverflow)?;
+        let den = self
+            .den
+            .checked_mul(rhs.den)
+            .ok_or(ConvError::RationalOverflow)?;
         Ok(Rational::new(num, den))
     }
 
@@ -200,7 +209,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Self {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

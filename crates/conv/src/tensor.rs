@@ -95,7 +95,13 @@ impl<T: Scalar> Tensor<T> {
             .and_then(|x| x.checked_mul(h))
             .and_then(|x| x.checked_mul(w))
             .expect("tensor size overflow");
-        Self { n, c, h, w, data: vec![value; len] }
+        Self {
+            n,
+            c,
+            h,
+            w,
+            data: vec![value; len],
+        }
     }
 
     /// Creates a tensor from an existing flat buffer in NCHW order.
@@ -238,7 +244,10 @@ impl<T: Scalar> Tensor<T> {
     ///
     /// Panics when the range is out of bounds or empty.
     pub fn slice_channels(&self, start: usize, end: usize) -> Tensor<T> {
-        assert!(start < end && end <= self.c, "invalid channel slice {start}..{end}");
+        assert!(
+            start < end && end <= self.c,
+            "invalid channel slice {start}..{end}"
+        );
         Tensor::from_fn(self.n, end - start, self.h, self.w, |n, c, h, w| {
             self.get(n, start + c, h, w)
         })
@@ -252,7 +261,10 @@ impl<T: Scalar> Tensor<T> {
     ///
     /// Panics when the range is out of bounds or empty.
     pub fn slice_channels_n(&self, start: usize, end: usize) -> Tensor<T> {
-        assert!(start < end && end <= self.n, "invalid n slice {start}..{end}");
+        assert!(
+            start < end && end <= self.n,
+            "invalid n slice {start}..{end}"
+        );
         Tensor::from_fn(end - start, self.c, self.h, self.w, |n, c, h, w| {
             self.get(start + n, c, h, w)
         })

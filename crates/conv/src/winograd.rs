@@ -89,7 +89,9 @@ pub fn conv2d_with(
     transform: &WinogradTransform,
 ) -> Result<Tensor<f32>, ConvError> {
     if geom.stride() != 1 {
-        return Err(ConvError::StrideUnsupported { stride: geom.stride() });
+        return Err(ConvError::StrideUnsupported {
+            stride: geom.stride(),
+        });
     }
     if geom.kernel() != transform.r() {
         return Err(ConvError::ShapeMismatch {
@@ -127,7 +129,9 @@ pub fn conv2d_pretransformed(
     transform: &WinogradTransform,
 ) -> Result<Tensor<f32>, ConvError> {
     if geom.stride() != 1 {
-        return Err(ConvError::StrideUnsupported { stride: geom.stride() });
+        return Err(ConvError::StrideUnsupported {
+            stride: geom.stride(),
+        });
     }
     if filters.alpha() != transform.alpha() {
         return Err(ConvError::ShapeMismatch {
@@ -251,7 +255,9 @@ pub fn conv2d_fix16_with(
     use crate::fixed::Fix16;
 
     if geom.stride() != 1 {
-        return Err(ConvError::StrideUnsupported { stride: geom.stride() });
+        return Err(ConvError::StrideUnsupported {
+            stride: geom.stride(),
+        });
     }
     if geom.kernel() != transform.r() {
         return Err(ConvError::ShapeMismatch {
@@ -475,8 +481,7 @@ mod tests {
         let kf = random_tensor(4, 4, 3, 3, 32);
         let xq: crate::tensor::Tensor<Fix16> = xf.cast();
         let kq: crate::tensor::Tensor<Fix16> = kf.cast();
-        let gold: crate::tensor::Tensor<f32> =
-            direct::conv2d_fix16(&xq, &kq, geom).unwrap().cast();
+        let gold: crate::tensor::Tensor<f32> = direct::conv2d_fix16(&xq, &kq, geom).unwrap().cast();
         let err_of = |m: usize| -> f32 {
             let t = WinogradTransform::generate(m, 3).unwrap();
             let y: crate::tensor::Tensor<f32> =

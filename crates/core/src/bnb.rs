@@ -26,6 +26,7 @@ use winofuse_fpga::resource::ResourceVec;
 use winofuse_fusion::pipeline::{group_timing, GroupTiming, LayerConfig};
 use winofuse_model::network::Network;
 use winofuse_model::shape::DataType;
+use winofuse_telemetry::{Counter, Telemetry};
 
 use crate::{CoreError, MAX_FUSION_LAYERS};
 
@@ -43,7 +44,11 @@ pub struct AlgoPolicy {
 
 impl Default for AlgoPolicy {
     fn default() -> Self {
-        AlgoPolicy { conventional: true, winograd: true, winograd_m: 4 }
+        AlgoPolicy {
+            conventional: true,
+            winograd: true,
+            winograd_m: 4,
+        }
     }
 }
 
@@ -55,13 +60,21 @@ impl AlgoPolicy {
 
     /// Conventional-only (homogeneous ablation / the baseline's setting).
     pub fn conventional_only() -> Self {
-        AlgoPolicy { conventional: true, winograd: false, winograd_m: 4 }
+        AlgoPolicy {
+            conventional: true,
+            winograd: false,
+            winograd_m: 4,
+        }
     }
 
     /// Winograd-wherever-possible (homogeneous ablation; ineligible
     /// layers still fall back to conventional so networks stay mappable).
     pub fn winograd_preferred() -> Self {
-        AlgoPolicy { conventional: false, winograd: true, winograd_m: 4 }
+        AlgoPolicy {
+            conventional: false,
+            winograd: true,
+            winograd_m: 4,
+        }
     }
 }
 
@@ -115,6 +128,25 @@ pub struct GroupPlanner<'a> {
     max_group_layers: usize,
     /// Per-layer per-dimension minimal resources (for suffix bounds).
     min_resources: Vec<ResourceVec>,
+    /// Observability context; disabled by default (zero-cost).
+    telemetry: Telemetry,
+}
+
+/// Cached counter handles for the search hot loop, so instrumentation is
+/// one inlined null check per event when telemetry is disabled.
+struct SearchCounters {
+    /// `visit` calls actually made (tree nodes entered).
+    expanded: Counter,
+    /// Subtree nodes skipped by the monotone latency bound (line 16-17).
+    pruned_bound: Counter,
+    /// Subtree nodes skipped by the suffix resource-feasibility check.
+    pruned_resource: Counter,
+    /// Subtree nodes skipped by the DRAM-floor optimality early exit.
+    pruned_floor: Counter,
+    /// Complete assignments handed to `group_timing`.
+    leaves_evaluated: Counter,
+    /// Times a leaf replaced the best incumbent.
+    incumbent_updates: Counter,
 }
 
 impl<'a> GroupPlanner<'a> {
@@ -139,7 +171,9 @@ impl<'a> GroupPlanner<'a> {
             let mut algo_menus: Vec<Vec<MenuEntry>> = Vec::new();
             let mut algos: Vec<Algorithm> = Vec::new();
             if policy.winograd && layer.winograd_eligible() {
-                algos.push(Algorithm::Winograd { m: policy.winograd_m });
+                algos.push(Algorithm::Winograd {
+                    m: policy.winograd_m,
+                });
             }
             if policy.conventional || algos.is_empty() {
                 // Conventional is the universal fallback so every layer
@@ -149,7 +183,10 @@ impl<'a> GroupPlanner<'a> {
             for algo in algos {
                 let mut entries = Vec::new();
                 for p in parallelism_candidates(layer, algo, device.resources().dsp) {
-                    let cfg = EngineConfig { algorithm: algo, parallelism: p };
+                    let cfg = EngineConfig {
+                        algorithm: algo,
+                        parallelism: p,
+                    };
                     let Ok(config) = LayerConfig::build(net, idx, cfg) else {
                         continue;
                     };
@@ -193,7 +230,33 @@ impl<'a> GroupPlanner<'a> {
             cache: HashMap::new(),
             min_resources,
             max_group_layers: MAX_FUSION_LAYERS,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches an observability context. Search counters
+    /// (`bnb.nodes_expanded`, `bnb.pruned_*`, …) and per-group `bnb.plan`
+    /// spans are recorded against it from then on.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The observability context this planner records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Total implementation-menu entries per layer (across algorithms).
+    ///
+    /// The full, unpruned Algorithm 2 tree over layers `[i, j)` has
+    /// `T(i) = 1 + m(i)·T(i+1)` nodes (with `T(j) = 1`), where `m` is
+    /// this vector — the reference for validating the planner's
+    /// expanded/pruned accounting against exhaustive search.
+    pub fn menu_sizes(&self) -> Vec<usize> {
+        self.menus
+            .iter()
+            .map(|algo_menus| algo_menus.iter().map(Vec::len).sum())
+            .collect()
     }
 
     /// Overrides the fusion-group size cap (the paper uses 8 for VGG due
@@ -224,9 +287,16 @@ impl<'a> GroupPlanner<'a> {
     pub fn plan(&mut self, range: Range<usize>) -> Option<GroupPlan> {
         let key = (range.start, range.end);
         if let Some(hit) = self.cache.get(&key) {
+            self.telemetry.counter("bnb.plan_cache_hits").incr();
             return hit.clone();
         }
+        self.telemetry.counter("bnb.plans_computed").incr();
+        let span = self.telemetry.span(
+            "bnb",
+            &format!("plan layers {}..{}", range.start, range.end),
+        );
         let plan = self.search(range.clone());
+        drop(span);
         self.cache.insert(key, plan.clone());
         plan
     }
@@ -269,6 +339,20 @@ impl<'a> GroupPlanner<'a> {
             suffix_min[off] = suffix_min[off + 1] + self.min_resources[range.start + off];
         }
 
+        // Subtree sizes for prune accounting: `subtree[off]` is the number
+        // of descendants below a node at offset `off` in the *unpruned*
+        // tree, so `expanded + Σ pruned == 1 + subtree[0]` holds exactly
+        // regardless of which cuts fire (tested against exhaustive
+        // enumeration).
+        let mut subtree = vec![0u64; n + 1];
+        for off in (0..n).rev() {
+            let m: u64 = self.menus[range.start + off]
+                .iter()
+                .map(|v| v.len() as u64)
+                .sum();
+            subtree[off] = m.saturating_mul(1 + subtree[off + 1]);
+        }
+
         struct Ctx<'m> {
             menus: &'m [Vec<Vec<MenuEntry>>],
             suffix_min: Vec<ResourceVec>,
@@ -278,6 +362,8 @@ impl<'a> GroupPlanner<'a> {
             n: usize,
             best: Option<(u64, Vec<LayerConfig>, GroupTiming)>,
             floor: u64,
+            subtree: Vec<u64>,
+            counters: SearchCounters,
         }
 
         fn visit(
@@ -287,31 +373,42 @@ impl<'a> GroupPlanner<'a> {
             used: ResourceVec,
             path_bound: u64,
         ) {
+            ctx.counters.expanded.incr();
             let best_latency = ctx.best.as_ref().map(|b| b.0).unwrap_or(u64::MAX);
             if best_latency <= ctx.floor {
-                return; // provably optimal already
+                // Provably optimal already; everything below is skipped.
+                ctx.counters.pruned_floor.add(ctx.subtree[off]);
+                return;
             }
             if off == ctx.n {
+                ctx.counters.leaves_evaluated.incr();
                 if let Ok(timing) = group_timing(chosen, &ctx.device) {
                     if timing.resources.fits_within(&ctx.capacity) && timing.latency < best_latency
                     {
+                        ctx.counters.incumbent_updates.incr();
                         ctx.best = Some((timing.latency, chosen.clone(), timing));
                     }
                 }
                 return;
             }
             let idx = ctx.start + off;
+            // One pruned child slot = the child node plus its descendants.
+            let child_weight = 1 + ctx.subtree[off + 1];
             for algo_menu in &ctx.menus[idx] {
-                for entry in algo_menu {
+                for (pos, entry) in algo_menu.iter().enumerate() {
                     let best_latency = ctx.best.as_ref().map(|b| b.0).unwrap_or(u64::MAX);
                     // Parallelism descends within the menu, so the bound
                     // only grows: break, don't continue (paper line 16-17).
                     if entry.bound >= best_latency {
+                        ctx.counters
+                            .pruned_bound
+                            .add((algo_menu.len() - pos) as u64 * child_weight);
                         break;
                     }
                     let new_used = used + entry.config.estimate.resources;
                     let optimistic = new_used + ctx.suffix_min[off + 1];
                     if !optimistic.fits_within(&ctx.capacity) {
+                        ctx.counters.pruned_resource.add(child_weight);
                         continue;
                     }
                     chosen.push(entry.config.clone());
@@ -330,6 +427,15 @@ impl<'a> GroupPlanner<'a> {
             n,
             best: None,
             floor,
+            subtree,
+            counters: SearchCounters {
+                expanded: self.telemetry.counter("bnb.nodes_expanded"),
+                pruned_bound: self.telemetry.counter("bnb.pruned_bound"),
+                pruned_resource: self.telemetry.counter("bnb.pruned_resource"),
+                pruned_floor: self.telemetry.counter("bnb.pruned_floor"),
+                leaves_evaluated: self.telemetry.counter("bnb.leaves_evaluated"),
+                incumbent_updates: self.telemetry.counter("bnb.incumbent_updates"),
+            },
         };
         let mut chosen = Vec::with_capacity(n);
         visit(&mut ctx, 0, &mut chosen, ResourceVec::ZERO, 0);
@@ -358,7 +464,10 @@ mod tests {
         let modest = LayerConfig::build(
             &net,
             1,
-            EngineConfig { algorithm: Algorithm::Conventional, parallelism: 16 },
+            EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 16,
+            },
         )
         .unwrap();
         let modest_t = group_timing(&[modest], &dev).unwrap();
@@ -399,7 +508,10 @@ mod tests {
             .iter()
             .filter(|c| matches!(c.engine.algorithm, Algorithm::Winograd { .. }))
             .count();
-        assert!(wino > 0, "expected at least one winograd layer in the fused VGG prefix");
+        assert!(
+            wino > 0,
+            "expected at least one winograd layer in the fused VGG prefix"
+        );
         // And the plan must fit the device.
         assert!(plan.timing.resources.fits_within(dev.resources()));
     }
@@ -452,7 +564,8 @@ mod tests {
         let plan = planner.plan(0..net.len()).unwrap();
         assert_eq!(
             plan.transfer_bytes(),
-            net.fused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap()
+            net.fused_transfer_bytes(0..net.len(), DataType::Fixed16)
+                .unwrap()
         );
     }
 }

@@ -23,6 +23,7 @@ use std::ops::Range;
 
 use winofuse_model::network::Network;
 use winofuse_model::shape::DataType;
+use winofuse_telemetry::{Counter, Histogram};
 
 use crate::bnb::{GroupPlan, GroupPlanner};
 use crate::strategy::Strategy;
@@ -51,7 +52,11 @@ impl PartitionResult {
         let weights = groups.iter().map(|g| g.timing.dram_weight_bytes).sum();
         let pairs: Vec<_> = groups
             .iter()
-            .flat_map(|g| g.configs.iter().map(|c| (c.engine.algorithm, c.engine.parallelism)))
+            .flat_map(|g| {
+                g.configs
+                    .iter()
+                    .map(|c| (c.engine.algorithm, c.engine.parallelism))
+            })
             .collect();
         let ranges: Vec<Range<usize>> = groups.iter().map(|g| g.start..g.end).collect();
         let strategy = Strategy::from_groups(&ranges, &pairs)?;
@@ -119,13 +124,33 @@ struct FrontierBuilder<'a, 'b> {
     /// `k` and `k+1`. All-true for plain optimization; module boundaries
     /// only for the paper's §7.1 GoogleNet coarsening.
     allowed_cut: Vec<bool>,
+    /// Telemetry: `dp.subproblems` (frontier cells computed).
+    subproblems: Counter,
+    /// Telemetry: `dp.cache_hits` (memoized frontier reuses).
+    cache_hits: Counter,
+    /// Telemetry: `dp.frontier_points` (surviving points per cell).
+    frontier_points: Histogram,
 }
 
-impl FrontierBuilder<'_, '_> {
+impl<'a, 'b> FrontierBuilder<'a, 'b> {
+    fn new(planner: &'b mut GroupPlanner<'a>, allowed_cut: Vec<bool>) -> Self {
+        let tele = planner.telemetry().clone();
+        FrontierBuilder {
+            planner,
+            memo: HashMap::new(),
+            allowed_cut,
+            subproblems: tele.counter("dp.subproblems"),
+            cache_hits: tele.counter("dp.cache_hits"),
+            frontier_points: tele.histogram("dp.frontier_points"),
+        }
+    }
+
     fn frontier(&mut self, i: usize, j: usize) -> Vec<FrontierPoint> {
         if let Some(hit) = self.memo.get(&(i, j)) {
+            self.cache_hits.incr();
             return hit.clone();
         }
+        self.subproblems.incr();
         let mut points = Vec::new();
         if let Some(plan) = self.planner.plan(i..j + 1) {
             points.push(FrontierPoint {
@@ -145,12 +170,17 @@ impl FrontierBuilder<'_, '_> {
                     points.push(FrontierPoint {
                         transfer: lp.transfer + rp.transfer,
                         latency: lp.latency + rp.latency,
-                        choice: Choice::Split { k, left: li, right: ri },
+                        choice: Choice::Split {
+                            k,
+                            left: li,
+                            right: ri,
+                        },
                     });
                 }
             }
         }
         let pruned = prune(points);
+        self.frontier_points.record(pruned.len() as u64);
         self.memo.insert((i, j), pruned.clone());
         pruned
     }
@@ -159,7 +189,10 @@ impl FrontierBuilder<'_, '_> {
         let point = self.memo[&(i, j)][idx];
         match point.choice {
             Choice::Fused => {
-                let plan = self.planner.plan(i..j + 1).expect("fused point implies a plan");
+                let plan = self
+                    .planner
+                    .plan(i..j + 1)
+                    .expect("fused point implies a plan");
                 out.push(plan);
             }
             Choice::Split { k, left, right } => {
@@ -207,7 +240,8 @@ pub fn optimize_with_cuts(
         return Err(CoreError::InvalidRequest("network has no layers".into()));
     }
     let allowed_cut = cut_mask(n, boundaries)?;
-    let mut builder = FrontierBuilder { planner, memo: HashMap::new(), allowed_cut };
+    let span = planner.telemetry().clone().span("dp", "optimize");
+    let mut builder = FrontierBuilder::new(planner, allowed_cut);
     let frontier = builder.frontier(0, n - 1);
     if frontier.is_empty() {
         return Err(CoreError::Infeasible(
@@ -229,6 +263,7 @@ pub fn optimize_with_cuts(
     };
     let mut groups = Vec::new();
     builder.reconstruct(0, n - 1, idx, &mut groups);
+    drop(span);
     PartitionResult::from_groups(groups)
 }
 
@@ -240,8 +275,12 @@ pub fn tradeoff_curve(planner: &mut GroupPlanner<'_>, net: &Network) -> Vec<(u64
         return Vec::new();
     }
     let allowed_cut = cut_mask(n, None).expect("all-cuts mask is valid");
-    let mut builder = FrontierBuilder { planner, memo: HashMap::new(), allowed_cut };
-    builder.frontier(0, n - 1).iter().map(|p| (p.transfer, p.latency)).collect()
+    let mut builder = FrontierBuilder::new(planner, allowed_cut);
+    builder
+        .frontier(0, n - 1)
+        .iter()
+        .map(|p| (p.transfer, p.latency))
+        .collect()
 }
 
 /// Builds the cut-permission mask: all cuts allowed, or only the listed
@@ -291,6 +330,10 @@ pub fn optimize_units(
     }
     let t_units = (transfer_budget_bytes / TRANSFER_UNIT_BYTES) as usize;
     let tdim = t_units + 1;
+    let tele = planner.telemetry().clone();
+    let span = tele.span("dp", "optimize_units");
+    tele.counter("dp.budget_levels").add(tdim as u64);
+    let cell_evals = tele.counter("dp.cell_evals");
 
     // min_t[i][j] in units (ceil: a group needs its whole transfer).
     let dtype = DataType::Fixed16;
@@ -320,6 +363,7 @@ pub fn optimize_units(
                 if t < min_t[i][j] {
                     continue; // L = INF
                 }
+                cell_evals.incr();
                 let mut best = fusion_lat[i][j];
                 let mut kf = j;
                 let mut tf = t;
@@ -390,6 +434,7 @@ pub fn optimize_units(
             .ok_or_else(|| CoreError::Infeasible(format!("group {i}..{j} lost its plan")))?;
         groups.push(plan);
     }
+    drop(span);
     PartitionResult::from_groups(groups)
 }
 

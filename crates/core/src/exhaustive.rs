@@ -104,7 +104,7 @@ mod tests {
         let net = zoo::small_test_net();
         let dev = FpgaDevice::zc706();
         let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
-        for budget in [1 * MB, 2 * MB, 16 * MB] {
+        for budget in [MB, 2 * MB, 16 * MB] {
             let brute = optimize(&mut planner, &net, budget);
             let smart = dp::optimize(&mut planner, &net, budget);
             match (brute, smart) {

@@ -7,6 +7,7 @@ use winofuse_fpga::device::FpgaDevice;
 use winofuse_fpga::energy::EnergyModel;
 use winofuse_fpga::engine::Algorithm;
 use winofuse_model::network::Network;
+use winofuse_telemetry::{RunTelemetry, Telemetry};
 
 use crate::bnb::{AlgoPolicy, GroupPlanner};
 use crate::dp::{self, PartitionResult};
@@ -60,6 +61,7 @@ pub struct Framework {
     policy: AlgoPolicy,
     energy: EnergyModel,
     max_group_layers: usize,
+    telemetry: Telemetry,
 }
 
 impl Framework {
@@ -70,7 +72,21 @@ impl Framework {
             policy: AlgoPolicy::heterogeneous(),
             energy: EnergyModel::new(),
             max_group_layers: crate::MAX_FUSION_LAYERS,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches an observability context: search counters, spans, and
+    /// (when the context has a sink) trace events flow into it from every
+    /// subsequent optimization and simulation call.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The observability context (disabled unless set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Overrides the fusion-group size cap (default 8, §7.1; the AlexNet
@@ -115,11 +131,43 @@ impl Framework {
         net: &Network,
         transfer_budget_bytes: u64,
     ) -> Result<OptimizedDesign, CoreError> {
-        let mut planner = GroupPlanner::new(net, &self.device, self.policy)?;
-        planner.set_max_group_layers(self.max_group_layers);
+        let span = self.telemetry.span("framework", "optimize");
+        let mut planner = self.planner_for(net)?;
         let partition = dp::optimize(&mut planner, net, transfer_budget_bytes)?;
+        drop(span);
         let timing = self.timing_of(net, &partition);
         Ok(OptimizedDesign { partition, timing })
+    }
+
+    /// Like [`Framework::optimize`], but also returns the run's telemetry
+    /// summary (search counters, prune statistics, DP cache behavior).
+    /// Works even when no context was attached: a fresh enabled context
+    /// is used for just this call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Framework::optimize`].
+    pub fn optimize_traced(
+        &self,
+        net: &Network,
+        transfer_budget_bytes: u64,
+    ) -> Result<(OptimizedDesign, RunTelemetry), CoreError> {
+        let fw = if self.telemetry.is_enabled() {
+            self.clone()
+        } else {
+            self.clone().with_telemetry(Telemetry::enabled())
+        };
+        let design = fw.optimize(net, transfer_budget_bytes)?;
+        Ok((design, fw.telemetry.summary()))
+    }
+
+    /// A group planner for `net` carrying this framework's policy, group
+    /// cap, and telemetry context.
+    fn planner_for<'a>(&'a self, net: &'a Network) -> Result<GroupPlanner<'a>, CoreError> {
+        let mut planner = GroupPlanner::new(net, &self.device, self.policy)?;
+        planner.set_max_group_layers(self.max_group_layers);
+        planner.set_telemetry(self.telemetry.clone());
+        Ok(planner)
     }
 
     /// Optimizes a module-structured network treating every module as a
@@ -137,8 +185,7 @@ impl Framework {
         transfer_budget_bytes: u64,
     ) -> Result<OptimizedDesign, CoreError> {
         let net = &modular.network;
-        let mut planner = GroupPlanner::new(net, &self.device, self.policy)?;
-        planner.set_max_group_layers(self.max_group_layers);
+        let mut planner = self.planner_for(net)?;
         let boundaries = modular.cut_boundaries();
         let partition =
             dp::optimize_with_cuts(&mut planner, net, transfer_budget_bytes, Some(&boundaries))?;
@@ -153,8 +200,7 @@ impl Framework {
     ///
     /// Same construction errors as [`Framework::optimize`].
     pub fn tradeoff_curve(&self, net: &Network) -> Result<Vec<(u64, u64)>, CoreError> {
-        let mut planner = GroupPlanner::new(net, &self.device, self.policy)?;
-        planner.set_max_group_layers(self.max_group_layers);
+        let mut planner = self.planner_for(net)?;
         Ok(dp::tradeoff_curve(&mut planner, net))
     }
 
@@ -182,8 +228,12 @@ impl Framework {
         design: &OptimizedDesign,
         frames: u64,
     ) -> Result<winofuse_fusion::pipeline::BatchTiming, CoreError> {
-        let groups: Vec<winofuse_fusion::pipeline::GroupTiming> =
-            design.partition.groups.iter().map(|g| g.timing.clone()).collect();
+        let groups: Vec<winofuse_fusion::pipeline::GroupTiming> = design
+            .partition
+            .groups
+            .iter()
+            .map(|g| g.timing.clone())
+            .collect();
         winofuse_fusion::pipeline::batch_sequence_timing(&groups, &self.device, frames)
             .map_err(CoreError::from)
     }
@@ -205,7 +255,9 @@ impl Framework {
         let mut total = 0.0;
         for g in &design.partition.groups {
             let seconds = self.device.cycles_to_seconds(g.timing.latency);
-            total += self.energy.compute_energy_joules(&g.timing.resources, seconds);
+            total += self
+                .energy
+                .compute_energy_joules(&g.timing.resources, seconds);
             total += self
                 .energy
                 .transfer_energy_joules(g.timing.dram_fmap_bytes + g.timing.dram_weight_bytes);
@@ -235,6 +287,9 @@ impl Framework {
         let reference = winofuse_model::runtime::forward(net, weights, input)?;
         let mut cur = input.clone();
         let mut cycles = 0u64;
+        // Simulator stages get consecutive trace lanes across groups, and
+        // each group starts where the previous one finished in cycle time.
+        let mut tid_base = 1u64;
         for plan in &design.partition.groups {
             let mut sim = winofuse_fusion::simulator::FusedGroupSim::new(
                 net,
@@ -243,6 +298,10 @@ impl Framework {
                 weights,
                 &self.device,
             )?;
+            if self.telemetry.is_enabled() {
+                sim.set_telemetry(self.telemetry.clone(), tid_base, cycles);
+                tid_base += plan.configs.len() as u64;
+            }
             let r = sim.run(&cur)?;
             let gold = &reference[plan.end - 1];
             let diff = r
@@ -282,7 +341,11 @@ impl Framework {
                 g.start,
                 g.end,
                 g.timing.latency,
-                if g.timing.bandwidth_bound { " [DRAM bound]" } else { "" }
+                if g.timing.bandwidth_bound {
+                    " [DRAM bound]"
+                } else {
+                    ""
+                }
             );
             let _ = writeln!(
                 s,
@@ -363,7 +426,11 @@ impl Framework {
             "{:<12} {:<13} {:>5}  {:>5.1}% {:>4.1}% {:>7.1}% {:>7.1}%",
             "utilization", "", "", b, d, f, l
         );
-        let _ = writeln!(s, "latency: {} cycles ({:.2} ms)", design.timing.latency, design.timing.latency_ms);
+        let _ = writeln!(
+            s,
+            "latency: {} cycles ({:.2} ms)",
+            design.timing.latency, design.timing.latency_ms
+        );
         let _ = writeln!(s, "effective: {:.1} GOPS", design.timing.effective_gops);
         s
     }
@@ -454,16 +521,22 @@ mod tests {
         let net = zoo::small_test_net();
         let fw = Framework::new(FpgaDevice::zc706());
         let d = fw.optimize(&net, 8 * MB).unwrap();
-        let weights =
-            winofuse_model::runtime::NetworkWeights::random(&net, 23).unwrap();
+        let weights = winofuse_model::runtime::NetworkWeights::random(&net, 23).unwrap();
         let x = winofuse_conv::tensor::random_tensor(1, 3, 32, 32, 24);
-        let (out, cycles) = fw.validate_by_simulation(&net, &d, &weights, &x, 1e-4).unwrap();
+        let (out, cycles) = fw
+            .validate_by_simulation(&net, &d, &weights, &x, 1e-4)
+            .unwrap();
         assert!(cycles > 0);
         let shape = net.output_shape().unwrap();
-        assert_eq!((out.c(), out.h(), out.w()), (shape.channels, shape.height, shape.width));
+        assert_eq!(
+            (out.c(), out.h(), out.w()),
+            (shape.channels, shape.height, shape.width)
+        );
         // An absurd tolerance of zero on float math may pass (direct conv
         // is deterministic here) — but a negative tolerance must fail.
-        assert!(fw.validate_by_simulation(&net, &d, &weights, &x, -1.0).is_err());
+        assert!(fw
+            .validate_by_simulation(&net, &d, &weights, &x, -1.0)
+            .is_err());
     }
 
     #[test]
@@ -478,7 +551,10 @@ mod tests {
         assert!(text.contains("compute") || text.contains("load") || text.contains("store"));
         assert!(text.contains("slack"));
         // The slowest stage must show ~0% slack.
-        assert!(text.contains(" 0%"), "some layer should be the bottleneck:\n{text}");
+        assert!(
+            text.contains(" 0%"),
+            "some layer should be the bottleneck:\n{text}"
+        );
     }
 
     #[test]

@@ -53,15 +53,31 @@ pub fn to_json(net: &Network, design: &OptimizedDesign) -> String {
     let _ = writeln!(s, "  \"layers\": {},", net.len());
     let _ = writeln!(s, "  \"latency_cycles\": {},", design.timing.latency);
     let _ = writeln!(s, "  \"latency_ms\": {:.6},", design.timing.latency_ms);
-    let _ = writeln!(s, "  \"effective_gops\": {:.3},", design.timing.effective_gops);
-    let _ = writeln!(s, "  \"fmap_transfer_bytes\": {},", design.timing.fmap_transfer_bytes);
-    let _ = writeln!(s, "  \"weight_transfer_bytes\": {},", design.timing.weight_transfer_bytes);
+    let _ = writeln!(
+        s,
+        "  \"effective_gops\": {:.3},",
+        design.timing.effective_gops
+    );
+    let _ = writeln!(
+        s,
+        "  \"fmap_transfer_bytes\": {},",
+        design.timing.fmap_transfer_bytes
+    );
+    let _ = writeln!(
+        s,
+        "  \"weight_transfer_bytes\": {},",
+        design.timing.weight_transfer_bytes
+    );
     let _ = writeln!(s, "  \"groups\": [");
     for (gi, g) in design.partition.groups.iter().enumerate() {
         let _ = writeln!(s, "    {{");
         let _ = writeln!(s, "      \"start\": {}, \"end\": {},", g.start, g.end);
         let _ = writeln!(s, "      \"latency_cycles\": {},", g.timing.latency);
-        let _ = writeln!(s, "      \"bandwidth_bound\": {},", g.timing.bandwidth_bound);
+        let _ = writeln!(
+            s,
+            "      \"bandwidth_bound\": {},",
+            g.timing.bandwidth_bound
+        );
         let r = g.timing.resources;
         let _ = writeln!(
             s,
@@ -90,7 +106,11 @@ pub fn to_json(net: &Network, design: &OptimizedDesign) -> String {
             let _ = writeln!(s, "        }}{comma}");
         }
         let _ = writeln!(s, "      ]");
-        let comma = if gi + 1 < design.partition.groups.len() { "," } else { "" };
+        let comma = if gi + 1 < design.partition.groups.len() {
+            ","
+        } else {
+            ""
+        };
         let _ = writeln!(s, "    }}{comma}");
     }
     let _ = writeln!(s, "  ]");
@@ -150,7 +170,9 @@ mod tests {
     #[test]
     fn json_is_balanced_and_complete() {
         let net = zoo::small_test_net();
-        let design = Framework::new(FpgaDevice::zc706()).optimize(&net, 8 * MB).unwrap();
+        let design = Framework::new(FpgaDevice::zc706())
+            .optimize(&net, 8 * MB)
+            .unwrap();
         let json = to_json(&net, &design);
         check_json_balanced(&json);
         for layer in net.layers() {

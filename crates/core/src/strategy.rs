@@ -154,7 +154,11 @@ mod tests {
     use super::*;
 
     fn ls(group: usize, p: usize) -> LayerStrategy {
-        LayerStrategy { group, algorithm: Algorithm::Conventional, parallelism: p }
+        LayerStrategy {
+            group,
+            algorithm: Algorithm::Conventional,
+            parallelism: p,
+        }
     }
 
     #[test]
@@ -187,6 +191,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // single-group tilings are the point
     fn from_groups_validates_tiling() {
         let pairs = vec![(Algorithm::Conventional, 1); 3];
         assert!(Strategy::from_groups(&[0..2], &pairs).is_err()); // hole at end
@@ -196,6 +201,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // single-group tilings are the point
     fn homogeneous_is_not_heterogeneous() {
         let pairs = vec![(Algorithm::Conventional, 1); 2];
         let s = Strategy::from_groups(&[0..2], &pairs).unwrap();

@@ -159,12 +159,18 @@ impl FpgaDevice {
     /// Returns a copy with a different bandwidth (used by sensitivity
     /// sweeps).
     pub fn with_bandwidth(&self, bytes_per_sec: u64) -> FpgaDevice {
-        FpgaDevice { bandwidth_bytes_per_sec: bytes_per_sec, ..self.clone() }
+        FpgaDevice {
+            bandwidth_bytes_per_sec: bytes_per_sec,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with scaled resource capacities (used by ablations).
     pub fn with_resources(&self, resources: ResourceVec) -> FpgaDevice {
-        FpgaDevice { resources, ..self.clone() }
+        FpgaDevice {
+            resources,
+            ..self.clone()
+        }
     }
 
     /// Cycles to reconfigure the fabric between fusion groups (0 by
@@ -177,7 +183,10 @@ impl FpgaDevice {
     /// Returns a copy with a reconfiguration cost (used by the batch
     /// pipelining extension).
     pub fn with_reconfig_cycles(&self, cycles: u64) -> FpgaDevice {
-        FpgaDevice { reconfig_cycles: cycles, ..self.clone() }
+        FpgaDevice {
+            reconfig_cycles: cycles,
+            ..self.clone()
+        }
     }
 }
 
@@ -201,7 +210,10 @@ mod tests {
     #[test]
     fn zc706_matches_table2_available_row() {
         let d = FpgaDevice::zc706();
-        assert_eq!(*d.resources(), ResourceVec::new(1090, 900, 437_200, 218_600));
+        assert_eq!(
+            *d.resources(),
+            ResourceVec::new(1090, 900, 437_200, 218_600)
+        );
         assert_eq!(d.clock_hz(), 100_000_000);
         assert_eq!(d.bandwidth_bytes_per_sec(), 4_200_000_000);
     }
@@ -230,10 +242,19 @@ mod tests {
     #[test]
     fn registry_resolves_known_names() {
         assert_eq!(FpgaDevice::by_name("zc706").unwrap().resources().dsp, 900);
-        assert_eq!(FpgaDevice::by_name("xc7vx485t").unwrap().resources().dsp, 2800);
-        assert_eq!(FpgaDevice::by_name("zedboard").unwrap().resources().dsp, 220);
+        assert_eq!(
+            FpgaDevice::by_name("xc7vx485t").unwrap().resources().dsp,
+            2800
+        );
+        assert_eq!(
+            FpgaDevice::by_name("zedboard").unwrap().resources().dsp,
+            220
+        );
         assert_eq!(FpgaDevice::by_name("vc709").unwrap().resources().dsp, 3600);
-        assert_eq!(FpgaDevice::by_name("ku060").unwrap().clock_hz(), 200_000_000);
+        assert_eq!(
+            FpgaDevice::by_name("ku060").unwrap().clock_hz(),
+            200_000_000
+        );
         assert!(FpgaDevice::by_name("tpu").is_none());
     }
 

@@ -159,7 +159,9 @@ pub fn estimate_layer(
     cfg: &EngineConfig,
 ) -> Result<LayerEstimate, FpgaError> {
     if cfg.parallelism == 0 {
-        return Err(FpgaError::InvalidParameter("parallelism must be nonzero".into()));
+        return Err(FpgaError::InvalidParameter(
+            "parallelism must be nonzero".into(),
+        ));
     }
     let dtype = DataType::Fixed16;
     match &layer.kind {
@@ -376,7 +378,9 @@ pub fn parallelism_candidates(layer: &Layer, algorithm: Algorithm, device_dsp: u
         (LayerKind::Lrn(_), _) => LRN_DSP_PER_LANE,
         _ => 0,
     };
-    let dsp_max = if dsp_per_unit == 0 { hard_max } else { (device_dsp / dsp_per_unit) as usize };
+    let dsp_max = device_dsp
+        .checked_div(dsp_per_unit)
+        .map_or(hard_max, |d| d as usize);
     let max_p = hard_max.min(dsp_max.max(1)).max(1);
     let mut out = vec![max_p];
     let mut p = 1usize;
@@ -412,10 +416,7 @@ mod tests {
     use winofuse_model::zoo;
 
     fn conv_layer(n: usize, k: usize, s: usize, p: usize) -> Layer {
-        Layer::new(
-            "c",
-            LayerKind::Conv(ConvParams::new(n, k, s, p, true)),
-        )
+        Layer::new("c", LayerKind::Conv(ConvParams::new(n, k, s, p, true)))
     }
 
     #[test]
@@ -426,7 +427,10 @@ mod tests {
             let e = estimate_layer(
                 &l,
                 input,
-                &EngineConfig { algorithm: Algorithm::Conventional, parallelism: p },
+                &EngineConfig {
+                    algorithm: Algorithm::Conventional,
+                    parallelism: p,
+                },
             )
             .unwrap();
             assert_eq!(e.resources.dsp, p as u64);
@@ -443,7 +447,10 @@ mod tests {
         let wino = estimate_layer(
             &l,
             input,
-            &EngineConfig { algorithm: Algorithm::winograd_f43(), parallelism: 1 },
+            &EngineConfig {
+                algorithm: Algorithm::winograd_f43(),
+                parallelism: 1,
+            },
         )
         .unwrap();
         // One unit: 36 DSPs, 144 equivalent MACs/cycle.
@@ -452,7 +459,10 @@ mod tests {
         let conv = estimate_layer(
             &l,
             input,
-            &EngineConfig { algorithm: Algorithm::Conventional, parallelism: 144 },
+            &EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 144,
+            },
         )
         .unwrap();
         assert_eq!(conv.macs_per_cycle, 144);
@@ -467,7 +477,10 @@ mod tests {
         let e = estimate_layer(
             &l,
             input,
-            &EngineConfig { algorithm: Algorithm::winograd_f43(), parallelism: 1 },
+            &EngineConfig {
+                algorithm: Algorithm::winograd_f43(),
+                parallelism: 1,
+            },
         )
         .unwrap();
         assert_eq!(e.compute_cycles, 4 * 4 * 2 * 4);
@@ -480,7 +493,10 @@ mod tests {
         let e = estimate_layer(
             &l,
             input,
-            &EngineConfig { algorithm: Algorithm::Conventional, parallelism: 9 },
+            &EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 9,
+            },
         )
         .unwrap();
         // Row MACs = 16·8·4·9 = 4608, /9 = 512 cycles per row, ×16 rows.
@@ -494,7 +510,10 @@ mod tests {
         let r = estimate_layer(
             &l,
             input,
-            &EngineConfig { algorithm: Algorithm::winograd_f43(), parallelism: 1 },
+            &EngineConfig {
+                algorithm: Algorithm::winograd_f43(),
+                parallelism: 1,
+            },
         );
         assert!(matches!(r, Err(FpgaError::UnsupportedConfig(_))));
     }
@@ -506,13 +525,19 @@ mod tests {
         let conv = estimate_layer(
             &l,
             input,
-            &EngineConfig { algorithm: Algorithm::Conventional, parallelism: 9 },
+            &EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 9,
+            },
         )
         .unwrap();
         let wino = estimate_layer(
             &l,
             input,
-            &EngineConfig { algorithm: Algorithm::winograd_f43(), parallelism: 1 },
+            &EngineConfig {
+                algorithm: Algorithm::winograd_f43(),
+                parallelism: 1,
+            },
         )
         .unwrap();
         assert_eq!(conv.line_buffer_rows, 4); // K + S
@@ -529,13 +554,19 @@ mod tests {
         assert!(estimate_layer(
             &l,
             input,
-            &EngineConfig { algorithm: Algorithm::Conventional, parallelism: 37 }
+            &EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 37
+            }
         )
         .is_err());
         assert!(estimate_layer(
             &l,
             input,
-            &EngineConfig { algorithm: Algorithm::Conventional, parallelism: 0 }
+            &EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 0
+            }
         )
         .is_err());
     }
@@ -559,7 +590,10 @@ mod tests {
         let e = estimate_layer(
             &pool,
             input,
-            &EngineConfig { algorithm: Algorithm::Conventional, parallelism: 16 },
+            &EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 16,
+            },
         )
         .unwrap();
         assert_eq!(e.resources.dsp, 0);
@@ -569,7 +603,10 @@ mod tests {
         let e = estimate_layer(
             &lrn,
             FmShape::new(96, 55, 55),
-            &EngineConfig { algorithm: Algorithm::Conventional, parallelism: 4 },
+            &EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 4,
+            },
         )
         .unwrap();
         assert_eq!(e.resources.dsp, 12);
@@ -579,7 +616,10 @@ mod tests {
         assert!(estimate_layer(
             &pool,
             input,
-            &EngineConfig { algorithm: Algorithm::winograd_f43(), parallelism: 1 }
+            &EngineConfig {
+                algorithm: Algorithm::winograd_f43(),
+                parallelism: 1
+            }
         )
         .is_err());
     }
@@ -593,7 +633,10 @@ mod tests {
             estimate_layer(
                 fc,
                 input,
-                &EngineConfig { algorithm: Algorithm::Conventional, parallelism: 1 }
+                &EngineConfig {
+                    algorithm: Algorithm::Conventional,
+                    parallelism: 1
+                }
             ),
             Err(FpgaError::UnsupportedConfig(_))
         ));
@@ -621,12 +664,27 @@ mod tests {
         let e = estimate_layer(
             &net.layers()[0],
             net.input_shape(),
-            &EngineConfig { algorithm: Algorithm::Conventional, parallelism: 122 },
+            &EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 122,
+            },
         )
         .unwrap();
         assert_eq!(e.resources.dsp, 122);
-        assert!((25_000..60_000).contains(&e.resources.ff), "FF {}", e.resources.ff);
-        assert!((18_000..45_000).contains(&e.resources.lut), "LUT {}", e.resources.lut);
-        assert!((10..80).contains(&e.resources.bram_18k), "BRAM {}", e.resources.bram_18k);
+        assert!(
+            (25_000..60_000).contains(&e.resources.ff),
+            "FF {}",
+            e.resources.ff
+        );
+        assert!(
+            (18_000..45_000).contains(&e.resources.lut),
+            "LUT {}",
+            e.resources.lut
+        );
+        assert!(
+            (10..80).contains(&e.resources.bram_18k),
+            "BRAM {}",
+            e.resources.bram_18k
+        );
     }
 }

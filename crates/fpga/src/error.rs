@@ -27,7 +27,11 @@ impl fmt::Display for FpgaError {
         match self {
             FpgaError::UnsupportedConfig(msg) => write!(f, "unsupported engine config: {msg}"),
             FpgaError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            FpgaError::ResourceExceeded { dimension, requested, available } => write!(
+            FpgaError::ResourceExceeded {
+                dimension,
+                requested,
+                available,
+            } => write!(
                 f,
                 "resource exceeded: {dimension} needs {requested}, device has {available}"
             ),
@@ -43,7 +47,11 @@ mod tests {
 
     #[test]
     fn display_names_dimension() {
-        let e = FpgaError::ResourceExceeded { dimension: "DSP48E", requested: 1000, available: 900 };
+        let e = FpgaError::ResourceExceeded {
+            dimension: "DSP48E",
+            requested: 1000,
+            available: 900,
+        };
         let s = e.to_string();
         assert!(s.contains("DSP48E") && s.contains("1000") && s.contains("900"));
     }

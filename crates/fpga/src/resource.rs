@@ -35,11 +35,21 @@ pub struct ResourceVec {
 
 impl ResourceVec {
     /// The zero vector.
-    pub const ZERO: ResourceVec = ResourceVec { bram_18k: 0, dsp: 0, ff: 0, lut: 0 };
+    pub const ZERO: ResourceVec = ResourceVec {
+        bram_18k: 0,
+        dsp: 0,
+        ff: 0,
+        lut: 0,
+    };
 
     /// Creates a vector from the four dimensions.
     pub fn new(bram_18k: u64, dsp: u64, ff: u64, lut: u64) -> Self {
-        ResourceVec { bram_18k, dsp, ff, lut }
+        ResourceVec {
+            bram_18k,
+            dsp,
+            ff,
+            lut,
+        }
     }
 
     /// Whether `self` fits inside `capacity` in every dimension.
@@ -94,7 +104,13 @@ impl ResourceVec {
 
     /// Per-dimension utilization percentages `(bram, dsp, ff, lut)`.
     pub fn utilization_percent(&self, capacity: &ResourceVec) -> (f64, f64, f64, f64) {
-        let pct = |used: u64, cap: u64| if cap == 0 { 0.0 } else { used as f64 / cap as f64 * 100.0 };
+        let pct = |used: u64, cap: u64| {
+            if cap == 0 {
+                0.0
+            } else {
+                used as f64 / cap as f64 * 100.0
+            }
+        };
         (
             pct(self.bram_18k, capacity.bram_18k),
             pct(self.dsp, capacity.dsp),
@@ -179,11 +195,16 @@ mod tests {
     fn zero_capacity_dimension() {
         let cap = ResourceVec::new(0, 10, 10, 10);
         assert_eq!(ResourceVec::ZERO.max_utilization(&cap), 0.0);
-        assert!(ResourceVec::new(1, 0, 0, 0).max_utilization(&cap).is_infinite());
+        assert!(ResourceVec::new(1, 0, 0, 0)
+            .max_utilization(&cap)
+            .is_infinite());
     }
 
     #[test]
     fn scale() {
-        assert_eq!(ResourceVec::new(1, 2, 3, 4).scale(3), ResourceVec::new(3, 6, 9, 12));
+        assert_eq!(
+            ResourceVec::new(1, 2, 3, 4).scale(3),
+            ResourceVec::new(3, 6, 9, 12)
+        );
     }
 }

@@ -34,12 +34,16 @@ pub struct Roofline {
 impl Roofline {
     /// Builds the model from a device's off-chip bandwidth.
     pub fn for_device(device: &FpgaDevice) -> Self {
-        Roofline { bandwidth_gbytes_per_sec: device.bandwidth_bytes_per_sec() as f64 / 1e9 }
+        Roofline {
+            bandwidth_gbytes_per_sec: device.bandwidth_bytes_per_sec() as f64 / 1e9,
+        }
     }
 
     /// Builds the model from a raw bandwidth in GB/s.
     pub fn with_bandwidth_gbps(bandwidth_gbytes_per_sec: f64) -> Self {
-        Roofline { bandwidth_gbytes_per_sec }
+        Roofline {
+            bandwidth_gbytes_per_sec,
+        }
     }
 
     /// The bandwidth roof at a given CTC ratio: `CTC × BW` (GOPS).
@@ -82,7 +86,11 @@ impl fmt::Display for RooflinePoint {
             self.ctc_ops_per_byte,
             self.computational_roof_gops,
             self.attainable_gops,
-            if self.bandwidth_bound { " (bandwidth bound)" } else { " (compute bound)" }
+            if self.bandwidth_bound {
+                " (bandwidth bound)"
+            } else {
+                " (compute bound)"
+            }
         )
     }
 }
@@ -128,7 +136,13 @@ mod tests {
     #[test]
     fn display_mentions_binding_constraint() {
         let r = Roofline::with_bandwidth_gbps(4.0);
-        assert!(r.evaluate("B", 1.0, 100.0).to_string().contains("bandwidth bound"));
-        assert!(r.evaluate("A", 100.0, 100.0).to_string().contains("compute bound"));
+        assert!(r
+            .evaluate("B", 1.0, 100.0)
+            .to_string()
+            .contains("bandwidth bound"));
+        assert!(r
+            .evaluate("A", 100.0, 100.0)
+            .to_string()
+            .contains("compute bound"));
     }
 }

@@ -9,16 +9,19 @@ use winofuse_model::shape::FmShape;
 
 fn arb_conv_layer() -> impl Strategy<Value = (Layer, FmShape)> {
     (
-        1usize..5,   // kernel index -> 1/3/5/7
-        1usize..3,   // stride
-        1usize..32,  // output channels
-        1usize..16,  // input channels
-        8usize..40,  // spatial
+        1usize..5,  // kernel index -> 1/3/5/7
+        1usize..3,  // stride
+        1usize..32, // output channels
+        1usize..16, // input channels
+        8usize..40, // spatial
     )
         .prop_map(|(ki, stride, n, c, hw)| {
             let kernel = [1, 3, 5, 7][ki - 1];
             let pad = kernel / 2;
-            let layer = Layer::new("l", LayerKind::Conv(ConvParams::new(n, kernel, stride, pad, true)));
+            let layer = Layer::new(
+                "l",
+                LayerKind::Conv(ConvParams::new(n, kernel, stride, pad, true)),
+            );
             (layer, FmShape::new(c, hw, hw))
         })
 }

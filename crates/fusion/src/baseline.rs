@@ -97,10 +97,12 @@ pub fn design(
     let dtype = DataType::Fixed16;
     let shapes = net.shapes()?;
     let layers = &net.layers()[start..end];
-    if layers
-        .iter()
-        .any(|l| !matches!(l.kind, LayerKind::Conv(_) | LayerKind::Pool(_) | LayerKind::Lrn(_) | LayerKind::Relu))
-    {
+    if layers.iter().any(|l| {
+        !matches!(
+            l.kind,
+            LayerKind::Conv(_) | LayerKind::Pool(_) | LayerKind::Lrn(_) | LayerKind::Relu
+        )
+    }) {
         return Err(FusionError::InvalidGroup(
             "tile-based fusion supports conv/pool/lrn/relu layers only".into(),
         ));
@@ -124,12 +126,18 @@ pub fn design(
     let weight_cap_bytes = device.resources().bram_18k * BRAM18K_BYTES * 3 / 10;
     let resident_weight_bytes = weight_bytes.min(weight_cap_bytes);
     let spilled_weight_bytes = weight_bytes - resident_weight_bytes;
-    let weight_brams =
-        if resident_weight_bytes == 0 { 0 } else { brams_for_bytes(resident_weight_bytes) };
+    let weight_brams = if resident_weight_bytes == 0 {
+        0
+    } else {
+        brams_for_bytes(resident_weight_bytes)
+    };
 
     // Try tiles from large (less overlap, more BRAM) down to small.
-    let mut candidate_tiles: Vec<usize> =
-        [32, 28, 16, 14, 8, 7, 4, 2, 1].iter().copied().filter(|&t| t <= out_shape.height).collect();
+    let mut candidate_tiles: Vec<usize> = [32, 28, 16, 14, 8, 7, 4, 2, 1]
+        .iter()
+        .copied()
+        .filter(|&t| t <= out_shape.height)
+        .collect();
     if candidate_tiles.is_empty() {
         candidate_tiles.push(1);
     }
@@ -159,8 +167,8 @@ pub fn design(
             let p = if macs[i] == 0 {
                 8 // pool/lrn lanes
             } else {
-                let share = (dsp_budget as u128 * macs[i] as u128 / total_macs.max(1) as u128)
-                    as u64;
+                let share =
+                    (dsp_budget as u128 * macs[i] as u128 / total_macs.max(1) as u128) as u64;
                 let max_p = winofuse_fpga::engine::max_parallelism(
                     layer,
                     winofuse_fpga::engine::Algorithm::Conventional,
@@ -200,7 +208,8 @@ pub fn design(
 
         // Latency: tiles pipeline through the layers; per-tile stage time
         // of layer i = its share of work / derated throughput.
-        let tiles_per_dim = out_shape.height.div_ceil(tile) as u64 * out_shape.width.div_ceil(tile) as u64;
+        let tiles_per_dim =
+            out_shape.height.div_ceil(tile) as u64 * out_shape.width.div_ceil(tile) as u64;
         let mut slowest_total = 0u64;
         for (i, layer) in layers.iter().enumerate() {
             let work = match &layer.kind {
@@ -225,13 +234,11 @@ pub fn design(
             })
             .sum();
 
-        let dram_fmap_bytes =
-            shapes[start].bytes(dtype) as u64 + shapes[end].bytes(dtype) as u64;
+        let dram_fmap_bytes = shapes[start].bytes(dtype) as u64 + shapes[end].bytes(dtype) as u64;
         let tile_rows = out_shape.height.div_ceil(tile) as u64;
         let dram_weight_bytes = resident_weight_bytes + spilled_weight_bytes * tile_rows;
-        let dram_cycles = ((dram_fmap_bytes + dram_weight_bytes) as f64
-            / device.bytes_per_cycle())
-        .ceil() as u64;
+        let dram_cycles =
+            ((dram_fmap_bytes + dram_weight_bytes) as f64 / device.bytes_per_cycle()).ceil() as u64;
         let latency = (slowest_total + fill).max(dram_cycles);
 
         return Ok(AlwaniDesign {
@@ -263,7 +270,10 @@ mod tests {
         assert!(d.latency > 0);
         assert_eq!(d.layer_parallelism.len(), 7);
         // Transfer = first input + last output only (fusion works).
-        assert_eq!(d.dram_fmap_bytes, (3 * 224 * 224 + 256 * 56 * 56) as u64 * 2);
+        assert_eq!(
+            d.dram_fmap_bytes,
+            (3 * 224 * 224 + 256 * 56 * 56) as u64 * 2
+        );
     }
 
     #[test]
@@ -288,7 +298,10 @@ mod tests {
                 LayerConfig::build(
                     &net,
                     i,
-                    EngineConfig { algorithm: Algorithm::Conventional, parallelism: 8 },
+                    EngineConfig {
+                        algorithm: Algorithm::Conventional,
+                        parallelism: 8,
+                    },
                 )
                 .unwrap()
             })

@@ -52,7 +52,10 @@ impl<T: Scalar> LineBuffer<T> {
     ///
     /// Panics if any dimension is zero.
     pub fn new(channels: usize, width: usize, depth: usize) -> Self {
-        assert!(channels > 0 && width > 0 && depth > 0, "line buffer dimensions must be nonzero");
+        assert!(
+            channels > 0 && width > 0 && depth > 0,
+            "line buffer dimensions must be nonzero"
+        );
         LineBuffer {
             channels,
             width,

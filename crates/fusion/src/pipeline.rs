@@ -53,15 +53,20 @@ impl LayerConfig {
         let layer = net
             .layers()
             .get(index)
-            .ok_or_else(|| {
-                FusionError::InvalidGroup(format!("layer index {index} out of range"))
-            })?
+            .ok_or_else(|| FusionError::InvalidGroup(format!("layer index {index} out of range")))?
             .clone();
         let input = net.input_shape_of(index)?;
         let output = net.output_shape_of(index)?;
         let estimate = estimate_layer(&layer, input, &engine)?;
         let weight_bytes = weight_traffic_bytes(&layer, input, engine.algorithm);
-        Ok(LayerConfig { layer, input, output, engine, estimate, weight_bytes })
+        Ok(LayerConfig {
+            layer,
+            input,
+            output,
+            engine,
+            estimate,
+            weight_bytes,
+        })
     }
 }
 
@@ -171,7 +176,9 @@ pub fn group_timing(
 
     for (i, cfg) in configs.iter().enumerate() {
         let est = &cfg.estimate;
-        let iterations = (cfg.output.height as u64).div_ceil(est.output_rows_per_iter as u64).max(1);
+        let iterations = (cfg.output.height as u64)
+            .div_ceil(est.output_rows_per_iter as u64)
+            .max(1);
         let compute_cycles_per_iter = est.compute_cycles.div_ceil(iterations);
 
         let fmap_load_bytes = if i == 0 {
@@ -191,7 +198,9 @@ pub fn group_timing(
             0
         };
 
-        let stage = load_cycles_per_iter.max(compute_cycles_per_iter).max(store_cycles_per_iter);
+        let stage = load_cycles_per_iter
+            .max(compute_cycles_per_iter)
+            .max(store_cycles_per_iter);
         let fill_iters = (est.line_buffer_rows as u64).div_ceil(est.input_rows_per_iter as u64);
         let fill_cycles = stage * fill_iters;
         let latency = iterations * stage + fill_cycles;
@@ -214,18 +223,24 @@ pub fn group_timing(
     for cfg in &configs[..last] {
         let fifo_bytes = cfg.output.row_bytes(dtype) as u64;
         resources += ResourceVec::new(
-            fifo_bytes.div_ceil(winofuse_fpga::device::BRAM18K_BYTES).max(1),
+            fifo_bytes
+                .div_ceil(winofuse_fpga::device::BRAM18K_BYTES)
+                .max(1),
             0,
             100,
             80,
         );
     }
 
-    let dram_fmap_bytes = configs[0].input.bytes(dtype) as u64
-        + configs[last].output.bytes(dtype) as u64;
+    let dram_fmap_bytes =
+        configs[0].input.bytes(dtype) as u64 + configs[last].output.bytes(dtype) as u64;
     let dram_cycles = div_ceil_f(dram_fmap_bytes + weight_bytes_total, bpc);
 
-    let slowest = layers.iter().map(|t| t.iterations * t.stage_cycles_per_iter).max().unwrap_or(0);
+    let slowest = layers
+        .iter()
+        .map(|t| t.iterations * t.stage_cycles_per_iter)
+        .max()
+        .unwrap_or(0);
     let total_fill: u64 = layers.iter().map(|t| t.fill_cycles).sum();
     let pipeline_latency = slowest + total_fill;
     let latency = pipeline_latency.max(dram_cycles);
@@ -293,10 +308,14 @@ pub fn batch_sequence_timing(
     frames: u64,
 ) -> Result<BatchTiming, FusionError> {
     if groups.is_empty() {
-        return Err(FusionError::InvalidGroup("batch needs at least one group".into()));
+        return Err(FusionError::InvalidGroup(
+            "batch needs at least one group".into(),
+        ));
     }
     if frames == 0 {
-        return Err(FusionError::InvalidGroup("batch needs at least one frame".into()));
+        return Err(FusionError::InvalidGroup(
+            "batch needs at least one frame".into(),
+        ));
     }
     let bpc = device.bytes_per_cycle();
     let mut total = 0u64;
@@ -333,7 +352,12 @@ pub fn sequence_timing(groups: Vec<GroupTiming>) -> SequenceTiming {
     let latency = groups.iter().map(|g| g.latency).sum();
     let dram_fmap_bytes = groups.iter().map(|g| g.dram_fmap_bytes).sum();
     let dram_weight_bytes = groups.iter().map(|g| g.dram_weight_bytes).sum();
-    SequenceTiming { groups, latency, dram_fmap_bytes, dram_weight_bytes }
+    SequenceTiming {
+        groups,
+        latency,
+        dram_fmap_bytes,
+        dram_weight_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -343,7 +367,15 @@ mod tests {
     use winofuse_model::zoo;
 
     fn cfg(net: &Network, idx: usize, algo: Algorithm, p: usize) -> LayerConfig {
-        LayerConfig::build(net, idx, EngineConfig { algorithm: algo, parallelism: p }).unwrap()
+        LayerConfig::build(
+            net,
+            idx,
+            EngineConfig {
+                algorithm: algo,
+                parallelism: p,
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -440,7 +472,7 @@ mod tests {
         let wino = weight_traffic_bytes(&net.layers()[1], input, Algorithm::winograd_f43());
         assert_eq!(conv, 64 * 64 * 9 * 2);
         assert_eq!(wino, 64 * 64 * 36 * 2); // α² = 36 transformed coeffs
-        // Pooling has no weights.
+                                            // Pooling has no weights.
         let p = weight_traffic_bytes(&net.layers()[2], input, Algorithm::Conventional);
         assert_eq!(p, 0);
     }
@@ -463,10 +495,13 @@ mod tests {
         let net = zoo::vgg_e_fused_prefix();
         let dev = FpgaDevice::zc706();
         let g = group_timing(&[cfg(&net, 1, Algorithm::Conventional, 128)], &dev).unwrap();
-        let one = batch_sequence_timing(&[g.clone()], &dev, 1).unwrap();
+        let one = batch_sequence_timing(std::slice::from_ref(&g), &dev, 1).unwrap();
         let many = batch_sequence_timing(&[g], &dev, 16).unwrap();
         assert!(many.cycles_per_frame < one.cycles_per_frame);
-        assert_eq!(many.dram_weight_bytes, one.dram_weight_bytes, "weights once per batch");
+        assert_eq!(
+            many.dram_weight_bytes, one.dram_weight_bytes,
+            "weights once per batch"
+        );
         assert_eq!(many.dram_fmap_bytes, 16 * one.dram_fmap_bytes);
     }
 
@@ -516,13 +551,25 @@ mod tests {
                 } else {
                     Algorithm::Conventional
                 };
-                cfg(&net, i, algo, if algo == Algorithm::Conventional { 16 } else { 2 })
+                cfg(
+                    &net,
+                    i,
+                    algo,
+                    if algo == Algorithm::Conventional {
+                        16
+                    } else {
+                        2
+                    },
+                )
             })
             .collect();
         let t = group_timing(&configs, &dev).unwrap();
         assert_eq!(t.layers.len(), 7);
         assert!(t.resources.dsp > 0 && t.resources.bram_18k > 0);
         // Transfer = first input + last output (conv3_1: 256x56x56) only.
-        assert_eq!(t.dram_fmap_bytes, (3 * 224 * 224 + 256 * 56 * 56) as u64 * 2);
+        assert_eq!(
+            t.dram_fmap_bytes,
+            (3 * 224 * 224 + 256 * 56 * 56) as u64 * 2
+        );
     }
 }

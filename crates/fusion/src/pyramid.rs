@@ -29,9 +29,18 @@ impl SpatialSpec {
     /// Extracts the spatial behaviour of a layer.
     pub fn of(kind: &LayerKind) -> SpatialSpec {
         match kind {
-            LayerKind::Conv(c) => SpatialSpec { kernel: c.kernel, stride: c.stride },
-            LayerKind::Pool(p) => SpatialSpec { kernel: p.kernel, stride: p.stride },
-            _ => SpatialSpec { kernel: 1, stride: 1 },
+            LayerKind::Conv(c) => SpatialSpec {
+                kernel: c.kernel,
+                stride: c.stride,
+            },
+            LayerKind::Pool(p) => SpatialSpec {
+                kernel: p.kernel,
+                stride: p.stride,
+            },
+            _ => SpatialSpec {
+                kernel: 1,
+                stride: 1,
+            },
         }
     }
 }
@@ -52,10 +61,14 @@ impl Pyramid {
     /// zero kernel/stride.
     pub fn new(specs: Vec<SpatialSpec>) -> Result<Self, FusionError> {
         if specs.is_empty() {
-            return Err(FusionError::InvalidGroup("pyramid needs at least one layer".into()));
+            return Err(FusionError::InvalidGroup(
+                "pyramid needs at least one layer".into(),
+            ));
         }
         if specs.iter().any(|s| s.kernel == 0 || s.stride == 0) {
-            return Err(FusionError::InvalidGroup("kernel and stride must be nonzero".into()));
+            return Err(FusionError::InvalidGroup(
+                "kernel and stride must be nonzero".into(),
+            ));
         }
         Ok(Pyramid { specs })
     }
@@ -73,7 +86,12 @@ impl Pyramid {
                 net.len()
             )));
         }
-        Pyramid::new(net.layers()[start..end].iter().map(|l| SpatialSpec::of(&l.kind)).collect())
+        Pyramid::new(
+            net.layers()[start..end]
+                .iter()
+                .map(|l| SpatialSpec::of(&l.kind))
+                .collect(),
+        )
     }
 
     /// Number of layers in the stack.
@@ -149,7 +167,10 @@ mod tests {
     use winofuse_model::zoo;
 
     fn k3s1() -> SpatialSpec {
-        SpatialSpec { kernel: 3, stride: 1 }
+        SpatialSpec {
+            kernel: 3,
+            stride: 1,
+        }
     }
 
     #[test]
@@ -172,7 +193,10 @@ mod tests {
     #[test]
     fn stride_multiplies_base() {
         let p = Pyramid::new(vec![
-            SpatialSpec { kernel: 2, stride: 2 }, // pool
+            SpatialSpec {
+                kernel: 2,
+                stride: 2,
+            }, // pool
             k3s1(),
         ])
         .unwrap();
@@ -195,7 +219,11 @@ mod tests {
     #[test]
     fn rejects_degenerate() {
         assert!(Pyramid::new(vec![]).is_err());
-        assert!(Pyramid::new(vec![SpatialSpec { kernel: 0, stride: 1 }]).is_err());
+        assert!(Pyramid::new(vec![SpatialSpec {
+            kernel: 0,
+            stride: 1
+        }])
+        .is_err());
         let net = zoo::small_test_net();
         assert!(Pyramid::for_network(&net, 2, 2).is_err());
         assert!(Pyramid::for_network(&net, 0, 99).is_err());
@@ -212,7 +240,11 @@ mod tests {
 
     #[test]
     fn recompute_ratio_is_one_for_single_elementwise_stack() {
-        let p = Pyramid::new(vec![SpatialSpec { kernel: 1, stride: 1 }]).unwrap();
+        let p = Pyramid::new(vec![SpatialSpec {
+            kernel: 1,
+            stride: 1,
+        }])
+        .unwrap();
         assert!((p.recompute_ratio(4, 16) - 1.0).abs() < 1e-9);
     }
 }

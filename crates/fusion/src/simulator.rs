@@ -25,6 +25,7 @@ use winofuse_model::layer::{Layer, LayerKind};
 use winofuse_model::network::Network;
 use winofuse_model::runtime::{LayerWeights, NetworkWeights};
 use winofuse_model::shape::{DataType, FmShape};
+use winofuse_telemetry::{Telemetry, PID_SIM};
 
 use crate::line_buffer::LineBuffer;
 use crate::pipeline::LayerConfig;
@@ -54,17 +55,17 @@ pub struct SimResult {
 
 impl SimResult {
     /// Fraction of the total span each stage spent busy (occupancy), in
-    /// forward layer order.
+    /// forward layer order. An empty frame (zero-cycle span) has zero
+    /// occupancy everywhere.
     pub fn stage_occupancy(&self) -> Vec<f64> {
+        if self.cycles == 0 {
+            return vec![0.0; self.stage_activity.len()];
+        }
         self.stage_activity
             .iter()
             .map(|iv| {
                 let busy: u64 = iv.iter().map(|(s, e)| e - s).sum();
-                if self.cycles == 0 {
-                    0.0
-                } else {
-                    busy as f64 / self.cycles as f64
-                }
+                busy as f64 / self.cycles as f64
             })
             .collect()
     }
@@ -152,8 +153,11 @@ impl StageState {
                                 }
                                 for v in 0..c.kernel {
                                     let col = (w * c.stride + v) as isize - c.pad as isize;
-                                    let d =
-                                        self.buffer.get_padded_col(group_base + m, r as usize, col)?;
+                                    let d = self.buffer.get_padded_col(
+                                        group_base + m,
+                                        r as usize,
+                                        col,
+                                    )?;
                                     acc += d * kernels.get(n, m, u, v);
                                 }
                             }
@@ -219,8 +223,7 @@ impl StageState {
                             let v = self.buffer.get(cc as usize, i, w)?;
                             sum_sq += v * v;
                         }
-                        let denom = (params.k
-                            + params.alpha / params.local_size as f32 * sum_sq)
+                        let denom = (params.k + params.alpha / params.local_size as f32 * sum_sq)
                             .powf(params.beta);
                         row[ch * out_w + w] = self.buffer.get(ch, i, w)? / denom;
                     }
@@ -253,6 +256,14 @@ pub struct FusedGroupSim {
     weight_bytes: u64,
     input_shape: FmShape,
     output_shape: FmShape,
+    /// Observability context; disabled by default (zero-cost).
+    telemetry: Telemetry,
+    /// First Chrome-trace lane (tid) for this group's stages.
+    trace_tid_base: u64,
+    /// Virtual-time offset applied to emitted slices, so consecutive
+    /// frames (and groups) lay out sequentially on one timeline. Advances
+    /// by each frame's span automatically.
+    trace_ts_offset: u64,
 }
 
 impl FusedGroupSim {
@@ -330,8 +341,7 @@ impl FusedGroupSim {
         let weight_per_row = weight_bytes / (first.input.height as u64).max(1);
         let load_cycles_per_row =
             ((first.input.row_bytes(dtype) as u64 + weight_per_row) as f64 / bpc).ceil() as u64;
-        let store_cycles_per_row =
-            (last.output.row_bytes(dtype) as f64 / bpc).ceil() as u64;
+        let store_cycles_per_row = (last.output.row_bytes(dtype) as f64 / bpc).ceil() as u64;
         Ok(FusedGroupSim {
             stages,
             load_cycles_per_row,
@@ -339,7 +349,29 @@ impl FusedGroupSim {
             weight_bytes,
             input_shape: first.input,
             output_shape: last.output,
+            telemetry: Telemetry::disabled(),
+            trace_tid_base: 1,
+            trace_ts_offset: 0,
         })
+    }
+
+    /// Attaches an observability context. Each stage gets a Chrome-trace
+    /// lane starting at `tid_base` (named after its layer); subsequent
+    /// [`FusedGroupSim::run`] calls emit one slice per busy interval in
+    /// virtual (cycle) time starting at `ts_offset`, plus
+    /// `sim.backpressure_stalls` / `sim.dram_bytes_*` counters.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, tid_base: u64, ts_offset: u64) {
+        for (i, st) in self.stages.iter().enumerate() {
+            telemetry.name_thread(PID_SIM, tid_base + i as u64, &st.layer.name);
+        }
+        self.telemetry = telemetry;
+        self.trace_tid_base = tid_base;
+        self.trace_ts_offset = ts_offset;
+    }
+
+    /// The virtual-time offset the next frame's slices will start at.
+    pub fn trace_ts_offset(&self) -> u64 {
+        self.trace_ts_offset
     }
 
     /// Resets all streaming state (line buffers, counters, timestamps)
@@ -348,8 +380,7 @@ impl FusedGroupSim {
     /// frames.
     pub fn reset(&mut self) {
         for st in &mut self.stages {
-            st.buffer =
-                LineBuffer::new(st.input.channels, st.input.width, st.buffer.depth());
+            st.buffer = LineBuffer::new(st.input.channels, st.input.width, st.buffer.depth());
             st.in_rows_fed = 0;
             st.out_rows_done = 0;
             st.busy_until = 0;
@@ -466,7 +497,7 @@ impl FusedGroupSim {
             }
         }
 
-        Ok(SimResult {
+        let result = SimResult {
             output: out,
             cycles: finish,
             dram_bytes_read: self.input_shape.bytes(dtype) as u64 + self.weight_bytes,
@@ -474,7 +505,35 @@ impl FusedGroupSim {
             backpressure_stalls: stalls,
             stage_activity,
             stage_names: self.stages.iter().map(|st| st.layer.name.clone()).collect(),
-        })
+        };
+        self.emit_telemetry(&result);
+        Ok(result)
+    }
+
+    /// Re-emits a frame's busy intervals as Chrome-trace slices (1 cycle
+    /// = 1 us in the viewer) and bumps the simulator counters. The next
+    /// frame starts where this one ended on the virtual timeline.
+    fn emit_telemetry(&mut self, result: &SimResult) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for (i, intervals) in result.stage_activity.iter().enumerate() {
+            let tid = self.trace_tid_base + i as u64;
+            let name = &result.stage_names[i];
+            for &(s, e) in intervals {
+                self.telemetry
+                    .slice("sim", name, tid, self.trace_ts_offset + s, e - s);
+            }
+        }
+        self.trace_ts_offset += result.cycles;
+        self.telemetry.add("sim.frames", 1);
+        self.telemetry.add("sim.cycles", result.cycles);
+        self.telemetry
+            .add("sim.backpressure_stalls", result.backpressure_stalls);
+        self.telemetry
+            .add("sim.dram_bytes_read", result.dram_bytes_read);
+        self.telemetry
+            .add("sim.dram_bytes_written", result.dram_bytes_written);
     }
 }
 
@@ -488,17 +547,16 @@ mod tests {
     use winofuse_model::runtime::{forward, NetworkWeights};
     use winofuse_model::zoo;
 
-    fn configs_for(
-        net: &Network,
-        range: std::ops::Range<usize>,
-        p: usize,
-    ) -> Vec<LayerConfig> {
+    fn configs_for(net: &Network, range: std::ops::Range<usize>, p: usize) -> Vec<LayerConfig> {
         range
             .map(|i| {
                 LayerConfig::build(
                     net,
                     i,
-                    EngineConfig { algorithm: Algorithm::Conventional, parallelism: p },
+                    EngineConfig {
+                        algorithm: Algorithm::Conventional,
+                        parallelism: p,
+                    },
                 )
                 .unwrap()
             })
@@ -601,7 +659,10 @@ mod tests {
         slow[1] = LayerConfig::build(
             &net,
             1,
-            EngineConfig { algorithm: Algorithm::Conventional, parallelism: 1 },
+            EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 1,
+            },
         )
         .unwrap();
         let mut sim_fast = FusedGroupSim::new(&net, 0, &fast, &weights, &dev).unwrap();
@@ -668,6 +729,55 @@ mod tests {
         assert!(occ.iter().all(|&o| (0.0..=1.0).contains(&o)));
         // The slowest stage should dominate the span.
         assert!(occ.iter().cloned().fold(0.0, f64::max) > 0.3);
+    }
+
+    #[test]
+    fn empty_frame_has_zero_occupancy() {
+        // A zero-cycle frame must report 0.0 for every stage rather than
+        // dividing by the span.
+        let r = SimResult {
+            output: Tensor::zeros(1, 1, 1, 1),
+            cycles: 0,
+            dram_bytes_read: 0,
+            dram_bytes_written: 0,
+            backpressure_stalls: 0,
+            stage_activity: vec![Vec::new(), Vec::new(), Vec::new()],
+            stage_names: vec!["a".into(), "b".into(), "c".into()],
+        };
+        assert_eq!(r.stage_occupancy(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn telemetry_slices_match_stage_activity() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 23).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 24);
+        let dev = FpgaDevice::zc706();
+        let configs = configs_for(&net, 0..net.len(), 8);
+        let mut sim = FusedGroupSim::new(&net, 0, &configs, &weights, &dev).unwrap();
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let tele = Telemetry::with_sink(Box::new(winofuse_telemetry::VecSink(events.clone())));
+        sim.set_telemetry(tele.clone(), 10, 0);
+        let r = sim.run(&x).unwrap();
+        let summary = tele.summary();
+        assert_eq!(summary.counter("sim.frames"), 1);
+        assert_eq!(
+            summary.counter("sim.backpressure_stalls"),
+            r.backpressure_stalls
+        );
+        assert_eq!(summary.counter("sim.dram_bytes_read"), r.dram_bytes_read);
+        let evs = events.lock().unwrap();
+        let slices = evs.iter().filter(|e| e.phase == 'X').count();
+        let intervals: usize = r.stage_activity.iter().map(Vec::len).sum();
+        assert_eq!(slices, intervals);
+        // One thread-name metadata record per stage.
+        assert_eq!(evs.iter().filter(|e| e.phase == 'M').count(), net.len());
+        // A second frame lands after the first on the virtual timeline.
+        // (Release the sink's mutex first: emitting that frame locks it.)
+        drop(evs);
+        assert_eq!(sim.trace_ts_offset(), r.cycles);
+        sim.run(&x).unwrap();
+        assert_eq!(sim.trace_ts_offset(), 2 * r.cycles);
     }
 
     #[test]

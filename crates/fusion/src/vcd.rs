@@ -29,7 +29,9 @@ fn ident(i: usize) -> String {
 
 /// Sanitizes a layer name into a VCD wire identifier.
 fn wire_name(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Renders a [`SimResult`] as a VCD document with one `busy` wire per
@@ -105,7 +107,10 @@ mod tests {
                 LayerConfig::build(
                     &net,
                     i,
-                    EngineConfig { algorithm: Algorithm::Conventional, parallelism: 8 },
+                    EngineConfig {
+                        algorithm: Algorithm::Conventional,
+                        parallelism: 8,
+                    },
                 )
                 .unwrap()
             })
@@ -164,6 +169,8 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), 300, "identifiers must be unique");
-        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+        assert!(ids
+            .iter()
+            .all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
     }
 }

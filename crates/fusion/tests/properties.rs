@@ -24,10 +24,7 @@ fn arb_chain() -> impl Strategy<Value = Network> {
                         b = b.conv(format!("c{i}"), ConvParams::vgg3x3(ch * 2));
                     }
                     _ => {
-                        b = b.pool(
-                            format!("p{i}"),
-                            winofuse_model::layer::PoolParams::max2x2(),
-                        );
+                        b = b.pool(format!("p{i}"), winofuse_model::layer::PoolParams::max2x2());
                     }
                 }
             }

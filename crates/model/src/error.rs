@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn display_mentions_layer_name() {
-        let e = ModelError::ShapeInference { layer: "conv7".into(), reason: "kernel too big".into() };
+        let e = ModelError::ShapeInference {
+            layer: "conv7".into(),
+            reason: "kernel too big".into(),
+        };
         assert!(e.to_string().contains("conv7"));
     }
 

@@ -30,7 +30,14 @@ pub struct ConvParams {
 impl ConvParams {
     /// Basic constructor (single channel group).
     pub fn new(num_output: usize, kernel: usize, stride: usize, pad: usize, relu: bool) -> Self {
-        ConvParams { num_output, kernel, stride, pad, groups: 1, relu }
+        ConvParams {
+            num_output,
+            kernel,
+            stride,
+            pad,
+            groups: 1,
+            relu,
+        }
     }
 
     /// Convenience constructor for the VGG-style 3×3/stride-1/pad-1 layer
@@ -68,12 +75,22 @@ pub struct PoolParams {
 impl PoolParams {
     /// The VGG 2×2/stride-2 max pool.
     pub fn max2x2() -> Self {
-        PoolParams { kernel: 2, stride: 2, pad: 0, kind: PoolKind::Max }
+        PoolParams {
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+            kind: PoolKind::Max,
+        }
     }
 
     /// The AlexNet 3×3/stride-2 overlapping max pool.
     pub fn max3x3s2() -> Self {
-        PoolParams { kernel: 3, stride: 2, pad: 0, kind: PoolKind::Max }
+        PoolParams {
+            kernel: 3,
+            stride: 2,
+            pad: 0,
+            kind: PoolKind::Max,
+        }
     }
 }
 
@@ -92,7 +109,12 @@ pub struct LrnSpec {
 
 impl Default for LrnSpec {
     fn default() -> Self {
-        LrnSpec { local_size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 }
+        LrnSpec {
+            local_size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 2.0,
+        }
     }
 }
 
@@ -149,7 +171,10 @@ pub struct Layer {
 impl Layer {
     /// Creates a named layer.
     pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
-        Layer { name: name.into(), kind }
+        Layer {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// Infers the output shape given the input shape.
@@ -160,7 +185,10 @@ impl Layer {
     /// fit the input (kernel too large, zero stride, FC/softmax
     /// constraints violated).
     pub fn output_shape(&self, input: FmShape) -> Result<FmShape, ModelError> {
-        let err = |reason: String| ModelError::ShapeInference { layer: self.name.clone(), reason };
+        let err = |reason: String| ModelError::ShapeInference {
+            layer: self.name.clone(),
+            reason,
+        };
         let spatial = |k: usize, s: usize, p: usize| -> Result<(usize, usize), ModelError> {
             if s == 0 {
                 return Err(err("stride must be nonzero".into()));
@@ -188,7 +216,7 @@ impl Layer {
                 if c.groups == 0 {
                     return Err(err("groups must be nonzero".into()));
                 }
-                if input.channels % c.groups != 0 || c.num_output % c.groups != 0 {
+                if !input.channels.is_multiple_of(c.groups) || c.num_output % c.groups != 0 {
                     return Err(err(format!(
                         "groups {} must divide input channels {} and num_output {}",
                         c.groups, input.channels, c.num_output
@@ -336,7 +364,9 @@ mod tests {
     fn lrn_and_relu_identity_shape() {
         let s = FmShape::new(96, 55, 55);
         assert_eq!(
-            Layer::new("n", LayerKind::Lrn(LrnSpec::default())).output_shape(s).unwrap(),
+            Layer::new("n", LayerKind::Lrn(LrnSpec::default()))
+                .output_shape(s)
+                .unwrap(),
             s
         );
         assert_eq!(Layer::new("r", LayerKind::Relu).output_shape(s).unwrap(), s);
@@ -344,7 +374,13 @@ mod tests {
 
     #[test]
     fn fc_flattens() {
-        let l = Layer::new("fc", LayerKind::Fc(FcParams { num_output: 4096, relu: true }));
+        let l = Layer::new(
+            "fc",
+            LayerKind::Fc(FcParams {
+                num_output: 4096,
+                relu: true,
+            }),
+        );
         let out = l.output_shape(FmShape::new(256, 6, 6)).unwrap();
         assert_eq!(out, FmShape::new(4096, 1, 1));
     }
@@ -375,7 +411,13 @@ mod tests {
     fn weight_counts() {
         let l = conv(3, 1, 1, 64);
         assert_eq!(l.weight_count(FmShape::new(64, 224, 224)), 64 * 64 * 9);
-        let fc = Layer::new("fc", LayerKind::Fc(FcParams { num_output: 10, relu: false }));
+        let fc = Layer::new(
+            "fc",
+            LayerKind::Fc(FcParams {
+                num_output: 10,
+                relu: false,
+            }),
+        );
         assert_eq!(fc.weight_count(FmShape::new(4, 1, 1)), 10 * 5);
     }
 
@@ -386,7 +428,10 @@ mod tests {
         let input = FmShape::new(96, 27, 27);
         assert_eq!(two.macs(input) * 2, plain.macs(input));
         assert_eq!(two.weight_count(input) * 2, plain.weight_count(input));
-        assert_eq!(two.output_shape(input).unwrap(), plain.output_shape(input).unwrap());
+        assert_eq!(
+            two.output_shape(input).unwrap(),
+            plain.output_shape(input).unwrap()
+        );
     }
 
     #[test]

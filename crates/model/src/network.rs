@@ -54,14 +54,22 @@ impl Network {
                 )));
             }
         }
-        let net = Network { name: name.into(), input, layers };
+        let net = Network {
+            name: name.into(),
+            input,
+            layers,
+        };
         net.output_shape()?; // validate the whole chain
         Ok(net)
     }
 
     /// Starts a [`NetworkBuilder`].
     pub fn builder(name: impl Into<String>, input: FmShape) -> NetworkBuilder {
-        NetworkBuilder { name: name.into(), input, layers: Vec::new() }
+        NetworkBuilder {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+        }
     }
 
     /// Network name.
@@ -98,7 +106,10 @@ impl Network {
     /// impossible on a validated network but still propagated.
     pub fn input_shape_of(&self, index: usize) -> Result<FmShape, ModelError> {
         if index >= self.layers.len() {
-            return Err(ModelError::LayerOutOfRange { index, len: self.layers.len() });
+            return Err(ModelError::LayerOutOfRange {
+                index,
+                len: self.layers.len(),
+            });
         }
         let mut shape = self.input;
         for layer in &self.layers[..index] {
@@ -285,7 +296,13 @@ impl Network {
 
 impl fmt::Display for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} layers, input {})", self.name, self.layers.len(), self.input)
+        write!(
+            f,
+            "{} ({} layers, input {})",
+            self.name,
+            self.layers.len(),
+            self.input
+        )
     }
 }
 
@@ -443,10 +460,7 @@ mod tests {
         // Pool shrinks to 1x1; a later 3x3 conv without padding can't fit.
         let bad = Network::builder("bad", FmShape::new(1, 2, 2))
             .pool("p", PoolParams::max2x2())
-            .conv(
-                "c",
-                ConvParams::new(1, 3, 1, 0, false),
-            )
+            .conv("c", ConvParams::new(1, 3, 1, 0, false))
             .build();
         assert!(bad.is_err());
     }
@@ -495,6 +509,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // single-module tilings are the point
     fn modular_network_validates_tiling() {
         let net = tiny();
         assert!(ModularNetwork::new(net.clone(), vec![0..2, 2..3]).is_ok());
@@ -511,7 +526,13 @@ mod tests {
         let net = Network::builder("n", FmShape::new(3, 8, 8))
             .conv("c1", ConvParams::vgg3x3(4))
             .pool("p1", PoolParams::max2x2())
-            .fc("fc1", crate::layer::FcParams { num_output: 10, relu: false })
+            .fc(
+                "fc1",
+                crate::layer::FcParams {
+                    num_output: 10,
+                    relu: false,
+                },
+            )
             .softmax("prob")
             .build()
             .unwrap();

@@ -74,15 +74,24 @@ fn tokenize(src: &str) -> Result<Vec<Spanned>, ModelError> {
                 }
                 '{' => {
                     chars.next();
-                    out.push(Spanned { tok: Tok::LBrace, line: line_num });
+                    out.push(Spanned {
+                        tok: Tok::LBrace,
+                        line: line_num,
+                    });
                 }
                 '}' => {
                     chars.next();
-                    out.push(Spanned { tok: Tok::RBrace, line: line_num });
+                    out.push(Spanned {
+                        tok: Tok::RBrace,
+                        line: line_num,
+                    });
                 }
                 ':' => {
                     chars.next();
-                    out.push(Spanned { tok: Tok::Colon, line: line_num });
+                    out.push(Spanned {
+                        tok: Tok::Colon,
+                        line: line_num,
+                    });
                 }
                 '"' => {
                     chars.next();
@@ -99,12 +108,20 @@ fn tokenize(src: &str) -> Result<Vec<Spanned>, ModelError> {
                             }
                         }
                     }
-                    out.push(Spanned { tok: Tok::Str(s), line: line_num });
+                    out.push(Spanned {
+                        tok: Tok::Str(s),
+                        line: line_num,
+                    });
                 }
                 c if c.is_ascii_digit() || c == '-' || c == '.' => {
                     let mut s = String::new();
                     while let Some(&c) = chars.peek() {
-                        if c.is_ascii_digit() || c == '-' || c == '.' || c == 'e' || c == 'E' || c == '+'
+                        if c.is_ascii_digit()
+                            || c == '-'
+                            || c == '.'
+                            || c == 'e'
+                            || c == 'E'
+                            || c == '+'
                         {
                             s.push(c);
                             chars.next();
@@ -116,7 +133,10 @@ fn tokenize(src: &str) -> Result<Vec<Spanned>, ModelError> {
                         line: line_num,
                         reason: format!("invalid number `{s}`"),
                     })?;
-                    out.push(Spanned { tok: Tok::Num(v), line: line_num });
+                    out.push(Spanned {
+                        tok: Tok::Num(v),
+                        line: line_num,
+                    });
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
                     let mut s = String::new();
@@ -128,7 +148,10 @@ fn tokenize(src: &str) -> Result<Vec<Spanned>, ModelError> {
                             break;
                         }
                     }
-                    out.push(Spanned { tok: Tok::Ident(s), line: line_num });
+                    out.push(Spanned {
+                        tok: Tok::Ident(s),
+                        line: line_num,
+                    });
                 }
                 other => {
                     return Err(ModelError::ParseProtoTxt {
@@ -167,7 +190,10 @@ impl Message {
     }
 
     fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a Value> + 'a {
-        self.fields.iter().filter(move |(k, _)| k == key).map(|(_, v)| v)
+        self.fields
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     fn num(&self, key: &str) -> Option<f64> {
@@ -226,7 +252,10 @@ impl Parser {
                         reason: "unexpected end of input inside a block".into(),
                     });
                 }
-                Some(Spanned { tok: Tok::RBrace, line }) => {
+                Some(Spanned {
+                    tok: Tok::RBrace,
+                    line,
+                }) => {
                     if top_level {
                         let line = *line;
                         return Err(ModelError::ParseProtoTxt {
@@ -237,17 +266,29 @@ impl Parser {
                     self.next();
                     return Ok(msg);
                 }
-                Some(Spanned { tok: Tok::Ident(_), .. }) => {
-                    let Some(Spanned { tok: Tok::Ident(key), line }) = self.next() else {
+                Some(Spanned {
+                    tok: Tok::Ident(_), ..
+                }) => {
+                    let Some(Spanned {
+                        tok: Tok::Ident(key),
+                        line,
+                    }) = self.next()
+                    else {
                         unreachable!()
                     };
                     match self.peek().map(|s| s.tok.clone()) {
                         Some(Tok::Colon) => {
                             self.next();
                             let value = match self.next() {
-                                Some(Spanned { tok: Tok::Str(s), .. }) => Value::Str(s),
-                                Some(Spanned { tok: Tok::Num(v), .. }) => Value::Num(v),
-                                Some(Spanned { tok: Tok::Ident(s), .. }) => Value::Enum(s),
+                                Some(Spanned {
+                                    tok: Tok::Str(s), ..
+                                }) => Value::Str(s),
+                                Some(Spanned {
+                                    tok: Tok::Num(v), ..
+                                }) => Value::Num(v),
+                                Some(Spanned {
+                                    tok: Tok::Ident(s), ..
+                                }) => Value::Enum(s),
                                 other => {
                                     return Err(ModelError::ParseProtoTxt {
                                         line,
@@ -267,7 +308,9 @@ impl Parser {
                         other => {
                             return Err(ModelError::ParseProtoTxt {
                                 line,
-                                reason: format!("expected `:` or `{{` after `{key}`, found {other:?}"),
+                                reason: format!(
+                                    "expected `:` or `{{` after `{key}`, found {other:?}"
+                                ),
                             })
                         }
                     }
@@ -291,12 +334,17 @@ impl Parser {
 fn interpret_layer(msg: &Message) -> Result<Option<Layer>, ModelError> {
     let name = msg
         .str_field("name")
-        .ok_or_else(|| ModelError::ParseProtoTxt { line: 0, reason: "layer missing `name`".into() })?
+        .ok_or_else(|| ModelError::ParseProtoTxt {
+            line: 0,
+            reason: "layer missing `name`".into(),
+        })?
         .to_owned();
-    let ty = msg.str_field("type").ok_or_else(|| ModelError::ParseProtoTxt {
-        line: 0,
-        reason: format!("layer `{name}` missing `type`"),
-    })?;
+    let ty = msg
+        .str_field("type")
+        .ok_or_else(|| ModelError::ParseProtoTxt {
+            line: 0,
+            reason: format!("layer `{name}` missing `type`"),
+        })?;
     let kind = match ty {
         "Convolution" => {
             let p = match msg.get("convolution_param") {
@@ -366,7 +414,10 @@ fn interpret_layer(msg: &Message) -> Result<Option<Layer>, ModelError> {
                     reason: format!("layer `{name}`: inner product needs num_output > 0"),
                 });
             }
-            LayerKind::Fc(FcParams { num_output, relu: false })
+            LayerKind::Fc(FcParams {
+                num_output,
+                relu: false,
+            })
         }
         "Softmax" | "SoftmaxWithLoss" => LayerKind::Softmax,
         "Dropout" | "Input" | "Data" | "Accuracy" => return Ok(None), // inference no-ops
@@ -478,7 +529,11 @@ pub fn to_prototxt(net: &Network) -> String {
     for layer in net.layers() {
         match &layer.kind {
             LayerKind::Conv(c) => {
-                let group = if c.groups > 1 { format!(" group: {}", c.groups) } else { String::new() };
+                let group = if c.groups > 1 {
+                    format!(" group: {}", c.groups)
+                } else {
+                    String::new()
+                };
                 let _ = writeln!(
                     s,
                     "layer {{\n  name: \"{}\"\n  type: \"Convolution\"\n  convolution_param {{ num_output: {} kernel_size: {} stride: {} pad: {}{} }}\n}}",
@@ -657,7 +712,12 @@ layer { name: "c" type: "Deconvolution" }
 
     #[test]
     fn zoo_networks_roundtrip() {
-        for net in [zoo::alexnet(), zoo::vgg16(), zoo::vgg_e(), zoo::small_test_net()] {
+        for net in [
+            zoo::alexnet(),
+            zoo::vgg16(),
+            zoo::vgg_e(),
+            zoo::small_test_net(),
+        ] {
             let text = to_prototxt(&net);
             let back = parse(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", net.name()));
             assert_eq!(back.len(), net.len(), "{}", net.name());

@@ -83,9 +83,18 @@ impl NetworkWeights {
                 LayerKind::Fc(fc) => {
                     let in_f = input.elements();
                     let scale = (in_f as f32).sqrt().recip();
-                    let flat = random_tensor(1, 1, fc.num_output, in_f, seed.wrapping_add(i as u64 * 104729));
+                    let flat = random_tensor(
+                        1,
+                        1,
+                        fc.num_output,
+                        in_f,
+                        seed.wrapping_add(i as u64 * 104729),
+                    );
                     let weights = flat.as_slice().iter().map(|v| v * scale).collect();
-                    LayerWeights::Fc { weights, bias: vec![0.0; fc.num_output] }
+                    LayerWeights::Fc {
+                        weights,
+                        bias: vec![0.0; fc.num_output],
+                    }
                 }
                 _ => LayerWeights::None,
             };
@@ -180,8 +189,11 @@ pub fn forward_with<F: FnMut(usize) -> RefAlgo>(
                     // their channel slice.
                     let cg = c.channels_per_group(cur.c());
                     let ng = c.num_output / c.groups;
-                    let out_shape = layer
-                        .output_shape(crate::shape::FmShape::new(cur.c(), cur.h(), cur.w()))?;
+                    let out_shape = layer.output_shape(crate::shape::FmShape::new(
+                        cur.c(),
+                        cur.h(),
+                        cur.w(),
+                    ))?;
                     let mut out =
                         Tensor::zeros(cur.n(), c.num_output, out_shape.height, out_shape.width);
                     for g in 0..c.groups {
@@ -280,7 +292,11 @@ mod tests {
         })
         .unwrap();
         for (ya, yb) in a.iter().zip(&b) {
-            assert!(ya.approx_eq(yb, 1e-2), "diff {}", ya.max_abs_diff(yb).unwrap());
+            assert!(
+                ya.approx_eq(yb, 1e-2),
+                "diff {}",
+                ya.max_abs_diff(yb).unwrap()
+            );
         }
     }
 

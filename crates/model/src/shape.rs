@@ -59,7 +59,11 @@ pub struct FmShape {
 impl FmShape {
     /// Creates a shape.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        FmShape { channels, height, width }
+        FmShape {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Total number of elements.

@@ -31,9 +31,27 @@ pub fn alexnet() -> Network {
         .conv("conv4", ConvParams::new(384, 3, 1, 1, true).with_groups(2))
         .conv("conv5", ConvParams::new(256, 3, 1, 1, true).with_groups(2))
         .pool("pool5", PoolParams::max3x3s2())
-        .fc("fc6", FcParams { num_output: 4096, relu: true })
-        .fc("fc7", FcParams { num_output: 4096, relu: true })
-        .fc("fc8", FcParams { num_output: 1000, relu: false })
+        .fc(
+            "fc6",
+            FcParams {
+                num_output: 4096,
+                relu: true,
+            },
+        )
+        .fc(
+            "fc7",
+            FcParams {
+                num_output: 4096,
+                relu: true,
+            },
+        )
+        .fc(
+            "fc8",
+            FcParams {
+                num_output: 1000,
+                relu: false,
+            },
+        )
         .softmax("prob")
         .build()
         .expect("alexnet description is valid")
@@ -47,12 +65,30 @@ fn vgg(name: &str, blocks: &[(usize, usize)]) -> Network {
         }
         b = b.pool(format!("pool{}", bi + 1), PoolParams::max2x2());
     }
-    b.fc("fc6", FcParams { num_output: 4096, relu: true })
-        .fc("fc7", FcParams { num_output: 4096, relu: true })
-        .fc("fc8", FcParams { num_output: 1000, relu: false })
-        .softmax("prob")
-        .build()
-        .expect("vgg description is valid")
+    b.fc(
+        "fc6",
+        FcParams {
+            num_output: 4096,
+            relu: true,
+        },
+    )
+    .fc(
+        "fc7",
+        FcParams {
+            num_output: 4096,
+            relu: true,
+        },
+    )
+    .fc(
+        "fc8",
+        FcParams {
+            num_output: 1000,
+            relu: false,
+        },
+    )
+    .softmax("prob")
+    .build()
+    .expect("vgg description is valid")
 }
 
 /// VGG-16 (configuration D of Simonyan & Zisserman): 13 convolutional
@@ -76,7 +112,9 @@ pub fn vgg_e() -> Network {
 ///
 /// Never panics — the prefix is statically valid.
 pub fn vgg_e_fused_prefix() -> Network {
-    vgg_e().subnetwork(0..7).expect("vgg-e has at least 7 layers")
+    vgg_e()
+        .subnetwork(0..7)
+        .expect("vgg-e has at least 7 layers")
 }
 
 /// A GoogleNet-like deep modular network: a stem followed by eight
@@ -101,8 +139,16 @@ pub fn googlenet_like() -> crate::network::ModularNetwork {
     let mut modules = vec![0..2usize, 2..5];
     let mut at = 5usize;
     // Eight inception-style modules; pooling after the 2nd and 5th.
-    let widths: [(usize, usize); 8] =
-        [(96, 128), (128, 192), (96, 208), (112, 224), (128, 256), (144, 288), (160, 320), (192, 384)];
+    let widths: [(usize, usize); 8] = [
+        (96, 128),
+        (128, 192),
+        (96, 208),
+        (112, 224),
+        (128, 256),
+        (144, 288),
+        (160, 320),
+        (192, 384),
+    ];
     for (i, (reduce, expand)) in widths.iter().enumerate() {
         b = b
             .conv(
@@ -148,7 +194,15 @@ pub fn mixed_test_net() -> Network {
     Network::builder("mixed-test", FmShape::new(4, 24, 24))
         .conv("conv1", ConvParams::vgg3x3(8))
         .lrn("norm1", LrnSpec::default())
-        .pool("pool1", PoolParams { kernel: 2, stride: 2, pad: 0, kind: PoolKind::Average })
+        .pool(
+            "pool1",
+            PoolParams {
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+                kind: PoolKind::Average,
+            },
+        )
         .conv("conv2", ConvParams::vgg3x3(8))
         .pool("pool2", PoolParams::max2x2())
         .build()
@@ -181,7 +235,9 @@ mod tests {
         assert_eq!(body.len(), 10);
         assert_eq!(body.layers().last().unwrap().name, "pool5");
         // Paper §7.3: 340 KB transfer constraint = first input + last output.
-        let t = body.fused_transfer_bytes(0..body.len(), DataType::Fixed16).unwrap();
+        let t = body
+            .fused_transfer_bytes(0..body.len(), DataType::Fixed16)
+            .unwrap();
         let kb = t as f64 / 1024.0;
         assert!((300.0..340.0).contains(&kb), "got {kb} KB");
     }
@@ -191,7 +247,10 @@ mod tests {
         let net = vgg_e();
         assert_eq!(net.conv_layer_indices().len(), 16);
         assert_eq!(
-            net.layers().iter().filter(|l| matches!(l.kind, LayerKind::Pool(_))).count(),
+            net.layers()
+                .iter()
+                .filter(|l| matches!(l.kind, LayerKind::Pool(_)))
+                .count(),
             5
         );
         assert_eq!(net.output_shape().unwrap(), FmShape::new(1000, 1, 1));

@@ -1,0 +1,514 @@
+//! Observability layer for the winofuse optimizer and fusion pipeline.
+//!
+//! The strategy search (Algorithms 1 and 2) and the cycle-approximate
+//! fusion simulator are the two black boxes of this codebase; this crate
+//! gives them structured runtime visibility without perturbing them:
+//!
+//! * [`Telemetry`] — a cheaply cloneable handle owning a thread-safe
+//!   registry of named [`Counter`]s and [`Histogram`]s plus an optional
+//!   [`TraceSink`]. A disabled handle ([`Telemetry::disabled`]) carries no
+//!   allocation at all and every operation on it is an inlined null check,
+//!   so instrumented hot loops cost nothing when observability is off.
+//! * [`Span`] — a scoped wall-clock timer that emits a Chrome
+//!   `trace_event` complete slice (`"ph":"X"`) when dropped.
+//! * [`TraceSink`] implementations: [`ChromeTraceSink`] writes a
+//!   Perfetto / `chrome://tracing`-loadable JSON object, and
+//!   [`JsonLinesSink`] streams one event object per line.
+//! * [`RunTelemetry`] — an end-of-run snapshot of every counter and
+//!   histogram, serializable to JSON for machine-readable run reports.
+//!
+//! Virtual-time slices (e.g. simulator stage busy intervals measured in
+//! cycles rather than nanoseconds) are emitted via [`Telemetry::slice`],
+//! which bypasses the wall clock entirely.
+
+pub mod json;
+mod sink;
+
+pub use json::JsonValue;
+pub use sink::{ChromeTraceSink, JsonLinesSink, TraceEvent, TraceSink, VecSink};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default Chrome-trace process id for wall-clock spans.
+pub const PID_WALL: u64 = 1;
+/// Chrome-trace process id for virtual-time (simulated-cycle) slices.
+pub const PID_SIM: u64 = 2;
+
+// ---------------------------------------------------------------------------
+// Counters and histograms
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing event counter.
+///
+/// Obtained from [`Telemetry::counter`]; the handle caches the underlying
+/// atomic so hot loops pay one null check plus one relaxed atomic add, or
+/// only the null check when telemetry is disabled.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A counter permanently disconnected from any registry.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value; 0 for a disconnected counter.
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Aggregate statistics for a stream of observed values.
+///
+/// Tracks count / sum / min / max — enough to answer "how many frontier
+/// points per DP cell" style questions without storing every sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A cached handle onto a named histogram, mirroring [`Counter`].
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.record(value);
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map(|c| c.snapshot())
+            .unwrap_or(HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+            })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry handle
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+    sink: Mutex<Option<Box<dyn TraceSink + Send>>>,
+}
+
+/// Shared observability context threaded through the optimizer and
+/// simulator. Clone freely; all clones share one registry and sink.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "Telemetry(enabled)"
+        } else {
+            "Telemetry(disabled)"
+        })
+    }
+}
+
+impl Telemetry {
+    /// An active context with no sink attached: counters and histograms
+    /// accumulate, spans and slices are dropped.
+    pub fn enabled() -> Self {
+        Telemetry(Some(Arc::new(Inner {
+            epoch: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            sink: Mutex::new(None),
+        })))
+    }
+
+    /// An active context writing trace events to `sink`.
+    pub fn with_sink(sink: Box<dyn TraceSink + Send>) -> Self {
+        let t = Telemetry::enabled();
+        if let Some(inner) = &t.0 {
+            *inner.sink.lock().unwrap() = Some(sink);
+        }
+        t
+    }
+
+    /// The zero-cost no-op context: every operation is an inlined null
+    /// check, no allocation is held.
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Returns the cached handle for the counter named `name`, creating
+    /// it on first use. On a disabled context this is a no-op handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.0 {
+            None => Counter(None),
+            Some(inner) => {
+                let mut reg = inner.counters.lock().unwrap();
+                let cell = reg
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                    .clone();
+                Counter(Some(cell))
+            }
+        }
+    }
+
+    /// Returns the cached handle for the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.0 {
+            None => Histogram(None),
+            Some(inner) => {
+                let mut reg = inner.histograms.lock().unwrap();
+                let cell = reg
+                    .entry(name.to_string())
+                    .or_insert_with(|| {
+                        Arc::new(HistogramCell {
+                            min: AtomicU64::new(u64::MAX),
+                            ..HistogramCell::default()
+                        })
+                    })
+                    .clone();
+                Histogram(Some(cell))
+            }
+        }
+    }
+
+    /// Convenience: bump the named counter by `delta` without caching a
+    /// handle. Prefer [`Telemetry::counter`] + [`Counter::add`] in loops.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Opens a wall-clock span; a `"ph":"X"` trace slice is emitted when
+    /// the returned guard drops. `category` groups slices in the viewer.
+    pub fn span(&self, category: &str, name: &str) -> Span {
+        match &self.0 {
+            None => Span(None),
+            Some(_) => Span(Some(SpanInner {
+                telemetry: self.clone(),
+                category: category.to_string(),
+                name: name.to_string(),
+                start: Instant::now(),
+            })),
+        }
+    }
+
+    /// Emits a complete slice with explicit (virtual) timestamps, e.g.
+    /// simulator stage busy intervals measured in cycles. `ts` and `dur`
+    /// land in the trace's microsecond fields verbatim (1 cycle = 1 us in
+    /// the viewer), on process [`PID_SIM`], thread `tid`.
+    pub fn slice(&self, category: &str, name: &str, tid: u64, ts: u64, dur: u64) {
+        self.emit(TraceEvent {
+            name: name.to_string(),
+            category: category.to_string(),
+            phase: 'X',
+            ts,
+            dur: Some(dur),
+            pid: PID_SIM,
+            tid,
+        });
+    }
+
+    /// Emits a `"ph":"M"` metadata event naming a virtual thread lane, so
+    /// trace viewers label simulator stages by name instead of tid.
+    pub fn name_thread(&self, pid: u64, tid: u64, name: &str) {
+        self.emit(TraceEvent {
+            name: format!("thread_name:{name}"),
+            category: String::new(),
+            phase: 'M',
+            ts: 0,
+            dur: None,
+            pid,
+            tid,
+        });
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        if let Some(inner) = &self.0 {
+            if let Some(sink) = inner.sink.lock().unwrap().as_mut() {
+                sink.event(&event);
+            }
+        }
+    }
+
+    /// Microseconds since this context was created (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |inner| inner.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Flushes and closes the sink, if any. Call once at end of run; the
+    /// Chrome backend writes its closing bracket here.
+    pub fn finish_sink(&self) -> std::io::Result<()> {
+        if let Some(inner) = &self.0 {
+            if let Some(mut sink) = inner.sink.lock().unwrap().take() {
+                sink.finish()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshots every counter and histogram into a serializable report.
+    pub fn summary(&self) -> RunTelemetry {
+        let mut out = RunTelemetry::default();
+        if let Some(inner) = &self.0 {
+            for (name, cell) in inner.counters.lock().unwrap().iter() {
+                out.counters
+                    .insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+            for (name, cell) in inner.histograms.lock().unwrap().iter() {
+                out.histograms.insert(name.clone(), cell.snapshot());
+            }
+        }
+        out
+    }
+}
+
+struct SpanInner {
+    telemetry: Telemetry,
+    category: String,
+    name: String,
+    start: Instant,
+}
+
+/// RAII guard returned by [`Telemetry::span`]; emits its slice on drop.
+pub struct Span(Option<SpanInner>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.0.take() {
+            let Some(ctx) = &inner.telemetry.0 else {
+                return;
+            };
+            let ts = inner.start.duration_since(ctx.epoch).as_micros() as u64;
+            let dur = inner.start.elapsed().as_micros() as u64;
+            inner.telemetry.emit(TraceEvent {
+                name: inner.name,
+                category: inner.category,
+                phase: 'X',
+                ts,
+                dur: Some(dur),
+                pid: PID_WALL,
+                tid: 1,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run summary
+// ---------------------------------------------------------------------------
+
+/// End-of-run snapshot of the telemetry registry — the machine-readable
+/// companion to a design report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTelemetry {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RunTelemetry {
+    /// Counter value by name, 0 if never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serializes to a pretty-printed JSON object with `counters` and
+    /// `histograms` sections.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\n    \"{}\": {}", json::esc(name), value));
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}}}",
+                json::esc(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            ));
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_counts_nothing() {
+        let t = Telemetry::disabled();
+        let c = t.counter("x");
+        c.incr();
+        c.add(10);
+        let h = t.histogram("h");
+        h.record(5);
+        drop(t.span("cat", "span"));
+        t.slice("cat", "s", 1, 0, 10);
+        assert!(!t.is_enabled());
+        assert_eq!(c.get(), 0);
+        assert_eq!(t.summary(), RunTelemetry::default());
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let t = Telemetry::enabled();
+        let c = t.counter("nodes");
+        c.incr();
+        c.add(4);
+        // A second handle to the same name shares the cell.
+        t.counter("nodes").incr();
+        let h = t.histogram("sizes");
+        h.record(2);
+        h.record(10);
+        let s = t.summary();
+        assert_eq!(s.counter("nodes"), 6);
+        assert_eq!(s.counter("untouched"), 0);
+        let hs = s.histograms["sizes"];
+        assert_eq!((hs.count, hs.sum, hs.min, hs.max), (2, 12, 2, 10));
+        assert!((hs.mean() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_json_is_balanced() {
+        let t = Telemetry::enabled();
+        t.add("a\"quote", 3);
+        t.histogram("h").record(7);
+        let js = t.summary().to_json();
+        let parsed = json::parse(&js).expect("summary JSON must parse");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("a\"quote"))
+                .and_then(JsonValue::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            parsed
+                .get("histograms")
+                .and_then(|h| h.get("h"))
+                .and_then(|h| h.get("count"))
+                .and_then(JsonValue::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_counts() {
+        let t = Telemetry::enabled();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = t.counter("shared");
+                let h = t.histogram("vals");
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        c.incr();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let s = t.summary();
+        assert_eq!(s.counter("shared"), threads * per_thread);
+        assert_eq!(s.histograms["vals"].count, threads * per_thread);
+        assert_eq!(s.histograms["vals"].max, per_thread - 1);
+        assert_eq!(s.histograms["vals"].min, 0);
+    }
+}

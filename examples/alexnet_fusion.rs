@@ -19,12 +19,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // §7.3's budget: first-layer input + last-layer output (~340 KB).
     let budget = net.fused_transfer_bytes(0..net.len(), DataType::Fixed16)?;
-    println!("transfer budget: {} KB (input + output of the fused body)", budget / 1024);
+    println!(
+        "transfer budget: {} KB (input + output of the fused body)",
+        budget / 1024
+    );
 
     // The body is 10 layers; §7.3 fuses them all (raise the 8-layer cap).
     let fw = Framework::new(device.clone()).with_max_group_layers(10);
     let design = fw.optimize(&net, budget)?;
-    assert_eq!(design.partition.groups.len(), 1, "everything fuses into one group");
+    assert_eq!(
+        design.partition.groups.len(),
+        1,
+        "everything fuses into one group"
+    );
 
     println!("\n--- Table 2 style report ---");
     print!("{}", fw.report(&net, &design));

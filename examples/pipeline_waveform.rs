@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n--- simulated occupancy ({} cycles) ---", result.cycles);
     for (name, occ) in result.stage_names.iter().zip(result.stage_occupancy()) {
-        let bar: String = std::iter::repeat('#').take((occ * 40.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (occ * 40.0) as usize).collect();
         println!("  {name:<10} {:>5.1}% |{bar:<40}|", occ * 100.0);
     }
 

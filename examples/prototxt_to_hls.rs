@@ -41,7 +41,12 @@ layer {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse the Caffe configuration (ReLUs fold into the convs).
     let net = prototxt::parse(PROTOTXT)?;
-    println!("parsed `{}`: {} layers, input {}", net.name(), net.len(), net.input_shape());
+    println!(
+        "parsed `{}`: {} layers, input {}",
+        net.name(),
+        net.len(),
+        net.input_shape()
+    );
     for (i, layer) in net.layers().iter().enumerate() {
         println!("  [{i}] {layer}");
     }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = winofuse::model::zoo::vgg_e_fused_prefix();
     let device = FpgaDevice::zc706();
     let total_ops = net.total_ops();
-    println!("network: {net} ({:.2} Gops per frame)", total_ops as f64 / 1e9);
+    println!(
+        "network: {net} ({:.2} Gops per frame)",
+        total_ops as f64 / 1e9
+    );
 
     // The baseline: one fixed tile-based fused design, conventional only.
     let alwani = baseline::design(&net, 0, net.len(), &device)?;
@@ -30,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Our framework across transfer constraints (Fig. 5's sweep).
     let fw = Framework::new(device.clone());
-    println!("\n{:>8} {:>14} {:>10} {:>9} {:>8} {:>7}", "T (MB)", "latency (cyc)", "GOPS", "groups", "wino", "speedup");
+    println!(
+        "\n{:>8} {:>14} {:>10} {:>9} {:>8} {:>7}",
+        "T (MB)", "latency (cyc)", "GOPS", "groups", "wino", "speedup"
+    );
     for t_mb in [2, 3, 4, 5, 6] {
         let design = fw.optimize(&net, t_mb * MB)?;
         let gops = device.effective_gops(total_ops, design.timing.latency);
@@ -64,7 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("conventional-only", AlgoPolicy::conventional_only()),
         ("winograd-preferred", AlgoPolicy::winograd_preferred()),
     ] {
-        let d = Framework::new(device.clone()).with_policy(policy).optimize(&net, 2 * MB)?;
+        let d = Framework::new(device.clone())
+            .with_policy(policy)
+            .optimize(&net, 2 * MB)?;
         println!(
             "  {label:<20} {:>12} cycles ({:>6.1} GOPS)",
             d.timing.latency,

@@ -21,6 +21,7 @@ use winofuse::fusion::simulator::FusedGroupSim;
 use winofuse::model::runtime::NetworkWeights;
 use winofuse::model::{prototxt, DataType, Network};
 use winofuse::prelude::{FpgaDevice, Framework};
+use winofuse::telemetry::{ChromeTraceSink, JsonLinesSink, Telemetry, TraceSink};
 
 const MB: u64 = 1024 * 1024;
 
@@ -37,7 +38,10 @@ fn usage() -> ! {
            --testbench       also emit golden-vector C testbenches (codegen)\n\
            --seed N          synthetic weight/input seed (simulate; default 42)\n\
            --frames N        batch size for amortized timing (optimize; default 1)\n\
-           --reconfig-cycles N  inter-group reconfiguration cost (default 0)"
+           --reconfig-cycles N  inter-group reconfiguration cost (default 0)\n\
+           --trace-out PATH  write a Chrome trace (load in Perfetto or\n\
+                             chrome://tracing); .jsonl streams JSON-lines instead\n\
+           --telemetry-json PATH  write the run's counter/histogram summary"
     );
     std::process::exit(2);
 }
@@ -53,6 +57,10 @@ struct Options {
     seed: u64,
     frames: u64,
     reconfig_cycles: Option<u64>,
+    trace_out: Option<PathBuf>,
+    telemetry_json: Option<PathBuf>,
+    /// Shared observability context; enabled when either flag is given.
+    telemetry: Telemetry,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -66,33 +74,47 @@ fn parse_options(args: &[String]) -> Options {
         seed: 42,
         frames: 1,
         reconfig_cycles: None,
+        trace_out: None,
+        telemetry_json: None,
+        telemetry: Telemetry::disabled(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage()
-            }).clone()
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
         };
         match arg.as_str() {
             "--budget-mb" => {
-                o.budget_bytes = value("--budget-mb").parse::<u64>().unwrap_or_else(|_| usage()) * MB
+                o.budget_bytes = value("--budget-mb")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| usage())
+                    * MB
             }
             "--budget-kb" => {
-                o.budget_bytes =
-                    value("--budget-kb").parse::<u64>().unwrap_or_else(|_| usage()) * 1024
+                o.budget_bytes = value("--budget-kb")
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| usage())
+                    * 1024
             }
             "--device" => {
                 let name = value("--device");
                 o.device = FpgaDevice::by_name(&name).unwrap_or_else(|| {
-                    eprintln!("unknown device `{name}` (zc706 | vx485t | zedboard | vc709 | ku060)");
+                    eprintln!(
+                        "unknown device `{name}` (zc706 | vx485t | zedboard | vc709 | ku060)"
+                    );
                     usage()
                 })
             }
             "--frames" => o.frames = value("--frames").parse().unwrap_or_else(|_| usage()),
             "--reconfig-cycles" => {
-                let c = value("--reconfig-cycles").parse().unwrap_or_else(|_| usage());
+                let c = value("--reconfig-cycles")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
                 o.reconfig_cycles = Some(c)
             }
             "--policy" => {
@@ -106,10 +128,10 @@ fn parse_options(args: &[String]) -> Options {
                     }
                 }
             }
-            "--max-group" => {
-                o.max_group = value("--max-group").parse().unwrap_or_else(|_| usage())
-            }
+            "--max-group" => o.max_group = value("--max-group").parse().unwrap_or_else(|_| usage()),
             "--out" => o.out = Some(PathBuf::from(value("--out"))),
+            "--trace-out" => o.trace_out = Some(PathBuf::from(value("--trace-out"))),
+            "--telemetry-json" => o.telemetry_json = Some(PathBuf::from(value("--telemetry-json"))),
             "--testbench" => o.testbench = true,
             "--seed" => o.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             other => {
@@ -118,12 +140,49 @@ fn parse_options(args: &[String]) -> Options {
             }
         }
     }
+    if o.trace_out.is_some() || o.telemetry_json.is_some() {
+        o.telemetry = match &o.trace_out {
+            None => Telemetry::enabled(),
+            Some(path) => {
+                let is_jsonl = path.extension().is_some_and(|e| e == "jsonl");
+                let sink: Result<Box<dyn TraceSink + Send>, std::io::Error> = if is_jsonl {
+                    JsonLinesSink::create(path).map(|s| Box::new(s) as _)
+                } else {
+                    ChromeTraceSink::create(path).map(|s| Box::new(s) as _)
+                };
+                match sink {
+                    Ok(sink) => Telemetry::with_sink(sink),
+                    Err(e) => {
+                        eprintln!("cannot create trace file `{}`: {e}", path.display());
+                        usage()
+                    }
+                }
+            }
+        };
+    }
     o
 }
 
+/// Flushes the trace sink and writes the telemetry summary, if requested.
+fn finish_telemetry(o: &Options) -> Result<(), String> {
+    o.telemetry
+        .finish_sink()
+        .map_err(|e| format!("writing trace: {e}"))?;
+    if let Some(path) = &o.telemetry_json {
+        std::fs::write(path, o.telemetry.summary().to_json())
+            .map_err(|e| format!("writing `{}`: {e}", path.display()))?;
+    }
+    if let Some(path) = &o.trace_out {
+        eprintln!(
+            "trace written to {} (load in Perfetto / chrome://tracing)",
+            path.display()
+        );
+    }
+    Ok(())
+}
+
 fn load_network(path: &str) -> Result<Network, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let net = prototxt::parse(&text).map_err(|e| format!("parse `{path}`: {e}"))?;
     // The accelerator maps the convolutional body only (the paper omits
     // FC layers, §7.3).
@@ -135,7 +194,10 @@ fn framework(o: &Options) -> Framework {
     if let Some(c) = o.reconfig_cycles {
         device = device.with_reconfig_cycles(c);
     }
-    Framework::new(device).with_policy(o.policy).with_max_group_layers(o.max_group)
+    Framework::new(device)
+        .with_policy(o.policy)
+        .with_max_group_layers(o.max_group)
+        .with_telemetry(o.telemetry.clone())
 }
 
 fn cmd_info(net: &Network, o: &Options) -> Result<(), String> {
@@ -178,7 +240,9 @@ fn cmd_info(net: &Network, o: &Options) -> Result<(), String> {
 
 fn cmd_optimize(net: &Network, o: &Options) -> Result<(), String> {
     let fw = framework(o);
-    let design = fw.optimize(net, o.budget_bytes).map_err(|e| e.to_string())?;
+    let design = fw
+        .optimize(net, o.budget_bytes)
+        .map_err(|e| e.to_string())?;
     println!("strategy:\n{}", design.partition.strategy);
     print!("{}", fw.report(net, &design));
     println!(
@@ -187,7 +251,9 @@ fn cmd_optimize(net: &Network, o: &Options) -> Result<(), String> {
         fw.energy_joules(&design) * 1e3
     );
     if o.frames > 1 {
-        let batch = fw.batch_timing(&design, o.frames).map_err(|e| e.to_string())?;
+        let batch = fw
+            .batch_timing(&design, o.frames)
+            .map_err(|e| e.to_string())?;
         println!(
             "batch of {}: {} cycles total ({:.0} cycles/frame, reconfig {} cycles)",
             batch.frames, batch.total_cycles, batch.cycles_per_frame, batch.reconfig_cycles
@@ -215,7 +281,9 @@ fn cmd_curve(net: &Network, o: &Options) -> Result<(), String> {
 fn cmd_codegen(net: &Network, o: &Options) -> Result<(), String> {
     let out = o.out.clone().ok_or("codegen requires --out DIR")?;
     let fw = framework(o);
-    let design = fw.optimize(net, o.budget_bytes).map_err(|e| e.to_string())?;
+    let design = fw
+        .optimize(net, o.budget_bytes)
+        .map_err(|e| e.to_string())?;
     let project = HlsProject::generate(net, &design).map_err(|e| e.to_string())?;
     check::verify_project(net, &design, &project).map_err(|e| e.to_string())?;
     project.write_to_dir(&out).map_err(|e| e.to_string())?;
@@ -236,13 +304,18 @@ fn cmd_codegen(net: &Network, o: &Options) -> Result<(), String> {
         }
         n_files += tbs.len();
     }
-    println!("wrote {n_files} files to {} (pragma check passed)", out.display());
+    println!(
+        "wrote {n_files} files to {} (pragma check passed)",
+        out.display()
+    );
     Ok(())
 }
 
 fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
     let fw = framework(o);
-    let design = fw.optimize(net, o.budget_bytes).map_err(|e| e.to_string())?;
+    let design = fw
+        .optimize(net, o.budget_bytes)
+        .map_err(|e| e.to_string())?;
     let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
     let input = winofuse::conv::tensor::random_tensor(
         1,
@@ -256,10 +329,20 @@ fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
 
     let mut cur = input;
     let mut total_cycles = 0u64;
-    println!("{:>6} {:>10} {:>14} {:>12} {:>12}", "group", "layers", "cycles", "read (B)", "max |err|");
+    let mut tid_base = 1u64;
+    println!(
+        "{:>6} {:>10} {:>14} {:>12} {:>12}",
+        "group", "layers", "cycles", "read (B)", "max |err|"
+    );
     for plan in &design.partition.groups {
         let mut sim = FusedGroupSim::new(net, plan.start, &plan.configs, &weights, &o.device)
             .map_err(|e| e.to_string())?;
+        if o.telemetry.is_enabled() {
+            // Stage lanes are consecutive across groups; each group's
+            // slices start where the previous group finished.
+            sim.set_telemetry(o.telemetry.clone(), tid_base, total_cycles);
+            tid_base += plan.configs.len() as u64;
+        }
         let r = sim.run(&cur).map_err(|e| e.to_string())?;
         let gold = &reference[plan.end - 1];
         let err = r.output.max_abs_diff(gold).map_err(|e| e.to_string())?;
@@ -268,7 +351,10 @@ fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
             plan.start, plan.start, plan.end, r.cycles, r.dram_bytes_read, err
         );
         if err > 1e-3 {
-            return Err(format!("group {}..{} diverged: {err}", plan.start, plan.end));
+            return Err(format!(
+                "group {}..{} diverged: {err}",
+                plan.start, plan.end
+            ));
         }
         total_cycles += r.cycles;
         cur = r.output;
@@ -310,6 +396,7 @@ fn main() -> ExitCode {
             usage();
         }
     };
+    let result = result.and_then(|()| finish_telemetry(&opts));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -19,6 +19,7 @@
 //! | [`fusion`] | `winofuse-fusion` | pyramid math, line buffers, pipeline timing, behavioral simulator, Alwani (MICRO'16) baseline |
 //! | [`core`] | `winofuse-core` | strategy triples, branch-and-bound (Alg. 2), transfer-budget DP (Alg. 1), framework driver |
 //! | [`codegen`] | `winofuse-codegen` | Vivado-HLS-style source emission + pragma consistency checks |
+//! | [`telemetry`] | `winofuse-telemetry` | counters, spans, Chrome-trace / JSON-lines export, run summaries |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use winofuse_core as core;
 pub use winofuse_fpga as fpga;
 pub use winofuse_fusion as fusion;
 pub use winofuse_model as model;
+pub use winofuse_telemetry as telemetry;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
@@ -60,4 +62,5 @@ pub mod prelude {
     pub use winofuse_fpga::engine::Algorithm;
     pub use winofuse_fpga::ResourceVec;
     pub use winofuse_model::{ConvParams, DataType, FmShape, Layer, LayerKind, Network};
+    pub use winofuse_telemetry::{RunTelemetry, Telemetry};
 }

@@ -24,7 +24,10 @@ fn bin() -> Command {
 }
 
 fn demo_path(tag: &str) -> PathBuf {
-    let p = std::env::temp_dir().join(format!("winofuse_cli_{tag}_{}.prototxt", std::process::id()));
+    let p = std::env::temp_dir().join(format!(
+        "winofuse_cli_{tag}_{}.prototxt",
+        std::process::id()
+    ));
     std::fs::write(&p, DEMO).expect("write demo prototxt");
     p
 }
@@ -33,7 +36,11 @@ fn demo_path(tag: &str) -> PathBuf {
 fn info_prints_layer_table() {
     let p = demo_path("info");
     let out = bin().arg("info").arg(&p).output().expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("conv1"));
     assert!(text.contains("pool1"));
@@ -44,8 +51,17 @@ fn info_prints_layer_table() {
 #[test]
 fn optimize_prints_strategy_and_report() {
     let p = demo_path("optimize");
-    let out = bin().args(["optimize"]).arg(&p).args(["--budget-mb", "2"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["optimize"])
+        .arg(&p)
+        .args(["--budget-mb", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("group 0"));
     assert!(text.contains("utilization"));
@@ -56,8 +72,17 @@ fn optimize_prints_strategy_and_report() {
 #[test]
 fn simulate_validates_against_reference() {
     let p = demo_path("simulate");
-    let out = bin().arg("simulate").arg(&p).args(["--seed", "3"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .arg("simulate")
+        .arg(&p)
+        .args(["--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("matches the layer-by-layer reference"));
     let _ = std::fs::remove_file(p);
@@ -76,7 +101,11 @@ fn codegen_writes_project_with_testbench() {
         .args(["--budget-mb", "2", "--testbench"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("winofuse.h").exists());
     assert!(dir.join("fusion_group_0.cpp").exists());
     assert!(dir.join("tb_fusion_group_0.cpp").exists());
@@ -89,7 +118,10 @@ fn codegen_writes_project_with_testbench() {
 #[test]
 fn bad_inputs_fail_cleanly() {
     // Missing file.
-    let out = bin().args(["info", "/nonexistent/x.prototxt"]).output().unwrap();
+    let out = bin()
+        .args(["info", "/nonexistent/x.prototxt"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 
@@ -99,10 +131,86 @@ fn bad_inputs_fail_cleanly() {
     assert!(!out.status.success());
 
     // Infeasible budget.
-    let out = bin().arg("optimize").arg(&p).args(["--budget-kb", "1"]).output().unwrap();
+    let out = bin()
+        .arg("optimize")
+        .arg(&p)
+        .args(["--budget-kb", "1"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("minimum"));
     let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn simulate_emits_trace_and_telemetry_json() {
+    use winofuse::telemetry::json::parse;
+    use winofuse::telemetry::JsonValue;
+
+    let p = demo_path("trace");
+    let trace =
+        std::env::temp_dir().join(format!("winofuse_cli_trace_{}.json", std::process::id()));
+    let tele = std::env::temp_dir().join(format!("winofuse_cli_tele_{}.json", std::process::id()));
+    let out = bin()
+        .arg("simulate")
+        .arg(&p)
+        .args(["--seed", "5", "--trace-out"])
+        .arg(&trace)
+        .arg("--telemetry-json")
+        .arg(&tele)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The Chrome trace parses and has slices from all three subsystems.
+    let doc = parse(&std::fs::read_to_string(&trace).unwrap()).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .unwrap();
+    let cat_of = |e: &JsonValue| e.get("cat").and_then(JsonValue::as_str).map(str::to_string);
+    let slices: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .collect();
+    for cat in ["bnb", "dp", "sim"] {
+        assert!(
+            slices.iter().any(|e| cat_of(e).as_deref() == Some(cat)),
+            "no `{cat}` slices in the trace"
+        );
+    }
+    for s in &slices {
+        assert!(
+            s.get("ts").and_then(JsonValue::as_u64).is_some(),
+            "slice missing ts"
+        );
+        assert!(
+            s.get("dur").and_then(JsonValue::as_u64).is_some(),
+            "slice missing dur"
+        );
+    }
+
+    // The telemetry summary reports the headline counters.
+    let summary = parse(&std::fs::read_to_string(&tele).unwrap()).expect("summary is valid JSON");
+    let counter = |name: &str| {
+        summary
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(JsonValue::as_u64)
+    };
+    assert!(counter("bnb.nodes_expanded").unwrap() > 0);
+    assert!(counter("dp.subproblems").unwrap() > 0);
+    assert!(counter("sim.frames").unwrap() >= 1);
+    assert!(counter("sim.backpressure_stalls").is_some());
+    assert!(counter("sim.dram_bytes_read").unwrap() > 0);
+
+    for f in [&p, &trace, &tele] {
+        let _ = std::fs::remove_file(f);
+    }
 }
 
 #[test]
@@ -114,7 +222,11 @@ fn device_and_policy_flags_are_honored() {
         .args(["--budget-mb", "2", "--device", "vx485t", "--policy", "conv"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("conventional"));
     assert!(!text.contains("winograd(m="));

@@ -9,7 +9,12 @@ use winofuse::prelude::*;
 const MB: u64 = 1024 * 1024;
 
 fn tiny_device(bram: u64, dsp: u64, ff: u64, lut: u64) -> FpgaDevice {
-    FpgaDevice::new("tiny", ResourceVec::new(bram, dsp, ff, lut), 100_000_000, 4_200_000_000)
+    FpgaDevice::new(
+        "tiny",
+        ResourceVec::new(bram, dsp, ff, lut),
+        100_000_000,
+        4_200_000_000,
+    )
 }
 
 #[test]
@@ -28,8 +33,12 @@ fn one_dsp_device_still_maps_but_slowly() {
     let net = winofuse::model::zoo::small_test_net();
     let slow_dev = tiny_device(1090, 1, 437_200, 218_600);
     let fw = Framework::new(slow_dev);
-    let slow = fw.optimize(&net, 32 * MB).expect("p=1 engines always exist");
-    let fast = Framework::new(FpgaDevice::zc706()).optimize(&net, 32 * MB).unwrap();
+    let slow = fw
+        .optimize(&net, 32 * MB)
+        .expect("p=1 engines always exist");
+    let fast = Framework::new(FpgaDevice::zc706())
+        .optimize(&net, 32 * MB)
+        .unwrap();
     assert!(slow.timing.latency > 10 * fast.timing.latency);
     // Every engine must be the 1-lane conventional one.
     for l in slow.partition.strategy.layers() {
@@ -43,7 +52,9 @@ fn starved_logic_budget_is_respected() {
     // Plenty of DSPs but almost no LUTs: engines must shrink to fit.
     let dev = tiny_device(1090, 900, 437_200, 9_000);
     let fw = Framework::new(dev.clone());
-    let d = fw.optimize(&net, 32 * MB).expect("small engines fit 9k LUTs");
+    let d = fw
+        .optimize(&net, 32 * MB)
+        .expect("small engines fit 9k LUTs");
     for g in &d.partition.groups {
         assert!(g.timing.resources.fits_within(dev.resources()));
     }
@@ -61,7 +72,9 @@ fn bandwidth_starvation_turns_designs_bandwidth_bound() {
         "somebody must hit the DRAM wall at 10 MB/s"
     );
     // And the whole design is far slower than on the real board.
-    let normal = Framework::new(FpgaDevice::zc706()).optimize(&net, 4 * MB).unwrap();
+    let normal = Framework::new(FpgaDevice::zc706())
+        .optimize(&net, 4 * MB)
+        .unwrap();
     assert!(d.timing.latency > 5 * normal.timing.latency);
 }
 
@@ -79,7 +92,9 @@ fn budget_exactly_at_minimum_is_feasible() {
         .fused_transfer_bytes(0..net.len(), DataType::Fixed16)
         .unwrap();
     let fw = Framework::new(FpgaDevice::zc706());
-    let at = fw.optimize(&net, min).expect("budget == minimum is feasible");
+    let at = fw
+        .optimize(&net, min)
+        .expect("budget == minimum is feasible");
     assert_eq!(at.timing.fmap_transfer_bytes, min);
     assert!(matches!(
         fw.optimize(&net, min - 1),
@@ -96,7 +111,8 @@ fn max_group_of_one_forces_layer_by_layer() {
     // With no fusion, transfer equals the unfused sum.
     assert_eq!(
         d.timing.fmap_transfer_bytes,
-        net.unfused_transfer_bytes(0..net.len(), DataType::Fixed16).unwrap()
+        net.unfused_transfer_bytes(0..net.len(), DataType::Fixed16)
+            .unwrap()
     );
 }
 

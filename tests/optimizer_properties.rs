@@ -19,10 +19,10 @@ fn arb_network() -> impl Strategy<Value = Network> {
         (kernel, stride, relu)
     });
     (
-        8usize..24,                      // input size
-        2usize..8,                       // channels
+        8usize..24, // input size
+        2usize..8,  // channels
         prop::collection::vec(conv, 1..4),
-        prop::bool::ANY,                 // trailing pool?
+        prop::bool::ANY, // trailing pool?
     )
         .prop_filter_map("buildable network", |(hw, ch, convs, pool)| {
             let mut b = Network::builder("prop-net", FmShape::new(3, hw, hw));

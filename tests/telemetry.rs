@@ -1,0 +1,127 @@
+//! End-to-end telemetry integration: search accounting against the
+//! exhaustive tree size, and the traced-optimization surface.
+
+use winofuse::core::bnb::{AlgoPolicy, GroupPlanner};
+use winofuse::model::zoo;
+use winofuse::prelude::{FpgaDevice, Framework, Telemetry};
+
+const MB: u64 = 1024 * 1024;
+
+/// Size of the full, unpruned Algorithm 2 tree over per-layer menus
+/// `m[0..n]`: `T(i) = 1 + m[i]·T(i+1)`, `T(n) = 1`.
+fn exhaustive_nodes(menu_sizes: &[usize]) -> u64 {
+    menu_sizes.iter().rev().fold(1u64, |t, &m| 1 + m as u64 * t)
+}
+
+#[test]
+fn bnb_accounting_covers_the_exhaustive_tree() {
+    // Every node of the search tree must be either expanded or pruned
+    // (weighted by the subtree it cut) — nothing lost, nothing counted
+    // twice. This pins the planner's counters to ground truth.
+    let net = zoo::small_test_net();
+    let dev = FpgaDevice::zc706();
+    let mut planner = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+    let tele = Telemetry::enabled();
+    planner.set_telemetry(tele.clone());
+
+    let expected = exhaustive_nodes(&planner.menu_sizes());
+    planner.plan(0..net.len()).expect("small net must plan");
+
+    let s = tele.summary();
+    let accounted = s.counter("bnb.nodes_expanded")
+        + s.counter("bnb.pruned_bound")
+        + s.counter("bnb.pruned_resource")
+        + s.counter("bnb.pruned_floor");
+    assert_eq!(
+        accounted,
+        expected,
+        "expanded {} + pruned(bound {} / resource {} / floor {}) must equal \
+         the exhaustive node count {}",
+        s.counter("bnb.nodes_expanded"),
+        s.counter("bnb.pruned_bound"),
+        s.counter("bnb.pruned_resource"),
+        s.counter("bnb.pruned_floor"),
+        expected
+    );
+    // The whole point of branch-and-bound: most of the tree is pruned.
+    assert!(s.counter("bnb.nodes_expanded") < expected);
+    assert!(s.counter("bnb.incumbent_updates") >= 1);
+    assert_eq!(s.counter("bnb.plans_computed"), 1);
+}
+
+#[test]
+fn bnb_accounting_holds_per_policy_and_range() {
+    let net = zoo::small_test_net();
+    let dev = FpgaDevice::zc706();
+    for policy in [
+        AlgoPolicy::heterogeneous(),
+        AlgoPolicy::conventional_only(),
+        AlgoPolicy::winograd_preferred(),
+    ] {
+        for end in 1..=net.len() {
+            let mut planner = GroupPlanner::new(&net, &dev, policy).unwrap();
+            let tele = Telemetry::enabled();
+            planner.set_telemetry(tele.clone());
+            let expected = exhaustive_nodes(&planner.menu_sizes()[0..end]);
+            planner.plan(0..end);
+            let s = tele.summary();
+            let accounted = s.counter("bnb.nodes_expanded")
+                + s.counter("bnb.pruned_bound")
+                + s.counter("bnb.pruned_resource")
+                + s.counter("bnb.pruned_floor");
+            assert_eq!(accounted, expected, "policy {policy:?}, range 0..{end}");
+        }
+    }
+}
+
+#[test]
+fn optimize_traced_reports_search_and_dp_counters() {
+    let net = zoo::small_test_net();
+    let fw = Framework::new(FpgaDevice::zc706());
+    let (design, run) = fw.optimize_traced(&net, 8 * MB).unwrap();
+
+    // Same result as the untraced path.
+    let plain = fw.optimize(&net, 8 * MB).unwrap();
+    assert_eq!(design, plain);
+
+    assert!(run.counter("bnb.nodes_expanded") > 0);
+    assert!(run.counter("bnb.plans_computed") > 0);
+    assert!(run.counter("dp.subproblems") > 0);
+    // Every (i, j) sub-range beyond the first read triggers memo reuse.
+    assert!(run.counter("dp.cache_hits") > 0);
+    let h = run
+        .histograms
+        .get("dp.frontier_points")
+        .expect("frontier histogram");
+    assert!(h.count >= run.counter("dp.subproblems"));
+
+    // The summary serializes to parseable JSON.
+    let parsed = winofuse::telemetry::json::parse(&run.to_json()).expect("summary JSON parses");
+    assert_eq!(
+        parsed
+            .get("counters")
+            .and_then(|c| c.get("bnb.nodes_expanded"))
+            .and_then(winofuse::telemetry::JsonValue::as_u64),
+        Some(run.counter("bnb.nodes_expanded"))
+    );
+}
+
+#[test]
+fn shared_context_accumulates_across_phases() {
+    // One context attached to the framework sees the planner, the DP, and
+    // the simulator in a single run (the CLI's wiring).
+    let net = zoo::small_test_net();
+    let tele = Telemetry::enabled();
+    let fw = Framework::new(FpgaDevice::zc706()).with_telemetry(tele.clone());
+    let design = fw.optimize(&net, 8 * MB).unwrap();
+    let weights = winofuse::model::runtime::NetworkWeights::random(&net, 31).unwrap();
+    let x = winofuse::conv::tensor::random_tensor(1, 3, 32, 32, 32);
+    fw.validate_by_simulation(&net, &design, &weights, &x, 1e-4)
+        .unwrap();
+
+    let s = tele.summary();
+    assert!(s.counter("bnb.nodes_expanded") > 0, "planner counted");
+    assert!(s.counter("dp.subproblems") > 0, "DP counted");
+    assert!(s.counter("sim.frames") >= 1, "simulator counted");
+    assert!(s.counter("sim.cycles") > 0);
+}

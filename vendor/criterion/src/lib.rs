@@ -1,0 +1,223 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! [criterion](https://docs.rs/criterion) API this workspace uses.
+//!
+//! The real crates-io `criterion` cannot be fetched in hermetic build
+//! environments, so this stub keeps `cargo bench` working with the same
+//! bench sources: it warms up, runs a bounded number of timed samples,
+//! and prints mean/min/max per benchmark. It makes no statistical claims
+//! beyond that — it exists so benchmarks compile, run, and produce
+//! comparable wall-clock numbers anywhere.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Hard wall-clock budget per benchmark so `cargo bench` stays bounded
+/// even for slow targets.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations (seconds).
+    last: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, running one warmup call plus up to `samples` timed
+    /// calls (bounded by the time budget).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup, also primes caches/memoization
+        self.last.clear();
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.last.push(t0.elapsed().as_secs_f64());
+            if start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<44} no samples");
+        return;
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let (min, max) = samples
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+    println!(
+        "{id:<44} mean {:>12} min {:>12} max {:>12} ({n} samples)",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (accepted and echoed, not rated).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b.last);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Criterion prints a summary here; the stub has nothing buffered.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let what = match t {
+            Throughput::Elements(n) => format!("{n} elements"),
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => format!("{n} bytes"),
+        };
+        println!("  throughput: {what}/iter");
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut b);
+        report(&label, &b.last);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            last: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&label, &b.last);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,581 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! [proptest](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The real crates-io `proptest` cannot be fetched in hermetic build
+//! environments, so this stub re-implements the pieces the test suites
+//! rely on: the `proptest!` macro with `#![proptest_config(..)]`, range /
+//! tuple / bool / `collection::vec` strategies, `prop_map` /
+//! `prop_filter_map` combinators, and the `prop_assert*` / `prop_assume!`
+//! macros. Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its message and case
+//!   number, not a minimized input.
+//! * **Deterministic generation** — the RNG is seeded from the test name,
+//!   so every run explores the same cases (stable in CI by construction).
+//! * **No persistence** — `*.proptest-regressions` files are ignored.
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Outcome types
+// ---------------------------------------------------------------------------
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case is outside the property's precondition (`prop_assume!`);
+    /// it is skipped without counting against the case budget.
+    Reject(String),
+    /// The property genuinely failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The result type `proptest!` bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is meaningful in the stub.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RNG (SplitMix64 — small, fast, good enough for test-case generation)
+// ---------------------------------------------------------------------------
+
+/// Deterministic test-case RNG.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test name), so each property
+    /// explores a stable, distinct sequence.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait + combinators
+// ---------------------------------------------------------------------------
+
+/// How many times a filtered strategy retries before rejecting the case.
+const FILTER_RETRIES: usize = 64;
+
+/// A generator of test-case values.
+///
+/// `generate` returns `None` when the strategy cannot produce a value
+/// (e.g. a `prop_filter_map` whose predicate kept failing); the runner
+/// rejects that case and moves on.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `Some`, retrying a bounded
+    /// number of times. `_reason` is reported nowhere (kept for API
+    /// compatibility).
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        _reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f`, retrying a bounded number of
+    /// times.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _reason: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = self.inner.generate(rng).and_then(&self.f) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = self.inner.generate(rng).filter(|v| (self.f)(v)) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// `Strategy` for a fixed value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// Integer range strategies.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.start >= self.end {
+                    return None;
+                }
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<i128> {
+    type Value = i128;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<i128> {
+        if self.start >= self.end {
+            return None;
+        }
+        let span = self.end.wrapping_sub(self.start) as u128;
+        Some(self.start.wrapping_add(rng.below(span) as i128))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+        if self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less) {
+            return None;
+        }
+        let v = self.start as f64 + rng.unit_f64() * (self.end as f64 - self.start as f64);
+        Some(v as f32)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        if self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less) {
+            return None;
+        }
+        Some(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+// Tuple strategies (each component generated in order).
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+/// `bool` strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.len.clone().generate(rng)?;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner (used by the expansion of `proptest!`)
+// ---------------------------------------------------------------------------
+
+/// Drives one property: generates inputs, applies the case closure, and
+/// panics on the first failure. Called by the `proptest!` expansion; not
+/// part of the public proptest API.
+pub fn run_property<S: Strategy>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut case: impl FnMut(S::Value) -> TestCaseResult,
+) {
+    let mut rng = TestRng::from_name(test_name);
+    let mut accepted = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(64);
+    let mut attempts = 0u32;
+    while accepted < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "{test_name}: gave up after {attempts} attempts \
+                 ({accepted}/{} cases accepted — strategy rejects too much)",
+                config.cases
+            );
+        }
+        let Some(input) = strategy.generate(&mut rng) else {
+            continue; // unsatisfiable draw (filter exhausted) — new seed
+        };
+        match case(input) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case {accepted} (attempt {attempts}) failed: {msg}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests. Supports the two forms used in this
+/// workspace: with and without a leading `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ($($strat,)+);
+            $crate::run_property(
+                stringify!($name),
+                &config,
+                &strategy,
+                |__input| -> $crate::TestCaseResult {
+                    let ($($pat,)+) = __input;
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Everything the test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = (3usize..12).generate(&mut rng).unwrap();
+            assert!((3..12).contains(&v));
+            let f = (-2.0f32..4.0).generate(&mut rng).unwrap();
+            assert!((-2.0..4.0).contains(&f));
+            let i = (-20i128..20).generate(&mut rng).unwrap();
+            assert!((-20..20).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = crate::TestRng::from_name("vec");
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u64..5, 1..4)
+                .generate(&mut rng)
+                .unwrap();
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_accepts_and_runs(a in 0usize..10, b in 0usize..10) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0usize..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert!(a % 2 == 0);
+        }
+
+        #[test]
+        fn combinators_compose(v in prop::collection::vec((1usize..4, prop::bool::ANY), 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for (n, _) in v {
+                prop_assert!((1..4).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_message() {
+        crate::run_property(
+            "always_fails",
+            &ProptestConfig::with_cases(2),
+            &(0usize..4,),
+            |_| Err(TestCaseError::fail("nope")),
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! **Search benchmark** — wall-clock speedup of the multi-threaded plan
+//! table over the serial strategy search ("returns the optimal solutions
+//! within seconds", §7.1, now at any core count).
+//!
+//! Times `Framework::optimize` at 1 thread and at `--threads N` on the
+//! two hardest zoo configurations (the VGG-E body under the paper's
+//! 8-layer cap, and the Table-2 AlexNet body fully fused), reports the
+//! median of `--runs` repetitions, cross-checks that both thread counts
+//! reach identical latencies, and writes `BENCH_search.json` to the
+//! current directory for CI to archive.
+//!
+//! ```text
+//! exp_bench_search [--smoke] [--runs N] [--threads N]
+//!   --smoke      one run per configuration (CI sanity mode)
+//!   --runs N     repetitions per configuration  [default 5]
+//!   --threads N  parallel worker count          [default 4]
+//! ```
+
+use std::time::Instant;
+
+use winofuse_bench::{banner, fmt_cycles};
+use winofuse_core::framework::Framework;
+use winofuse_fpga::device::FpgaDevice;
+use winofuse_model::network::Network;
+use winofuse_model::shape::DataType;
+use winofuse_model::zoo;
+use winofuse_telemetry::RunTelemetry;
+
+const MB: u64 = 1024 * 1024;
+
+struct Case {
+    name: &'static str,
+    net: Network,
+    budget: u64,
+    max_group_layers: usize,
+}
+
+struct Measurement {
+    median_serial_ms: f64,
+    median_parallel_ms: f64,
+    latency: u64,
+    telemetry: RunTelemetry,
+}
+
+fn cases() -> Vec<Case> {
+    let vgg = zoo::vgg_e().conv_body().expect("vgg-e has a conv body");
+    let alex = zoo::alexnet().conv_body().expect("alexnet has a conv body");
+    let alex_budget = alex
+        .fused_transfer_bytes(0..alex.len(), DataType::Fixed16)
+        .expect("alexnet fuses");
+    vec![
+        Case {
+            name: "vgg_e",
+            net: vgg,
+            budget: 8 * MB,
+            max_group_layers: winofuse_core::MAX_FUSION_LAYERS,
+        },
+        Case {
+            name: "alexnet",
+            net: alex,
+            budget: alex_budget,
+            max_group_layers: 10,
+        },
+    ]
+}
+
+/// Median of `runs` timed optimizations at `threads` workers. Returns
+/// the median milliseconds, the design latency, and the merged telemetry
+/// of every run.
+fn measure(case: &Case, threads: usize, runs: usize, merged: &mut RunTelemetry) -> (f64, u64) {
+    let fw = Framework::new(FpgaDevice::zc706())
+        .with_max_group_layers(case.max_group_layers)
+        .with_threads(threads);
+    let mut times = Vec::with_capacity(runs);
+    let mut latency = 0;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let (design, run) = fw
+            .optimize_traced(&case.net, case.budget)
+            .expect("benchmark configurations are feasible");
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        latency = design.timing.latency;
+        merged.merge(&run);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], latency)
+}
+
+fn run_case(case: &Case, threads: usize, runs: usize) -> Measurement {
+    let mut telemetry = RunTelemetry::default();
+    let (serial_ms, serial_latency) = measure(case, 1, runs, &mut telemetry);
+    let (parallel_ms, parallel_latency) = measure(case, threads, runs, &mut telemetry);
+    assert_eq!(
+        serial_latency, parallel_latency,
+        "{}: thread counts disagree on the optimum",
+        case.name
+    );
+    println!(
+        "{:<10} serial {serial_ms:9.1} ms | {threads} threads {parallel_ms:9.1} ms | \
+         speedup {:.2}x | latency {} cycles",
+        case.name,
+        serial_ms / parallel_ms,
+        fmt_cycles(serial_latency),
+    );
+    Measurement {
+        median_serial_ms: serial_ms,
+        median_parallel_ms: parallel_ms,
+        latency: serial_latency,
+        telemetry,
+    }
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Case names are static identifiers; keep the writer honest anyway.
+    assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    name
+}
+
+fn main() {
+    let mut runs = 5usize;
+    let mut threads = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => runs = 1,
+            "--runs" => {
+                runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs needs a positive integer");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown flag {other}; see the module docs"),
+        }
+    }
+    assert!(runs >= 1 && threads >= 1);
+
+    banner(
+        "BENCH search",
+        &format!("strategy-search wall clock, 1 vs {threads} threads, median of {runs}"),
+        None,
+    );
+
+    let mut entries = Vec::new();
+    for case in cases() {
+        let m = run_case(&case, threads, runs);
+        let speedup = m.median_serial_ms / m.median_parallel_ms;
+        entries.push(format!(
+            "  \"{}\": {{\n    \"median_serial_ms\": {:.3},\n    \"median_parallel_ms\": {:.3},\n    \
+             \"speedup\": {:.3},\n    \"latency_cycles\": {},\n    \"plans_computed\": {},\n    \
+             \"menu_dominated\": {}\n  }}",
+            json_escape_free(case.name),
+            m.median_serial_ms,
+            m.median_parallel_ms,
+            speedup,
+            m.latency,
+            m.telemetry.counter("bnb.plans_computed"),
+            m.telemetry.counter("bnb.menu_dominated"),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"runs\": {runs},\n{}\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
+    println!("wrote BENCH_search.json");
+}

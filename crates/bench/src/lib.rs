@@ -13,6 +13,7 @@
 //! | `exp_ablation_hetero` | heterogeneous vs homogeneous algorithm policies |
 //! | `exp_ablation_linebuffer` | line-buffer vs tile-based fusion costs |
 //! | `exp_ablation_tile` | Winograd tile-size choice m ∈ {2,3,4,6} |
+//! | `exp_bench_search` | strategy-search wall clock, serial vs `--threads N` (writes `BENCH_search.json`) |
 //!
 //! Criterion benches (`cargo bench`): convolution kernels, Cook–Toom
 //! transform generation, the optimizer ("returns the optimal solutions

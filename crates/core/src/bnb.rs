@@ -13,12 +13,22 @@
 //! parallelisms are explored from max to min so the monotone
 //! latency bound can `break` a whole sub-range (lines 11, 16–17), and the
 //! resource feasibility check happens before a child node is created
-//! (line 18). Additions beyond the paper's pseudocode, both admissible:
-//! a suffix resource lower bound, and a DRAM-traffic latency floor that
-//! lets the search stop when a leaf provably cannot be beaten.
+//! (line 18). Additions beyond the paper's pseudocode, all admissible:
+//! a suffix resource lower bound, a DRAM-traffic latency floor that
+//! lets the search stop when a leaf provably cannot be beaten, and
+//! dominance pruning of the per-layer menus (an entry that is no better
+//! than a same-algorithm sibling in any position a group could place it
+//! is dropped before the search starts).
+//!
+//! The search core is immutable (`&self`) and `Sync`: the `fusion[i][j]`
+//! cache lives behind a sharded lock so [`crate::parallel`] can fill the
+//! whole plan table from scoped worker threads, and a single large group
+//! can be split across workers with [`GroupPlanner::plan_split`].
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use winofuse_fpga::device::FpgaDevice;
 use winofuse_fpga::engine::{parallelism_candidates, Algorithm, EngineConfig};
@@ -114,20 +124,173 @@ struct MenuEntry {
     bound: u64,
 }
 
+/// The position-dependent latency contribution of a menu entry: the
+/// steady-state body cycles (`iterations · stage`) and the pipeline fill
+/// cycles for each of the four (heads group?, tails group?) positions a
+/// layer can occupy — exactly the per-layer numbers `group_timing`
+/// derives, so dominance on this profile is exact, not heuristic.
+#[derive(Debug, Clone, Copy)]
+struct LatencyProfile {
+    body: [u64; 4],
+    fill: [u64; 4],
+}
+
+impl LatencyProfile {
+    fn of(config: &LayerConfig, bpc: f64) -> Self {
+        let dtype = DataType::Fixed16;
+        let est = &config.estimate;
+        let iterations = (config.output.height as u64)
+            .div_ceil(est.output_rows_per_iter as u64)
+            .max(1);
+        let compute = est.compute_cycles.div_ceil(iterations);
+        let weight_per_iter = config.weight_bytes.div_ceil(iterations);
+        let fill_iters = (est.line_buffer_rows as u64).div_ceil(est.input_rows_per_iter as u64);
+        let mut body = [0u64; 4];
+        let mut fill = [0u64; 4];
+        for (slot, (head, tail)) in [(false, false), (false, true), (true, false), (true, true)]
+            .into_iter()
+            .enumerate()
+        {
+            let fmap = if head {
+                est.input_rows_per_iter as u64 * config.input.row_bytes(dtype) as u64
+            } else {
+                0
+            };
+            let load = ((fmap + weight_per_iter) as f64 / bpc).ceil() as u64;
+            let store = if tail {
+                ((est.output_rows_per_iter as u64 * config.output.row_bytes(dtype) as u64) as f64
+                    / bpc)
+                    .ceil() as u64
+            } else {
+                0
+            };
+            let stage = load.max(compute).max(store);
+            body[slot] = iterations * stage;
+            fill[slot] = stage * fill_iters;
+        }
+        LatencyProfile { body, fill }
+    }
+
+    fn le(&self, other: &LatencyProfile) -> bool {
+        self.body.iter().zip(other.body).all(|(a, b)| *a <= b)
+            && self.fill.iter().zip(other.fill).all(|(a, b)| *a <= b)
+    }
+}
+
+/// Drops menu entries that can never appear in a latency-optimal plan:
+/// `b` dominates `a` (same algorithm menu) when `b` is no worse in every
+/// latency-profile component, every resource dimension, and DRAM weight
+/// traffic — then any group using `a` stays feasible and no slower with
+/// `b` substituted. Mutually-equal entries keep the earlier one, so the
+/// surviving menu is a deterministic subsequence and its `bound`s stay
+/// monotone.
+fn dominance_prune(entries: Vec<MenuEntry>, bpc: f64) -> (Vec<MenuEntry>, u64) {
+    if entries.len() < 2 {
+        return (entries, 0);
+    }
+    let profiles: Vec<LatencyProfile> = entries
+        .iter()
+        .map(|e| LatencyProfile::of(&e.config, bpc))
+        .collect();
+    let dominates = |b: usize, a: usize| -> bool {
+        profiles[b].le(&profiles[a])
+            && entries[b]
+                .config
+                .estimate
+                .resources
+                .fits_within(&entries[a].config.estimate.resources)
+            && entries[b].config.weight_bytes <= entries[a].config.weight_bytes
+    };
+    let keep: Vec<bool> = (0..entries.len())
+        .map(|a| {
+            !(0..entries.len()).any(|b| b != a && dominates(b, a) && (b < a || !dominates(a, b)))
+        })
+        .collect();
+    let mut dropped = 0u64;
+    let kept: Vec<MenuEntry> = entries
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(e, k)| {
+            if k {
+                Some(e)
+            } else {
+                dropped += 1;
+                None
+            }
+        })
+        .collect();
+    (kept, dropped)
+}
+
+const CACHE_SHARDS: usize = 16;
+
+/// One shard of the plan cache: range → memoized plan (`None` =
+/// infeasible/over-cap, cached too).
+type CacheShard = Mutex<HashMap<(usize, usize), Option<GroupPlan>>>;
+
+/// The `fusion[i][j]` cache behind sharded locks, so plan-table workers
+/// mostly write disjoint shards instead of serializing on one map.
+struct PlanCache {
+    shards: [CacheShard; CACHE_SHARDS],
+}
+
+impl PlanCache {
+    fn new() -> Self {
+        PlanCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, key: (usize, usize)) -> &CacheShard {
+        &self.shards[key.0.wrapping_mul(31).wrapping_add(key.1) % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: (usize, usize)) -> Option<Option<GroupPlan>> {
+        self.shard(key)
+            .lock()
+            .expect("plan cache shard")
+            .get(&key)
+            .cloned()
+    }
+
+    fn insert(&self, key: (usize, usize), value: Option<GroupPlan>) {
+        self.shard(key)
+            .lock()
+            .expect("plan cache shard")
+            .insert(key, value);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("plan cache shard").clear();
+        }
+    }
+}
+
 /// Branch-and-bound group planner with cross-call memoization.
+///
+/// The search core is immutable: [`GroupPlanner::plan_shared`] takes
+/// `&self` and the memo cache is internally synchronized, so a planner
+/// can be shared across scoped worker threads (see [`crate::parallel`]).
 pub struct GroupPlanner<'a> {
     net: &'a Network,
     device: &'a FpgaDevice,
     policy: AlgoPolicy,
     /// `ipls` cache: implementation menu per layer, grouped by algorithm,
-    /// each algorithm's entries sorted by descending parallelism.
+    /// each algorithm's entries sorted by descending parallelism and
+    /// dominance-pruned.
     menus: Vec<Vec<Vec<MenuEntry>>>,
     /// `fusion[i][j]` cache.
-    cache: HashMap<(usize, usize), Option<GroupPlan>>,
+    cache: PlanCache,
     /// Maximum layers per fusion group (paper default: 8, §7.1).
     max_group_layers: usize,
     /// Per-layer per-dimension minimal resources (for suffix bounds).
     min_resources: Vec<ResourceVec>,
+    /// Prefix sums of each layer's minimal `weight_bytes`, so the DRAM
+    /// floor of any range is O(1) instead of a full menu rescan.
+    min_weight_prefix: Vec<u64>,
+    /// Menu entries removed by dominance pruning at construction.
+    menu_dominated: u64,
     /// Observability context; disabled by default (zero-cost).
     telemetry: Telemetry,
 }
@@ -149,6 +312,102 @@ struct SearchCounters {
     incumbent_updates: Counter,
 }
 
+/// Precomputed admissible bounds of one search range.
+struct RangeBounds {
+    /// DRAM-traffic latency floor of the range.
+    floor: u64,
+    /// Suffix per-dimension resource lower bounds.
+    suffix_min: Vec<ResourceVec>,
+    /// `subtree[off]` — descendants below a node at offset `off` in the
+    /// *unpruned* tree, so `expanded + Σ pruned == 1 + subtree[0]` holds
+    /// exactly regardless of which cuts fire (tested against exhaustive
+    /// enumeration).
+    subtree: Vec<u64>,
+}
+
+/// A search incumbent: latency, per-layer configs, and group timing.
+type Incumbent = (u64, Vec<LayerConfig>, GroupTiming);
+
+/// The immutable state of one depth-first search.
+struct Ctx<'m> {
+    menus: &'m [Vec<Vec<MenuEntry>>],
+    suffix_min: &'m [ResourceVec],
+    capacity: ResourceVec,
+    device: &'m FpgaDevice,
+    start: usize,
+    n: usize,
+    best: Option<Incumbent>,
+    floor: u64,
+    subtree: &'m [u64],
+    /// Cross-worker incumbent, present only in split search. Workers
+    /// prune with it *strictly* (`bound > shared`) and accept leaves
+    /// against their local best only, which keeps every worker's local
+    /// winner — and therefore the reduced result — bit-identical to the
+    /// serial depth-first search even when latencies tie.
+    shared_best: Option<&'m AtomicU64>,
+    counters: SearchCounters,
+}
+
+fn visit(
+    ctx: &mut Ctx<'_>,
+    off: usize,
+    chosen: &mut Vec<LayerConfig>,
+    used: ResourceVec,
+    path_bound: u64,
+) {
+    ctx.counters.expanded.incr();
+    let best_latency = ctx.best.as_ref().map(|b| b.0).unwrap_or(u64::MAX);
+    if best_latency <= ctx.floor {
+        // Provably optimal already; everything below is skipped.
+        ctx.counters.pruned_floor.add(ctx.subtree[off]);
+        return;
+    }
+    if off == ctx.n {
+        ctx.counters.leaves_evaluated.incr();
+        if let Ok(timing) = group_timing(chosen, ctx.device) {
+            if timing.resources.fits_within(&ctx.capacity) && timing.latency < best_latency {
+                ctx.counters.incumbent_updates.incr();
+                if let Some(shared) = ctx.shared_best {
+                    shared.fetch_min(timing.latency, Ordering::Relaxed);
+                }
+                ctx.best = Some((timing.latency, chosen.clone(), timing));
+            }
+        }
+        return;
+    }
+    let idx = ctx.start + off;
+    // One pruned child slot = the child node plus its descendants.
+    let child_weight = 1 + ctx.subtree[off + 1];
+    for algo_menu in &ctx.menus[idx] {
+        for (pos, entry) in algo_menu.iter().enumerate() {
+            let local_best = ctx.best.as_ref().map(|b| b.0).unwrap_or(u64::MAX);
+            // Parallelism descends within the menu, so the bound only
+            // grows: break, don't continue (paper line 16-17). The shared
+            // incumbent tightens the limit only strictly (`> shared`) so
+            // equal-latency ties still resolve in serial order.
+            let prune_limit = match ctx.shared_best {
+                None => local_best,
+                Some(s) => local_best.min(s.load(Ordering::Relaxed).saturating_add(1)),
+            };
+            if entry.bound >= prune_limit {
+                ctx.counters
+                    .pruned_bound
+                    .add((algo_menu.len() - pos) as u64 * child_weight);
+                break;
+            }
+            let new_used = used + entry.config.estimate.resources;
+            let optimistic = new_used + ctx.suffix_min[off + 1];
+            if !optimistic.fits_within(&ctx.capacity) {
+                ctx.counters.pruned_resource.add(child_weight);
+                continue;
+            }
+            chosen.push(entry.config.clone());
+            visit(ctx, off + 1, chosen, new_used, path_bound.max(entry.bound));
+            chosen.pop();
+        }
+    }
+}
+
 impl<'a> GroupPlanner<'a> {
     /// Prepares a planner for `net` on `device` with the given algorithm
     /// policy.
@@ -164,9 +423,31 @@ impl<'a> GroupPlanner<'a> {
         device: &'a FpgaDevice,
         policy: AlgoPolicy,
     ) -> Result<Self, CoreError> {
+        Self::build(net, device, policy, true)
+    }
+
+    /// Like [`GroupPlanner::new`] but without dominance pruning — the
+    /// exhaustive menus the paper's pseudocode enumerates. Only useful
+    /// for validating the pruning itself.
+    #[cfg(test)]
+    fn new_unpruned(
+        net: &'a Network,
+        device: &'a FpgaDevice,
+        policy: AlgoPolicy,
+    ) -> Result<Self, CoreError> {
+        Self::build(net, device, policy, false)
+    }
+
+    fn build(
+        net: &'a Network,
+        device: &'a FpgaDevice,
+        policy: AlgoPolicy,
+        dominance: bool,
+    ) -> Result<Self, CoreError> {
         let bpc = device.bytes_per_cycle();
         let mut menus = Vec::with_capacity(net.len());
         let mut min_resources = Vec::with_capacity(net.len());
+        let mut menu_dominated = 0u64;
         for (idx, layer) in net.layers().iter().enumerate() {
             let mut algo_menus: Vec<Vec<MenuEntry>> = Vec::new();
             let mut algos: Vec<Algorithm> = Vec::new();
@@ -197,6 +478,11 @@ impl<'a> GroupPlanner<'a> {
                     let bound = config.estimate.compute_cycles.max(weight_cycles);
                     entries.push(MenuEntry { config, bound });
                 }
+                if dominance {
+                    let (kept, dropped) = dominance_prune(entries, bpc);
+                    entries = kept;
+                    menu_dominated += dropped;
+                }
                 if !entries.is_empty() {
                     algo_menus.push(entries);
                 }
@@ -220,15 +506,27 @@ impl<'a> GroupPlanner<'a> {
             }
             menus.push(algo_menus);
             min_resources.push(min_r);
-            let _ = idx;
+        }
+        let mut min_weight_prefix = Vec::with_capacity(net.len() + 1);
+        min_weight_prefix.push(0u64);
+        for menu in &menus {
+            let min_w = menu
+                .iter()
+                .flatten()
+                .map(|e| e.config.weight_bytes)
+                .min()
+                .unwrap_or(0);
+            min_weight_prefix.push(min_weight_prefix.last().copied().unwrap_or(0) + min_w);
         }
         Ok(GroupPlanner {
             net,
             device,
             policy,
             menus,
-            cache: HashMap::new(),
+            cache: PlanCache::new(),
             min_resources,
+            min_weight_prefix,
+            menu_dominated,
             max_group_layers: MAX_FUSION_LAYERS,
             telemetry: Telemetry::disabled(),
         })
@@ -236,9 +534,14 @@ impl<'a> GroupPlanner<'a> {
 
     /// Attaches an observability context. Search counters
     /// (`bnb.nodes_expanded`, `bnb.pruned_*`, …) and per-group `bnb.plan`
-    /// spans are recorded against it from then on.
+    /// spans are recorded against it from then on. Menus are
+    /// dominance-pruned at construction, before any context exists, so
+    /// the removal count is surfaced here as `bnb.menu_dominated`.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+        self.telemetry
+            .counter("bnb.menu_dominated")
+            .add(self.menu_dominated);
     }
 
     /// The observability context this planner records into.
@@ -246,7 +549,8 @@ impl<'a> GroupPlanner<'a> {
         &self.telemetry
     }
 
-    /// Total implementation-menu entries per layer (across algorithms).
+    /// Total implementation-menu entries per layer (across algorithms),
+    /// after dominance pruning.
     ///
     /// The full, unpruned Algorithm 2 tree over layers `[i, j)` has
     /// `T(i) = 1 + m(i)·T(i+1)` nodes (with `T(j) = 1`), where `m` is
@@ -257,6 +561,11 @@ impl<'a> GroupPlanner<'a> {
             .iter()
             .map(|algo_menus| algo_menus.iter().map(Vec::len).sum())
             .collect()
+    }
+
+    /// Menu entries removed by dominance pruning at construction.
+    pub fn menu_dominated(&self) -> u64 {
+        self.menu_dominated
     }
 
     /// Overrides the fusion-group size cap (the paper uses 8 for VGG due
@@ -285,10 +594,19 @@ impl<'a> GroupPlanner<'a> {
     /// Results are memoized (`fusion[i][j]` is "generated offline" in the
     /// paper).
     pub fn plan(&mut self, range: Range<usize>) -> Option<GroupPlan> {
+        self.plan_shared(range)
+    }
+
+    /// [`GroupPlanner::plan`] through a shared reference — the entry
+    /// point for concurrent plan-table workers. The memo cache is
+    /// internally synchronized; each range should be requested by one
+    /// worker (the table assigns ranges disjointly) so the
+    /// `bnb.plans_computed` count stays exact.
+    pub fn plan_shared(&self, range: Range<usize>) -> Option<GroupPlan> {
         let key = (range.start, range.end);
-        if let Some(hit) = self.cache.get(&key) {
+        if let Some(hit) = self.cache.get(key) {
             self.telemetry.counter("bnb.plan_cache_hits").incr();
-            return hit.clone();
+            return hit;
         }
         self.telemetry.counter("bnb.plans_computed").incr();
         let span = self.telemetry.span(
@@ -301,49 +619,55 @@ impl<'a> GroupPlanner<'a> {
         plan
     }
 
+    /// Like [`GroupPlanner::plan_shared`], but splits the branch-and-bound
+    /// itself across up to `threads` workers: each first-layer menu entry
+    /// opens an independent subtree, workers share the incumbent latency
+    /// through an atomic, and the reduction picks the winner by
+    /// `(latency, menu position)` — bit-identical to the serial search.
+    ///
+    /// Worth it only when the plan table has a single admissible range
+    /// (e.g. a fully-fused AlexNet body); otherwise ranges themselves are
+    /// the better unit of parallelism.
+    pub fn plan_split(&self, range: Range<usize>, threads: usize) -> Option<GroupPlan> {
+        let key = (range.start, range.end);
+        if let Some(hit) = self.cache.get(key) {
+            self.telemetry.counter("bnb.plan_cache_hits").incr();
+            return hit;
+        }
+        self.telemetry.counter("bnb.plans_computed").incr();
+        let span = self.telemetry.span(
+            "bnb",
+            &format!("plan layers {}..{}", range.start, range.end),
+        );
+        let plan = self.search_parallel(range.clone(), threads);
+        drop(span);
+        self.cache.insert(key, plan.clone());
+        plan
+    }
+
     /// DRAM-traffic latency floor for a group: feature maps + the
-    /// *smallest* possible weight traffic of its layers.
+    /// *smallest* possible weight traffic of its layers (precomputed
+    /// prefix sums — one subtraction per call).
     fn dram_floor(&self, range: &Range<usize>) -> u64 {
         let dtype = DataType::Fixed16;
         let fmap = self
             .net
             .fused_transfer_bytes(range.clone(), dtype)
             .unwrap_or(0);
-        let weights: u64 = range
-            .clone()
-            .map(|i| {
-                self.menus[i]
-                    .iter()
-                    .flatten()
-                    .map(|e| e.config.weight_bytes)
-                    .min()
-                    .unwrap_or(0)
-            })
-            .sum();
+        let weights = self.min_weight_prefix[range.end] - self.min_weight_prefix[range.start];
         ((fmap + weights) as f64 / self.device.bytes_per_cycle()).ceil() as u64
     }
 
-    fn search(&mut self, range: Range<usize>) -> Option<GroupPlan> {
-        if range.is_empty() || range.end > self.net.len() {
-            return None;
-        }
-        if range.len() > self.max_group_layers {
-            return None;
-        }
-        let floor = self.dram_floor(&range);
+    fn range_admissible(&self, range: &Range<usize>) -> bool {
+        !range.is_empty() && range.end <= self.net.len() && range.len() <= self.max_group_layers
+    }
 
-        // Suffix per-dimension resource lower bounds.
+    fn range_bounds(&self, range: &Range<usize>) -> RangeBounds {
         let n = range.len();
         let mut suffix_min = vec![ResourceVec::ZERO; n + 1];
         for off in (0..n).rev() {
             suffix_min[off] = suffix_min[off + 1] + self.min_resources[range.start + off];
         }
-
-        // Subtree sizes for prune accounting: `subtree[off]` is the number
-        // of descendants below a node at offset `off` in the *unpruned*
-        // tree, so `expanded + Σ pruned == 1 + subtree[0]` holds exactly
-        // regardless of which cuts fire (tested against exhaustive
-        // enumeration).
         let mut subtree = vec![0u64; n + 1];
         for off in (0..n).rev() {
             let m: u64 = self.menus[range.start + off]
@@ -352,90 +676,42 @@ impl<'a> GroupPlanner<'a> {
                 .sum();
             subtree[off] = m.saturating_mul(1 + subtree[off + 1]);
         }
-
-        struct Ctx<'m> {
-            menus: &'m [Vec<Vec<MenuEntry>>],
-            suffix_min: Vec<ResourceVec>,
-            capacity: ResourceVec,
-            device: FpgaDevice,
-            start: usize,
-            n: usize,
-            best: Option<(u64, Vec<LayerConfig>, GroupTiming)>,
-            floor: u64,
-            subtree: Vec<u64>,
-            counters: SearchCounters,
+        RangeBounds {
+            floor: self.dram_floor(range),
+            suffix_min,
+            subtree,
         }
+    }
 
-        fn visit(
-            ctx: &mut Ctx<'_>,
-            off: usize,
-            chosen: &mut Vec<LayerConfig>,
-            used: ResourceVec,
-            path_bound: u64,
-        ) {
-            ctx.counters.expanded.incr();
-            let best_latency = ctx.best.as_ref().map(|b| b.0).unwrap_or(u64::MAX);
-            if best_latency <= ctx.floor {
-                // Provably optimal already; everything below is skipped.
-                ctx.counters.pruned_floor.add(ctx.subtree[off]);
-                return;
-            }
-            if off == ctx.n {
-                ctx.counters.leaves_evaluated.incr();
-                if let Ok(timing) = group_timing(chosen, &ctx.device) {
-                    if timing.resources.fits_within(&ctx.capacity) && timing.latency < best_latency
-                    {
-                        ctx.counters.incumbent_updates.incr();
-                        ctx.best = Some((timing.latency, chosen.clone(), timing));
-                    }
-                }
-                return;
-            }
-            let idx = ctx.start + off;
-            // One pruned child slot = the child node plus its descendants.
-            let child_weight = 1 + ctx.subtree[off + 1];
-            for algo_menu in &ctx.menus[idx] {
-                for (pos, entry) in algo_menu.iter().enumerate() {
-                    let best_latency = ctx.best.as_ref().map(|b| b.0).unwrap_or(u64::MAX);
-                    // Parallelism descends within the menu, so the bound
-                    // only grows: break, don't continue (paper line 16-17).
-                    if entry.bound >= best_latency {
-                        ctx.counters
-                            .pruned_bound
-                            .add((algo_menu.len() - pos) as u64 * child_weight);
-                        break;
-                    }
-                    let new_used = used + entry.config.estimate.resources;
-                    let optimistic = new_used + ctx.suffix_min[off + 1];
-                    if !optimistic.fits_within(&ctx.capacity) {
-                        ctx.counters.pruned_resource.add(child_weight);
-                        continue;
-                    }
-                    chosen.push(entry.config.clone());
-                    visit(ctx, off + 1, chosen, new_used, path_bound.max(entry.bound));
-                    chosen.pop();
-                }
-            }
+    fn search_counters(&self) -> SearchCounters {
+        SearchCounters {
+            expanded: self.telemetry.counter("bnb.nodes_expanded"),
+            pruned_bound: self.telemetry.counter("bnb.pruned_bound"),
+            pruned_resource: self.telemetry.counter("bnb.pruned_resource"),
+            pruned_floor: self.telemetry.counter("bnb.pruned_floor"),
+            leaves_evaluated: self.telemetry.counter("bnb.leaves_evaluated"),
+            incumbent_updates: self.telemetry.counter("bnb.incumbent_updates"),
         }
+    }
 
+    fn search(&self, range: Range<usize>) -> Option<GroupPlan> {
+        if !self.range_admissible(&range) {
+            return None;
+        }
+        let n = range.len();
+        let bounds = self.range_bounds(&range);
         let mut ctx = Ctx {
             menus: &self.menus,
-            suffix_min,
+            suffix_min: &bounds.suffix_min,
             capacity: *self.device.resources(),
-            device: self.device.clone(),
+            device: self.device,
             start: range.start,
             n,
             best: None,
-            floor,
-            subtree,
-            counters: SearchCounters {
-                expanded: self.telemetry.counter("bnb.nodes_expanded"),
-                pruned_bound: self.telemetry.counter("bnb.pruned_bound"),
-                pruned_resource: self.telemetry.counter("bnb.pruned_resource"),
-                pruned_floor: self.telemetry.counter("bnb.pruned_floor"),
-                leaves_evaluated: self.telemetry.counter("bnb.leaves_evaluated"),
-                incumbent_updates: self.telemetry.counter("bnb.incumbent_updates"),
-            },
+            floor: bounds.floor,
+            subtree: &bounds.subtree,
+            shared_best: None,
+            counters: self.search_counters(),
         };
         let mut chosen = Vec::with_capacity(n);
         visit(&mut ctx, 0, &mut chosen, ResourceVec::ZERO, 0);
@@ -446,6 +722,97 @@ impl<'a> GroupPlanner<'a> {
             configs,
             timing,
         })
+    }
+
+    /// The split branch-and-bound behind [`GroupPlanner::plan_split`]:
+    /// the root's children (first-layer menu entries, in menu order) form
+    /// the task list, consumed from an atomic index by scoped workers.
+    ///
+    /// Determinism: the serial winner is the depth-first-first leaf that
+    /// attains the global minimum latency, and every entry on its path
+    /// has `bound ≤` that latency `≤ shared`, so the strict shared check
+    /// can never cut it. Workers whose subtree attains the global minimum
+    /// therefore report exactly their serial-subtree winner; all others
+    /// report strictly slower candidates (or none), and the
+    /// `(latency, task index)` reduction returns the serial result. The
+    /// node accounting identity (`expanded + Σ pruned == tree size`)
+    /// still holds exactly, though the expanded/pruned split may vary
+    /// run to run — shared pruning races are benign for totals, not for
+    /// the breakdown.
+    fn search_parallel(&self, range: Range<usize>, threads: usize) -> Option<GroupPlan> {
+        if !self.range_admissible(&range) {
+            return None;
+        }
+        let n = range.len();
+        let tasks: Vec<&MenuEntry> = self.menus[range.start].iter().flatten().collect();
+        if threads <= 1 || tasks.len() < 2 {
+            return self.search(range);
+        }
+        let bounds = self.range_bounds(&range);
+        let capacity = *self.device.resources();
+        // The root node itself.
+        self.search_counters().expanded.incr();
+        let child_weight = 1 + bounds.subtree.get(1).copied().unwrap_or(0);
+
+        let shared = AtomicU64::new(u64::MAX);
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(tasks.len());
+        let mut candidates: Vec<(usize, Incumbent)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| {
+                    let mut found: Vec<(usize, Incumbent)> = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(entry) = tasks.get(t) else { break };
+                        let counters = self.search_counters();
+                        let limit = shared.load(Ordering::Relaxed).saturating_add(1);
+                        if entry.bound >= limit {
+                            counters.pruned_bound.add(child_weight);
+                            continue;
+                        }
+                        let used = entry.config.estimate.resources;
+                        if !(used + bounds.suffix_min[1]).fits_within(&capacity) {
+                            counters.pruned_resource.add(child_weight);
+                            continue;
+                        }
+                        let mut ctx = Ctx {
+                            menus: &self.menus,
+                            suffix_min: &bounds.suffix_min,
+                            capacity,
+                            device: self.device,
+                            start: range.start,
+                            n,
+                            best: None,
+                            floor: bounds.floor,
+                            subtree: &bounds.subtree,
+                            shared_best: Some(&shared),
+                            counters,
+                        };
+                        let mut chosen = vec![entry.config.clone()];
+                        visit(&mut ctx, 1, &mut chosen, used, entry.bound);
+                        if let Some(best) = ctx.best {
+                            found.push((t, best));
+                        }
+                    }
+                    found
+                }));
+            }
+            for h in handles {
+                candidates.extend(h.join().expect("search worker panicked"));
+            }
+        });
+        candidates.sort_by_key(|(t, (latency, _, _))| (*latency, *t));
+        candidates
+            .into_iter()
+            .next()
+            .map(|(_, (_, configs, timing))| GroupPlan {
+                start: range.start,
+                end: range.end,
+                configs,
+                timing,
+            })
     }
 }
 
@@ -567,5 +934,50 @@ mod tests {
             net.fused_transfer_bytes(0..net.len(), DataType::Fixed16)
                 .unwrap()
         );
+    }
+
+    #[test]
+    fn dominance_pruning_preserves_optimal_latency() {
+        let dev = FpgaDevice::zc706();
+        for net in [zoo::small_test_net(), zoo::vgg_e_fused_prefix()] {
+            let mut pruned = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+            let mut full =
+                GroupPlanner::new_unpruned(&net, &dev, AlgoPolicy::heterogeneous()).unwrap();
+            let pruned_menu: usize = pruned.menu_sizes().iter().sum();
+            let full_menu: usize = full.menu_sizes().iter().sum();
+            assert_eq!(
+                pruned_menu as u64 + pruned.menu_dominated(),
+                full_menu as u64,
+                "every removed entry is accounted"
+            );
+            for end in 1..=net.len() {
+                let a = pruned.plan(0..end);
+                let b = full.plan(0..end);
+                assert_eq!(
+                    a.as_ref().map(GroupPlan::latency),
+                    b.as_ref().map(GroupPlan::latency),
+                    "range 0..{end}: dominance pruning must not change the optimum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_search_matches_serial() {
+        let net = zoo::small_test_net();
+        let dev = FpgaDevice::zc706();
+        for policy in [
+            AlgoPolicy::heterogeneous(),
+            AlgoPolicy::conventional_only(),
+            AlgoPolicy::winograd_preferred(),
+        ] {
+            let mut serial = GroupPlanner::new(&net, &dev, policy).unwrap();
+            let split = GroupPlanner::new(&net, &dev, policy).unwrap();
+            for end in 1..=net.len() {
+                let a = serial.plan(0..end);
+                let b = split.plan_split(0..end, 4);
+                assert_eq!(a, b, "policy {policy:?}, range 0..{end}");
+            }
+        }
     }
 }

@@ -118,7 +118,7 @@ fn prune(mut points: Vec<FrontierPoint>) -> Vec<FrontierPoint> {
 }
 
 struct FrontierBuilder<'a, 'b> {
-    planner: &'b mut GroupPlanner<'a>,
+    planner: &'b GroupPlanner<'a>,
     memo: HashMap<(usize, usize), Vec<FrontierPoint>>,
     /// `allowed_cut[k]` — whether the network may be split between layer
     /// `k` and `k+1`. All-true for plain optimization; module boundaries
@@ -133,7 +133,7 @@ struct FrontierBuilder<'a, 'b> {
 }
 
 impl<'a, 'b> FrontierBuilder<'a, 'b> {
-    fn new(planner: &'b mut GroupPlanner<'a>, allowed_cut: Vec<bool>) -> Self {
+    fn new(planner: &'b GroupPlanner<'a>, allowed_cut: Vec<bool>) -> Self {
         let tele = planner.telemetry().clone();
         FrontierBuilder {
             planner,
@@ -152,7 +152,7 @@ impl<'a, 'b> FrontierBuilder<'a, 'b> {
         }
         self.subproblems.incr();
         let mut points = Vec::new();
-        if let Some(plan) = self.planner.plan(i..j + 1) {
+        if let Some(plan) = self.planner.plan_shared(i..j + 1) {
             points.push(FrontierPoint {
                 transfer: plan.transfer_bytes(),
                 latency: plan.latency(),
@@ -191,7 +191,7 @@ impl<'a, 'b> FrontierBuilder<'a, 'b> {
             Choice::Fused => {
                 let plan = self
                     .planner
-                    .plan(i..j + 1)
+                    .plan_shared(i..j + 1)
                     .expect("fused point implies a plan");
                 out.push(plan);
             }
@@ -285,8 +285,9 @@ pub fn tradeoff_curve(planner: &mut GroupPlanner<'_>, net: &Network) -> Vec<(u64
 
 /// Builds the cut-permission mask: all cuts allowed, or only the listed
 /// boundaries (a boundary `k` permits splitting between layers `k` and
-/// `k+1`).
-fn cut_mask(n: usize, boundaries: Option<&[usize]>) -> Result<Vec<bool>, CoreError> {
+/// `k+1`). Shared with [`crate::parallel`], which enumerates the same
+/// admissible ranges the DP recursion will request.
+pub(crate) fn cut_mask(n: usize, boundaries: Option<&[usize]>) -> Result<Vec<bool>, CoreError> {
     match boundaries {
         None => Ok(vec![true; n.saturating_sub(1)]),
         Some(bs) => {

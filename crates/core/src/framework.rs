@@ -61,19 +61,43 @@ pub struct Framework {
     policy: AlgoPolicy,
     energy: EnergyModel,
     max_group_layers: usize,
+    /// Strategy-search worker threads (1 = fully serial search).
+    threads: usize,
     telemetry: Telemetry,
 }
 
 impl Framework {
     /// Creates a framework with the paper's heterogeneous exploration.
+    /// The strategy search uses all available cores by default; see
+    /// [`Framework::with_threads`].
     pub fn new(device: FpgaDevice) -> Self {
         Framework {
             device,
             policy: AlgoPolicy::heterogeneous(),
             energy: EnergyModel::new(),
             max_group_layers: crate::MAX_FUSION_LAYERS,
+            threads: crate::parallel::default_threads(),
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Sets the strategy-search worker-thread count. `0` means "auto"
+    /// (available parallelism). `1` runs the exact single-threaded
+    /// search; any other count prefills the `fusion[i][j]` plan table
+    /// from scoped workers before the DP runs — the results (and the
+    /// search's node accounting) are bit-identical at every setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            crate::parallel::default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// The strategy-search worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Attaches an observability context: search counters, spans, and
@@ -133,6 +157,7 @@ impl Framework {
     ) -> Result<OptimizedDesign, CoreError> {
         let span = self.telemetry.span("framework", "optimize");
         let mut planner = self.planner_for(net)?;
+        self.prefill(&planner, net.len(), None)?;
         let partition = dp::optimize(&mut planner, net, transfer_budget_bytes)?;
         drop(span);
         let timing = self.timing_of(net, &partition);
@@ -170,6 +195,21 @@ impl Framework {
         Ok(planner)
     }
 
+    /// Fills the `fusion[i][j]` plan table from worker threads when more
+    /// than one is configured; with one thread the lazy serial path is
+    /// exact and prefilling would only reorder work.
+    fn prefill(
+        &self,
+        planner: &GroupPlanner<'_>,
+        n: usize,
+        boundaries: Option<&[usize]>,
+    ) -> Result<(), CoreError> {
+        if self.threads > 1 {
+            crate::parallel::fill_plan_table(planner, n, boundaries, self.threads)?;
+        }
+        Ok(())
+    }
+
     /// Optimizes a module-structured network treating every module as a
     /// single layer (§7.1: the GoogleNet coarsening) — the partitioner
     /// may only cut at module boundaries, which shrinks the DP's search
@@ -187,6 +227,7 @@ impl Framework {
         let net = &modular.network;
         let mut planner = self.planner_for(net)?;
         let boundaries = modular.cut_boundaries();
+        self.prefill(&planner, net.len(), Some(&boundaries))?;
         let partition =
             dp::optimize_with_cuts(&mut planner, net, transfer_budget_bytes, Some(&boundaries))?;
         let timing = self.timing_of(net, &partition);
@@ -201,6 +242,7 @@ impl Framework {
     /// Same construction errors as [`Framework::optimize`].
     pub fn tradeoff_curve(&self, net: &Network) -> Result<Vec<(u64, u64)>, CoreError> {
         let mut planner = self.planner_for(net)?;
+        self.prefill(&planner, net.len(), None)?;
         Ok(dp::tradeoff_curve(&mut planner, net))
     }
 

@@ -16,6 +16,9 @@
 //!   budget,
 //! * [`exhaustive`] — a brute-force partition enumerator used to verify
 //!   the DP's optimality on small networks,
+//! * [`parallel`] — multi-threaded construction of the `fusion[i][j]`
+//!   plan table (every cell is an independent branch-and-bound), with
+//!   bit-identical results at any thread count,
 //! * [`framework`] — the end-to-end driver ("Caffe model + FPGA spec in,
 //!   strategy + report out", §3), including homogeneous-algorithm
 //!   restrictions for ablations,
@@ -41,6 +44,7 @@ pub mod bnb;
 pub mod dp;
 pub mod exhaustive;
 pub mod framework;
+pub mod parallel;
 pub mod report;
 pub mod strategy;
 

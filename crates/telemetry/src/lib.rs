@@ -93,6 +93,24 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Combines two snapshots as if their samples had been recorded into
+    /// one histogram. An empty side contributes nothing (its min is a
+    /// placeholder, not an observation).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -389,6 +407,22 @@ impl RunTelemetry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Folds `other` into this summary: counters add, histograms combine
+    /// sample-wise. The tool for aggregating per-worker or per-run
+    /// snapshots (e.g. benchmark repetitions) into one report.
+    pub fn merge(&mut self, other: &RunTelemetry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, snapshot) in &other.histograms {
+            let merged = self
+                .histograms
+                .get(name)
+                .map_or(*snapshot, |mine| mine.merge(snapshot));
+            self.histograms.insert(name.clone(), merged);
+        }
+    }
+
     /// Serializes to a pretty-printed JSON object with `counters` and
     /// `histograms` sections.
     pub fn to_json(&self) -> String {
@@ -483,6 +517,43 @@ mod tests {
                 .and_then(JsonValue::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn merge_adds_counters_and_combines_histograms() {
+        let a = Telemetry::enabled();
+        a.add("shared", 3);
+        a.add("only_a", 1);
+        a.histogram("h").record(10);
+        let b = Telemetry::enabled();
+        b.add("shared", 4);
+        b.add("only_b", 2);
+        b.histogram("h").record(2);
+        b.histogram("h").record(20);
+        b.histogram("only_b_h").record(5);
+
+        let mut merged = a.summary();
+        merged.merge(&b.summary());
+        assert_eq!(merged.counter("shared"), 7);
+        assert_eq!(merged.counter("only_a"), 1);
+        assert_eq!(merged.counter("only_b"), 2);
+        let h = merged.histograms["h"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (3, 32, 2, 20));
+        assert_eq!(merged.histograms["only_b_h"].count, 1);
+
+        // Merging an empty summary is the identity.
+        let before = merged.clone();
+        merged.merge(&RunTelemetry::default());
+        assert_eq!(merged, before);
+        // An empty min placeholder never wins.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        };
+        assert_eq!(empty.merge(&h), h);
+        assert_eq!(h.merge(&empty), h);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! winofuse info     <model.prototxt>
 //! winofuse optimize <model.prototxt> [--budget-mb N] [--device zc706|vx485t]
-//!                   [--policy hetero|conv|wino] [--max-group N]
+//!                   [--policy hetero|conv|wino] [--max-group N] [--threads N]
 //! winofuse curve    <model.prototxt> [--device ...] [--policy ...]
 //! winofuse codegen  <model.prototxt> --out DIR [--budget-mb N] [--testbench]
 //! winofuse simulate <model.prototxt> [--budget-mb N] [--seed N]
@@ -34,6 +34,8 @@ fn usage() -> ! {
            --device NAME     zc706 (default), vx485t, zedboard, vc709, ku060\n\
            --policy NAME     hetero (default), conv, or wino\n\
            --max-group N     max layers per fusion group (default 8)\n\
+           --threads N       strategy-search worker threads; 0 = all cores\n\
+                             (default), 1 = serial — results are identical\n\
            --out DIR         output directory (codegen)\n\
            --testbench       also emit golden-vector C testbenches (codegen)\n\
            --seed N          synthetic weight/input seed (simulate; default 42)\n\
@@ -52,6 +54,8 @@ struct Options {
     device: FpgaDevice,
     policy: AlgoPolicy,
     max_group: usize,
+    /// Strategy-search worker threads; 0 = auto (all cores).
+    threads: usize,
     out: Option<PathBuf>,
     testbench: bool,
     seed: u64,
@@ -69,6 +73,7 @@ fn parse_options(args: &[String]) -> Options {
         device: FpgaDevice::zc706(),
         policy: AlgoPolicy::heterogeneous(),
         max_group: winofuse::core::MAX_FUSION_LAYERS,
+        threads: 0,
         out: None,
         testbench: false,
         seed: 42,
@@ -129,6 +134,7 @@ fn parse_options(args: &[String]) -> Options {
                 }
             }
             "--max-group" => o.max_group = value("--max-group").parse().unwrap_or_else(|_| usage()),
+            "--threads" => o.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
             "--out" => o.out = Some(PathBuf::from(value("--out"))),
             "--trace-out" => o.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--telemetry-json" => o.telemetry_json = Some(PathBuf::from(value("--telemetry-json"))),
@@ -197,6 +203,7 @@ fn framework(o: &Options) -> Framework {
     Framework::new(device)
         .with_policy(o.policy)
         .with_max_group_layers(o.max_group)
+        .with_threads(o.threads)
         .with_telemetry(o.telemetry.clone())
 }
 

@@ -70,6 +70,27 @@ fn optimize_prints_strategy_and_report() {
 }
 
 #[test]
+fn threads_flag_does_not_change_the_design() {
+    let p = demo_path("threads");
+    let run = |threads: &str| {
+        let out = bin()
+            .args(["optimize"])
+            .arg(&p)
+            .args(["--budget-mb", "2", "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(run("1"), run("4"), "worker count must not affect output");
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
 fn simulate_validates_against_reference() {
     let p = demo_path("simulate");
     let out = bin()

@@ -47,6 +47,10 @@ fn bnb_accounting_covers_the_exhaustive_tree() {
     assert!(s.counter("bnb.nodes_expanded") < expected);
     assert!(s.counter("bnb.incumbent_updates") >= 1);
     assert_eq!(s.counter("bnb.plans_computed"), 1);
+    // Menus are dominance-pruned at construction; the context attached
+    // afterwards must still surface the removal count.
+    assert!(s.counters.contains_key("bnb.menu_dominated"));
+    assert_eq!(s.counter("bnb.menu_dominated"), planner.menu_dominated());
 }
 
 #[test]

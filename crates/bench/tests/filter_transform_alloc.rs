@@ -1,0 +1,82 @@
+//! Allocation-count contract for the Winograd filter transform.
+//!
+//! `TransformedFilters::new` must allocate exactly one bank per
+//! `(out_c, in_c)` kernel pair plus a constant amount of scratch — the
+//! transform scratch is hoisted out of the channel loop, so growing the
+//! channel count must not add any per-pair churn.
+//!
+//! This is the only unsafe code in the workspace: a counting
+//! `GlobalAlloc` has to be, and it lives in its own single-test
+//! integration binary so no other test's allocations pollute the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use winofuse_conv::cook_toom::f43;
+use winofuse_conv::tensor::random_tensor;
+use winofuse_conv::winograd::TransformedFilters;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations made by one `TransformedFilters::new` call on an
+/// `out_c × in_c` 3×3 kernel bank (inputs built outside the window).
+fn allocs_for(out_c: usize, in_c: usize) -> u64 {
+    let kernels = random_tensor(out_c, in_c, 3, 3, 7);
+    let transform = f43();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let filters = TransformedFilters::new(&kernels, &transform).unwrap();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    drop(filters);
+    after - before
+}
+
+#[test]
+fn filter_transform_allocates_once_per_pair() {
+    // Warm up lazily-initialized runtime machinery before measuring.
+    let _ = allocs_for(1, 1);
+
+    let small = allocs_for(4, 3); // 12 pairs
+    let medium = allocs_for(8, 6); // 48 pairs
+    let large = allocs_for(16, 6); // 96 pairs
+
+    // The transform-independent overhead (G, Gᵀ, hoisted scratch, the
+    // banks vec itself) is identical across calls, so the growth must be
+    // exactly one allocation per extra kernel pair.
+    assert_eq!(
+        medium - small,
+        48 - 12,
+        "per-pair allocation churn: 12 pairs cost {small}, 48 pairs cost {medium}"
+    );
+    assert_eq!(
+        large - medium,
+        96 - 48,
+        "per-pair allocation churn: 48 pairs cost {medium}, 96 pairs cost {large}"
+    );
+    // And the constant part stays small in absolute terms.
+    assert!(
+        small < 12 + 32,
+        "constant overhead too large: {small} allocations for 12 pairs"
+    );
+}

@@ -9,6 +9,7 @@
 //! the reference every other algorithm in this crate is validated against.
 
 use crate::fixed::{Accumulator, Fix16};
+use crate::gemm::{BOperand, ConvStats, GemmBlocking, GemmScratch};
 use crate::tensor::{Scalar, Tensor};
 use crate::{ConvError, ConvGeometry};
 
@@ -141,6 +142,170 @@ pub fn conv2d_fix16(
     Ok(out)
 }
 
+/// im2col rows filled per parallel job in the fast paths (a tuning
+/// constant; results never depend on it).
+const PATCH_ROW_CHUNK: usize = 8;
+/// Output channels per GEMM / accumulation job in the fast paths.
+const OUT_C_BLOCK: usize = 16;
+
+/// Fills `patches` (length `C·K² × outH·outW`) with the im2col lowering of
+/// batch element `bn`, rows ordered `(channel, ku, kv)` — the same order
+/// [`crate::im2col::im2col`] produces and the naive kernels accumulate in.
+fn fill_patches<T: Scalar + Send + Sync>(
+    input: &Tensor<T>,
+    geom: ConvGeometry,
+    bn: usize,
+    patches: &mut [T],
+    threads: usize,
+) {
+    let (k, s, pad) = (geom.kernel(), geom.stride(), geom.pad() as isize);
+    let (oh, ow) = (geom.output_height(), geom.output_width());
+    let cols = oh * ow;
+    let slices = winofuse_runtime::split_chunks(patches, PATCH_ROW_CHUNK * cols);
+    winofuse_runtime::run_sliced_jobs(threads, slices, |job, slice| {
+        let r0 = job * PATCH_ROW_CHUNK;
+        for (local, row) in slice.chunks_exact_mut(cols).enumerate() {
+            let r = r0 + local;
+            let (m, u, v) = (r / (k * k), (r / k) % k, r % k);
+            for i in 0..oh {
+                for j in 0..ow {
+                    let hh = (i * s + u) as isize - pad;
+                    let ww = (j * s + v) as isize - pad;
+                    row[i * ow + j] = input.get_padded(bn, m, hh, ww);
+                }
+            }
+        }
+    });
+}
+
+/// Fast direct convolution: im2col lowering followed by the blocked GEMM
+/// of [`crate::gemm`], parallel over patch rows and output-channel blocks
+/// on the shared worker pool. Handles any stride and padding (the cases
+/// Winograd rejects). `threads == 0` auto-detects; results are
+/// bit-identical for any thread count.
+///
+/// # Errors
+///
+/// Returns [`ConvError::ShapeMismatch`] when tensor shapes disagree with
+/// `geom` — the same conditions as [`conv2d`].
+pub fn conv2d_fast(
+    input: &Tensor<f32>,
+    kernels: &Tensor<f32>,
+    geom: ConvGeometry,
+    threads: usize,
+    stats: Option<&ConvStats>,
+) -> Result<Tensor<f32>, ConvError> {
+    check_shapes(input, kernels, geom)?;
+    let threads = winofuse_runtime::resolve_threads(threads);
+    let (batch, in_c, _, _) = input.shape();
+    let out_c = kernels.n();
+    let (oh, ow) = (geom.output_height(), geom.output_width());
+    let (ckk, cols) = (in_c * geom.kernel() * geom.kernel(), oh * ow);
+    let kflat = kernels.as_slice(); // N×(C·K·K) row-major already
+
+    let mut patches = vec![0.0f32; ckk * cols];
+    let mut out = Tensor::zeros(batch, out_c, oh, ow);
+    let k_blocks: Vec<(usize, usize)> = (0..out_c)
+        .step_by(OUT_C_BLOCK)
+        .map(|k0| (k0, OUT_C_BLOCK.min(out_c - k0)))
+        .collect();
+    let lengths: Vec<usize> = k_blocks.iter().map(|&(_, kb)| kb * cols).collect();
+    for bn in 0..batch {
+        fill_patches(input, geom, bn, &mut patches, threads);
+        let out_all = out.as_mut_slice();
+        let img = &mut out_all[bn * out_c * cols..(bn + 1) * out_c * cols];
+        let slices = winofuse_runtime::split_lengths(img, &lengths);
+        let patches_ref = &patches;
+        winofuse_runtime::run_sliced_jobs_with(
+            threads,
+            slices,
+            GemmScratch::new,
+            |scratch, job, slice| {
+                let (k0, kb) = k_blocks[job];
+                let bytes = crate::gemm::gemm_f32(
+                    scratch,
+                    GemmBlocking::default(),
+                    kb,
+                    ckk,
+                    cols,
+                    &kflat[k0 * ckk..(k0 + kb) * ckk],
+                    BOperand::row_major(patches_ref, cols),
+                    slice,
+                );
+                if let Some(s) = stats {
+                    s.add_gemm(1, bytes);
+                }
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Fast fixed-point direct convolution: the im2col lowering of
+/// [`conv2d_fast`] driven through the wide [`Accumulator`] datapath.
+/// Products accumulate in the same `(channel, ku, kv)` order as
+/// [`conv2d_fix16`] and integer accumulation is exact, so the output is
+/// **bit-identical** to the naive reference at any thread count.
+///
+/// # Errors
+///
+/// Returns [`ConvError::ShapeMismatch`] when tensor shapes disagree with
+/// `geom`.
+pub fn conv2d_fix16_fast(
+    input: &Tensor<Fix16>,
+    kernels: &Tensor<Fix16>,
+    geom: ConvGeometry,
+    threads: usize,
+) -> Result<Tensor<Fix16>, ConvError> {
+    check_shapes(input, kernels, geom)?;
+    let threads = winofuse_runtime::resolve_threads(threads);
+    let (batch, in_c, _, _) = input.shape();
+    let out_c = kernels.n();
+    let (oh, ow) = (geom.output_height(), geom.output_width());
+    let (ckk, cols) = (in_c * geom.kernel() * geom.kernel(), oh * ow);
+    let kflat = kernels.as_slice();
+
+    let mut patches = vec![Fix16::ZERO; ckk * cols];
+    let mut out = Tensor::zeros(batch, out_c, oh, ow);
+    let k_blocks: Vec<(usize, usize)> = (0..out_c)
+        .step_by(OUT_C_BLOCK)
+        .map(|k0| (k0, OUT_C_BLOCK.min(out_c - k0)))
+        .collect();
+    let lengths: Vec<usize> = k_blocks.iter().map(|&(_, kb)| kb * cols).collect();
+    for bn in 0..batch {
+        fill_patches(input, geom, bn, &mut patches, threads);
+        let out_all = out.as_mut_slice();
+        let img = &mut out_all[bn * out_c * cols..(bn + 1) * out_c * cols];
+        let slices = winofuse_runtime::split_lengths(img, &lengths);
+        let patches_ref = &patches;
+        winofuse_runtime::run_sliced_jobs_with(
+            threads,
+            slices,
+            || vec![Accumulator::new(); cols],
+            |accs, job, slice| {
+                let (k0, kb) = k_blocks[job];
+                for k in k0..k0 + kb {
+                    accs.fill(Accumulator::new());
+                    // Row-major sweep of the patch matrix keeps the memory
+                    // access streaming while every output element still
+                    // accumulates its products in ascending row order.
+                    for (r, &kv) in kflat[k * ckk..(k + 1) * ckk].iter().enumerate() {
+                        let row = &patches_ref[r * cols..(r + 1) * cols];
+                        for (acc, &d) in accs.iter_mut().zip(row) {
+                            acc.mac(d, kv);
+                        }
+                    }
+                    let plane = &mut slice[(k - k0) * cols..(k - k0 + 1) * cols];
+                    for (dst, acc) in plane.iter_mut().zip(accs.iter()) {
+                        *dst = acc.finish();
+                    }
+                }
+            },
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +395,68 @@ mod tests {
         // 27 MACs of values in [-1,1): quantization error stays small.
         let qf: Tensor<f32> = q.cast();
         assert!(f.max_abs_diff(&qf).unwrap() < 0.15);
+    }
+
+    #[test]
+    fn fast_path_matches_naive_across_geometries() {
+        // Stride/pad general: the cases the Winograd path rejects.
+        for &(h, w, k, s, pad, in_c, out_c) in &[
+            (7usize, 7usize, 3usize, 1usize, 1usize, 3usize, 4usize),
+            (11, 9, 5, 2, 2, 2, 5),
+            (8, 8, 1, 1, 0, 6, 3),
+            (10, 10, 3, 2, 0, 1, 1),
+        ] {
+            let geom = ConvGeometry::rect(h, w, k, s, pad).unwrap();
+            let x = random_tensor(2, in_c, h, w, (h * 7 + k) as u64);
+            let kn = random_tensor(out_c, in_c, k, k, (w + s) as u64);
+            let naive = conv2d(&x, &kn, geom).unwrap();
+            let fast = conv2d_fast(&x, &kn, geom, 1, None).unwrap();
+            let diff = naive.max_abs_diff(&fast).unwrap();
+            assert!(diff < 1e-4, "{h}x{w} k{k} s{s} p{pad}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn fast_path_is_thread_count_invariant() {
+        let geom = ConvGeometry::rect(13, 11, 3, 2, 1).unwrap();
+        let x = random_tensor(1, 5, 13, 11, 51);
+        let k = random_tensor(18, 5, 3, 3, 52);
+        let base = conv2d_fast(&x, &k, geom, 1, None).unwrap();
+        for threads in [2usize, 4, 8] {
+            let y = conv2d_fast(&x, &k, geom, threads, None).unwrap();
+            assert_eq!(y, base, "{threads}-thread direct fast path differs");
+        }
+    }
+
+    #[test]
+    fn fast_path_counts_gemms() {
+        let geom = ConvGeometry::new(8, 8, 3, 1, 1).unwrap();
+        let x = random_tensor(1, 2, 8, 8, 3);
+        let k = random_tensor(20, 2, 3, 3, 4);
+        let stats = ConvStats::new();
+        conv2d_fast(&x, &k, geom, 2, Some(&stats)).unwrap();
+        let (gemm_calls, _, bytes) = stats.snapshot();
+        // 20 output channels over blocks of 16 = 2 GEMM jobs.
+        assert_eq!(gemm_calls, 2);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn fix16_fast_is_bit_exact_vs_naive() {
+        for &(h, w, k, s, pad) in &[
+            (7usize, 7usize, 3usize, 1usize, 1usize),
+            (9, 11, 5, 2, 2),
+            (6, 6, 3, 1, 0),
+        ] {
+            let geom = ConvGeometry::rect(h, w, k, s, pad).unwrap();
+            let x: Tensor<Fix16> = random_tensor(1, 3, h, w, (h + w) as u64).cast();
+            let kn: Tensor<Fix16> = random_tensor(4, 3, k, k, (h * w) as u64).cast();
+            let naive = conv2d_fix16(&x, &kn, geom).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let fast = conv2d_fix16_fast(&x, &kn, geom, threads).unwrap();
+                assert_eq!(fast, naive, "{h}x{w} k{k} s{s} p{pad} @{threads}t");
+            }
+        }
     }
 
     #[test]

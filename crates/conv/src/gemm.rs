@@ -1,0 +1,548 @@
+//! Cache-blocked, register-tiled f32 GEMM — the engine behind the fast
+//! convolution paths.
+//!
+//! Both batched Winograd ([`crate::winograd::conv2d_batched`]) and im2col
+//! direct convolution ([`crate::direct::conv2d_fast`]) reduce to dense
+//! `C = A·B` products. This module implements the classic three-level
+//! blocking (Goto/BLIS): `NC`-wide column panels of `B` and `KC`-deep
+//! blocks are packed into contiguous buffers sized for the L3/L2 caches,
+//! `MC`-tall row blocks of `A` are packed for the L1, and an `MR×NR`
+//! register-tiled microkernel runs over the packed panels with a
+//! fixed-size accumulator array the compiler can keep in vector registers.
+//!
+//! Determinism: for every output element the `k`-dimension is accumulated
+//! in one fixed serial order (`KC` blocks ascending, elements ascending
+//! inside a block) regardless of blocking parameters' interaction with
+//! threads — callers parallelize by splitting rows of `A`/`C` or issuing
+//! independent GEMMs, never by splitting `k`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rows of the microkernel register tile.
+pub const MR: usize = 4;
+/// Columns of the microkernel register tile.
+pub const NR: usize = 8;
+
+/// Cache-blocking parameters, in elements.
+///
+/// Defaults target a generic contemporary x86-64/ARM core: `KC·NR` floats
+/// of packed `B` streamed from L2, `MC·KC` floats of packed `A` resident
+/// in L1/L2, `NC` bounding the packed-`B` panel to a few hundred KiB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmBlocking {
+    /// Row-block height of `A` (L2-resident packed panel).
+    pub mc: usize,
+    /// Depth of the packed `k` block.
+    pub kc: usize,
+    /// Column-panel width of `B`.
+    pub nc: usize,
+}
+
+impl Default for GemmBlocking {
+    fn default() -> Self {
+        GemmBlocking {
+            mc: 64,
+            kc: 256,
+            nc: 2048,
+        }
+    }
+}
+
+/// A read-only GEMM `B` operand with arbitrary element strides, so both a
+/// row-major patch matrix and the channel-strided Winograd scatter buffer
+/// can feed the same packing routine. Element `(r, c)` lives at
+/// `data[r·row_stride + c·col_stride]`.
+#[derive(Debug, Clone, Copy)]
+pub struct BOperand<'a> {
+    data: &'a [f32],
+    row_stride: usize,
+    col_stride: usize,
+}
+
+impl<'a> BOperand<'a> {
+    /// A strided view. Bounds are checked lazily at element access.
+    pub fn strided(data: &'a [f32], row_stride: usize, col_stride: usize) -> Self {
+        BOperand {
+            data,
+            row_stride,
+            col_stride,
+        }
+    }
+
+    /// A dense row-major `k × n` view.
+    pub fn row_major(data: &'a [f32], cols: usize) -> Self {
+        BOperand {
+            data,
+            row_stride: cols,
+            col_stride: 1,
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.row_stride + c * self.col_stride]
+    }
+}
+
+/// Reusable packing buffers. Keep one per worker thread and feed it to
+/// every [`gemm_f32`] call that worker issues — the buffers grow to the
+/// largest panel seen and are never shrunk, so steady-state GEMMs allocate
+/// nothing.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    a_pack: Vec<f32>,
+    b_pack: Vec<f32>,
+}
+
+impl GemmScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        GemmScratch::default()
+    }
+}
+
+/// Shared counters for the convolution fast paths, designed to be updated
+/// from worker threads (relaxed atomic adds commute, so totals are
+/// deterministic for a fixed job set regardless of scheduling).
+#[derive(Debug, Default)]
+pub struct ConvStats {
+    gemm_calls: AtomicU64,
+    tiles: AtomicU64,
+    bytes_packed: AtomicU64,
+}
+
+impl ConvStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ConvStats::default()
+    }
+
+    /// Records `calls` microkernel-level GEMM invocations that packed
+    /// `bytes` bytes of panels.
+    pub fn add_gemm(&self, calls: u64, bytes: u64) {
+        self.gemm_calls.fetch_add(calls, Ordering::Relaxed);
+        self.bytes_packed.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `n` Winograd input tiles transformed.
+    pub fn add_tiles(&self, n: u64) {
+        self.tiles.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot as `(gemm_calls, tiles, bytes_packed)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.gemm_calls.load(Ordering::Relaxed),
+            self.tiles.load(Ordering::Relaxed),
+            self.bytes_packed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// `C = A·B` for row-major `A` (`m × k`), strided `B` (`k × n`) and
+/// row-major `C` (`m × n`, fully overwritten). Returns the bytes of panel
+/// data packed (the `conv.bytes_packed` telemetry unit).
+///
+/// `C` may be a row-block window of a larger matrix as long as its row
+/// stride equals `n` — callers parallelize over row blocks by slicing `A`
+/// and `C` consistently.
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree with `m`, `k`, `n` or a blocking
+/// parameter is zero.
+#[allow(clippy::too_many_arguments)] // the seven dims/operands of a GEMM
+pub fn gemm_f32(
+    scratch: &mut GemmScratch,
+    blocking: GemmBlocking,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: BOperand<'_>,
+    c: &mut [f32],
+) -> u64 {
+    assert_eq!(a.len(), m * k, "A must be m×k row-major");
+    assert_eq!(c.len(), m * n, "C must be m×n row-major");
+    assert!(
+        blocking.mc > 0 && blocking.kc > 0 && blocking.nc > 0,
+        "blocking parameters must be positive"
+    );
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return 0;
+    }
+    // Touch the far corner of B up front so a stride mistake fails loudly
+    // rather than mid-panel.
+    let _ = b.at(k - 1, n - 1);
+
+    let GemmBlocking { mc, kc, nc } = blocking;
+    let mut bytes_packed = 0u64;
+    for jc in (0..n).step_by(nc) {
+        let nb = nc.min(n - jc);
+        for pc in (0..k).step_by(kc) {
+            let kb = kc.min(k - pc);
+            pack_b(&mut scratch.b_pack, b, pc, kb, jc, nb);
+            bytes_packed += (nb.div_ceil(NR) * NR * kb * 4) as u64;
+            let first_k_block = pc == 0;
+            for ic in (0..m).step_by(mc) {
+                let mb = mc.min(m - ic);
+                pack_a(&mut scratch.a_pack, a, k, ic, mb, pc, kb);
+                bytes_packed += (mb.div_ceil(MR) * MR * kb * 4) as u64;
+                macro_kernel(
+                    &scratch.a_pack,
+                    &scratch.b_pack,
+                    mb,
+                    kb,
+                    nb,
+                    c,
+                    ic,
+                    jc,
+                    n,
+                    first_k_block,
+                );
+            }
+        }
+    }
+    bytes_packed
+}
+
+/// Packs `B[pc..pc+kb, jc..jc+nb]` into `NR`-wide column panels:
+/// `b_pack[panel][p·NR + j]`, zero-padded to a full `NR` on the ragged
+/// last panel.
+fn pack_b(b_pack: &mut Vec<f32>, b: BOperand<'_>, pc: usize, kb: usize, jc: usize, nb: usize) {
+    let panels = nb.div_ceil(NR);
+    b_pack.clear();
+    b_pack.resize(panels * kb * NR, 0.0);
+    for panel in 0..panels {
+        let j0 = panel * NR;
+        let width = NR.min(nb - j0);
+        let dst = &mut b_pack[panel * kb * NR..(panel + 1) * kb * NR];
+        for p in 0..kb {
+            let row = &mut dst[p * NR..p * NR + NR];
+            for (j, slot) in row.iter_mut().enumerate().take(width) {
+                *slot = b.at(pc + p, jc + j0 + j);
+            }
+            for slot in row.iter_mut().skip(width) {
+                *slot = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs `A[ic..ic+mb, pc..pc+kb]` into `MR`-tall row panels:
+/// `a_pack[panel][p·MR + i]`, zero-padded to a full `MR` on the ragged
+/// last panel.
+fn pack_a(a_pack: &mut Vec<f32>, a: &[f32], k: usize, ic: usize, mb: usize, pc: usize, kb: usize) {
+    let panels = mb.div_ceil(MR);
+    a_pack.clear();
+    a_pack.resize(panels * kb * MR, 0.0);
+    for panel in 0..panels {
+        let i0 = panel * MR;
+        let height = MR.min(mb - i0);
+        let dst = &mut a_pack[panel * kb * MR..(panel + 1) * kb * MR];
+        for i in 0..height {
+            let src = &a[(ic + i0 + i) * k + pc..(ic + i0 + i) * k + pc + kb];
+            for (p, &v) in src.iter().enumerate() {
+                dst[p * MR + i] = v;
+            }
+        }
+    }
+}
+
+/// Runs the register-tiled microkernel over every `MR×NR` tile of the
+/// packed block and writes (or accumulates) into `C` with edge clipping.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    mb: usize,
+    kb: usize,
+    nb: usize,
+    c: &mut [f32],
+    ic: usize,
+    jc: usize,
+    n: usize,
+    first_k_block: bool,
+) {
+    let m_panels = mb.div_ceil(MR);
+    let n_panels = nb.div_ceil(NR);
+    for jp in 0..n_panels {
+        let bp = &b_pack[jp * kb * NR..(jp + 1) * kb * NR];
+        let j0 = jc + jp * NR;
+        let width = NR.min(nb - jp * NR);
+        for ip in 0..m_panels {
+            let ap = &a_pack[ip * kb * MR..(ip + 1) * kb * MR];
+            let acc = micro_kernel(ap, bp, kb);
+            let i0 = ic + ip * MR;
+            let height = MR.min(mb - ip * MR);
+            for (i, acc_row) in acc.iter().enumerate().take(height) {
+                let row = &mut c[(i0 + i) * n + j0..(i0 + i) * n + j0 + width];
+                if first_k_block {
+                    row.copy_from_slice(&acc_row[..width]);
+                } else {
+                    for (dst, &v) in row.iter_mut().zip(acc_row.iter()) {
+                        *dst += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The `MR×NR` register tile: `kb` rank-1 updates over one packed `A`
+/// panel and one packed `B` panel. Fixed-size accumulators let the
+/// compiler vectorize the inner loop and keep the tile in registers.
+#[inline]
+fn micro_kernel(ap: &[f32], bp: &[f32], kb: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kb) {
+        let av: &[f32; MR] = av.try_into().expect("packed A panel stride");
+        let bv: &[f32; NR] = bv.try_into().expect("packed B panel stride");
+        for (i, acc_row) in acc.iter_mut().enumerate() {
+            let a = av[i];
+            for (j, slot) in acc_row.iter_mut().enumerate() {
+                *slot += a * bv[j];
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: same fixed k-order as the blocked kernel only when
+    /// k fits one KC block — the equivalence tolerance below covers the
+    /// general reassociation.
+    fn gemm_ref(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn seeded(len: usize, seed: u64) -> Vec<f32> {
+        let t = crate::tensor::random_tensor(1, 1, 1, len.max(1), seed);
+        t.as_slice()[..len].to_vec()
+    }
+
+    fn max_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn matches_reference_across_shapes() {
+        let mut scratch = GemmScratch::new();
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 8, 8),
+            (17, 31, 23),
+            (64, 70, 40),
+            (5, 300, 9), // k spans multiple KC blocks at tiny kc below
+        ] {
+            let a = seeded(m * k, (m * 1000 + k) as u64);
+            let b = seeded(k * n, (k * 1000 + n) as u64);
+            let mut c = vec![f32::NAN; m * n];
+            gemm_f32(
+                &mut scratch,
+                GemmBlocking::default(),
+                m,
+                k,
+                n,
+                &a,
+                BOperand::row_major(&b, n),
+                &mut c,
+            );
+            let r = gemm_ref(m, k, n, &a, &b);
+            assert!(
+                max_diff(&c, &r) < 1e-4,
+                "{m}x{k}x{n} diff {}",
+                max_diff(&c, &r)
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_parameters_do_not_change_results_beyond_rounding() {
+        let (m, k, n) = (33, 65, 29);
+        let a = seeded(m * k, 1);
+        let b = seeded(k * n, 2);
+        let mut scratch = GemmScratch::new();
+        let mut reference = vec![0.0f32; m * n];
+        gemm_f32(
+            &mut scratch,
+            GemmBlocking::default(),
+            m,
+            k,
+            n,
+            &a,
+            BOperand::row_major(&b, n),
+            &mut reference,
+        );
+        for blocking in [
+            GemmBlocking {
+                mc: 8,
+                kc: 16,
+                nc: 8,
+            },
+            GemmBlocking {
+                mc: 1,
+                kc: 1,
+                nc: 1,
+            },
+            GemmBlocking {
+                mc: 1024,
+                kc: 1024,
+                nc: 1024,
+            },
+        ] {
+            let mut c = vec![0.0f32; m * n];
+            gemm_f32(
+                &mut scratch,
+                blocking,
+                m,
+                k,
+                n,
+                &a,
+                BOperand::row_major(&b, n),
+                &mut c,
+            );
+            assert!(max_diff(&c, &reference) < 1e-4, "blocking {blocking:?}");
+        }
+    }
+
+    #[test]
+    fn identical_calls_are_bit_identical() {
+        // Scratch reuse must not leak state between calls.
+        let (m, k, n) = (20, 48, 12);
+        let a = seeded(m * k, 7);
+        let b = seeded(k * n, 8);
+        let mut s1 = GemmScratch::new();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![1.0f32; m * n]; // different initial garbage
+        gemm_f32(
+            &mut s1,
+            GemmBlocking::default(),
+            m,
+            k,
+            n,
+            &a,
+            BOperand::row_major(&b, n),
+            &mut c1,
+        );
+        // Warm scratch + dirty output: C is fully overwritten.
+        gemm_f32(
+            &mut s1,
+            GemmBlocking::default(),
+            m,
+            k,
+            n,
+            &a,
+            BOperand::row_major(&b, n),
+            &mut c2,
+        );
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn strided_b_matches_dense() {
+        // B stored column-major: row stride 1, column stride k.
+        let (m, k, n) = (6, 10, 14);
+        let a = seeded(m * k, 3);
+        let b_dense = seeded(k * n, 4);
+        let mut b_colmajor = vec![0.0f32; k * n];
+        for r in 0..k {
+            for c in 0..n {
+                b_colmajor[c * k + r] = b_dense[r * n + c];
+            }
+        }
+        let mut scratch = GemmScratch::new();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_f32(
+            &mut scratch,
+            GemmBlocking::default(),
+            m,
+            k,
+            n,
+            &a,
+            BOperand::row_major(&b_dense, n),
+            &mut c1,
+        );
+        gemm_f32(
+            &mut scratch,
+            GemmBlocking::default(),
+            m,
+            k,
+            n,
+            &a,
+            BOperand::strided(&b_colmajor, 1, k),
+            &mut c2,
+        );
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn zero_k_writes_zeros() {
+        let mut scratch = GemmScratch::new();
+        let mut c = vec![f32::NAN; 6];
+        let bytes = gemm_f32(
+            &mut scratch,
+            GemmBlocking::default(),
+            2,
+            0,
+            3,
+            &[],
+            BOperand::row_major(&[], 3),
+            &mut c,
+        );
+        assert_eq!(bytes, 0);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reports_packed_bytes() {
+        let mut scratch = GemmScratch::new();
+        let (m, k, n) = (MR, 5, NR);
+        let a = seeded(m * k, 5);
+        let b = seeded(k * n, 6);
+        let mut c = vec![0.0f32; m * n];
+        let bytes = gemm_f32(
+            &mut scratch,
+            GemmBlocking::default(),
+            m,
+            k,
+            n,
+            &a,
+            BOperand::row_major(&b, n),
+            &mut c,
+        );
+        // One full A panel + one full B panel, each k deep.
+        assert_eq!(bytes, ((MR * k + NR * k) * 4) as u64);
+    }
+
+    #[test]
+    fn conv_stats_accumulate() {
+        let s = ConvStats::new();
+        s.add_gemm(2, 100);
+        s.add_tiles(7);
+        s.add_gemm(1, 20);
+        assert_eq!(s.snapshot(), (3, 7, 120));
+    }
+}

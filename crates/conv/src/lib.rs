@@ -37,6 +37,7 @@ pub mod cook_toom;
 pub mod direct;
 pub mod fft;
 pub mod fixed;
+pub mod gemm;
 pub mod im2col;
 pub mod matrix;
 pub mod ops;

@@ -174,6 +174,37 @@ impl<T: MatElem> Mat<T> {
         out
     }
 
+    /// Matrix product `self · rhs` written into `out`, which is fully
+    /// overwritten — the allocation-free form of [`Mat::mul`] for hot
+    /// loops that reuse a scratch matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inner dimensions disagree or `out` has the wrong shape.
+    pub fn mul_into(&self, rhs: &Mat<T>, out: &mut Mat<T>) {
+        assert_eq!(self.cols, rhs.rows, "matrix dimension mismatch in mul");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "output shape mismatch in mul_into"
+        );
+        for v in &mut out.data {
+            *v = T::zero();
+        }
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == T::zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = out.get(i, j) + a * rhs.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Mat<T> {
         Mat::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
@@ -322,6 +353,15 @@ mod tests {
         let c = a.mul(&b);
         assert_eq!(c.get(0, 0), -2.0);
         assert_eq!((c.rows(), c.cols()), (1, 1));
+    }
+
+    #[test]
+    fn mul_into_matches_mul_and_overwrites() {
+        let a = Mat::from_rows(vec![vec![1.0f64, 2.0, 0.0], vec![0.0, -1.0, 3.0]]);
+        let b = Mat::from_rows(vec![vec![2.0f64], vec![0.5], vec![-1.0]]);
+        let mut out = Mat::from_rows(vec![vec![99.0f64], vec![-99.0]]); // stale garbage
+        a.mul_into(&b, &mut out);
+        assert_eq!(out, a.mul(&b));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! conventional algorithm otherwise, exactly as the paper does.
 
 use crate::cook_toom::{f43, WinogradTransform};
+use crate::gemm::{BOperand, ConvStats, GemmBlocking, GemmScratch};
 use crate::matrix::Mat;
 use crate::tensor::Tensor;
 use crate::{ConvError, ConvGeometry};
@@ -43,11 +44,23 @@ impl TransformedFilters {
         }
         let g = transform.g_f32();
         let g_t = g.transpose();
+        let alpha = transform.alpha();
+        // Scratch for the G·g and g itself is hoisted out of the channel
+        // loop: the only per-(n, c) allocation is the stored bank.
+        let mut gk = Mat::<f32>::zeros(r, r);
+        let mut g_gk = Mat::<f32>::zeros(alpha, r);
         let mut banks = Vec::with_capacity(kernels.n() * kernels.c());
         for n in 0..kernels.n() {
             for c in 0..kernels.c() {
-                let gk = Mat::from_fn(r, r, |u, v| kernels.get(n, c, u, v));
-                banks.push(g.mul(&gk).mul(&g_t));
+                for u in 0..r {
+                    for v in 0..r {
+                        gk.set(u, v, kernels.get(n, c, u, v));
+                    }
+                }
+                g.mul_into(&gk, &mut g_gk);
+                let mut bank = Mat::<f32>::zeros(alpha, alpha);
+                g_gk.mul_into(&g_t, &mut bank);
+                banks.push(bank);
             }
         }
         Ok(TransformedFilters {
@@ -230,6 +243,325 @@ pub fn conv2d_f43(
     geom: ConvGeometry,
 ) -> Result<Tensor<f32>, ConvError> {
     conv2d_with(input, kernels, geom, &f43())
+}
+
+/// Input tiles scattered per job in the batched path (sizes the phase-1
+/// write regions; results never depend on it).
+const TILE_CHUNK: usize = 32;
+/// Output-channel rows per GEMM job in the batched path.
+const GEMM_K_BLOCK: usize = 32;
+/// Output channels per gather job in the batched path.
+const GATHER_K_BLOCK: usize = 16;
+
+/// Filter bank laid out for batched Winograd-as-GEMM: one
+/// `out_c × in_c` row-major GEMM operand per transform-domain point
+/// `(u, v)`, so the α² element-wise products over all tiles collapse into
+/// α² matrix multiplies (Lavin's formulation; the same structure WinoCNN
+/// maps onto a systolic array).
+#[derive(Debug, Clone)]
+pub struct BatchedFilters {
+    m: usize,
+    r: usize,
+    alpha: usize,
+    out_c: usize,
+    in_c: usize,
+    /// `planes[u·α + v][k·in_c + c] = (G·g_{k,c}·Gᵀ)[u][v]`.
+    planes: Vec<Vec<f32>>,
+}
+
+impl BatchedFilters {
+    /// Transforms and repacks a kernel tensor (`N×C×r×r`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TransformedFilters::new`].
+    pub fn new(kernels: &Tensor<f32>, transform: &WinogradTransform) -> Result<Self, ConvError> {
+        let banks = TransformedFilters::new(kernels, transform)?;
+        let (out_c, in_c) = (kernels.n(), kernels.c());
+        let alpha = transform.alpha();
+        let aa = alpha * alpha;
+        let mut planes = vec![vec![0.0f32; out_c * in_c]; aa];
+        for k in 0..out_c {
+            for c in 0..in_c {
+                let bank = banks.bank(k, c).as_slice();
+                for (uv, plane) in planes.iter_mut().enumerate() {
+                    plane[k * in_c + c] = bank[uv];
+                }
+            }
+        }
+        Ok(BatchedFilters {
+            m: transform.m(),
+            r: transform.r(),
+            alpha,
+            out_c,
+            in_c,
+            planes,
+        })
+    }
+
+    /// Output channels.
+    pub fn out_c(&self) -> usize {
+        self.out_c
+    }
+
+    /// Input channels.
+    pub fn in_c(&self) -> usize {
+        self.in_c
+    }
+
+    /// Tile side `α` of the transform the bank was built with.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+}
+
+/// `out[n×p] = a[n×k] · b[k×p]` on flat row-major buffers — the
+/// transform-sized (≤ α×α) matmul used inside scatter/gather workers, free
+/// of per-call allocation.
+fn matmul_flat(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, p: usize) {
+    for i in 0..n {
+        for j in 0..p {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[i * k + l] * b[l * p + j];
+            }
+            out[i * p + j] = acc;
+        }
+    }
+}
+
+/// Batched Winograd convolution: scatter (input transforms into a
+/// `[tiles × in_c]` matrix per transform point), α² GEMMs against the
+/// repacked filter planes, gather (output transforms with edge clipping).
+/// All three phases run on the shared worker pool; `threads == 0` means
+/// auto-detect, `1` runs inline.
+///
+/// Results are bit-identical for any thread count: jobs partition the
+/// tile/channel space in fixed-size blocks whose contents and accumulation
+/// order never depend on the worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_pretransformed`]; the filter bank must have
+/// been built with the same transform.
+pub fn conv2d_batched(
+    input: &Tensor<f32>,
+    filters: &BatchedFilters,
+    geom: ConvGeometry,
+    transform: &WinogradTransform,
+    threads: usize,
+    stats: Option<&ConvStats>,
+) -> Result<Tensor<f32>, ConvError> {
+    if geom.stride() != 1 {
+        return Err(ConvError::StrideUnsupported {
+            stride: geom.stride(),
+        });
+    }
+    if filters.m != transform.m() || filters.r != transform.r() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("filter bank for F({},{})", transform.m(), transform.r()),
+            found: format!("bank for F({},{})", filters.m, filters.r),
+        });
+    }
+    if geom.kernel() != transform.r() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("kernel size {} for this transform", transform.r()),
+            found: format!("{}", geom.kernel()),
+        });
+    }
+    if input.h() != geom.height() || input.w() != geom.width() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("input {}x{}", geom.height(), geom.width()),
+            found: format!("{}x{}", input.h(), input.w()),
+        });
+    }
+    if filters.in_c != input.c() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("{} input channels", filters.in_c),
+            found: format!("{}", input.c()),
+        });
+    }
+
+    let threads = winofuse_runtime::resolve_threads(threads);
+    let m = transform.m();
+    let alpha = transform.alpha();
+    let aa = alpha * alpha;
+    let b_t: Vec<f32> = transform.b_t_f32().as_slice().to_vec();
+    let b: Vec<f32> = transform.b_t_f32().transpose().as_slice().to_vec();
+    let a_t: Vec<f32> = transform.a_t_f32().as_slice().to_vec();
+    let a: Vec<f32> = transform.a_t_f32().transpose().as_slice().to_vec();
+
+    let (batch, in_c, _, _) = input.shape();
+    let out_c = filters.out_c;
+    let (oh, ow) = (geom.output_height(), geom.output_width());
+    let pad = geom.pad() as isize;
+    let tiles_h = oh.div_ceil(m);
+    let tiles_w = ow.div_ceil(m);
+    let tiles_per_img = tiles_h * tiles_w;
+    let p_total = batch * tiles_per_img;
+
+    // Phase 1 — scatter: V[p][u·α+v][c] = (Bᵀ·d·B)[u][v] for tile p,
+    // channel c. The [p][uv][c] layout makes each tile chunk a contiguous
+    // write region.
+    let mut v_buf = vec![0.0f32; p_total * aa * in_c];
+    {
+        let slices = winofuse_runtime::split_chunks(&mut v_buf, TILE_CHUNK * aa * in_c);
+        winofuse_runtime::run_sliced_jobs_with(
+            threads,
+            slices,
+            || (vec![0.0f32; aa], vec![0.0f32; aa], vec![0.0f32; aa]),
+            |(d, t1, t2), job, slice| {
+                let p0 = job * TILE_CHUNK;
+                for (local, chunk) in slice.chunks_exact_mut(aa * in_c).enumerate() {
+                    let p = p0 + local;
+                    let bn = p / tiles_per_img;
+                    let t = p % tiles_per_img;
+                    let h0 = ((t / tiles_w) * m) as isize - pad;
+                    let w0 = ((t % tiles_w) * m) as isize - pad;
+                    for c in 0..in_c {
+                        for u in 0..alpha {
+                            for v in 0..alpha {
+                                d[u * alpha + v] =
+                                    input.get_padded(bn, c, h0 + u as isize, w0 + v as isize);
+                            }
+                        }
+                        matmul_flat(&b_t, d, t1, alpha, alpha, alpha);
+                        matmul_flat(t1, &b, t2, alpha, alpha, alpha);
+                        for uv in 0..aa {
+                            chunk[uv * in_c + c] = t2[uv];
+                        }
+                    }
+                }
+            },
+        );
+    }
+    if let Some(s) = stats {
+        s.add_tiles(p_total as u64);
+    }
+
+    // Phase 2 — α² GEMMs: M[uv][k][p] = Σ_c U_uv[k][c] · V_uv[c][p].
+    // Jobs are (uv, output-channel block) pairs; the [uv][k][p] layout
+    // makes each job's rows a contiguous write region.
+    let mut m_buf = vec![0.0f32; aa * out_c * p_total];
+    {
+        let k_blocks: Vec<(usize, usize)> = (0..out_c)
+            .step_by(GEMM_K_BLOCK)
+            .map(|k0| (k0, GEMM_K_BLOCK.min(out_c - k0)))
+            .collect();
+        let lengths: Vec<usize> = (0..aa)
+            .flat_map(|_| k_blocks.iter().map(|&(_, kb)| kb * p_total))
+            .collect();
+        let slices = winofuse_runtime::split_lengths(&mut m_buf, &lengths);
+        let v_ref = &v_buf;
+        let blocking = GemmBlocking::default();
+        winofuse_runtime::run_sliced_jobs_with(
+            threads,
+            slices,
+            GemmScratch::new,
+            |scratch, job, slice| {
+                let uv = job / k_blocks.len();
+                let (k0, kb) = k_blocks[job % k_blocks.len()];
+                // B operand: V_uv is [in_c × p_total] with element (c, p)
+                // at V[p·α²·in_c + uv·in_c + c].
+                let b_op = BOperand::strided(&v_ref[uv * in_c..], 1, aa * in_c);
+                let bytes = crate::gemm::gemm_f32(
+                    scratch,
+                    blocking,
+                    kb,
+                    in_c,
+                    p_total,
+                    &filters.planes[uv][k0 * in_c..(k0 + kb) * in_c],
+                    b_op,
+                    slice,
+                );
+                if let Some(s) = stats {
+                    s.add_gemm(1, bytes);
+                }
+            },
+        );
+    }
+    drop(v_buf);
+
+    // Phase 3 — gather: Y = Aᵀ·M_tile·A per (output channel, tile), with
+    // edge clipping. Jobs are (batch, output-channel block) pairs writing
+    // contiguous channel planes of the NCHW output.
+    let mut out = Tensor::zeros(batch, out_c, oh, ow);
+    {
+        let k_blocks: Vec<(usize, usize)> = (0..out_c)
+            .step_by(GATHER_K_BLOCK)
+            .map(|k0| (k0, GATHER_K_BLOCK.min(out_c - k0)))
+            .collect();
+        let lengths: Vec<usize> = (0..batch)
+            .flat_map(|_| k_blocks.iter().map(|&(_, kb)| kb * oh * ow))
+            .collect();
+        let slices = winofuse_runtime::split_lengths(out.as_mut_slice(), &lengths);
+        let m_ref = &m_buf;
+        winofuse_runtime::run_sliced_jobs_with(
+            threads,
+            slices,
+            || {
+                (
+                    vec![0.0f32; aa],
+                    vec![0.0f32; m * alpha],
+                    vec![0.0f32; m * m],
+                )
+            },
+            |(m_tile, t1, y), job, slice| {
+                let bn = job / k_blocks.len();
+                let (k0, kb) = k_blocks[job % k_blocks.len()];
+                for k in k0..k0 + kb {
+                    let plane = &mut slice[(k - k0) * oh * ow..(k - k0 + 1) * oh * ow];
+                    for t in 0..tiles_per_img {
+                        let p = bn * tiles_per_img + t;
+                        for (uv, slot) in m_tile.iter_mut().enumerate() {
+                            *slot = m_ref[(uv * out_c + k) * p_total + p];
+                        }
+                        matmul_flat(&a_t, m_tile, t1, m, alpha, alpha);
+                        matmul_flat(t1, &a, y, m, alpha, m);
+                        let (th, tw) = (t / tiles_w, t % tiles_w);
+                        for u in 0..m {
+                            let oi = th * m + u;
+                            if oi >= oh {
+                                break;
+                            }
+                            for v in 0..m {
+                                let oj = tw * m + v;
+                                if oj >= ow {
+                                    break;
+                                }
+                                plane[oi * ow + oj] = y[u * m + v];
+                            }
+                        }
+                    }
+                }
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Batched `F(4×4, 3×3)` Winograd convolution (transforms the filters on
+/// the fly; reuse a [`BatchedFilters`] via [`conv2d_batched`] when running
+/// the same layer repeatedly).
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_f43`].
+pub fn conv2d_f43_fast(
+    input: &Tensor<f32>,
+    kernels: &Tensor<f32>,
+    geom: ConvGeometry,
+    threads: usize,
+) -> Result<Tensor<f32>, ConvError> {
+    if kernels.c() != input.c() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("{} kernel channels", input.c()),
+            found: format!("{}", kernels.c()),
+        });
+    }
+    let transform = f43();
+    let filters = BatchedFilters::new(kernels, &transform)?;
+    conv2d_batched(input, &filters, geom, &transform, threads, None)
 }
 
 /// Winograd convolution on the 16-bit fixed-point datapath, modeling the
@@ -500,5 +832,86 @@ mod tests {
         let t = f43();
         let k = random_tensor(1, 1, 5, 5, 1);
         assert!(TransformedFilters::new(&k, &t).is_err());
+    }
+
+    #[test]
+    fn batched_matches_naive_winograd() {
+        // Ragged tile grid, padding, channel counts that straddle the GEMM
+        // register tile.
+        for &(h, w, pad, in_c, out_c) in &[
+            (9usize, 11usize, 0usize, 3usize, 2usize),
+            (12, 12, 1, 5, 7),
+            (6, 6, 2, 1, 1),
+            (13, 7, 1, 4, 9),
+        ] {
+            let geom = ConvGeometry::rect(h, w, 3, 1, pad).unwrap();
+            let x = random_tensor(2, in_c, h, w, (h * 131 + w) as u64);
+            let k = random_tensor(out_c, in_c, 3, 3, (h + w + pad) as u64);
+            let naive = conv2d_f43(&x, &k, geom).unwrap();
+            let fast = conv2d_f43_fast(&x, &k, geom, 1).unwrap();
+            let diff = naive.max_abs_diff(&fast).unwrap();
+            assert!(
+                diff < 1e-4,
+                "{h}x{w} pad {pad} {in_c}->{out_c}: diff {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_is_thread_count_invariant() {
+        let geom = ConvGeometry::rect(17, 13, 3, 1, 1).unwrap();
+        let x = random_tensor(1, 6, 17, 13, 91);
+        let k = random_tensor(10, 6, 3, 3, 92);
+        let t = f43();
+        let filters = BatchedFilters::new(&k, &t).unwrap();
+        let base = conv2d_batched(&x, &filters, geom, &t, 1, None).unwrap();
+        for threads in [2usize, 4, 8] {
+            let y = conv2d_batched(&x, &filters, geom, &t, threads, None).unwrap();
+            assert_eq!(y, base, "{threads}-thread batched winograd differs");
+        }
+    }
+
+    #[test]
+    fn batched_counts_tiles_and_gemms() {
+        let geom = ConvGeometry::rect(12, 12, 3, 1, 1).unwrap();
+        let x = random_tensor(1, 2, 12, 12, 5);
+        let k = random_tensor(3, 2, 3, 3, 6);
+        let t = f43();
+        let filters = BatchedFilters::new(&k, &t).unwrap();
+        let stats = ConvStats::new();
+        conv2d_batched(&x, &filters, geom, &t, 1, Some(&stats)).unwrap();
+        let (gemm_calls, tiles, bytes) = stats.snapshot();
+        // 12x12 output over 4x4 tiles = 3x3 tiles; 36 transform points with
+        // out_c=3 fit one GEMM job each.
+        assert_eq!(tiles, 9);
+        assert_eq!(gemm_calls, 36);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn batched_rejects_mismatched_transform() {
+        let geom = ConvGeometry::new(8, 8, 3, 1, 1).unwrap();
+        let x = random_tensor(1, 2, 8, 8, 1);
+        let k = random_tensor(2, 2, 3, 3, 2);
+        let filters = BatchedFilters::new(&k, &f43()).unwrap();
+        assert!(conv2d_batched(&x, &filters, geom, &f23(), 1, None).is_err());
+        let strided = ConvGeometry::new(8, 8, 3, 2, 0).unwrap();
+        assert_eq!(
+            conv2d_batched(&x, &filters, strided, &f43(), 1, None),
+            Err(ConvError::StrideUnsupported { stride: 2 })
+        );
+    }
+
+    #[test]
+    fn batched_works_for_other_tile_sizes() {
+        // The batching is generic over the transform, not F(4,3)-specific.
+        let t = f23();
+        let geom = ConvGeometry::rect(9, 9, 3, 1, 1).unwrap();
+        let x = random_tensor(1, 3, 9, 9, 41);
+        let k = random_tensor(4, 3, 3, 3, 42);
+        let filters = BatchedFilters::new(&k, &t).unwrap();
+        let fast = conv2d_batched(&x, &filters, geom, &t, 2, None).unwrap();
+        let reference = direct::conv2d(&x, &k, geom).unwrap();
+        assert!(reference.approx_eq(&fast, 1e-3));
     }
 }

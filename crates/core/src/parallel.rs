@@ -17,18 +17,13 @@
 //! parallelism degenerates, so the one branch-and-bound is split across
 //! workers instead ([`GroupPlanner::plan_split`]).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use crate::bnb::GroupPlanner;
 use crate::CoreError;
 
-/// Worker threads to use when the caller asks for "auto": the machine's
-/// available parallelism, or 1 when that cannot be determined.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
+// The scoped worker pool lives in `winofuse-runtime` (shared with the
+// execution backend); re-exported so existing `core::parallel` callers
+// keep working.
+pub use winofuse_runtime::default_threads;
 
 /// Summary of one plan-table prefill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,42 +80,41 @@ pub fn fill_plan_table(
     }
     let sizes = planner.menu_sizes();
     let cap = planner.max_group_layers();
-    let weight = |&(i, j): &(usize, usize)| -> u64 {
-        if j - i + 1 > cap {
-            0
-        } else {
-            exhaustive_weight(&sizes[i..=j])
-        }
-    };
-    cells.sort_by_key(|c| (std::cmp::Reverse(weight(c)), c.0, c.1));
+    let weights: Vec<u64> = cells
+        .iter()
+        .map(|&(i, j)| {
+            if j - i + 1 > cap {
+                0
+            } else {
+                exhaustive_weight(&sizes[i..=j])
+            }
+        })
+        .collect();
+    // Longest-job-first: `longest_first_order` breaks weight ties by index,
+    // and `cells` is enumerated in (i, j) lexicographic order, so the
+    // schedule is deterministic.
+    let cells: Vec<(usize, usize)> = winofuse_runtime::longest_first_order(&weights)
+        .into_iter()
+        .map(|idx| cells[idx])
+        .collect();
 
     let span = planner.telemetry().span("parallel", "plan_table");
     planner
         .telemetry()
         .counter("parallel.table_ranges")
         .add(cells.len() as u64);
-    let workers = threads.min(cells.len()).max(1);
-    if cells.len() == 1 {
+    let workers = if cells.len() == 1 {
         // One admissible range: parallelism must come from inside the
         // branch-and-bound itself.
         let (i, j) = cells[0];
         planner.plan_split(i..j + 1, threads);
-    } else if workers <= 1 {
-        for &(i, j) in &cells {
-            planner.plan_shared(i..j + 1);
-        }
+        1
     } else {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let t = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(i, j)) = cells.get(t) else { break };
-                    planner.plan_shared(i..j + 1);
-                });
-            }
-        });
-    }
+        winofuse_runtime::run_jobs(threads, cells.len(), |t| {
+            let (i, j) = cells[t];
+            planner.plan_shared(i..j + 1);
+        })
+    };
     drop(span);
     Ok(PlanTableStats {
         ranges: cells.len(),

@@ -6,11 +6,15 @@
 //! chooses between — so a heterogeneous strategy can be checked for
 //! functional equivalence end to end.
 
+use winofuse_conv::cook_toom::{f43, WinogradTransform};
+use winofuse_conv::gemm::ConvStats;
 use winofuse_conv::ops::{self, LrnParams};
 use winofuse_conv::tensor::{random_tensor, Tensor};
+use winofuse_conv::winograd::BatchedFilters;
 use winofuse_conv::{direct, im2col, winograd, ConvGeometry};
+use winofuse_telemetry::Telemetry;
 
-use crate::layer::LayerKind;
+use crate::layer::{ConvParams, LayerKind};
 use crate::network::Network;
 use crate::ModelError;
 
@@ -243,6 +247,307 @@ pub fn forward_with<F: FnMut(usize) -> RefAlgo>(
     Ok(outputs)
 }
 
+/// Convolution backend selection for [`NetworkExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecAlgo {
+    /// Batched Winograd `F(4×4, 3×3)` where eligible (3×3 kernel,
+    /// stride 1), blocked im2col+GEMM everywhere else — the heterogeneous
+    /// choice the paper's framework makes per layer.
+    #[default]
+    Auto,
+    /// Batched Winograd on every convolution; construction fails on a
+    /// layer the `F(4×4, 3×3)` path cannot run.
+    Winograd,
+    /// Blocked im2col+GEMM on every convolution.
+    Direct,
+}
+
+/// One convolution layer, prepared for the fast path: per-group filter
+/// banks transformed/sliced once at construction so repeated runs pay
+/// only the online cost.
+enum PreparedConv {
+    /// Batched Winograd with pre-transformed per-group filter banks.
+    Winograd(Vec<BatchedFilters>),
+    /// Blocked im2col+GEMM with per-group kernel slices.
+    Direct(Vec<Tensor<f32>>),
+}
+
+enum PreparedLayer {
+    Conv(PreparedConv),
+    Fc { weights: Vec<f32>, bias: Vec<f32> },
+    Stateless,
+}
+
+/// Whole-network fast-path executor: convolutions run through the batched
+/// Winograd / blocked-GEMM kernels of `winofuse-conv`, threaded over the
+/// shared `winofuse-runtime` worker pool; pool/LRN/ReLU/FC/softmax reuse
+/// the reference operators. The naive [`forward`] path remains the oracle
+/// — outputs agree within 1e-4 (f32) and the executor is bit-identical
+/// across thread counts.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_model::runtime::{random_input, NetworkExecutor, NetworkWeights};
+/// use winofuse_model::zoo;
+///
+/// # fn main() -> Result<(), winofuse_model::ModelError> {
+/// let net = zoo::small_test_net();
+/// let weights = NetworkWeights::random(&net, 1)?;
+/// let exec = NetworkExecutor::new(&net, &weights)?.with_threads(2);
+/// let probs = exec.run(&random_input(1, 3, 32, 32, 2))?;
+/// assert_eq!(probs.c(), 16);
+/// # Ok(())
+/// # }
+/// ```
+pub struct NetworkExecutor<'n> {
+    net: &'n Network,
+    threads: usize,
+    telemetry: Telemetry,
+    transform: WinogradTransform,
+    prepared: Vec<PreparedLayer>,
+}
+
+impl<'n> NetworkExecutor<'n> {
+    /// Prepares the network with the default [`ExecAlgo::Auto`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Execution`] when a layer's weights are
+    /// missing or malformed.
+    pub fn new(net: &'n Network, weights: &NetworkWeights) -> Result<Self, ModelError> {
+        Self::with_algo(net, weights, ExecAlgo::Auto)
+    }
+
+    /// Prepares the network with an explicit convolution backend.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkExecutor::new`]; additionally
+    /// [`ModelError::Execution`] when [`ExecAlgo::Winograd`] is forced on
+    /// a layer the `F(4×4, 3×3)` path cannot run (kernel ≠ 3 or
+    /// stride ≠ 1).
+    pub fn with_algo(
+        net: &'n Network,
+        weights: &NetworkWeights,
+        algo: ExecAlgo,
+    ) -> Result<Self, ModelError> {
+        let transform = f43();
+        let mut prepared = Vec::with_capacity(net.len());
+        for (i, layer) in net.layers().iter().enumerate() {
+            let p = match &layer.kind {
+                LayerKind::Conv(c) => {
+                    let LayerWeights::Conv(kernels) = weights.layer(i) else {
+                        return Err(ModelError::Execution(format!(
+                            "missing conv weights for layer {i} `{}`",
+                            layer.name
+                        )));
+                    };
+                    let wino_capable = c.kernel == transform.r() && c.stride == 1;
+                    let use_wino = match algo {
+                        ExecAlgo::Auto => wino_capable,
+                        ExecAlgo::Direct => false,
+                        ExecAlgo::Winograd => {
+                            if !wino_capable {
+                                return Err(ModelError::Execution(format!(
+                                    "layer {i} `{}` ({}x{} stride {}) cannot run the F(4,3) \
+                                     Winograd path",
+                                    layer.name, c.kernel, c.kernel, c.stride
+                                )));
+                            }
+                            true
+                        }
+                    };
+                    let groups = group_slices(kernels, c);
+                    PreparedLayer::Conv(if use_wino {
+                        let banks = groups
+                            .iter()
+                            .map(|k| BatchedFilters::new(k, &transform))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        PreparedConv::Winograd(banks)
+                    } else {
+                        PreparedConv::Direct(groups)
+                    })
+                }
+                LayerKind::Fc(_) => {
+                    let LayerWeights::Fc { weights: w, bias } = weights.layer(i) else {
+                        return Err(ModelError::Execution(format!(
+                            "missing fc weights for layer {i} `{}`",
+                            layer.name
+                        )));
+                    };
+                    PreparedLayer::Fc {
+                        weights: w.clone(),
+                        bias: bias.clone(),
+                    }
+                }
+                _ => PreparedLayer::Stateless,
+            };
+            prepared.push(p);
+        }
+        Ok(NetworkExecutor {
+            net,
+            threads: 0,
+            telemetry: Telemetry::disabled(),
+            transform,
+            prepared,
+        })
+    }
+
+    /// Sets the worker-thread count for the convolution kernels
+    /// (`0` = auto-detect — the same convention as
+    /// `Framework::with_threads`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches a telemetry context: per-layer `exec` spans plus the
+    /// `conv.gemm_calls` / `conv.tiles` / `conv.bytes_packed` counters.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Runs the network and returns the final layer's output.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkExecutor::run_all`].
+    pub fn run(&self, input: &Tensor<f32>) -> Result<Tensor<f32>, ModelError> {
+        let mut outs = self.run_all(input)?;
+        outs.pop()
+            .ok_or_else(|| ModelError::Execution("network has no layers to execute".to_string()))
+    }
+
+    /// Runs the network and returns every layer's output
+    /// (`result[i]` = output of layer `i`), like [`forward`] but on the
+    /// fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Execution`] when the input tensor does not
+    /// match the network's input shape or a kernel rejects its arguments.
+    pub fn run_all(&self, input: &Tensor<f32>) -> Result<Vec<Tensor<f32>>, ModelError> {
+        let in_shape = self.net.input_shape();
+        if input.c() != in_shape.channels
+            || input.h() != in_shape.height
+            || input.w() != in_shape.width
+        {
+            return Err(ModelError::Execution(format!(
+                "input tensor {}x{}x{} does not match network input {}",
+                input.c(),
+                input.h(),
+                input.w(),
+                in_shape
+            )));
+        }
+        let stats = ConvStats::new();
+        let mut outputs = Vec::with_capacity(self.net.len());
+        let mut cur = input.clone();
+        for (i, layer) in self.net.layers().iter().enumerate() {
+            let span = self.telemetry.span("exec", &layer.name);
+            let next = match &layer.kind {
+                LayerKind::Conv(c) => {
+                    let PreparedLayer::Conv(conv) = &self.prepared[i] else {
+                        unreachable!("conv layer prepared as non-conv");
+                    };
+                    self.run_conv(&cur, c, conv, &stats)?
+                }
+                LayerKind::Pool(p) => {
+                    let geom = ConvGeometry::rect(cur.h(), cur.w(), p.kernel, p.stride, p.pad)?;
+                    ops::pool(&cur, geom, p.kind)?
+                }
+                LayerKind::Lrn(spec) => ops::lrn(
+                    &cur,
+                    LrnParams {
+                        local_size: spec.local_size,
+                        alpha: spec.alpha,
+                        beta: spec.beta,
+                        k: spec.k,
+                    },
+                )?,
+                LayerKind::Relu => ops::relu(&cur),
+                LayerKind::Fc(fc) => {
+                    let PreparedLayer::Fc { weights, bias } = &self.prepared[i] else {
+                        unreachable!("fc layer prepared as non-fc");
+                    };
+                    let mut y = ops::fully_connected(&cur, weights, bias, fc.num_output)?;
+                    if fc.relu {
+                        y = ops::relu(&y);
+                    }
+                    y
+                }
+                LayerKind::Softmax => ops::softmax(&cur)?,
+            };
+            drop(span);
+            outputs.push(next.clone());
+            cur = next;
+        }
+        let (gemm_calls, tiles, bytes_packed) = stats.snapshot();
+        self.telemetry.counter("conv.gemm_calls").add(gemm_calls);
+        self.telemetry.counter("conv.tiles").add(tiles);
+        self.telemetry
+            .counter("conv.bytes_packed")
+            .add(bytes_packed);
+        Ok(outputs)
+    }
+
+    fn run_conv(
+        &self,
+        cur: &Tensor<f32>,
+        c: &ConvParams,
+        conv: &PreparedConv,
+        stats: &ConvStats,
+    ) -> Result<Tensor<f32>, ModelError> {
+        let geom = ConvGeometry::rect(cur.h(), cur.w(), c.kernel, c.stride, c.pad)?;
+        let run_group = |x: &Tensor<f32>, g: usize| -> Result<Tensor<f32>, ModelError> {
+            Ok(match conv {
+                PreparedConv::Winograd(banks) => winograd::conv2d_batched(
+                    x,
+                    &banks[g],
+                    geom,
+                    &self.transform,
+                    self.threads,
+                    Some(stats),
+                )?,
+                PreparedConv::Direct(kernels) => {
+                    direct::conv2d_fast(x, &kernels[g], geom, self.threads, Some(stats))?
+                }
+            })
+        };
+        let mut y = if c.groups <= 1 {
+            run_group(cur, 0)?
+        } else {
+            let cg = c.channels_per_group(cur.c());
+            let ng = c.num_output / c.groups;
+            let (oh, ow) = (geom.output_height(), geom.output_width());
+            let mut out = Tensor::zeros(cur.n(), c.num_output, oh, ow);
+            for g in 0..c.groups {
+                let x = cur.slice_channels(g * cg, (g + 1) * cg);
+                out.write_channels(g * ng, &run_group(&x, g)?);
+            }
+            out
+        };
+        if c.relu {
+            y = ops::relu(&y);
+        }
+        Ok(y)
+    }
+}
+
+/// Splits a conv layer's kernel tensor into its per-group slices (a
+/// single-element vec for ungrouped layers).
+fn group_slices(kernels: &Tensor<f32>, c: &ConvParams) -> Vec<Tensor<f32>> {
+    if c.groups <= 1 {
+        return vec![kernels.clone()];
+    }
+    let ng = c.num_output / c.groups;
+    (0..c.groups)
+        .map(|g| kernels.slice_channels_n(g * ng, (g + 1) * ng))
+        .collect()
+}
+
 // Re-exported so downstream crates can build inputs without importing
 // winofuse-conv directly.
 pub use winofuse_conv::tensor::random_tensor as random_input;
@@ -327,6 +632,110 @@ mod tests {
         assert_eq!(prob.c(), 1000);
         let sum: f32 = prob.as_slice().iter().sum();
         assert!((sum - 1.0).abs() < 1e-4, "softmax sum {sum}");
+    }
+
+    fn assert_close(a: &[Tensor<f32>], b: &[Tensor<f32>], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (ya, yb) in a.iter().zip(b) {
+            assert!(
+                ya.approx_eq(yb, tol),
+                "diff {}",
+                ya.max_abs_diff(yb).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn executor_matches_forward_on_small_net() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 13).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 14);
+        let oracle = forward(&net, &w, &x).unwrap();
+        let fast = NetworkExecutor::new(&net, &w)
+            .unwrap()
+            .with_threads(2)
+            .run_all(&x)
+            .unwrap();
+        assert_close(&oracle, &fast, 1e-3);
+    }
+
+    #[test]
+    fn executor_matches_forward_on_mixed_net() {
+        let net = zoo::mixed_test_net();
+        let w = NetworkWeights::random(&net, 15).unwrap();
+        let x = random_tensor(1, 4, 24, 24, 16);
+        let oracle = forward(&net, &w, &x).unwrap();
+        for algo in [ExecAlgo::Auto, ExecAlgo::Direct] {
+            let fast = NetworkExecutor::with_algo(&net, &w, algo)
+                .unwrap()
+                .run_all(&x)
+                .unwrap();
+            assert_close(&oracle, &fast, 1e-3);
+        }
+    }
+
+    #[test]
+    fn executor_is_thread_count_invariant() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 17).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 18);
+        let exec = NetworkExecutor::new(&net, &w).unwrap();
+        let base = exec.run_all(&x).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let exec = NetworkExecutor::new(&net, &w)
+                .unwrap()
+                .with_threads(threads);
+            let got = exec.run_all(&x).unwrap();
+            for (ya, yb) in base.iter().zip(&got) {
+                assert_eq!(ya, yb, "outputs differ at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn executor_handles_grouped_conv() {
+        use crate::layer::{ConvParams, PoolParams};
+        use crate::shape::FmShape;
+        let net = Network::builder("grouped", FmShape::new(4, 12, 12))
+            .conv("conv1", ConvParams::new(8, 3, 1, 1, true).with_groups(2))
+            .pool("pool1", PoolParams::max2x2())
+            .conv("conv2", ConvParams::new(6, 3, 2, 0, false).with_groups(2))
+            .build()
+            .unwrap();
+        let w = NetworkWeights::random(&net, 19).unwrap();
+        let x = random_tensor(2, 4, 12, 12, 20);
+        let oracle = forward(&net, &w, &x).unwrap();
+        let fast = NetworkExecutor::new(&net, &w)
+            .unwrap()
+            .with_threads(3)
+            .run_all(&x)
+            .unwrap();
+        assert_close(&oracle, &fast, 1e-3);
+    }
+
+    #[test]
+    fn forced_winograd_rejects_ineligible_layer() {
+        // small_test_net's conv1 is 5x5 stride 2 — not an F(4,3) shape.
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 21).unwrap();
+        assert!(NetworkExecutor::with_algo(&net, &w, ExecAlgo::Winograd).is_err());
+    }
+
+    #[test]
+    fn executor_populates_telemetry_counters() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 23).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 24);
+        let telemetry = Telemetry::enabled();
+        NetworkExecutor::new(&net, &w)
+            .unwrap()
+            .with_telemetry(telemetry.clone())
+            .run(&x)
+            .unwrap();
+        let summary = telemetry.summary();
+        assert!(summary.counter("conv.gemm_calls") > 0);
+        assert!(summary.counter("conv.tiles") > 0);
+        assert!(summary.counter("conv.bytes_packed") > 0);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! # winofuse-runtime — the shared scoped worker pool
+//!
+//! Both halves of the system need the same minimal parallel substrate: the
+//! strategy search fills its plan table from scoped workers, and the
+//! execution backend spreads tile and output-channel blocks across cores.
+//! This crate is that substrate — plain `std::thread::scope` workers pulling
+//! job indices from an atomic counter, with longest-job-first ordering as a
+//! scheduling helper. No work-stealing deques, no channels, no `unsafe`:
+//! jobs are indices, and mutable state is handed out as pre-split disjoint
+//! slices.
+//!
+//! Determinism contract: a job's *result* may only depend on its index,
+//! never on which worker ran it or how many workers exist. Every helper
+//! here preserves that property — the worker count changes wall-clock time
+//! and nothing else — which is what lets `--threads N` default on without
+//! perturbing bit-exact comparisons (see `tests/determinism.rs` and
+//! `tests/conv_equiv.rs` at the workspace root).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads to use when the caller asks for "auto" (`threads == 0`):
+/// the machine's available parallelism, or 1 when that cannot be
+/// determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing thread request: `0` means auto-detect.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+}
+
+/// Runs `jobs` independent jobs (`f(index)` for `index` in `0..jobs`) on up
+/// to `threads` scoped workers, returning the worker count actually used.
+///
+/// Workers pull indices in ascending order from a shared atomic counter, so
+/// earlier jobs start no later than later ones — pair with
+/// [`longest_first_order`] for longest-job-first scheduling. With one
+/// worker (or one job) everything runs inline on the caller's thread.
+pub fn run_jobs<F>(threads: usize, jobs: usize, f: F) -> usize
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = threads.min(jobs).max(1);
+    if workers <= 1 {
+        for i in 0..jobs {
+            f(i);
+        }
+        return workers;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+    workers
+}
+
+/// Like [`run_jobs`], but each job receives exclusive ownership of its
+/// pre-split `&mut` slice — the safe way to let workers write disjoint
+/// regions of one output buffer in parallel. Job `i` gets `slices[i]`.
+///
+/// Returns the worker count actually used.
+pub fn run_sliced_jobs<T, F>(threads: usize, slices: Vec<&mut [T]>, f: F) -> usize
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    run_sliced_jobs_with(threads, slices, || (), |(), i, s| f(i, s))
+}
+
+/// [`run_sliced_jobs`] with per-worker scratch state: `init()` runs once on
+/// each worker thread and the resulting state is threaded through every job
+/// that worker executes. Use it to reuse allocation-heavy scratch (packed
+/// GEMM panels, transform tiles) across jobs without sharing it across
+/// workers.
+///
+/// Returns the worker count actually used.
+pub fn run_sliced_jobs_with<T, S, I, F>(
+    threads: usize,
+    slices: Vec<&mut [T]>,
+    init: I,
+    f: F,
+) -> usize
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    let jobs = slices.len();
+    let workers = threads.min(jobs).max(1);
+    if workers <= 1 {
+        let mut state = init();
+        for (i, s) in slices.into_iter().enumerate() {
+            f(&mut state, i, s);
+        }
+        return workers;
+    }
+    // Each slice is claimed exactly once through its mutex; the job index
+    // comes from the same ascending atomic pull as `run_jobs`.
+    let cells: Vec<Mutex<Option<&mut [T]>>> =
+        slices.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let slice = cell
+                        .lock()
+                        .expect("job slice lock poisoned")
+                        .take()
+                        .expect("job slice claimed twice");
+                    f(&mut state, i, slice);
+                }
+            });
+        }
+    });
+    workers
+}
+
+/// Splits `data` into consecutive slices of the given lengths. The lengths
+/// must sum to exactly `data.len()` — this is how a flat output buffer is
+/// carved into the disjoint per-job regions [`run_sliced_jobs`] hands out.
+///
+/// # Panics
+///
+/// Panics when the lengths do not sum to `data.len()`.
+pub fn split_lengths<'a, T>(mut data: &'a mut [T], lengths: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(lengths.len());
+    for &len in lengths {
+        let (head, tail) = data.split_at_mut(len);
+        out.push(head);
+        data = tail;
+    }
+    assert!(data.is_empty(), "split_lengths: lengths do not cover data");
+    out
+}
+
+/// Splits `data` into `⌈len/chunk⌉` consecutive slices of `chunk` elements
+/// (the last possibly shorter). Convenience wrapper over `chunks_mut` that
+/// collects into the `Vec` shape [`run_sliced_jobs`] expects.
+///
+/// # Panics
+///
+/// Panics when `chunk == 0`.
+pub fn split_chunks<T>(data: &mut [T], chunk: usize) -> Vec<&mut [T]> {
+    assert!(chunk > 0, "split_chunks: chunk must be positive");
+    data.chunks_mut(chunk).collect()
+}
+
+/// Job order that schedules the heaviest jobs first: indices of `weights`
+/// sorted by descending weight, ties broken by ascending index. Feeding
+/// jobs to [`run_jobs`] in this order avoids tail stragglers when job costs
+/// are skewed (the plan-table fill is the canonical case: range search cost
+/// grows exponentially with range depth).
+pub fn longest_first_order(weights: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert_eq!(resolve_threads(0), default_threads());
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn run_jobs_covers_every_index_exactly_once() {
+        for threads in [1usize, 2, 4, 8] {
+            let hits: Vec<AtomicU64> = (0..37).map(|_| AtomicU64::new(0)).collect();
+            let used = run_jobs(threads, hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(used >= 1 && used <= threads.max(1));
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn run_jobs_with_zero_jobs_is_a_noop() {
+        assert_eq!(run_jobs(4, 0, |_| panic!("no jobs to run")), 1);
+    }
+
+    #[test]
+    fn sliced_jobs_write_disjoint_regions() {
+        for threads in [1usize, 3, 8] {
+            let mut data = vec![0u64; 100];
+            let slices = split_chunks(&mut data, 7);
+            run_sliced_jobs(threads, slices, |i, s| {
+                for v in s.iter_mut() {
+                    *v = i as u64 + 1;
+                }
+            });
+            for (idx, v) in data.iter().enumerate() {
+                assert_eq!(*v, (idx / 7) as u64 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_jobs_state_is_per_worker() {
+        // Worker-local state must never be shared: each job stamps its
+        // slice with the state's running job count, so any cross-worker
+        // sharing would produce counts exceeding the per-worker total.
+        let total = AtomicU64::new(0);
+        let mut data = vec![0u64; 64];
+        let slices = split_chunks(&mut data, 1);
+        run_sliced_jobs_with(
+            4,
+            slices,
+            || 0u64,
+            |state, _, s| {
+                *state += 1;
+                s[0] = *state;
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+        // No worker can have run more jobs than exist.
+        assert!(data.iter().all(|&v| (1..=64).contains(&v)));
+    }
+
+    #[test]
+    fn split_lengths_covers_buffer() {
+        let mut data = vec![0u32; 10];
+        let parts = split_lengths(&mut data, &[3, 0, 4, 3]);
+        assert_eq!(
+            parts.iter().map(|p| p.len()).collect::<Vec<_>>(),
+            vec![3, 0, 4, 3]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "do not cover")]
+    fn split_lengths_rejects_short_cover() {
+        let mut data = vec![0u32; 10];
+        let _ = split_lengths(&mut data, &[3, 3]);
+    }
+
+    #[test]
+    fn longest_first_order_sorts_descending_with_stable_ties() {
+        assert_eq!(longest_first_order(&[1, 9, 4, 9, 2]), vec![1, 3, 2, 4, 0]);
+        assert_eq!(longest_first_order(&[]), Vec::<usize>::new());
+    }
+}

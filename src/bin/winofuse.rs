@@ -7,6 +7,8 @@
 //! winofuse curve    <model.prototxt> [--device ...] [--policy ...]
 //! winofuse codegen  <model.prototxt> --out DIR [--budget-mb N] [--testbench]
 //! winofuse simulate <model.prototxt> [--budget-mb N] [--seed N]
+//! winofuse run      <model.prototxt> [--exec-algo auto|wino|direct]
+//!                   [--threads N] [--frames N] [--seed N]
 //! ```
 //!
 //! This is the paper's Fig. 3 pipeline as a single executable: Caffe
@@ -18,7 +20,7 @@ use std::process::ExitCode;
 use winofuse::codegen::{check, testbench, HlsProject};
 use winofuse::core::bnb::AlgoPolicy;
 use winofuse::fusion::simulator::FusedGroupSim;
-use winofuse::model::runtime::NetworkWeights;
+use winofuse::model::runtime::{ExecAlgo, NetworkExecutor, NetworkWeights};
 use winofuse::model::{prototxt, DataType, Network};
 use winofuse::prelude::{FpgaDevice, Framework};
 use winofuse::telemetry::{ChromeTraceSink, JsonLinesSink, Telemetry, TraceSink};
@@ -27,19 +29,23 @@ const MB: u64 = 1024 * 1024;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: winofuse <info|optimize|curve|codegen|simulate> <model.prototxt> [options]\n\
+        "usage: winofuse <info|optimize|curve|codegen|simulate|run> <model.prototxt> [options]\n\
          options:\n\
            --budget-mb N     feature-map transfer budget in MiB (default 8)\n\
            --budget-kb N     ... or in KiB (overrides --budget-mb)\n\
            --device NAME     zc706 (default), vx485t, zedboard, vc709, ku060\n\
            --policy NAME     hetero (default), conv, or wino\n\
            --max-group N     max layers per fusion group (default 8)\n\
-           --threads N       strategy-search worker threads; 0 = all cores\n\
-                             (default), 1 = serial — results are identical\n\
+           --threads N       worker threads for the strategy search and the\n\
+                             `run` executor; 0 = all cores (default),\n\
+                             1 = serial — results are identical\n\
            --out DIR         output directory (codegen)\n\
            --testbench       also emit golden-vector C testbenches (codegen)\n\
-           --seed N          synthetic weight/input seed (simulate; default 42)\n\
-           --frames N        batch size for amortized timing (optimize; default 1)\n\
+           --seed N          synthetic weight/input seed (simulate, run; default 42)\n\
+           --frames N        batch size for amortized timing (optimize, run; default 1)\n\
+           --exec-algo NAME  CPU convolution backend for `run`: auto (default),\n\
+                             wino (batched Winograd F(4,3)), or direct\n\
+                             (blocked im2col+GEMM)\n\
            --reconfig-cycles N  inter-group reconfiguration cost (default 0)\n\
            --trace-out PATH  write a Chrome trace (load in Perfetto or\n\
                              chrome://tracing); .jsonl streams JSON-lines instead\n\
@@ -60,6 +66,8 @@ struct Options {
     testbench: bool,
     seed: u64,
     frames: u64,
+    /// Convolution backend for `run`; other commands must not set it.
+    exec_algo: Option<ExecAlgo>,
     reconfig_cycles: Option<u64>,
     trace_out: Option<PathBuf>,
     telemetry_json: Option<PathBuf>,
@@ -78,6 +86,7 @@ fn parse_options(args: &[String]) -> Options {
         testbench: false,
         seed: 42,
         frames: 1,
+        exec_algo: None,
         reconfig_cycles: None,
         trace_out: None,
         telemetry_json: None,
@@ -132,6 +141,17 @@ fn parse_options(args: &[String]) -> Options {
                         usage()
                     }
                 }
+            }
+            "--exec-algo" => {
+                o.exec_algo = Some(match value("--exec-algo").as_str() {
+                    "auto" => ExecAlgo::Auto,
+                    "wino" => ExecAlgo::Winograd,
+                    "direct" => ExecAlgo::Direct,
+                    other => {
+                        eprintln!("unknown exec algo `{other}` (auto | wino | direct)");
+                        usage()
+                    }
+                })
             }
             "--max-group" => o.max_group = value("--max-group").parse().unwrap_or_else(|_| usage()),
             "--threads" => o.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
@@ -188,11 +208,17 @@ fn finish_telemetry(o: &Options) -> Result<(), String> {
 }
 
 fn load_network(path: &str) -> Result<Network, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let net = prototxt::parse(&text).map_err(|e| format!("parse `{path}`: {e}"))?;
+    let net = load_full_network(path)?;
     // The accelerator maps the convolutional body only (the paper omits
     // FC layers, §7.3).
     net.conv_body().map_err(|e| format!("{e}"))
+}
+
+/// Parses the network with its FC/softmax tail intact — the CPU executor
+/// runs the whole thing, unlike the accelerator flow.
+fn load_full_network(path: &str) -> Result<Network, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    prototxt::parse(&text).map_err(|e| format!("parse `{path}`: {e}"))
 }
 
 fn framework(o: &Options) -> Framework {
@@ -377,6 +403,64 @@ fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_run(net: &Network, o: &Options) -> Result<(), String> {
+    let algo = o.exec_algo.unwrap_or_default();
+    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let shape = net.input_shape();
+    let input = winofuse::conv::tensor::random_tensor(
+        1,
+        shape.channels,
+        shape.height,
+        shape.width,
+        o.seed + 1,
+    );
+    // Kernel counters are always collected for the report; when the user
+    // asked for a trace/summary, reuse their context so the per-layer
+    // spans land in it too.
+    let telemetry = if o.telemetry.is_enabled() {
+        o.telemetry.clone()
+    } else {
+        Telemetry::enabled()
+    };
+    let exec = NetworkExecutor::with_algo(net, &weights, algo)
+        .map_err(|e| e.to_string())?
+        .with_threads(o.threads)
+        .with_telemetry(telemetry.clone());
+    let frames = o.frames.max(1);
+    let start = std::time::Instant::now();
+    let mut last = None;
+    for _ in 0..frames {
+        last = Some(exec.run(&input).map_err(|e| e.to_string())?);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let out = last.expect("at least one frame");
+    let summary = telemetry.summary();
+    println!("network: {net}");
+    println!(
+        "backend: {algo:?}, threads: {}",
+        if o.threads == 0 {
+            "auto".to_string()
+        } else {
+            o.threads.to_string()
+        }
+    );
+    println!("output:  {}x{}x{}", out.c(), out.h(), out.w());
+    println!(
+        "conv kernels: {} GEMM calls, {} Winograd tiles, {:.1} MiB packed",
+        summary.counter("conv.gemm_calls"),
+        summary.counter("conv.tiles"),
+        summary.counter("conv.bytes_packed") as f64 / MB as f64
+    );
+    println!(
+        "{} frame(s) in {:.1} ms ({:.1} ms/frame, {:.2} effective GOPS)",
+        frames,
+        elapsed * 1e3,
+        elapsed * 1e3 / frames as f64,
+        net.total_ops() as f64 * frames as f64 / elapsed / 1e9
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
@@ -386,7 +470,19 @@ fn main() -> ExitCode {
     let path = args[1].as_str();
     let opts = parse_options(&args[2..]);
 
-    let net = match load_network(path) {
+    if opts.exec_algo.is_some() && cmd != "run" {
+        eprintln!("error: --exec-algo only applies to the `run` command");
+        return ExitCode::FAILURE;
+    }
+
+    // `run` executes the network on the CPU, FC/softmax tail included;
+    // the accelerator commands map the convolutional body only.
+    let loaded = if cmd == "run" {
+        load_full_network(path)
+    } else {
+        load_network(path)
+    };
+    let net = match loaded {
         Ok(n) => n,
         Err(e) => {
             eprintln!("error: {e}");
@@ -399,6 +495,7 @@ fn main() -> ExitCode {
         "curve" => cmd_curve(&net, &opts),
         "codegen" => cmd_codegen(&net, &opts),
         "simulate" => cmd_simulate(&net, &opts),
+        "run" => cmd_run(&net, &opts),
         _ => {
             usage();
         }

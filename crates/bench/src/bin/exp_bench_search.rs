@@ -117,28 +117,8 @@ fn json_escape_free(name: &str) -> &str {
 }
 
 fn main() {
-    let mut runs = 5usize;
-    let mut threads = 4usize;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => runs = 1,
-            "--runs" => {
-                runs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--runs needs a positive integer");
-            }
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a positive integer");
-            }
-            other => panic!("unknown flag {other}; see the module docs"),
-        }
-    }
-    assert!(runs >= 1 && threads >= 1);
+    let opts = winofuse_bench::parse_bench_args("exp_bench_search", std::env::args().skip(1));
+    let (runs, threads) = (opts.runs, opts.threads);
 
     banner(
         "BENCH search",

@@ -30,6 +30,50 @@ pub const MB: u64 = 1024 * 1024;
 /// (five points, like the paper's figure).
 pub const FIG5_SWEEP_MB: [u64; 5] = [2, 3, 4, 5, 6];
 
+/// Shared CLI options for the `exp_bench_*` binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Timed runs per case (median reported).
+    pub runs: usize,
+    /// Worker threads for the parallel variant.
+    pub threads: usize,
+}
+
+/// Parses the shared `--smoke` / `--runs N` / `--threads N` flags of the
+/// `exp_bench_*` binaries. An unknown flag or malformed value prints a
+/// usage string to stderr and exits with status 2 (the same convention
+/// as the `winofuse` CLI) instead of panicking.
+pub fn parse_bench_args(bin: &str, args: impl Iterator<Item = String>) -> BenchOptions {
+    fn usage(bin: &str, msg: &str) -> ! {
+        eprintln!("{bin}: {msg}");
+        eprintln!("usage: {bin} [--smoke] [--runs N] [--threads N]");
+        eprintln!("  --smoke      single timed run per case (CI smoke test)");
+        eprintln!("  --runs N     timed runs per case, median reported (default 5)");
+        eprintln!("  --threads N  worker threads for the parallel variant (default 4)");
+        std::process::exit(2);
+    }
+    let mut args = args;
+    let mut opts = BenchOptions {
+        runs: 5,
+        threads: 4,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.runs = 1,
+            "--runs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => opts.runs = n,
+                _ => usage(bin, "--runs needs a positive integer"),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => opts.threads = n,
+                _ => usage(bin, "--threads needs a positive integer"),
+            },
+            other => usage(bin, &format!("unknown flag `{other}`")),
+        }
+    }
+    opts
+}
+
 /// Formats a cycle count with thousands separators.
 pub fn fmt_cycles(c: u64) -> String {
     let s = c.to_string();

@@ -1,0 +1,56 @@
+//! The `exp_bench_*` binaries must reject bad command lines with exit
+//! status 2 and a usage string on stderr — the same convention as the
+//! `winofuse` CLI — rather than panicking (a panic aborts with 101 and
+//! a backtrace, which reads as a crash in CI, not an operator error).
+
+use std::process::Command;
+
+fn assert_usage_exit(bin: &str, args: &[&str]) {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .expect("spawn bench binary");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{bin} {args:?}: expected exit 2, got {:?}",
+        out.status
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("usage:"),
+        "{bin} {args:?}: stderr lacks a usage string:\n{err}"
+    );
+}
+
+#[test]
+fn bench_conv_rejects_unknown_flag() {
+    assert_usage_exit(
+        env!("CARGO_BIN_EXE_exp_bench_conv"),
+        &["--definitely-not-a-flag"],
+    );
+}
+
+#[test]
+fn bench_search_rejects_unknown_flag() {
+    assert_usage_exit(
+        env!("CARGO_BIN_EXE_exp_bench_search"),
+        &["--definitely-not-a-flag"],
+    );
+}
+
+#[test]
+fn bench_fused_rejects_unknown_flag() {
+    assert_usage_exit(
+        env!("CARGO_BIN_EXE_exp_bench_fused"),
+        &["--definitely-not-a-flag"],
+    );
+}
+
+#[test]
+fn bench_flag_values_are_validated() {
+    let conv = env!("CARGO_BIN_EXE_exp_bench_conv");
+    assert_usage_exit(conv, &["--runs", "zero"]);
+    assert_usage_exit(conv, &["--runs", "0"]);
+    assert_usage_exit(conv, &["--threads"]);
+}

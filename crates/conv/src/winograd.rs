@@ -313,6 +313,12 @@ impl BatchedFilters {
     pub fn alpha(&self) -> usize {
         self.alpha
     }
+
+    /// Total transformed coefficients held by the bank (`α²·N·C`) — the
+    /// element count an accelerator streaming this bank would transfer.
+    pub fn coefficients(&self) -> usize {
+        self.planes.len() * self.out_c * self.in_c
+    }
 }
 
 /// `out[n×p] = a[n×k] · b[k×p]` on flat row-major buffers — the

@@ -362,6 +362,29 @@ impl Framework {
         Ok((cur, cycles))
     }
 
+    /// Instantiates the plan-faithful fused runner for a design: one
+    /// group runner per fusion group, driving the fast convolution
+    /// kernels with the strategy's algorithm choices and reconciling
+    /// measured DRAM traffic against each group's analytic budget. The
+    /// framework's thread count and telemetry context carry over.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Substrate`] when the design cannot be executed
+    /// (missing weights, unfusable layer kind).
+    pub fn fused_runner(
+        &self,
+        net: &Network,
+        design: &OptimizedDesign,
+        weights: &winofuse_model::runtime::NetworkWeights,
+    ) -> Result<winofuse_fusion::runner::FusedNetworkRunner, CoreError> {
+        Ok(design
+            .execution_plan()
+            .runner(net, weights)?
+            .with_threads(self.threads)
+            .with_telemetry(self.telemetry.clone()))
+    }
+
     /// A per-layer bottleneck diagnosis: for every layer of every fusion
     /// group, which pipeline phase (load / compute / store) sets its
     /// stage length, and how much slack it has against the group's

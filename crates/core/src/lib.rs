@@ -22,6 +22,9 @@
 //! * [`framework`] — the end-to-end driver ("Caffe model + FPGA spec in,
 //!   strategy + report out", §3), including homogeneous-algorithm
 //!   restrictions for ablations,
+//! * [`plan`] — lowering a solved strategy to an executable plan and
+//!   instantiating the plan-faithful fused runner with per-group DRAM
+//!   reconciliation,
 //! * [`report`] — machine-readable (JSON/CSV) export of designs.
 //!
 //! ## Example
@@ -45,6 +48,7 @@ pub mod dp;
 pub mod exhaustive;
 pub mod framework;
 pub mod parallel;
+pub mod plan;
 pub mod report;
 pub mod strategy;
 

@@ -17,6 +17,16 @@ pub enum FusionError {
     Fpga(String),
     /// Propagated error from the numeric convolution substrate.
     Conv(String),
+    /// A fused group's measured DRAM traffic diverged from the DP's
+    /// analytic transfer budget (strict reconciliation mode).
+    DramMismatch {
+        /// Network index of the group's first layer.
+        start: usize,
+        /// Measured bytes (read + written) for one frame.
+        measured: u64,
+        /// The analytic transfer bytes budgeted for the group.
+        analytic: u64,
+    },
 }
 
 impl fmt::Display for FusionError {
@@ -27,6 +37,15 @@ impl fmt::Display for FusionError {
             FusionError::Model(m) => write!(f, "model error: {m}"),
             FusionError::Fpga(m) => write!(f, "fpga model error: {m}"),
             FusionError::Conv(m) => write!(f, "convolution error: {m}"),
+            FusionError::DramMismatch {
+                start,
+                measured,
+                analytic,
+            } => write!(
+                f,
+                "dram reconciliation failed for group at layer {start}: \
+                 measured {measured} B vs analytic {analytic} B"
+            ),
         }
     }
 }

@@ -15,6 +15,10 @@
 //!   simulator of a fused group that computes *real values* through the
 //!   line buffers and is validated against the layer-by-layer reference
 //!   executor,
+//! * [`runner`] — a plan-faithful fused *executor*: streams rows through
+//!   per-stage windows driving the fast `winofuse-conv` kernels
+//!   (honoring the BnB's conventional-vs-Winograd choice) and reconciles
+//!   measured DRAM traffic against the DP's analytic transfer budget,
 //! * [`baseline`] — an analytical model of the tile-based fused-layer
 //!   accelerator of Alwani et al. (MICRO 2016), the paper's comparison
 //!   target,
@@ -25,6 +29,7 @@ pub mod baseline;
 pub mod line_buffer;
 pub mod pipeline;
 pub mod pyramid;
+pub mod runner;
 pub mod simulator;
 pub mod vcd;
 

@@ -1,0 +1,1222 @@
+//! Plan-faithful fused execution of optimizer strategies.
+//!
+//! Where [`crate::simulator::FusedGroupSim`] models *time* (cycles,
+//! occupancy, backpressure) with scalar per-row compute, the runner
+//! executes a fusion group the way the strategy says the hardware would
+//! — and fast. Each group streams rows through per-stage line-buffer
+//! windows; convolution stages are strip-mined onto the batched
+//! Winograd-as-GEMM and blocked im2col+GEMM kernels of `winofuse-conv`,
+//! honoring the BnB's per-layer conventional-vs-Winograd choice. Pool,
+//! LRN and ReLU stages replicate the reference operators' exact scalar
+//! sequences so outputs match the layer-by-layer executor bit-for-bit in
+//! fixed point (and within float tolerance in `f32`).
+//!
+//! The runner also *meters* DRAM traffic while it streams: input rows in,
+//! output rows out, one weight stream per convolution (transformed α²
+//! coefficients when the plan chose Winograd). At the end of every frame
+//! the measured `read + written` bytes are reconciled against the DP's
+//! analytic transfer budget for the group — the paper's central claim
+//! that fusing keeps intermediate maps off DRAM (§4.2) becomes a checked
+//! invariant: a mismatch is a hard [`FusionError::DramMismatch`] in
+//! strict mode (the default under `debug_assertions`) and a
+//! `fused.dram_delta` telemetry counter otherwise.
+
+use std::collections::VecDeque;
+
+use winofuse_conv::cook_toom::{f43, WinogradTransform};
+use winofuse_conv::fixed::Fix16;
+use winofuse_conv::ops::PoolKind;
+use winofuse_conv::tensor::{Scalar, Tensor};
+use winofuse_conv::winograd::BatchedFilters;
+use winofuse_conv::{direct, winograd, ConvGeometry};
+use winofuse_fpga::engine::Algorithm;
+use winofuse_model::layer::{ConvParams, LayerKind, LrnSpec, PoolParams};
+use winofuse_model::network::Network;
+use winofuse_model::runtime::{LayerWeights, NetworkWeights};
+use winofuse_model::shape::{DataType, FmShape};
+use winofuse_telemetry::Telemetry;
+
+use crate::pipeline::LayerConfig;
+use crate::FusionError;
+
+/// Output rows per strip for direct-convolution stages. Any value works
+/// (per-element accumulation order is strip-independent); 8 amortizes
+/// kernel-call overhead without inflating the streaming window.
+const DIRECT_STRIP_ROWS: usize = 8;
+
+/// DRAM accounting of one fused group for one frame: what the runner
+/// measured while streaming vs what the DP budgeted analytically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupDramReport {
+    /// Network index of the group's first layer.
+    pub start: usize,
+    /// Network index one past the group's last layer.
+    pub end: usize,
+    /// Measured bytes read (group input rows + streamed weights).
+    pub dram_bytes_read: u64,
+    /// Measured bytes written (group output rows).
+    pub dram_bytes_written: u64,
+    /// The DP's analytic transfer bytes for the group (fmap + weights).
+    pub analytic_dram_bytes: u64,
+}
+
+impl GroupDramReport {
+    /// Total measured traffic (`read + written`).
+    pub fn measured(&self) -> u64 {
+        self.dram_bytes_read + self.dram_bytes_written
+    }
+
+    /// Absolute difference between measured and analytic traffic —
+    /// zero when the runner is plan-faithful.
+    pub fn delta(&self) -> u64 {
+        self.measured().abs_diff(self.analytic_dram_bytes)
+    }
+}
+
+/// Result of streaming one frame through one fused group.
+#[derive(Debug, Clone)]
+pub struct GroupRunResult<T> {
+    /// The group's output feature maps.
+    pub output: Tensor<T>,
+    /// Measured-vs-analytic DRAM accounting for the frame.
+    pub dram: GroupDramReport,
+}
+
+/// Result of streaming one frame through a whole planned network.
+#[derive(Debug, Clone)]
+pub struct FusedRunReport<T> {
+    /// The final group's output feature maps.
+    pub output: Tensor<T>,
+    /// Per-group DRAM accounting, in network order.
+    pub groups: Vec<GroupDramReport>,
+}
+
+impl<T> FusedRunReport<T> {
+    /// Total measured DRAM traffic across all groups.
+    pub fn measured_dram_bytes(&self) -> u64 {
+        self.groups.iter().map(GroupDramReport::measured).sum()
+    }
+
+    /// Total analytic DRAM budget across all groups.
+    pub fn analytic_dram_bytes(&self) -> u64 {
+        self.groups.iter().map(|g| g.analytic_dram_bytes).sum()
+    }
+
+    /// Largest per-group reconciliation delta (zero when faithful).
+    pub fn max_dram_delta(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(GroupDramReport::delta)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One conv stage's prepared state: per-group kernel banks for every
+/// datapath the runner may drive, plus the weight-stream cost the plan's
+/// algorithm choice implies.
+struct ConvStage {
+    params: ConvParams,
+    /// Per-group `f32` kernel slices (blocked direct path).
+    kernels: Vec<Tensor<f32>>,
+    /// Per-group quantized kernels (exact fixed-point path).
+    kernels_fix: Vec<Tensor<Fix16>>,
+    /// Pre-transformed per-group banks when the plan chose Winograd and
+    /// the `F(4,3)` CPU kernel realizes it (3×3, stride 1). A
+    /// Winograd-planned layer outside that shape (e.g. AlexNet's 5×5
+    /// conv2 with `m=4`) computes via the direct kernels — numerically
+    /// equivalent — while weight metering still follows the plan's
+    /// transformed α² stream.
+    banks: Option<Vec<BatchedFilters>>,
+    /// DRAM bytes the accelerator streams for this layer's weights per
+    /// frame, measured from the actually-prepared banks where possible.
+    weight_stream_bytes: u64,
+}
+
+enum StageOp {
+    Conv(ConvStage),
+    Pool(PoolParams),
+    Lrn(LrnSpec),
+    Relu,
+}
+
+struct RunnerStage {
+    input: FmShape,
+    output: FmShape,
+    /// Window/stride/pad for row-dependency math (1/1/0 for pointwise).
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// Output rows computed per strip (Winograd: the transform's `m`, so
+    /// strips land exactly on the whole-image tile grid).
+    strip_rows: usize,
+    op: StageOp,
+}
+
+impl RunnerStage {
+    /// Input rows (exclusive, real coordinates) needed to produce output
+    /// rows `..out_end`.
+    fn rows_needed(&self, out_end: usize) -> usize {
+        if out_end == 0 {
+            return 0;
+        }
+        ((out_end - 1) * self.stride + self.kernel)
+            .saturating_sub(self.pad)
+            .min(self.input.height)
+    }
+}
+
+/// Element types the fused runner streams: `f32` (checked against
+/// [`NetworkExecutor`]) and [`Fix16`] (exactly matching
+/// [`forward_fix16`]). Sealed: the conv dispatch is datapath-specific.
+///
+/// [`NetworkExecutor`]: winofuse_model::runtime::NetworkExecutor
+/// [`forward_fix16`]: winofuse_model::runtime::forward_fix16
+trait RunnerElement: Scalar + PartialOrd {
+    /// Runs one conv stage on a materialized zero-padded strip (one
+    /// group's channel slice), honoring the plan's algorithm choice.
+    fn conv_group_strip(
+        stage: &ConvStage,
+        group: usize,
+        strip: &Tensor<Self>,
+        geom: ConvGeometry,
+        transform: &WinogradTransform,
+        threads: usize,
+    ) -> Result<Tensor<Self>, FusionError>;
+}
+
+impl RunnerElement for f32 {
+    fn conv_group_strip(
+        stage: &ConvStage,
+        group: usize,
+        strip: &Tensor<f32>,
+        geom: ConvGeometry,
+        transform: &WinogradTransform,
+        threads: usize,
+    ) -> Result<Tensor<f32>, FusionError> {
+        Ok(match &stage.banks {
+            Some(banks) => {
+                winograd::conv2d_batched(strip, &banks[group], geom, transform, threads, None)?
+            }
+            None => direct::conv2d_fast(strip, &stage.kernels[group], geom, threads, None)?,
+        })
+    }
+}
+
+impl RunnerElement for Fix16 {
+    fn conv_group_strip(
+        stage: &ConvStage,
+        group: usize,
+        strip: &Tensor<Fix16>,
+        geom: ConvGeometry,
+        _transform: &WinogradTransform,
+        threads: usize,
+    ) -> Result<Tensor<Fix16>, FusionError> {
+        // Fixed point always runs the exact wide-integer datapath
+        // (matching `forward_fix16`); the algorithm choice is a
+        // numerically-equivalent implementation detail there.
+        Ok(direct::conv2d_fix16_fast(
+            strip,
+            &stage.kernels_fix[group],
+            geom,
+            threads,
+        )?)
+    }
+}
+
+/// Executes one fusion group as the plan describes: rows stream in, each
+/// stage computes output strips with the fast kernels as soon as its
+/// window is resident, and only the last stage's rows leave to DRAM.
+/// See the [module docs](self) for the reconciliation contract.
+pub struct FusedGroupRunner {
+    start: usize,
+    end: usize,
+    stages: Vec<RunnerStage>,
+    input_shape: FmShape,
+    output_shape: FmShape,
+    transform: WinogradTransform,
+    threads: usize,
+    analytic_dram_bytes: u64,
+    strict_dram: bool,
+    telemetry: Telemetry,
+    weight_stream_bytes: u64,
+}
+
+impl FusedGroupRunner {
+    /// Builds a runner for the group described by `configs` (resolved
+    /// layer configurations for consecutive layers of `net` starting at
+    /// `start`), with weights from `weights`. The analytic DRAM budget
+    /// defaults to the configs' own accounting (group input + output
+    /// feature maps plus every member's weight stream) — override it
+    /// with [`FusedGroupRunner::with_analytic_budget`] when lowering
+    /// from a DP partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::InvalidGroup`] for an empty/unchained
+    /// group or layers the fusion architecture cannot host (FC,
+    /// softmax), and [`FusionError::Simulation`] for missing weights.
+    pub fn new(
+        net: &Network,
+        start: usize,
+        configs: &[LayerConfig],
+        weights: &NetworkWeights,
+    ) -> Result<Self, FusionError> {
+        if configs.is_empty() {
+            return Err(FusionError::InvalidGroup("group has no layers".into()));
+        }
+        for pair in configs.windows(2) {
+            if pair[0].output != pair[1].input {
+                return Err(FusionError::InvalidGroup(format!(
+                    "`{}` output {} does not feed `{}` input {}",
+                    pair[0].layer.name, pair[0].output, pair[1].layer.name, pair[1].input
+                )));
+            }
+        }
+        let transform = f43();
+        let mut stages = Vec::with_capacity(configs.len());
+        for (off, cfg) in configs.iter().enumerate() {
+            let idx = start + off;
+            match net.layers().get(idx) {
+                Some(l) if l.name == cfg.layer.name => {}
+                _ => {
+                    return Err(FusionError::InvalidGroup(format!(
+                        "config {off} (`{}`) does not match network layer {idx}",
+                        cfg.layer.name
+                    )))
+                }
+            }
+            let spec = crate::pyramid::SpatialSpec::of(&cfg.layer.kind);
+            let (pad, op, strip_rows) = match &cfg.layer.kind {
+                LayerKind::Conv(c) => {
+                    let LayerWeights::Conv(kernels) = weights.layer(idx) else {
+                        return Err(FusionError::Simulation(format!(
+                            "missing conv weights for layer {idx} `{}`",
+                            cfg.layer.name
+                        )));
+                    };
+                    let conv = ConvStage::prepare(
+                        c,
+                        kernels,
+                        cfg.input,
+                        cfg.engine.algorithm,
+                        &transform,
+                    )?;
+                    let strip = if conv.banks.is_some() {
+                        transform.m()
+                    } else {
+                        DIRECT_STRIP_ROWS
+                    };
+                    (c.pad, StageOp::Conv(conv), strip)
+                }
+                LayerKind::Pool(p) => (p.pad, StageOp::Pool(*p), 1),
+                LayerKind::Lrn(spec) => (0, StageOp::Lrn(*spec), 1),
+                LayerKind::Relu => (0, StageOp::Relu, 1),
+                other => {
+                    return Err(FusionError::InvalidGroup(format!(
+                        "layer kind `{}` cannot be fused",
+                        other.tag()
+                    )))
+                }
+            };
+            stages.push(RunnerStage {
+                input: cfg.input,
+                output: cfg.output,
+                kernel: spec.kernel,
+                stride: spec.stride,
+                pad,
+                strip_rows,
+                op,
+            });
+        }
+        let first = &configs[0];
+        let last = configs.last().expect("nonempty");
+        let dtype = DataType::Fixed16;
+        let weight_stream_bytes: u64 = stages
+            .iter()
+            .filter_map(|s| match &s.op {
+                StageOp::Conv(c) => Some(c.weight_stream_bytes),
+                _ => None,
+            })
+            .sum();
+        let analytic_dram_bytes = first.input.bytes(dtype) as u64
+            + last.output.bytes(dtype) as u64
+            + configs.iter().map(|c| c.weight_bytes).sum::<u64>();
+        Ok(FusedGroupRunner {
+            start,
+            end: start + configs.len(),
+            stages,
+            input_shape: first.input,
+            output_shape: last.output,
+            transform,
+            threads: 0,
+            analytic_dram_bytes,
+            strict_dram: cfg!(debug_assertions),
+            telemetry: Telemetry::disabled(),
+            weight_stream_bytes,
+        })
+    }
+
+    /// Sets the worker-thread count for the convolution kernels
+    /// (`0` = auto-detect). Results are bit-identical at any count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the analytic DRAM budget the measured traffic is
+    /// reconciled against (normally the DP's per-group transfer cost).
+    pub fn with_analytic_budget(mut self, bytes: u64) -> Self {
+        self.analytic_dram_bytes = bytes;
+        self
+    }
+
+    /// Selects reconciliation behavior: strict (mismatch is a hard
+    /// error) or lenient (mismatch only bumps `fused.dram_delta`).
+    /// Defaults to strict exactly when `debug_assertions` are on.
+    pub fn strict_dram(mut self, strict: bool) -> Self {
+        self.strict_dram = strict;
+        self
+    }
+
+    /// Attaches an observability context (`fused.*` counters).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Network index of the group's first layer.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Network index one past the group's last layer.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// The group's input feature-map shape.
+    pub fn input_shape(&self) -> FmShape {
+        self.input_shape
+    }
+
+    /// The group's output feature-map shape.
+    pub fn output_shape(&self) -> FmShape {
+        self.output_shape
+    }
+
+    /// The analytic DRAM budget this runner reconciles against.
+    pub fn analytic_dram_bytes(&self) -> u64 {
+        self.analytic_dram_bytes
+    }
+
+    /// Streams one `f32` frame through the group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FusionError::Simulation`] for a mismatched input shape
+    /// and [`FusionError::DramMismatch`] when strict reconciliation
+    /// fails.
+    pub fn run(&self, input: &Tensor<f32>) -> Result<GroupRunResult<f32>, FusionError> {
+        self.run_generic(input)
+    }
+
+    /// Streams one fixed-point frame through the group. Bit-exact
+    /// against [`forward_fix16`] on the same quantized weights.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FusedGroupRunner::run`].
+    ///
+    /// [`forward_fix16`]: winofuse_model::runtime::forward_fix16
+    pub fn run_fix16(&self, input: &Tensor<Fix16>) -> Result<GroupRunResult<Fix16>, FusionError> {
+        self.run_generic(input)
+    }
+
+    fn run_generic<T: RunnerElement>(
+        &self,
+        input: &Tensor<T>,
+    ) -> Result<GroupRunResult<T>, FusionError> {
+        let s = self.input_shape;
+        if input.n() != 1
+            || input.c() != s.channels
+            || input.h() != s.height
+            || input.w() != s.width
+        {
+            return Err(FusionError::Simulation(format!(
+                "input {}x{}x{}x{} does not match group input 1x{s}",
+                input.n(),
+                input.c(),
+                input.h(),
+                input.w()
+            )));
+        }
+        let dtype = DataType::Fixed16;
+        let n_stages = self.stages.len();
+        let out_shape = self.output_shape;
+        let mut out = Tensor::zeros(1, out_shape.channels, out_shape.height, out_shape.width);
+        let mut out_rows = 0usize;
+        // Per-stage sliding window of input rows (channel-major `C·W`
+        // values each) and the real input row index of its front.
+        let mut windows: Vec<VecDeque<Vec<T>>> = (0..n_stages).map(|_| VecDeque::new()).collect();
+        let mut win_start = vec![0usize; n_stages];
+        let mut fed = vec![0usize; n_stages];
+        let mut done = vec![0usize; n_stages];
+        // Weights stream once per frame; fmap rows are metered as they
+        // move (the accelerator's DRAM dtype, regardless of compute
+        // element type).
+        let mut read = self.weight_stream_bytes;
+        let mut written = 0u64;
+        let in_row_bytes = s.row_bytes(dtype) as u64;
+        let out_row_bytes = out_shape.row_bytes(dtype) as u64;
+
+        // The frame ends when every output row has been stored AND every
+        // input row has been loaded: a stage whose stride exceeds its
+        // window never *computes* with the frame's last rows, but the
+        // accelerator still streams the whole input map from DRAM (the
+        // analytic model counts it, so the wire must too).
+        while out_rows < out_shape.height || fed[0] < s.height {
+            let mut progressed = false;
+            // DRAM -> stage 0: one input row per step.
+            if fed[0] < s.height {
+                let r = fed[0];
+                let mut row = vec![T::zero(); s.channels * s.width];
+                for c in 0..s.channels {
+                    for w in 0..s.width {
+                        row[c * s.width + w] = input.get(0, c, r, w);
+                    }
+                }
+                windows[0].push_back(row);
+                fed[0] += 1;
+                read += in_row_bytes;
+                progressed = true;
+            }
+            // Each stage produces every strip its window can serve.
+            for i in 0..n_stages {
+                loop {
+                    let o0 = done[i];
+                    if o0 >= self.stages[i].output.height {
+                        break;
+                    }
+                    let o1 = (o0 + self.stages[i].strip_rows).min(self.stages[i].output.height);
+                    if fed[i] < self.stages[i].rows_needed(o1) {
+                        break;
+                    }
+                    let rows = self.produce_strip(i, &windows[i], win_start[i], o0, o1)?;
+                    done[i] = o1;
+                    // Evict rows no future strip of this stage needs.
+                    let st = &self.stages[i];
+                    let keep = (o1 * st.stride).saturating_sub(st.pad);
+                    while win_start[i] < keep && !windows[i].is_empty() {
+                        windows[i].pop_front();
+                        win_start[i] += 1;
+                    }
+                    for row in rows {
+                        if i + 1 < n_stages {
+                            windows[i + 1].push_back(row);
+                            fed[i + 1] += 1;
+                        } else {
+                            let r = out_rows;
+                            for c in 0..out_shape.channels {
+                                for w in 0..out_shape.width {
+                                    out.set(0, c, r, w, row[c * out_shape.width + w]);
+                                }
+                            }
+                            out_rows += 1;
+                            written += out_row_bytes;
+                        }
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Err(FusionError::Simulation(format!(
+                    "fused runner deadlock: {} of {} output rows produced",
+                    out_rows, out_shape.height
+                )));
+            }
+        }
+
+        let dram = GroupDramReport {
+            start: self.start,
+            end: self.end,
+            dram_bytes_read: read,
+            dram_bytes_written: written,
+            analytic_dram_bytes: self.analytic_dram_bytes,
+        };
+        self.telemetry.add("fused.dram_bytes_read", read);
+        self.telemetry.add("fused.dram_bytes_written", written);
+        self.telemetry.add("fused.dram_delta", dram.delta());
+        if dram.delta() != 0 && self.strict_dram {
+            return Err(FusionError::DramMismatch {
+                start: self.start,
+                measured: dram.measured(),
+                analytic: dram.analytic_dram_bytes,
+            });
+        }
+        Ok(GroupRunResult { output: out, dram })
+    }
+
+    /// Computes output rows `[o0, o1)` of stage `i` from its window,
+    /// returning them channel-major (`C_out·W_out` values per row).
+    fn produce_strip<T: RunnerElement>(
+        &self,
+        i: usize,
+        window: &VecDeque<Vec<T>>,
+        win_start: usize,
+        o0: usize,
+        o1: usize,
+    ) -> Result<Vec<Vec<T>>, FusionError> {
+        let st = &self.stages[i];
+        let row_at = |r: usize| -> Result<&Vec<T>, FusionError> {
+            window
+                .get(r.checked_sub(win_start).ok_or_else(|| {
+                    FusionError::Simulation(format!("stage {i}: row {r} evicted before use"))
+                })?)
+                .ok_or_else(|| {
+                    FusionError::Simulation(format!("stage {i}: row {r} not yet resident"))
+                })
+        };
+        match &st.op {
+            StageOp::Conv(conv) => self.conv_strip(st, conv, &row_at, o0, o1),
+            StageOp::Pool(p) => {
+                let mut rows = Vec::with_capacity(o1 - o0);
+                for o in o0..o1 {
+                    rows.push(pool_row(st, p, &row_at, o)?);
+                }
+                Ok(rows)
+            }
+            StageOp::Lrn(spec) => {
+                let mut rows = Vec::with_capacity(o1 - o0);
+                for o in o0..o1 {
+                    rows.push(lrn_row(st, spec, row_at(o)?));
+                }
+                Ok(rows)
+            }
+            StageOp::Relu => {
+                let mut rows = Vec::with_capacity(o1 - o0);
+                for o in o0..o1 {
+                    let mut row = row_at(o)?.clone();
+                    for v in &mut row {
+                        if *v < T::zero() {
+                            *v = T::zero();
+                        }
+                    }
+                    rows.push(row);
+                }
+                Ok(rows)
+            }
+        }
+    }
+
+    /// Strip-mined convolution: materializes the zero-padded input span
+    /// for output rows `[o0, o1)` and runs the plan's fast kernel on it.
+    /// Winograd strips are `m` rows starting at a multiple of `m`, so
+    /// the strip's tile grid coincides with the whole image's and the
+    /// result is bit-identical to an unfused call.
+    fn conv_strip<'w, T: RunnerElement + 'w>(
+        &self,
+        st: &RunnerStage,
+        conv: &ConvStage,
+        row_at: &impl Fn(usize) -> Result<&'w Vec<T>, FusionError>,
+        o0: usize,
+        o1: usize,
+    ) -> Result<Vec<Vec<T>>, FusionError> {
+        let c = &conv.params;
+        let (ih, iw) = (st.input.height, st.input.width);
+        let in_c = st.input.channels;
+        // Padded coordinates: rows `[o0·s, (o1-1)·s + K)`, width `W+2p`.
+        let pr0 = o0 * c.stride;
+        let pr1 = (o1 - 1) * c.stride + c.kernel;
+        let span = pr1 - pr0;
+        let pw = iw + 2 * c.pad;
+        let mut strip = Tensor::zeros(1, in_c, span, pw);
+        for pr in pr0..pr1 {
+            let r = pr as isize - c.pad as isize;
+            if r < 0 || r as usize >= ih {
+                continue; // vertical padding stays zero
+            }
+            let row = row_at(r as usize)?;
+            for ch in 0..in_c {
+                for w in 0..iw {
+                    strip.set(0, ch, pr - pr0, c.pad + w, row[ch * iw + w]);
+                }
+            }
+        }
+        let geom = ConvGeometry::rect(span, pw, c.kernel, c.stride, 0)?;
+        let out_w = st.output.width;
+        let out_c = st.output.channels;
+        let groups = c.groups.max(1);
+        let mut strip_out = Tensor::zeros(1, out_c, o1 - o0, out_w);
+        if groups <= 1 {
+            strip_out = T::conv_group_strip(conv, 0, &strip, geom, &self.transform, self.threads)?;
+        } else {
+            let cg = c.channels_per_group(in_c);
+            let ng = c.num_output / groups;
+            for g in 0..groups {
+                let x = strip.slice_channels(g * cg, (g + 1) * cg);
+                let y = T::conv_group_strip(conv, g, &x, geom, &self.transform, self.threads)?;
+                strip_out.write_channels(g * ng, &y);
+            }
+        }
+        if c.relu {
+            for v in strip_out.as_mut_slice() {
+                if *v < T::zero() {
+                    *v = T::zero();
+                }
+            }
+        }
+        let mut rows = Vec::with_capacity(o1 - o0);
+        for o in 0..(o1 - o0) {
+            let mut row = vec![T::zero(); out_c * out_w];
+            for ch in 0..out_c {
+                for w in 0..out_w {
+                    row[ch * out_w + w] = strip_out.get(0, ch, o, w);
+                }
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+}
+
+impl ConvStage {
+    /// Slices, quantizes and (when the plan says Winograd on a shape the
+    /// CPU `F(4,3)` kernel hosts) transforms a conv layer's kernels, and
+    /// derives the weight-stream bytes the plan's datapath implies.
+    fn prepare(
+        c: &ConvParams,
+        kernels: &Tensor<f32>,
+        input: FmShape,
+        algorithm: Algorithm,
+        transform: &WinogradTransform,
+    ) -> Result<Self, FusionError> {
+        let groups = c.groups.max(1);
+        let cg = c.channels_per_group(input.channels);
+        let ng = c.num_output / groups;
+        let slices: Vec<Tensor<f32>> = if groups <= 1 {
+            vec![kernels.clone()]
+        } else {
+            (0..groups)
+                .map(|g| kernels.slice_channels_n(g * ng, (g + 1) * ng))
+                .collect()
+        };
+        let kernels_fix: Vec<Tensor<Fix16>> = slices.iter().map(Tensor::cast).collect();
+        let dtype_bytes = DataType::Fixed16.bytes() as u64;
+        let (banks, weight_stream_bytes) = match algorithm {
+            Algorithm::Conventional => {
+                let bytes = slices
+                    .iter()
+                    .map(|k| k.as_slice().len() as u64)
+                    .sum::<u64>()
+                    * dtype_bytes;
+                (None, bytes)
+            }
+            Algorithm::Winograd { m } => {
+                let hosted = m == transform.m() && c.kernel == transform.r() && c.stride == 1;
+                if hosted {
+                    let banks = slices
+                        .iter()
+                        .map(|k| BatchedFilters::new(k, transform))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let bytes =
+                        banks.iter().map(|b| b.coefficients() as u64).sum::<u64>() * dtype_bytes;
+                    (Some(banks), bytes)
+                } else {
+                    // No CPU kernel for this (m, K); compute direct but
+                    // meter the plan's transformed α² stream.
+                    let alpha = (m + c.kernel - 1) as u64;
+                    let bytes = c.num_output as u64 * cg as u64 * alpha * alpha * dtype_bytes;
+                    (None, bytes)
+                }
+            }
+        };
+        Ok(ConvStage {
+            params: *c,
+            kernels: slices,
+            kernels_fix,
+            banks,
+            weight_stream_bytes,
+        })
+    }
+}
+
+/// One pooling output row, replicating [`winofuse_conv::ops::pool`]'s
+/// exact gather order and in-bounds-only semantics (padding never enters
+/// the window, so average counts and max folds match bit-for-bit).
+fn pool_row<'w, T: RunnerElement + 'w>(
+    st: &RunnerStage,
+    p: &PoolParams,
+    row_at: &impl Fn(usize) -> Result<&'w Vec<T>, FusionError>,
+    o: usize,
+) -> Result<Vec<T>, FusionError> {
+    let (ih, iw) = (st.input.height, st.input.width);
+    let (out_c, out_w) = (st.output.channels, st.output.width);
+    let mut row = vec![T::zero(); out_c * out_w];
+    for ch in 0..out_c {
+        for j in 0..out_w {
+            let mut best: Option<T> = None;
+            let mut sum = 0.0f32;
+            let mut count = 0usize;
+            for u in 0..p.kernel {
+                for v in 0..p.kernel {
+                    let hh = (o * p.stride + u) as isize - p.pad as isize;
+                    let ww = (j * p.stride + v) as isize - p.pad as isize;
+                    if hh < 0 || ww < 0 || hh as usize >= ih || ww as usize >= iw {
+                        continue; // padding excluded from pooling
+                    }
+                    let val = row_at(hh as usize)?[ch * iw + ww as usize];
+                    match p.kind {
+                        PoolKind::Max => {
+                            best = Some(match best {
+                                Some(cur) if cur >= val => cur,
+                                _ => val,
+                            });
+                        }
+                        PoolKind::Average => {
+                            sum += val.to_f32();
+                            count += 1;
+                        }
+                    }
+                }
+            }
+            row[ch * out_w + j] = match p.kind {
+                PoolKind::Max => best.unwrap_or_else(T::zero),
+                PoolKind::Average => {
+                    if count == 0 {
+                        T::zero()
+                    } else {
+                        T::from_f32(sum / count as f32)
+                    }
+                }
+            };
+        }
+    }
+    Ok(row)
+}
+
+/// One LRN output row, replicating [`winofuse_conv::ops::lrn`]'s exact
+/// per-element `f32` sequence (cross-channel sum in ascending offset
+/// order, then `powf` and re-round).
+fn lrn_row<T: RunnerElement>(st: &RunnerStage, spec: &LrnSpec, input_row: &[T]) -> Vec<T> {
+    let (channels, width) = (st.input.channels, st.input.width);
+    let half = (spec.local_size / 2) as isize;
+    let mut row = vec![T::zero(); channels * width];
+    for ch in 0..channels {
+        for w in 0..width {
+            let mut sum_sq = 0.0f32;
+            for dc in -half..=half {
+                let cc = ch as isize + dc;
+                if cc < 0 || cc as usize >= channels {
+                    continue;
+                }
+                let v = input_row[cc as usize * width + w].to_f32();
+                sum_sq += v * v;
+            }
+            let denom = (spec.k + spec.alpha / spec.local_size as f32 * sum_sq).powf(spec.beta);
+            let a = input_row[ch * width + w].to_f32();
+            row[ch * width + w] = T::from_f32(a / denom);
+        }
+    }
+    row
+}
+
+/// One fusion group of an execution plan, as handed to
+/// [`FusedNetworkRunner::new`].
+pub struct GroupSpec<'a> {
+    /// Network index of the group's first layer.
+    pub start: usize,
+    /// Resolved member-layer configurations, in forward order.
+    pub configs: &'a [LayerConfig],
+    /// The DP's analytic transfer budget for the group; `None` derives
+    /// the budget from the configs themselves.
+    pub analytic_dram_bytes: Option<u64>,
+}
+
+/// Chains one [`FusedGroupRunner`] per fusion group into a whole-network
+/// streaming run: each group's output feature maps become the next
+/// group's DRAM-resident input, exactly the strategy the DP partitioned.
+pub struct FusedNetworkRunner {
+    groups: Vec<FusedGroupRunner>,
+    telemetry: Telemetry,
+}
+
+impl FusedNetworkRunner {
+    /// Builds one group runner per spec and validates the chain (each
+    /// group must start where the previous one ended, with matching
+    /// shapes).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FusedGroupRunner::new`], plus
+    /// [`FusionError::InvalidGroup`] for a broken chain.
+    pub fn new(
+        net: &Network,
+        weights: &NetworkWeights,
+        specs: &[GroupSpec<'_>],
+    ) -> Result<Self, FusionError> {
+        if specs.is_empty() {
+            return Err(FusionError::InvalidGroup("plan has no groups".into()));
+        }
+        let mut groups = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let mut runner = FusedGroupRunner::new(net, spec.start, spec.configs, weights)?;
+            if let Some(bytes) = spec.analytic_dram_bytes {
+                runner = runner.with_analytic_budget(bytes);
+            }
+            groups.push(runner);
+        }
+        for pair in groups.windows(2) {
+            if pair[0].end() != pair[1].start() || pair[0].output_shape() != pair[1].input_shape() {
+                return Err(FusionError::InvalidGroup(format!(
+                    "group ending at layer {} ({}) does not feed group starting at layer {} ({})",
+                    pair[0].end(),
+                    pair[0].output_shape(),
+                    pair[1].start(),
+                    pair[1].input_shape()
+                )));
+            }
+        }
+        Ok(FusedNetworkRunner {
+            groups,
+            telemetry: Telemetry::disabled(),
+        })
+    }
+
+    /// Sets the worker-thread count for every group's kernels.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        for g in &mut self.groups {
+            g.threads = threads;
+        }
+        self
+    }
+
+    /// Selects strict or lenient DRAM reconciliation for every group.
+    pub fn strict_dram(mut self, strict: bool) -> Self {
+        for g in &mut self.groups {
+            g.strict_dram = strict;
+        }
+        self
+    }
+
+    /// Attaches an observability context (`fused.*` counters) to the
+    /// runner and every group.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        for g in &mut self.groups {
+            g.telemetry = telemetry.clone();
+        }
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The group runners, in network order.
+    pub fn groups(&self) -> &[FusedGroupRunner] {
+        &self.groups
+    }
+
+    /// The plan's input feature-map shape.
+    pub fn input_shape(&self) -> FmShape {
+        self.groups[0].input_shape()
+    }
+
+    /// The plan's output feature-map shape.
+    pub fn output_shape(&self) -> FmShape {
+        self.groups.last().expect("nonempty").output_shape()
+    }
+
+    /// Streams one `f32` frame through every group in order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FusedGroupRunner::run`].
+    pub fn run(&self, input: &Tensor<f32>) -> Result<FusedRunReport<f32>, FusionError> {
+        self.run_generic(input, FusedGroupRunner::run)
+    }
+
+    /// Streams one fixed-point frame through every group in order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FusedGroupRunner::run`].
+    pub fn run_fix16(&self, input: &Tensor<Fix16>) -> Result<FusedRunReport<Fix16>, FusionError> {
+        self.run_generic(input, FusedGroupRunner::run_fix16)
+    }
+
+    fn run_generic<T: Scalar>(
+        &self,
+        input: &Tensor<T>,
+        run_group: impl Fn(&FusedGroupRunner, &Tensor<T>) -> Result<GroupRunResult<T>, FusionError>,
+    ) -> Result<FusedRunReport<T>, FusionError> {
+        let mut reports = Vec::with_capacity(self.groups.len());
+        let mut cur = input.clone();
+        for g in &self.groups {
+            let r = run_group(g, &cur)?;
+            reports.push(r.dram);
+            cur = r.output;
+        }
+        self.telemetry.add("fused.frames", 1);
+        self.telemetry.add("fused.groups", reports.len() as u64);
+        Ok(FusedRunReport {
+            output: cur,
+            groups: reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winofuse_conv::tensor::random_tensor;
+    use winofuse_fpga::engine::EngineConfig;
+    use winofuse_model::runtime::{forward, forward_fix16};
+    use winofuse_model::zoo;
+
+    fn configs_for(
+        net: &Network,
+        range: std::ops::Range<usize>,
+        algo: Algorithm,
+    ) -> Vec<LayerConfig> {
+        range
+            .map(|i| {
+                LayerConfig::build(
+                    net,
+                    i,
+                    EngineConfig {
+                        algorithm: algo,
+                        parallelism: 8,
+                    },
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_group_matches_forward_small_net() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 31).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 32);
+        let reference = forward(&net, &weights, &x).unwrap();
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_threads(2);
+        let r = runner.run(&x).unwrap();
+        assert!(r.output.approx_eq(reference.last().unwrap(), 1e-4));
+        // Strict default in debug already enforces this, but pin it.
+        assert_eq!(r.dram.delta(), 0, "measured DRAM must match analytic");
+        assert_eq!(
+            r.dram.dram_bytes_written,
+            runner.output_shape().bytes(DataType::Fixed16) as u64
+        );
+    }
+
+    #[test]
+    fn fused_group_matches_forward_mixed_net() {
+        // Average pooling + LRN exercise the scalar-faithful row paths.
+        let net = zoo::mixed_test_net();
+        let weights = NetworkWeights::random(&net, 33).unwrap();
+        let x = random_tensor(1, 4, 24, 24, 34);
+        let reference = forward(&net, &weights, &x).unwrap();
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights).unwrap();
+        let r = runner.run(&x).unwrap();
+        assert!(r.output.approx_eq(reference.last().unwrap(), 1e-4));
+        assert_eq!(r.dram.delta(), 0);
+    }
+
+    #[test]
+    fn winograd_planned_group_matches_forward() {
+        // 3x3 stride-1 convs: the plan's Winograd choice engages the
+        // batched F(4,3) banks, and the streamed weight bytes grow to
+        // the transformed alpha^2 size the analytic budget expects.
+        let net = Network::builder("wino", FmShape::new(3, 20, 20))
+            .conv("c0", ConvParams::new(8, 3, 1, 1, true))
+            .conv("c1", ConvParams::new(8, 3, 1, 1, false))
+            .build()
+            .unwrap();
+        let weights = NetworkWeights::random(&net, 35).unwrap();
+        let x = random_tensor(1, 3, 20, 20, 36);
+        let reference = forward(&net, &weights, &x).unwrap();
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Winograd { m: 4 });
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights).unwrap();
+        let r = runner.run(&x).unwrap();
+        assert!(r.output.approx_eq(reference.last().unwrap(), 1e-3));
+        assert_eq!(r.dram.delta(), 0);
+        // alpha^2 = 36 coefficients per filter plane vs 9 raw.
+        let raw: u64 = configs_for(&net, 0..net.len(), Algorithm::Conventional)
+            .iter()
+            .map(|c| c.weight_bytes)
+            .sum();
+        let wino: u64 = configs.iter().map(|c| c.weight_bytes).sum();
+        assert_eq!(wino, raw * 4);
+    }
+
+    #[test]
+    fn grouped_conv_group_matches_forward() {
+        let net = Network::builder("grouped", FmShape::new(4, 16, 16))
+            .conv("c0", ConvParams::new(8, 3, 1, 1, true))
+            .conv("c1", ConvParams::new(8, 3, 1, 1, false).with_groups(2))
+            .build()
+            .unwrap();
+        let weights = NetworkWeights::random(&net, 41).unwrap();
+        let x = random_tensor(1, 4, 16, 16, 42);
+        let reference = forward(&net, &weights, &x).unwrap();
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights).unwrap();
+        let r = runner.run(&x).unwrap();
+        assert!(r.output.approx_eq(reference.last().unwrap(), 1e-4));
+        assert_eq!(r.dram.delta(), 0);
+    }
+
+    #[test]
+    fn fix16_run_is_bit_exact_against_reference() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 51).unwrap();
+        let xf = random_tensor(1, 3, 32, 32, 52);
+        let x: Tensor<Fix16> = xf.cast();
+        let reference = forward_fix16(&net, &weights, &x, 2).unwrap();
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_threads(2);
+        let r = runner.run_fix16(&x).unwrap();
+        assert_eq!(&r.output, reference.last().unwrap());
+        assert_eq!(r.dram.delta(), 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_f32_bits() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 61).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 62);
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let r1 = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_threads(1)
+            .run(&x)
+            .unwrap();
+        let r4 = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_threads(4)
+            .run(&x)
+            .unwrap();
+        assert_eq!(r1.output, r4.output);
+    }
+
+    #[test]
+    fn network_runner_chains_groups() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 71).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 72);
+        let reference = forward(&net, &weights, &x).unwrap();
+        let head = configs_for(&net, 0..2, Algorithm::Conventional);
+        let tail = configs_for(&net, 2..net.len(), Algorithm::Conventional);
+        let specs = [
+            GroupSpec {
+                start: 0,
+                configs: &head,
+                analytic_dram_bytes: None,
+            },
+            GroupSpec {
+                start: 2,
+                configs: &tail,
+                analytic_dram_bytes: None,
+            },
+        ];
+        let runner = FusedNetworkRunner::new(&net, &weights, &specs).unwrap();
+        let report = runner.run(&x).unwrap();
+        assert!(report.output.approx_eq(reference.last().unwrap(), 1e-4));
+        assert_eq!(report.groups.len(), 2);
+        assert_eq!(report.max_dram_delta(), 0);
+        // The seam feature map is counted twice (stored then reloaded)
+        // exactly as the DP's per-group accounting does.
+        let seam = head.last().unwrap().output.bytes(DataType::Fixed16) as u64;
+        let weights_bytes: u64 = head.iter().chain(tail.iter()).map(|c| c.weight_bytes).sum();
+        let fmap_io = x.as_slice().len() as u64 * 2 + report.output.as_slice().len() as u64 * 2;
+        assert_eq!(
+            report.measured_dram_bytes(),
+            fmap_io + 2 * seam + weights_bytes
+        );
+    }
+
+    #[test]
+    fn strict_mode_rejects_wrong_budget() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 81).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 82);
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_analytic_budget(1)
+            .strict_dram(true);
+        match runner.run(&x) {
+            Err(FusionError::DramMismatch {
+                start, analytic, ..
+            }) => {
+                assert_eq!(start, 0);
+                assert_eq!(analytic, 1);
+            }
+            other => panic!("expected DramMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_records_delta_in_telemetry() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 91).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 92);
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let tel = Telemetry::enabled();
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_analytic_budget(1)
+            .strict_dram(false)
+            .with_telemetry(tel.clone());
+        let r = runner.run(&x).unwrap();
+        assert!(r.dram.delta() > 0);
+        let summary = tel.summary();
+        assert_eq!(
+            summary.counters.get("fused.dram_delta").copied(),
+            Some(r.dram.delta())
+        );
+    }
+
+    #[test]
+    fn rejects_fc_layers_and_bad_chains() {
+        let net = zoo::alexnet();
+        let weights = NetworkWeights::random(&net, 95).unwrap();
+        // Find the first FC layer and try to fuse it.
+        let fc = net
+            .layers()
+            .iter()
+            .position(|l| matches!(l.kind, LayerKind::Fc(_)))
+            .unwrap();
+        let cfg = LayerConfig::build(
+            &net,
+            fc,
+            EngineConfig {
+                algorithm: Algorithm::Conventional,
+                parallelism: 4,
+            },
+        );
+        // FC layers have no fusion config at all, or the runner rejects
+        // them; either way the plan cannot host them.
+        if let Ok(cfg) = cfg {
+            let err = FusedGroupRunner::new(&net, fc, std::slice::from_ref(&cfg), &weights);
+            assert!(err.is_err());
+        }
+        // Empty group.
+        assert!(FusedGroupRunner::new(&net, 0, &[], &weights).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_input_shape() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 97).unwrap();
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights).unwrap();
+        let bad = random_tensor(1, 3, 16, 16, 98);
+        assert!(matches!(runner.run(&bad), Err(FusionError::Simulation(_))));
+    }
+}

@@ -54,8 +54,18 @@ impl ConvParams {
 
     /// Input channels seen by one kernel: `C / groups` (kernels only see
     /// their own group's slice).
+    ///
+    /// Debug builds assert that `groups` divides `input_channels`: a
+    /// non-divisible pairing means the caller skipped shape validation,
+    /// and every fan-in / weight count derived from the floored quotient
+    /// would be silently wrong.
     pub fn channels_per_group(&self, input_channels: usize) -> usize {
-        input_channels / self.groups.max(1)
+        let groups = self.groups.max(1);
+        debug_assert!(
+            input_channels.is_multiple_of(groups),
+            "groups {groups} does not divide input channels {input_channels} (unvalidated shape?)"
+        );
+        input_channels / groups
     }
 }
 
@@ -446,6 +456,16 @@ mod tests {
             LayerKind::Conv(ConvParams::new(4, 3, 1, 1, false).with_groups(0)),
         );
         assert!(zero.output_shape(FmShape::new(4, 8, 8)).is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "does not divide input channels")]
+    fn channels_per_group_asserts_divisibility() {
+        // 8 input channels across 3 groups would silently floor to 2 —
+        // debug builds must refuse rather than mis-size the fan-in.
+        let p = ConvParams::new(9, 3, 1, 1, false).with_groups(3);
+        let _ = p.channels_per_group(8);
     }
 
     #[test]

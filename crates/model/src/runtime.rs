@@ -7,6 +7,7 @@
 //! functional equivalence end to end.
 
 use winofuse_conv::cook_toom::{f43, WinogradTransform};
+use winofuse_conv::fixed::Fix16;
 use winofuse_conv::gemm::ConvStats;
 use winofuse_conv::ops::{self, LrnParams};
 use winofuse_conv::tensor::{random_tensor, Tensor};
@@ -166,6 +167,9 @@ pub fn forward_with<F: FnMut(usize) -> RefAlgo>(
             in_shape
         )));
     }
+    // Grouped-conv slicing must derive from shape inference (which
+    // rejects non-divisible group counts), not raw tensor dimensions.
+    let shapes = net.shapes()?;
     let mut outputs = Vec::with_capacity(net.len());
     let mut cur = input.clone();
     for (i, layer) in net.layers().iter().enumerate() {
@@ -191,13 +195,9 @@ pub fn forward_with<F: FnMut(usize) -> RefAlgo>(
                 } else {
                     // Grouped convolution: each group's kernels see only
                     // their channel slice.
-                    let cg = c.channels_per_group(cur.c());
+                    let cg = c.channels_per_group(shapes[i].channels);
                     let ng = c.num_output / c.groups;
-                    let out_shape = layer.output_shape(crate::shape::FmShape::new(
-                        cur.c(),
-                        cur.h(),
-                        cur.w(),
-                    ))?;
+                    let out_shape = layer.output_shape(shapes[i])?;
                     let mut out =
                         Tensor::zeros(cur.n(), c.num_output, out_shape.height, out_shape.width);
                     for g in 0..c.groups {
@@ -240,6 +240,108 @@ pub fn forward_with<F: FnMut(usize) -> RefAlgo>(
                 y
             }
             LayerKind::Softmax => ops::softmax(&cur)?,
+        };
+        outputs.push(next.clone());
+        cur = next;
+    }
+    Ok(outputs)
+}
+
+/// Reference fixed-point execution of a convolutional body: every layer
+/// computed on [`Fix16`] values, the network's kernels quantized once via
+/// [`Tensor::cast`]. Convolutions run the exact wide-integer
+/// `conv2d_fix16_fast` path (bit-identical at any thread count), pooling
+/// and ReLU are the generic reference operators, and LRN computes in
+/// `f32` from the dequantized values before re-rounding — a deterministic
+/// scalar sequence, so any streaming executor that mirrors it can be
+/// checked for *exact* equality rather than a float tolerance.
+///
+/// Returns the output of every layer, like [`forward`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::Execution`] when the input does not match the
+/// network's input shape, when conv weights are missing, or for layer
+/// kinds outside the fused set (FC, softmax) — quantized execution
+/// models the accelerator datapath, which hosts only the conv body.
+///
+/// [`Fix16`]: winofuse_conv::fixed::Fix16
+pub fn forward_fix16(
+    net: &Network,
+    weights: &NetworkWeights,
+    input: &Tensor<Fix16>,
+    threads: usize,
+) -> Result<Vec<Tensor<Fix16>>, ModelError> {
+    let in_shape = net.input_shape();
+    if input.c() != in_shape.channels || input.h() != in_shape.height || input.w() != in_shape.width
+    {
+        return Err(ModelError::Execution(format!(
+            "input tensor {}x{}x{} does not match network input {}",
+            input.c(),
+            input.h(),
+            input.w(),
+            in_shape
+        )));
+    }
+    let shapes = net.shapes()?;
+    let mut outputs = Vec::with_capacity(net.len());
+    let mut cur = input.clone();
+    for (i, layer) in net.layers().iter().enumerate() {
+        let next = match &layer.kind {
+            LayerKind::Conv(c) => {
+                let LayerWeights::Conv(kernels) = weights.layer(i) else {
+                    return Err(ModelError::Execution(format!(
+                        "missing conv weights for layer {i} `{}`",
+                        layer.name
+                    )));
+                };
+                let geom = ConvGeometry::rect(cur.h(), cur.w(), c.kernel, c.stride, c.pad)?;
+                let mut y = if c.groups <= 1 {
+                    let k: Tensor<Fix16> = kernels.cast();
+                    direct::conv2d_fix16_fast(&cur, &k, geom, threads)?
+                } else {
+                    let cg = c.channels_per_group(shapes[i].channels);
+                    let ng = c.num_output / c.groups;
+                    let out_shape = layer.output_shape(shapes[i])?;
+                    let mut out =
+                        Tensor::zeros(cur.n(), c.num_output, out_shape.height, out_shape.width);
+                    for g in 0..c.groups {
+                        let x = cur.slice_channels(g * cg, (g + 1) * cg);
+                        let k: Tensor<Fix16> =
+                            kernels.slice_channels_n(g * ng, (g + 1) * ng).cast();
+                        out.write_channels(
+                            g * ng,
+                            &direct::conv2d_fix16_fast(&x, &k, geom, threads)?,
+                        );
+                    }
+                    out
+                };
+                if c.relu {
+                    y = ops::relu(&y);
+                }
+                y
+            }
+            LayerKind::Pool(p) => {
+                let geom = ConvGeometry::rect(cur.h(), cur.w(), p.kernel, p.stride, p.pad)?;
+                ops::pool(&cur, geom, p.kind)?
+            }
+            LayerKind::Lrn(spec) => ops::lrn(
+                &cur,
+                LrnParams {
+                    local_size: spec.local_size,
+                    alpha: spec.alpha,
+                    beta: spec.beta,
+                    k: spec.k,
+                },
+            )?,
+            LayerKind::Relu => ops::relu(&cur),
+            other => {
+                return Err(ModelError::Execution(format!(
+                    "layer {i} `{}`: kind `{}` has no fixed-point path (conv body only)",
+                    layer.name,
+                    other.tag()
+                )))
+            }
         };
         outputs.push(next.clone());
         cur = next;
@@ -306,6 +408,9 @@ pub struct NetworkExecutor<'n> {
     telemetry: Telemetry,
     transform: WinogradTransform,
     prepared: Vec<PreparedLayer>,
+    /// Validated per-layer input shapes (`shapes[i]` feeds layer `i`) —
+    /// grouped-conv slicing derives from these, never raw tensor dims.
+    shapes: Vec<crate::shape::FmShape>,
 }
 
 impl<'n> NetworkExecutor<'n> {
@@ -333,6 +438,7 @@ impl<'n> NetworkExecutor<'n> {
         algo: ExecAlgo,
     ) -> Result<Self, ModelError> {
         let transform = f43();
+        let shapes = net.shapes()?;
         let mut prepared = Vec::with_capacity(net.len());
         for (i, layer) in net.layers().iter().enumerate() {
             let p = match &layer.kind {
@@ -391,6 +497,7 @@ impl<'n> NetworkExecutor<'n> {
             telemetry: Telemetry::disabled(),
             transform,
             prepared,
+            shapes,
         })
     }
 
@@ -452,7 +559,7 @@ impl<'n> NetworkExecutor<'n> {
                     let PreparedLayer::Conv(conv) = &self.prepared[i] else {
                         unreachable!("conv layer prepared as non-conv");
                     };
-                    self.run_conv(&cur, c, conv, &stats)?
+                    self.run_conv(&cur, c, conv, &stats, self.shapes[i].channels)?
                 }
                 LayerKind::Pool(p) => {
                     let geom = ConvGeometry::rect(cur.h(), cur.w(), p.kernel, p.stride, p.pad)?;
@@ -499,6 +606,7 @@ impl<'n> NetworkExecutor<'n> {
         c: &ConvParams,
         conv: &PreparedConv,
         stats: &ConvStats,
+        in_channels: usize,
     ) -> Result<Tensor<f32>, ModelError> {
         let geom = ConvGeometry::rect(cur.h(), cur.w(), c.kernel, c.stride, c.pad)?;
         let run_group = |x: &Tensor<f32>, g: usize| -> Result<Tensor<f32>, ModelError> {
@@ -519,7 +627,7 @@ impl<'n> NetworkExecutor<'n> {
         let mut y = if c.groups <= 1 {
             run_group(cur, 0)?
         } else {
-            let cg = c.channels_per_group(cur.c());
+            let cg = c.channels_per_group(in_channels);
             let ng = c.num_output / c.groups;
             let (oh, ow) = (geom.output_height(), geom.output_width());
             let mut out = Tensor::zeros(cur.n(), c.num_output, oh, ow);

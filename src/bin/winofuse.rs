@@ -9,6 +9,7 @@
 //! winofuse simulate <model.prototxt> [--budget-mb N] [--seed N]
 //! winofuse run      <model.prototxt> [--exec-algo auto|wino|direct]
 //!                   [--threads N] [--frames N] [--seed N]
+//! winofuse run      <model.prototxt> --fused [--budget-mb N] [--threads N]
 //! ```
 //!
 //! This is the paper's Fig. 3 pipeline as a single executable: Caffe
@@ -46,6 +47,10 @@ fn usage() -> ! {
            --exec-algo NAME  CPU convolution backend for `run`: auto (default),\n\
                              wino (batched Winograd F(4,3)), or direct\n\
                              (blocked im2col+GEMM)\n\
+           --fused           `run` only: optimize first, then execute the\n\
+                             strategy's fusion groups with the fast kernels and\n\
+                             reconcile measured DRAM traffic per group against\n\
+                             the DP's analytic budget (conv body only)\n\
            --reconfig-cycles N  inter-group reconfiguration cost (default 0)\n\
            --trace-out PATH  write a Chrome trace (load in Perfetto or\n\
                              chrome://tracing); .jsonl streams JSON-lines instead\n\
@@ -68,6 +73,9 @@ struct Options {
     frames: u64,
     /// Convolution backend for `run`; other commands must not set it.
     exec_algo: Option<ExecAlgo>,
+    /// `run` executes the optimized strategy's fusion groups instead of
+    /// the layer-by-layer executor.
+    fused: bool,
     reconfig_cycles: Option<u64>,
     trace_out: Option<PathBuf>,
     telemetry_json: Option<PathBuf>,
@@ -87,6 +95,7 @@ fn parse_options(args: &[String]) -> Options {
         seed: 42,
         frames: 1,
         exec_algo: None,
+        fused: false,
         reconfig_cycles: None,
         trace_out: None,
         telemetry_json: None,
@@ -159,6 +168,7 @@ fn parse_options(args: &[String]) -> Options {
             "--trace-out" => o.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--telemetry-json" => o.telemetry_json = Some(PathBuf::from(value("--telemetry-json"))),
             "--testbench" => o.testbench = true,
+            "--fused" => o.fused = true,
             "--seed" => o.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             other => {
                 eprintln!("unknown option `{other}`");
@@ -403,6 +413,72 @@ fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_run_fused(net: &Network, o: &Options) -> Result<(), String> {
+    let fw = framework(o);
+    let design = fw
+        .optimize(net, o.budget_bytes)
+        .map_err(|e| e.to_string())?;
+    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let shape = net.input_shape();
+    let input = winofuse::conv::tensor::random_tensor(
+        1,
+        shape.channels,
+        shape.height,
+        shape.width,
+        o.seed + 1,
+    );
+    // Lenient mode here: collect every group's delta for the table, then
+    // fail once at the end so the operator sees the whole picture.
+    let runner = fw
+        .fused_runner(net, &design, &weights)
+        .map_err(|e| e.to_string())?
+        .strict_dram(false);
+    let start = std::time::Instant::now();
+    let report = runner.run(&input).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+    println!("network: {net}");
+    println!("strategy:\n{}", design.partition.strategy);
+    println!(
+        "{:>6} {:>10} {:>13} {:>13} {:>13} {:>7}",
+        "group", "layers", "read (B)", "written (B)", "analytic (B)", "delta"
+    );
+    for g in &report.groups {
+        println!(
+            "{:>6} {:>7}..{:<2} {:>13} {:>13} {:>13} {:>7}",
+            g.start,
+            g.start,
+            g.end,
+            g.dram_bytes_read,
+            g.dram_bytes_written,
+            g.analytic_dram_bytes,
+            g.delta()
+        );
+    }
+    let exec = NetworkExecutor::with_algo(net, &weights, ExecAlgo::Auto)
+        .map_err(|e| e.to_string())?
+        .with_threads(o.threads);
+    let reference = exec.run(&input).map_err(|e| e.to_string())?;
+    let err = report
+        .output
+        .max_abs_diff(&reference)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "\nfused run: {:.1} ms, max |err| vs layer-by-layer executor: {err:.2e}",
+        elapsed * 1e3
+    );
+    if err > 1e-3 {
+        return Err(format!("fused output diverged from the reference: {err}"));
+    }
+    if report.max_dram_delta() != 0 {
+        return Err(format!(
+            "DRAM reconciliation failed: max per-group delta {} B",
+            report.max_dram_delta()
+        ));
+    }
+    println!("DRAM traffic reconciles with the DP budget in every group ✓");
+    Ok(())
+}
+
 fn cmd_run(net: &Network, o: &Options) -> Result<(), String> {
     let algo = o.exec_algo.unwrap_or_default();
     let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
@@ -474,10 +550,19 @@ fn main() -> ExitCode {
         eprintln!("error: --exec-algo only applies to the `run` command");
         return ExitCode::FAILURE;
     }
+    if opts.fused && cmd != "run" {
+        eprintln!("error: --fused only applies to the `run` command");
+        return ExitCode::FAILURE;
+    }
+    if opts.fused && opts.exec_algo.is_some() {
+        eprintln!("error: --exec-algo does not apply to `run --fused`");
+        return ExitCode::FAILURE;
+    }
 
     // `run` executes the network on the CPU, FC/softmax tail included;
-    // the accelerator commands map the convolutional body only.
-    let loaded = if cmd == "run" {
+    // the accelerator commands — including `run --fused`, which executes
+    // an optimized strategy — map the convolutional body only.
+    let loaded = if cmd == "run" && !opts.fused {
         load_full_network(path)
     } else {
         load_network(path)
@@ -495,6 +580,7 @@ fn main() -> ExitCode {
         "curve" => cmd_curve(&net, &opts),
         "codegen" => cmd_codegen(&net, &opts),
         "simulate" => cmd_simulate(&net, &opts),
+        "run" if opts.fused => cmd_run_fused(&net, &opts),
         "run" => cmd_run(&net, &opts),
         _ => {
             usage();

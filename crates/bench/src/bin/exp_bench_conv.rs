@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use winofuse_bench::banner;
+use winofuse_bench::{banner, BenchCase, BenchReport};
 use winofuse_conv::cook_toom::f43;
 use winofuse_conv::tensor::{random_tensor, Tensor};
 use winofuse_conv::winograd::{self, BatchedFilters};
@@ -207,7 +207,7 @@ fn main() {
         None,
     );
 
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new("conv", &opts);
     for case in cases() {
         let m = run_case(&case, threads, runs);
         let gf = case.flops() / 1e6; // ms → GFLOP/s divisor
@@ -223,28 +223,20 @@ fn main() {
             g_parallel,
             m.serial_ms / m.parallel_ms,
         );
-        entries.push(format!(
-            "  \"{}\": {{\n    \"algo\": \"{}\",\n    \"median_naive_ms\": {:.3},\n    \
-             \"median_serial_ms\": {:.3},\n    \"median_parallel_ms\": {:.3},\n    \
-             \"gflops_naive\": {:.3},\n    \"gflops_serial\": {:.3},\n    \
-             \"gflops_parallel\": {:.3},\n    \"speedup_serial_vs_naive\": {:.3},\n    \
-             \"speedup_parallel_vs_serial\": {:.3}\n  }}",
+        report.case(
             case.name,
-            if case.winograd { "winograd" } else { "direct" },
-            m.naive_ms,
-            m.serial_ms,
-            m.parallel_ms,
-            g_naive,
-            g_serial,
-            g_parallel,
-            m.naive_ms / m.serial_ms,
-            m.serial_ms / m.parallel_ms,
-        ));
+            BenchCase::default()
+                .text("algo", if case.winograd { "winograd" } else { "direct" })
+                .float("median_naive_ms", m.naive_ms)
+                .float("median_serial_ms", m.serial_ms)
+                .float("median_parallel_ms", m.parallel_ms)
+                .float("gflops_naive", g_naive)
+                .float("gflops_serial", g_serial)
+                .float("gflops_parallel", g_parallel)
+                .float("speedup_serial_vs_naive", m.naive_ms / m.serial_ms)
+                .float("speedup_parallel_vs_serial", m.serial_ms / m.parallel_ms),
+        );
     }
-    let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"runs\": {runs},\n{}\n}}\n",
-        entries.join(",\n")
-    );
-    std::fs::write("BENCH_conv.json", &json).expect("write BENCH_conv.json");
-    println!("wrote BENCH_conv.json");
+    let path = report.write().expect("write BENCH_conv.json");
+    println!("wrote {}", path.display());
 }

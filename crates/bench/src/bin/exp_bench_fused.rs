@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use winofuse_bench::banner;
+use winofuse_bench::{banner, BenchCase, BenchReport};
 use winofuse_conv::tensor::random_tensor;
 use winofuse_core::framework::Framework;
 use winofuse_fpga::device::FpgaDevice;
@@ -140,7 +140,7 @@ fn main() {
         None,
     );
 
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new("fused", &opts);
     for case in cases() {
         let m = run_case(&case, threads, runs);
         println!(
@@ -152,22 +152,17 @@ fn main() {
             m.groups,
             m.dram_bytes as f64 / (1024.0 * 1024.0),
         );
-        entries.push(format!(
-            "  \"{}\": {{\n    \"median_fused_ms\": {:.3},\n    \
-             \"median_executor_ms\": {:.3},\n    \"speedup_vs_executor\": {:.3},\n    \
-             \"groups\": {},\n    \"dram_bytes\": {},\n    \"dram_reconciled\": true\n  }}",
+        report.case(
             case.name,
-            m.fused_ms,
-            m.executor_ms,
-            m.executor_ms / m.fused_ms,
-            m.groups,
-            m.dram_bytes,
-        ));
+            BenchCase::default()
+                .float("median_fused_ms", m.fused_ms)
+                .float("median_executor_ms", m.executor_ms)
+                .float("speedup_vs_executor", m.executor_ms / m.fused_ms)
+                .int("groups", m.groups as u64)
+                .int("dram_bytes", m.dram_bytes)
+                .flag("dram_reconciled", true),
+        );
     }
-    let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"runs\": {runs},\n{}\n}}\n",
-        entries.join(",\n")
-    );
-    std::fs::write("BENCH_fused.json", &json).expect("write BENCH_fused.json");
-    println!("wrote BENCH_fused.json");
+    let path = report.write().expect("write BENCH_fused.json");
+    println!("wrote {}", path.display());
 }

@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use winofuse_bench::{banner, fmt_cycles};
+use winofuse_bench::{banner, fmt_cycles, BenchCase, BenchReport};
 use winofuse_core::framework::Framework;
 use winofuse_fpga::device::FpgaDevice;
 use winofuse_model::network::Network;
@@ -110,12 +110,6 @@ fn run_case(case: &Case, threads: usize, runs: usize) -> Measurement {
     }
 }
 
-fn json_escape_free(name: &str) -> &str {
-    // Case names are static identifiers; keep the writer honest anyway.
-    assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
-    name
-}
-
 fn main() {
     let opts = winofuse_bench::parse_bench_args("exp_bench_search", std::env::args().skip(1));
     let (runs, threads) = (opts.runs, opts.threads);
@@ -126,27 +120,20 @@ fn main() {
         None,
     );
 
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new("search", &opts);
     for case in cases() {
         let m = run_case(&case, threads, runs);
-        let speedup = m.median_serial_ms / m.median_parallel_ms;
-        entries.push(format!(
-            "  \"{}\": {{\n    \"median_serial_ms\": {:.3},\n    \"median_parallel_ms\": {:.3},\n    \
-             \"speedup\": {:.3},\n    \"latency_cycles\": {},\n    \"plans_computed\": {},\n    \
-             \"menu_dominated\": {}\n  }}",
-            json_escape_free(case.name),
-            m.median_serial_ms,
-            m.median_parallel_ms,
-            speedup,
-            m.latency,
-            m.telemetry.counter("bnb.plans_computed"),
-            m.telemetry.counter("bnb.menu_dominated"),
-        ));
+        report.case(
+            case.name,
+            BenchCase::default()
+                .float("median_serial_ms", m.median_serial_ms)
+                .float("median_parallel_ms", m.median_parallel_ms)
+                .float("speedup", m.median_serial_ms / m.median_parallel_ms)
+                .int("latency_cycles", m.latency)
+                .int("plans_computed", m.telemetry.counter("bnb.plans_computed"))
+                .int("menu_dominated", m.telemetry.counter("bnb.menu_dominated")),
+        );
     }
-    let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"runs\": {runs},\n{}\n}}\n",
-        entries.join(",\n")
-    );
-    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
-    println!("wrote BENCH_search.json");
+    let path = report.write().expect("write BENCH_search.json");
+    println!("wrote {}", path.display());
 }

@@ -1,0 +1,305 @@
+//! `BENCH_*.json` comparison for the regression gate (`bench_diff`).
+//!
+//! Compares a current benchmark report against a committed baseline,
+//! metric by metric, with direction-aware thresholds:
+//!
+//! - `median_*_ms` — wall-clock medians, lower is better; the current
+//!   value may exceed the baseline by at most the timing threshold
+//!   (default 30%).
+//! - `gflops_*`, `speedup_*` — throughput and ratios, higher is better;
+//!   the current value may fall below the baseline by at most the same
+//!   threshold.
+//! - `latency_cycles`, `dram_bytes`, `groups`, `plans_computed`,
+//!   `menu_dominated`, `dram_reconciled` — deterministic model outputs;
+//!   any change is a failure regardless of threshold.
+//! - Everything else (labels, run parameters, host metadata) is
+//!   informational.
+//!
+//! A case or metric present in the baseline but missing from the current
+//! report is a failure too — losing coverage silently is how regressions
+//! hide.
+
+use std::collections::BTreeMap;
+
+use winofuse_telemetry::json::parse;
+use winofuse_telemetry::JsonValue;
+
+/// Tolerance for direction-aware metrics, as a fraction (0.30 = 30%).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Allowed relative slowdown / throughput loss.
+    pub tolerance: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig { tolerance: 0.30 }
+    }
+}
+
+/// How a metric is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Wall-clock: current may be at most `(1 + tol) ×` baseline.
+    LowerIsBetter,
+    /// Throughput/speedup: current may be at least `(1 - tol) ×` baseline.
+    HigherIsBetter,
+    /// Deterministic quantity: must match exactly.
+    Exact,
+    /// Not judged (labels, metadata).
+    Informational,
+}
+
+/// Classifies a metric key into its comparison direction.
+pub fn direction_for(key: &str) -> Direction {
+    if key.starts_with("median_") && key.ends_with("_ms") {
+        return Direction::LowerIsBetter;
+    }
+    if key.starts_with("gflops_") || key.starts_with("speedup_") {
+        return Direction::HigherIsBetter;
+    }
+    match key {
+        "latency_cycles" | "dram_bytes" | "groups" | "plans_computed" | "menu_dominated"
+        | "dram_reconciled" => Direction::Exact,
+        _ => Direction::Informational,
+    }
+}
+
+/// One metric's verdict.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// `"case/metric"`.
+    pub key: String,
+    /// Human-readable comparison line.
+    pub detail: String,
+    /// Whether this metric regressed.
+    pub failed: bool,
+}
+
+/// The comparison of one baseline file against one current file.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every judged metric, in case order.
+    pub metrics: Vec<MetricDiff>,
+}
+
+impl DiffReport {
+    /// All regressed metrics.
+    pub fn failures(&self) -> impl Iterator<Item = &MetricDiff> {
+        self.metrics.iter().filter(|m| m.failed)
+    }
+
+    /// Whether any metric regressed.
+    pub fn has_failures(&self) -> bool {
+        self.metrics.iter().any(|m| m.failed)
+    }
+}
+
+/// The `cases` map of a report. Accepts both the shared-writer schema
+/// (`{"cases": {...}}`) and the legacy flat layout where every top-level
+/// object member is a case.
+fn cases_of(doc: &JsonValue) -> BTreeMap<String, &JsonValue> {
+    if let Some(JsonValue::Object(cases)) = doc.get("cases") {
+        return cases.iter().map(|(k, v)| (k.clone(), v)).collect();
+    }
+    match doc {
+        JsonValue::Object(members) => members
+            .iter()
+            .filter(|(_, v)| matches!(v, JsonValue::Object(_)))
+            .filter(|(k, _)| k.as_str() != "host")
+            .map(|(k, v)| (k.clone(), v))
+            .collect(),
+        _ => BTreeMap::new(),
+    }
+}
+
+fn judge(
+    key: &str,
+    baseline: &JsonValue,
+    current: Option<&JsonValue>,
+    cfg: &DiffConfig,
+) -> MetricDiff {
+    let direction = direction_for(key.rsplit('/').next().unwrap_or(key));
+    let Some(current) = current else {
+        return MetricDiff {
+            key: key.to_string(),
+            detail: "missing from current report".to_string(),
+            failed: direction != Direction::Informational,
+        };
+    };
+    match direction {
+        Direction::Informational => MetricDiff {
+            key: key.to_string(),
+            detail: "informational".to_string(),
+            failed: false,
+        },
+        Direction::Exact => {
+            let same = baseline == current;
+            MetricDiff {
+                key: key.to_string(),
+                detail: if same {
+                    format!("unchanged ({})", fmt_value(baseline))
+                } else {
+                    format!(
+                        "expected exactly {}, got {}",
+                        fmt_value(baseline),
+                        fmt_value(current)
+                    )
+                },
+                failed: !same,
+            }
+        }
+        Direction::LowerIsBetter | Direction::HigherIsBetter => {
+            let (Some(b), Some(c)) = (baseline.as_f64(), current.as_f64()) else {
+                return MetricDiff {
+                    key: key.to_string(),
+                    detail: "non-numeric value for a numeric metric".to_string(),
+                    failed: true,
+                };
+            };
+            let (limit, failed, verb) = if direction == Direction::LowerIsBetter {
+                let limit = b * (1.0 + cfg.tolerance);
+                (limit, c > limit, "≤")
+            } else {
+                let limit = b * (1.0 - cfg.tolerance);
+                (limit, c < limit, "≥")
+            };
+            let delta_pct = if b != 0.0 { 100.0 * (c - b) / b } else { 0.0 };
+            MetricDiff {
+                key: key.to_string(),
+                detail: format!(
+                    "baseline {b:.3}, current {c:.3} ({delta_pct:+.1}%), allowed {verb} {limit:.3}"
+                ),
+                failed,
+            }
+        }
+    }
+}
+
+fn fmt_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Number(n) => format!("{n}"),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::String(s) => s.clone(),
+        JsonValue::Null => "null".to_string(),
+        _ => "<composite>".to_string(),
+    }
+}
+
+/// Compares two parsed reports. Every metric of every baseline case is
+/// judged against the current report; extra cases/metrics in the current
+/// report are ignored (new coverage is not a regression).
+pub fn diff_reports(baseline: &JsonValue, current: &JsonValue, cfg: &DiffConfig) -> DiffReport {
+    let mut report = DiffReport::default();
+    let current_cases = cases_of(current);
+    for (case_name, base_case) in cases_of(baseline) {
+        let cur_case = current_cases.get(&case_name);
+        let JsonValue::Object(base_metrics) = base_case else {
+            continue;
+        };
+        match cur_case {
+            None => report.metrics.push(MetricDiff {
+                key: case_name.clone(),
+                detail: "case missing from current report".to_string(),
+                failed: true,
+            }),
+            Some(cur_case) => {
+                for (metric, base_value) in base_metrics {
+                    report.metrics.push(judge(
+                        &format!("{case_name}/{metric}"),
+                        base_value,
+                        cur_case.get(metric),
+                        cfg,
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Parses two report texts and diffs them.
+///
+/// # Errors
+///
+/// Returns a message when either text is not valid JSON.
+pub fn diff_texts(baseline: &str, current: &str, cfg: &DiffConfig) -> Result<DiffReport, String> {
+    let b = parse(baseline).ok_or("baseline is not valid JSON")?;
+    let c = parse(current).ok_or("current report is not valid JSON")?;
+    Ok(diff_reports(&b, &c, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+      "bench": "conv", "threads": 4, "runs": 5,
+      "host": {"cpus": 8, "git_sha": "abc", "timestamp": 1},
+      "cases": {
+        "vgg": {"median_serial_ms": 100.0, "gflops_serial": 10.0,
+                "latency_cycles": 5000, "algo": "winograd"}
+      }
+    }"#;
+
+    fn with(serial_ms: f64, gflops: f64, latency: u64) -> String {
+        format!(
+            r#"{{"cases": {{"vgg": {{"median_serial_ms": {serial_ms},
+                "gflops_serial": {gflops}, "latency_cycles": {latency},
+                "algo": "winograd"}}}}}}"#
+        )
+    }
+
+    #[test]
+    fn unchanged_report_passes() {
+        let r = diff_texts(BASE, &with(100.0, 10.0, 5000), &DiffConfig::default()).unwrap();
+        assert!(!r.has_failures(), "{:?}", r.failures().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let r = diff_texts(BASE, &with(125.0, 9.0, 5000), &DiffConfig::default()).unwrap();
+        assert!(!r.has_failures());
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_fails() {
+        let r = diff_texts(BASE, &with(140.0, 10.0, 5000), &DiffConfig::default()).unwrap();
+        let fails: Vec<_> = r.failures().map(|m| m.key.as_str()).collect();
+        assert_eq!(fails, ["vgg/median_serial_ms"]);
+    }
+
+    #[test]
+    fn throughput_loss_beyond_tolerance_fails() {
+        let r = diff_texts(BASE, &with(100.0, 6.0, 5000), &DiffConfig::default()).unwrap();
+        assert!(r.failures().any(|m| m.key == "vgg/gflops_serial"));
+    }
+
+    #[test]
+    fn deterministic_drift_fails_regardless_of_threshold() {
+        let cfg = DiffConfig { tolerance: 10.0 };
+        let r = diff_texts(BASE, &with(100.0, 10.0, 5001), &cfg).unwrap();
+        assert!(r.failures().any(|m| m.key == "vgg/latency_cycles"));
+    }
+
+    #[test]
+    fn missing_case_fails() {
+        let r = diff_texts(BASE, r#"{"cases": {}}"#, &DiffConfig::default()).unwrap();
+        assert!(r.failures().any(|m| m.key == "vgg"));
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let cur = r#"{"cases": {"vgg": {"median_serial_ms": 100.0}}}"#;
+        let r = diff_texts(BASE, cur, &DiffConfig::default()).unwrap();
+        assert!(r.failures().any(|m| m.key == "vgg/gflops_serial"));
+    }
+
+    #[test]
+    fn legacy_flat_layout_is_accepted() {
+        let legacy_base = r#"{"threads": 4, "runs": 5, "vgg": {"median_serial_ms": 100.0}}"#;
+        let legacy_cur = r#"{"threads": 4, "runs": 5, "vgg": {"median_serial_ms": 150.0}}"#;
+        let r = diff_texts(legacy_base, legacy_cur, &DiffConfig::default()).unwrap();
+        assert!(r.has_failures());
+    }
+}

@@ -22,6 +22,11 @@
 use winofuse_fpga::device::FpgaDevice;
 use winofuse_model::network::Network;
 
+pub mod diff;
+pub mod report;
+
+pub use report::{BenchCase, BenchReport};
+
 /// One mebibyte, the unit of the paper's transfer-constraint axis.
 pub const MB: u64 = 1024 * 1024;
 

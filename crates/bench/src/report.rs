@@ -1,0 +1,245 @@
+//! Shared `BENCH_*.json` writer for the `exp_bench_*` binaries.
+//!
+//! Every benchmark used to hand-format its own JSON; this module gives
+//! them one writer so the files share a schema the `bench_diff`
+//! regression gate can rely on:
+//!
+//! ```json
+//! {
+//!   "bench": "search",
+//!   "threads": 4,
+//!   "runs": 5,
+//!   "host": { "cpus": 8, "git_sha": "abc1234", "timestamp": 1754650000 },
+//!   "cases": { "vgg_e": { "median_serial_ms": 123.4, ... }, ... }
+//! }
+//! ```
+//!
+//! The `host` block stamps where the numbers came from — thread count
+//! and CPU count bound how comparable two files are, the git sha and
+//! timestamp say what was measured when.
+
+use std::io;
+use std::path::PathBuf;
+
+use winofuse_telemetry::json::esc;
+
+use crate::BenchOptions;
+
+/// One metric value inside a case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Fractional quantity (milliseconds, GFLOP/s, speedups); printed
+    /// with three decimals.
+    Float(f64),
+    /// Exact count (cycles, bytes, groups).
+    Int(u64),
+    /// Flag (e.g. `dram_reconciled`).
+    Bool(bool),
+    /// Label (e.g. the algorithm a case ran).
+    Text(String),
+}
+
+impl Metric {
+    fn to_json(&self) -> String {
+        match self {
+            Metric::Float(v) => format!("{v:.3}"),
+            Metric::Int(v) => v.to_string(),
+            Metric::Bool(v) => v.to_string(),
+            Metric::Text(s) => format!("\"{}\"", esc(s)),
+        }
+    }
+}
+
+/// One named case and its metrics, in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct BenchCase {
+    metrics: Vec<(String, Metric)>,
+}
+
+impl BenchCase {
+    /// Adds a fractional metric.
+    #[must_use]
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        self.metrics.push((key.to_string(), Metric::Float(value)));
+        self
+    }
+
+    /// Adds an exact-count metric.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.metrics.push((key.to_string(), Metric::Int(value)));
+        self
+    }
+
+    /// Adds a flag metric.
+    #[must_use]
+    pub fn flag(mut self, key: &str, value: bool) -> Self {
+        self.metrics.push((key.to_string(), Metric::Bool(value)));
+        self
+    }
+
+    /// Adds a label metric.
+    #[must_use]
+    pub fn text(mut self, key: &str, value: &str) -> Self {
+        self.metrics
+            .push((key.to_string(), Metric::Text(value.to_string())));
+        self
+    }
+}
+
+/// Builder for one `BENCH_<id>.json` file.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    id: String,
+    threads: usize,
+    runs: usize,
+    cases: Vec<(String, BenchCase)>,
+}
+
+impl BenchReport {
+    /// Starts a report for `BENCH_<id>.json` with the run parameters.
+    pub fn new(id: &str, opts: &BenchOptions) -> Self {
+        BenchReport {
+            id: id.to_string(),
+            threads: opts.threads,
+            runs: opts.runs,
+            cases: Vec::new(),
+        }
+    }
+
+    /// Appends a named case.
+    pub fn case(&mut self, name: &str, case: BenchCase) -> &mut Self {
+        self.cases.push((name.to_string(), case));
+        self
+    }
+
+    /// Serializes the report, stamping the host-metadata block.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"bench\": \"{}\",\n", esc(&self.id)));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"runs\": {},\n", self.runs));
+        s.push_str(&format!(
+            "  \"host\": {{\"cpus\": {}, \"git_sha\": \"{}\", \"timestamp\": {}}},\n",
+            host_cpus(),
+            esc(&git_sha()),
+            unix_timestamp()
+        ));
+        s.push_str("  \"cases\": {\n");
+        for (ci, (name, case)) in self.cases.iter().enumerate() {
+            s.push_str(&format!("    \"{}\": {{\n", esc(name)));
+            for (mi, (key, value)) in case.metrics.iter().enumerate() {
+                s.push_str(&format!(
+                    "      \"{}\": {}{}\n",
+                    esc(key),
+                    value.to_json(),
+                    if mi + 1 < case.metrics.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "    }}{}\n",
+                if ci + 1 < self.cases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Writes `BENCH_<id>.json` to the current directory and returns the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.id));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Logical CPU count of the machine the benchmark ran on.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The commit the benchmark measured: `git rev-parse --short HEAD`,
+/// falling back to the `GITHUB_SHA` environment variable (CI checkouts
+/// without a working `.git`), then `"unknown"`.
+pub fn git_sha() -> String {
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            let sha = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !sha.is_empty() {
+                return sha;
+            }
+        }
+    }
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha.chars().take(12).collect();
+        }
+    }
+    "unknown".to_string()
+}
+
+/// Seconds since the Unix epoch at the time of writing.
+pub fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winofuse_telemetry::json::parse;
+    use winofuse_telemetry::JsonValue;
+
+    #[test]
+    fn report_serializes_host_block_and_cases() {
+        let opts = BenchOptions {
+            runs: 3,
+            threads: 2,
+        };
+        let mut r = BenchReport::new("unit", &opts);
+        r.case(
+            "case_a",
+            BenchCase::default()
+                .float("median_serial_ms", 12.3456)
+                .int("latency_cycles", 42)
+                .flag("dram_reconciled", true)
+                .text("algo", "winograd"),
+        );
+        let doc = parse(&r.to_json()).expect("writer emits valid JSON");
+        assert_eq!(doc.get("bench").and_then(JsonValue::as_str), Some("unit"));
+        assert_eq!(doc.get("threads").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(doc.get("runs").and_then(JsonValue::as_u64), Some(3));
+        let host = doc.get("host").expect("host block");
+        assert!(host.get("cpus").and_then(JsonValue::as_u64).unwrap() >= 1);
+        assert!(host.get("git_sha").and_then(JsonValue::as_str).is_some());
+        assert!(host.get("timestamp").and_then(JsonValue::as_u64).is_some());
+        let case = doc
+            .get("cases")
+            .and_then(|c| c.get("case_a"))
+            .expect("case_a");
+        assert_eq!(
+            case.get("median_serial_ms").and_then(JsonValue::as_f64),
+            Some(12.346)
+        );
+        assert_eq!(
+            case.get("latency_cycles").and_then(JsonValue::as_u64),
+            Some(42)
+        );
+        assert_eq!(
+            case.get("algo").and_then(JsonValue::as_str),
+            Some("winograd")
+        );
+    }
+}

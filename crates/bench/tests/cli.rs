@@ -54,3 +54,94 @@ fn bench_flag_values_are_validated() {
     assert_usage_exit(conv, &["--runs", "0"]);
     assert_usage_exit(conv, &["--threads"]);
 }
+
+#[test]
+fn bench_diff_rejects_bad_command_lines() {
+    let diff = env!("CARGO_BIN_EXE_bench_diff");
+    assert_usage_exit(diff, &[]);
+    assert_usage_exit(diff, &["one-path-only"]);
+    assert_usage_exit(diff, &["a", "b", "--definitely-not-a-flag"]);
+    assert_usage_exit(diff, &["a", "b", "--tolerance-pct", "minus"]);
+}
+
+const DIFF_BASELINE: &str = r#"{
+  "bench": "conv", "threads": 4, "runs": 5,
+  "host": {"cpus": 8, "git_sha": "abc1234", "timestamp": 1},
+  "cases": {
+    "vgg_e_conv3_1": {
+      "median_serial_ms": 100.0,
+      "gflops_serial": 10.0,
+      "latency_cycles": 5000
+    }
+  }
+}"#;
+
+fn write_diff_pair(dir: &std::path::Path, current_case: &str) -> (String, String) {
+    let base = dir.join("BENCH_conv.json");
+    let cur = dir.join("current_BENCH_conv.json");
+    std::fs::write(&base, DIFF_BASELINE).unwrap();
+    std::fs::write(
+        &cur,
+        format!(r#"{{"cases": {{"vgg_e_conv3_1": {current_case}}}}}"#),
+    )
+    .unwrap();
+    (
+        base.to_str().unwrap().to_string(),
+        cur.to_str().unwrap().to_string(),
+    )
+}
+
+/// The regression gate must exit nonzero when a benchmark regressed
+/// beyond tolerance, and zero when the report is within tolerance or
+/// `--warn-only` downgrades the failure.
+#[test]
+fn bench_diff_gates_on_regressions() {
+    let diff = env!("CARGO_BIN_EXE_bench_diff");
+    let dir = std::env::temp_dir().join(format!("bench_diff_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Regressed: serial median doubled (far beyond the 30% tolerance).
+    let (base, cur) = write_diff_pair(
+        &dir,
+        r#"{"median_serial_ms": 200.0, "gflops_serial": 10.0, "latency_cycles": 5000}"#,
+    );
+    let out = Command::new(diff).args([&base, &cur]).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "regressed report must fail the gate: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "output names the failure:\n{text}");
+
+    // Same regression in warn-only mode passes.
+    let out = Command::new(diff)
+        .args([&base, &cur, "--warn-only"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // Within tolerance (10% slower, deterministic metrics unchanged).
+    let (base, cur) = write_diff_pair(
+        &dir,
+        r#"{"median_serial_ms": 110.0, "gflops_serial": 9.5, "latency_cycles": 5000}"#,
+    );
+    let out = Command::new(diff).args([&base, &cur]).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "in-tolerance report must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Deterministic drift fails even inside the timing tolerance.
+    let (base, cur) = write_diff_pair(
+        &dir,
+        r#"{"median_serial_ms": 100.0, "gflops_serial": 10.0, "latency_cycles": 5001}"#,
+    );
+    let out = Command::new(diff).args([&base, &cur]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

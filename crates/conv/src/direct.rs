@@ -9,9 +9,11 @@
 //! the reference every other algorithm in this crate is validated against.
 
 use crate::fixed::{Accumulator, Fix16};
-use crate::gemm::{BOperand, ConvStats, GemmBlocking, GemmScratch};
+use crate::gemm::{BOperand, ConvPhase, ConvStats, GemmBlocking, GemmScratch};
 use crate::tensor::{Scalar, Tensor};
 use crate::{ConvError, ConvGeometry};
+use std::time::Instant;
+use winofuse_runtime::PoolProfiler;
 
 fn check_shapes<T: Scalar>(
     input: &Tensor<T>,
@@ -157,25 +159,32 @@ fn fill_patches<T: Scalar + Send + Sync>(
     bn: usize,
     patches: &mut [T],
     threads: usize,
+    prof: &PoolProfiler,
 ) {
     let (k, s, pad) = (geom.kernel(), geom.stride(), geom.pad() as isize);
     let (oh, ow) = (geom.output_height(), geom.output_width());
     let cols = oh * ow;
     let slices = winofuse_runtime::split_chunks(patches, PATCH_ROW_CHUNK * cols);
-    winofuse_runtime::run_sliced_jobs(threads, slices, |job, slice| {
-        let r0 = job * PATCH_ROW_CHUNK;
-        for (local, row) in slice.chunks_exact_mut(cols).enumerate() {
-            let r = r0 + local;
-            let (m, u, v) = (r / (k * k), (r / k) % k, r % k);
-            for i in 0..oh {
-                for j in 0..ow {
-                    let hh = (i * s + u) as isize - pad;
-                    let ww = (j * s + v) as isize - pad;
-                    row[i * ow + j] = input.get_padded(bn, m, hh, ww);
+    winofuse_runtime::run_sliced_jobs_with_traced(
+        threads,
+        slices,
+        prof,
+        || (),
+        |(), job, slice| {
+            let r0 = job * PATCH_ROW_CHUNK;
+            for (local, row) in slice.chunks_exact_mut(cols).enumerate() {
+                let r = r0 + local;
+                let (m, u, v) = (r / (k * k), (r / k) % k, r % k);
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let hh = (i * s + u) as isize - pad;
+                        let ww = (j * s + v) as isize - pad;
+                        row[i * ow + j] = input.get_padded(bn, m, hh, ww);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Fast direct convolution: im2col lowering followed by the blocked GEMM
@@ -195,6 +204,34 @@ pub fn conv2d_fast(
     threads: usize,
     stats: Option<&ConvStats>,
 ) -> Result<Tensor<f32>, ConvError> {
+    conv2d_fast_traced(
+        input,
+        kernels,
+        geom,
+        threads,
+        stats,
+        &PoolProfiler::disabled(),
+    )
+}
+
+/// [`conv2d_fast`] with worker-lane tracing: im2col and GEMM jobs are
+/// emitted as Chrome-trace slices on per-worker lanes via `prof` (scoped
+/// to `direct.im2col` / `direct.gemm`), and when `stats` is supplied,
+/// per-phase wall times and the pack-vs-microkernel split are recorded
+/// alongside the exact flop/byte accounting (the im2col lowering lands in
+/// [`ConvPhase::Scatter`] — zero flops, pure data movement).
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_fast`].
+pub fn conv2d_fast_traced(
+    input: &Tensor<f32>,
+    kernels: &Tensor<f32>,
+    geom: ConvGeometry,
+    threads: usize,
+    stats: Option<&ConvStats>,
+    prof: &PoolProfiler,
+) -> Result<Tensor<f32>, ConvError> {
     check_shapes(input, kernels, geom)?;
     let threads = winofuse_runtime::resolve_threads(threads);
     let (batch, in_c, _, _) = input.shape();
@@ -210,19 +247,33 @@ pub fn conv2d_fast(
         .map(|k0| (k0, OUT_C_BLOCK.min(out_c - k0)))
         .collect();
     let lengths: Vec<usize> = k_blocks.iter().map(|&(_, kb)| kb * cols).collect();
+    let im2col_prof = prof.scoped("direct.im2col");
+    let gemm_prof = prof.scoped("direct.gemm");
+    let timed = stats.is_some();
     for bn in 0..batch {
-        fill_patches(input, geom, bn, &mut patches, threads);
+        let t_phase = stats.map(|_| Instant::now());
+        fill_patches(input, geom, bn, &mut patches, threads, &im2col_prof);
+        if let Some(s) = stats {
+            // Pure data movement: input elements read, patch matrix written.
+            s.add_phase(ConvPhase::Scatter, 0, 8 * (ckk * cols) as u64);
+            s.add_phase_ns(
+                ConvPhase::Scatter,
+                t_phase.expect("timed with stats").elapsed().as_nanos() as u64,
+            );
+        }
         let out_all = out.as_mut_slice();
         let img = &mut out_all[bn * out_c * cols..(bn + 1) * out_c * cols];
         let slices = winofuse_runtime::split_lengths(img, &lengths);
         let patches_ref = &patches;
-        winofuse_runtime::run_sliced_jobs_with(
+        let t_phase = stats.map(|_| Instant::now());
+        winofuse_runtime::run_sliced_jobs_with_traced(
             threads,
             slices,
+            &gemm_prof,
             GemmScratch::new,
             |scratch, job, slice| {
                 let (k0, kb) = k_blocks[job];
-                let bytes = crate::gemm::gemm_f32(
+                let outcome = crate::gemm::gemm_f32_profiled(
                     scratch,
                     GemmBlocking::default(),
                     kb,
@@ -231,12 +282,19 @@ pub fn conv2d_fast(
                     &kflat[k0 * ckk..(k0 + kb) * ckk],
                     BOperand::row_major(patches_ref, cols),
                     slice,
+                    timed,
                 );
                 if let Some(s) = stats {
-                    s.add_gemm(1, bytes);
+                    s.add_gemm(1, outcome.bytes_packed);
+                    let bytes = 4 * (kb * ckk + ckk * cols + kb * cols) as u64;
+                    s.add_phase(ConvPhase::Gemm, outcome.flops, bytes);
+                    s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
                 }
             },
         );
+        if let (Some(s), Some(t0)) = (stats, t_phase) {
+            s.add_phase_ns(ConvPhase::Gemm, t0.elapsed().as_nanos() as u64);
+        }
     }
     Ok(out)
 }
@@ -273,7 +331,14 @@ pub fn conv2d_fix16_fast(
         .collect();
     let lengths: Vec<usize> = k_blocks.iter().map(|&(_, kb)| kb * cols).collect();
     for bn in 0..batch {
-        fill_patches(input, geom, bn, &mut patches, threads);
+        fill_patches(
+            input,
+            geom,
+            bn,
+            &mut patches,
+            threads,
+            &PoolProfiler::disabled(),
+        );
         let out_all = out.as_mut_slice();
         let img = &mut out_all[bn * out_c * cols..(bn + 1) * out_c * cols];
         let slices = winofuse_runtime::split_lengths(img, &lengths);

@@ -17,6 +17,7 @@
 //! independent GEMMs, never by splitting `k`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Rows of the microkernel register tile.
 pub const MR: usize = 4;
@@ -101,14 +102,47 @@ impl GemmScratch {
     }
 }
 
+/// Kernel phase a convolution fast path attributes work to.
+///
+/// Both algorithms map onto the same three-phase shape: a data-layout
+/// phase (`Scatter` — Winograd input transforms, or the direct path's
+/// im2col lowering), the GEMM phase, and an output phase (`Gather` —
+/// Winograd output transforms; absent for direct convolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvPhase {
+    Scatter,
+    Gemm,
+    Gather,
+}
+
 /// Shared counters for the convolution fast paths, designed to be updated
 /// from worker threads (relaxed atomic adds commute, so totals are
 /// deterministic for a fixed job set regardless of scheduling).
+///
+/// Two kinds of quantities live here, and their contracts differ:
+///
+/// * **Work accounting** (flops, algorithm-level bytes, call/tile counts)
+///   is exact and analytic — for a fixed input it is bit-identical at any
+///   thread count (see `tests/determinism.rs`).
+/// * **Wall-clock accounting** (per-phase ns, pack-vs-microkernel split)
+///   measures real time and is *not* deterministic; it is only populated
+///   on profiled runs and must never be compared across runs bit-wise.
 #[derive(Debug, Default)]
 pub struct ConvStats {
     gemm_calls: AtomicU64,
     tiles: AtomicU64,
     bytes_packed: AtomicU64,
+    flops_scatter: AtomicU64,
+    flops_gemm: AtomicU64,
+    flops_gather: AtomicU64,
+    bytes_scatter: AtomicU64,
+    bytes_gemm: AtomicU64,
+    bytes_gather: AtomicU64,
+    scatter_ns: AtomicU64,
+    gemm_ns: AtomicU64,
+    gather_ns: AtomicU64,
+    pack_ns: AtomicU64,
+    kernel_ns: AtomicU64,
 }
 
 impl ConvStats {
@@ -129,6 +163,37 @@ impl ConvStats {
         self.tiles.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records exact analytic work for a phase: `flops` arithmetic
+    /// operations and `bytes` of algorithm-level traffic (operands read
+    /// plus results written; cache-oblivious by construction).
+    pub fn add_phase(&self, phase: ConvPhase, flops: u64, bytes: u64) {
+        let (f, b) = match phase {
+            ConvPhase::Scatter => (&self.flops_scatter, &self.bytes_scatter),
+            ConvPhase::Gemm => (&self.flops_gemm, &self.bytes_gemm),
+            ConvPhase::Gather => (&self.flops_gather, &self.bytes_gather),
+        };
+        f.fetch_add(flops, Ordering::Relaxed);
+        b.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records wall-clock time spent in a phase (main-thread wall time
+    /// around the parallel region, not summed worker time).
+    pub fn add_phase_ns(&self, phase: ConvPhase, ns: u64) {
+        match phase {
+            ConvPhase::Scatter => &self.scatter_ns,
+            ConvPhase::Gemm => &self.gemm_ns,
+            ConvPhase::Gather => &self.gather_ns,
+        }
+        .fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records a GEMM call's internal split between panel packing and the
+    /// register-tiled microkernel (summed across workers).
+    pub fn add_gemm_split(&self, pack_ns: u64, kernel_ns: u64) {
+        self.pack_ns.fetch_add(pack_ns, Ordering::Relaxed);
+        self.kernel_ns.fetch_add(kernel_ns, Ordering::Relaxed);
+    }
+
     /// Snapshot as `(gemm_calls, tiles, bytes_packed)`.
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (
@@ -137,6 +202,86 @@ impl ConvStats {
             self.bytes_packed.load(Ordering::Relaxed),
         )
     }
+
+    /// Full snapshot of every counter.
+    pub fn profile(&self) -> ConvProfile {
+        ConvProfile {
+            gemm_calls: self.gemm_calls.load(Ordering::Relaxed),
+            tiles: self.tiles.load(Ordering::Relaxed),
+            bytes_packed: self.bytes_packed.load(Ordering::Relaxed),
+            flops_scatter: self.flops_scatter.load(Ordering::Relaxed),
+            flops_gemm: self.flops_gemm.load(Ordering::Relaxed),
+            flops_gather: self.flops_gather.load(Ordering::Relaxed),
+            bytes_scatter: self.bytes_scatter.load(Ordering::Relaxed),
+            bytes_gemm: self.bytes_gemm.load(Ordering::Relaxed),
+            bytes_gather: self.bytes_gather.load(Ordering::Relaxed),
+            scatter_ns: self.scatter_ns.load(Ordering::Relaxed),
+            gemm_ns: self.gemm_ns.load(Ordering::Relaxed),
+            gather_ns: self.gather_ns.load(Ordering::Relaxed),
+            pack_ns: self.pack_ns.load(Ordering::Relaxed),
+            kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of a [`ConvStats`] — per-phase flops, bytes, and
+/// wall times for one convolution (or one layer, when the executor keeps
+/// one `ConvStats` per layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvProfile {
+    pub gemm_calls: u64,
+    pub tiles: u64,
+    pub bytes_packed: u64,
+    pub flops_scatter: u64,
+    pub flops_gemm: u64,
+    pub flops_gather: u64,
+    pub bytes_scatter: u64,
+    pub bytes_gemm: u64,
+    pub bytes_gather: u64,
+    pub scatter_ns: u64,
+    pub gemm_ns: u64,
+    pub gather_ns: u64,
+    pub pack_ns: u64,
+    pub kernel_ns: u64,
+}
+
+impl ConvProfile {
+    /// Exact arithmetic operations across all phases.
+    pub fn total_flops(&self) -> u64 {
+        self.flops_scatter + self.flops_gemm + self.flops_gather
+    }
+
+    /// Algorithm-level bytes moved across all phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_scatter + self.bytes_gemm + self.bytes_gather
+    }
+
+    /// Flops per byte of algorithm-level traffic — the CPU-side analogue
+    /// of the paper's computation-to-communication ratio.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes == 0 {
+            0.0
+        } else {
+            self.total_flops() as f64 / bytes as f64
+        }
+    }
+
+    /// Wall time summed over the per-phase measurements.
+    pub fn total_phase_ns(&self) -> u64 {
+        self.scatter_ns + self.gemm_ns + self.gather_ns
+    }
+}
+
+/// What one [`gemm_f32_profiled`] call did: bytes of packed panels, exact
+/// flops (`2·m·k·n`), and — only when timing was requested — the wall time
+/// split between packing and the microkernel sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GemmOutcome {
+    pub bytes_packed: u64,
+    pub flops: u64,
+    pub pack_ns: u64,
+    pub kernel_ns: u64,
 }
 
 /// `C = A·B` for row-major `A` (`m × k`), strided `B` (`k × n`) and
@@ -162,6 +307,25 @@ pub fn gemm_f32(
     b: BOperand<'_>,
     c: &mut [f32],
 ) -> u64 {
+    gemm_f32_profiled(scratch, blocking, m, k, n, a, b, c, false).bytes_packed
+}
+
+/// [`gemm_f32`] with a full [`GemmOutcome`]. When `timed` is set, the wall
+/// time of every pack and macro-kernel sweep is accumulated into the
+/// outcome's `pack_ns`/`kernel_ns` split; when clear the timing fields
+/// stay zero and no clock is read.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_f32_profiled(
+    scratch: &mut GemmScratch,
+    blocking: GemmBlocking,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: BOperand<'_>,
+    c: &mut [f32],
+    timed: bool,
+) -> GemmOutcome {
     assert_eq!(a.len(), m * k, "A must be m×k row-major");
     assert_eq!(c.len(), m * n, "C must be m×n row-major");
     assert!(
@@ -169,29 +333,41 @@ pub fn gemm_f32(
         "blocking parameters must be positive"
     );
     if m == 0 || n == 0 {
-        return 0;
+        return GemmOutcome::default();
     }
     if k == 0 {
         c.fill(0.0);
-        return 0;
+        return GemmOutcome::default();
     }
     // Touch the far corner of B up front so a stride mistake fails loudly
     // rather than mid-panel.
     let _ = b.at(k - 1, n - 1);
 
     let GemmBlocking { mc, kc, nc } = blocking;
-    let mut bytes_packed = 0u64;
+    let mut out = GemmOutcome {
+        flops: 2 * (m as u64) * (k as u64) * (n as u64),
+        ..GemmOutcome::default()
+    };
     for jc in (0..n).step_by(nc) {
         let nb = nc.min(n - jc);
         for pc in (0..k).step_by(kc) {
             let kb = kc.min(k - pc);
+            let t0 = timed.then(Instant::now);
             pack_b(&mut scratch.b_pack, b, pc, kb, jc, nb);
-            bytes_packed += (nb.div_ceil(NR) * NR * kb * 4) as u64;
+            if let Some(t0) = t0 {
+                out.pack_ns += t0.elapsed().as_nanos() as u64;
+            }
+            out.bytes_packed += (nb.div_ceil(NR) * NR * kb * 4) as u64;
             let first_k_block = pc == 0;
             for ic in (0..m).step_by(mc) {
                 let mb = mc.min(m - ic);
+                let t0 = timed.then(Instant::now);
                 pack_a(&mut scratch.a_pack, a, k, ic, mb, pc, kb);
-                bytes_packed += (mb.div_ceil(MR) * MR * kb * 4) as u64;
+                if let Some(t0) = t0 {
+                    out.pack_ns += t0.elapsed().as_nanos() as u64;
+                }
+                out.bytes_packed += (mb.div_ceil(MR) * MR * kb * 4) as u64;
+                let t0 = timed.then(Instant::now);
                 macro_kernel(
                     &scratch.a_pack,
                     &scratch.b_pack,
@@ -204,10 +380,13 @@ pub fn gemm_f32(
                     n,
                     first_k_block,
                 );
+                if let Some(t0) = t0 {
+                    out.kernel_ns += t0.elapsed().as_nanos() as u64;
+                }
             }
         }
     }
-    bytes_packed
+    out
 }
 
 /// Packs `B[pc..pc+kb, jc..jc+nb]` into `NR`-wide column panels:
@@ -544,5 +723,64 @@ mod tests {
         s.add_tiles(7);
         s.add_gemm(1, 20);
         assert_eq!(s.snapshot(), (3, 7, 120));
+    }
+
+    #[test]
+    fn profiled_gemm_reports_flops_and_split() {
+        let mut scratch = GemmScratch::new();
+        let (m, k, n) = (13, 17, 19);
+        let a = seeded(m * k, 9);
+        let b = seeded(k * n, 10);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        let untimed = gemm_f32_profiled(
+            &mut scratch,
+            GemmBlocking::default(),
+            m,
+            k,
+            n,
+            &a,
+            BOperand::row_major(&b, n),
+            &mut c1,
+            false,
+        );
+        assert_eq!(untimed.flops, 2 * (m * k * n) as u64);
+        assert_eq!((untimed.pack_ns, untimed.kernel_ns), (0, 0));
+        let timed = gemm_f32_profiled(
+            &mut scratch,
+            GemmBlocking::default(),
+            m,
+            k,
+            n,
+            &a,
+            BOperand::row_major(&b, n),
+            &mut c2,
+            true,
+        );
+        // Timing never changes results or the deterministic fields.
+        assert_eq!(c1, c2);
+        assert_eq!(timed.bytes_packed, untimed.bytes_packed);
+        assert_eq!(timed.flops, untimed.flops);
+    }
+
+    #[test]
+    fn conv_stats_phase_accounting() {
+        let s = ConvStats::new();
+        s.add_phase(ConvPhase::Scatter, 100, 10);
+        s.add_phase(ConvPhase::Gemm, 200, 20);
+        s.add_phase(ConvPhase::Gather, 300, 30);
+        s.add_phase_ns(ConvPhase::Gemm, 5);
+        s.add_gemm_split(3, 4);
+        let p = s.profile();
+        assert_eq!(
+            (p.flops_scatter, p.flops_gemm, p.flops_gather),
+            (100, 200, 300)
+        );
+        assert_eq!(p.total_flops(), 600);
+        assert_eq!(p.total_bytes(), 60);
+        assert!((p.arithmetic_intensity() - 10.0).abs() < 1e-12);
+        assert_eq!(p.gemm_ns, 5);
+        assert_eq!((p.pack_ns, p.kernel_ns), (3, 4));
+        assert_eq!(p.total_phase_ns(), 5);
     }
 }

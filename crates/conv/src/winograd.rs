@@ -7,10 +7,12 @@
 //! conventional algorithm otherwise, exactly as the paper does.
 
 use crate::cook_toom::{f43, WinogradTransform};
-use crate::gemm::{BOperand, ConvStats, GemmBlocking, GemmScratch};
+use crate::gemm::{BOperand, ConvPhase, ConvStats, GemmBlocking, GemmScratch};
 use crate::matrix::Mat;
 use crate::tensor::Tensor;
 use crate::{ConvError, ConvGeometry};
+use std::time::Instant;
+use winofuse_runtime::PoolProfiler;
 
 /// Transformed filter bank: `U[n][c] = G·g·Gᵀ` for every (output channel,
 /// input channel) pair, precomputed once per layer.
@@ -358,6 +360,36 @@ pub fn conv2d_batched(
     threads: usize,
     stats: Option<&ConvStats>,
 ) -> Result<Tensor<f32>, ConvError> {
+    conv2d_batched_traced(
+        input,
+        filters,
+        geom,
+        transform,
+        threads,
+        stats,
+        &PoolProfiler::disabled(),
+    )
+}
+
+/// [`conv2d_batched`] with worker-lane tracing: each phase's jobs are
+/// emitted as Chrome-trace slices on per-worker lanes via `prof` (scoped
+/// to `wino.scatter` / `wino.gemm` / `wino.gather`), and when `stats` is
+/// supplied, per-phase wall times and the GEMM pack-vs-microkernel split
+/// are recorded alongside the exact flop/byte accounting.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_batched`].
+#[allow(clippy::too_many_arguments)] // the batched entry plus observability
+pub fn conv2d_batched_traced(
+    input: &Tensor<f32>,
+    filters: &BatchedFilters,
+    geom: ConvGeometry,
+    transform: &WinogradTransform,
+    threads: usize,
+    stats: Option<&ConvStats>,
+    prof: &PoolProfiler,
+) -> Result<Tensor<f32>, ConvError> {
     if geom.stride() != 1 {
         return Err(ConvError::StrideUnsupported {
             stride: geom.stride(),
@@ -411,10 +443,12 @@ pub fn conv2d_batched(
     // write region.
     let mut v_buf = vec![0.0f32; p_total * aa * in_c];
     {
+        let t_phase = stats.map(|_| Instant::now());
         let slices = winofuse_runtime::split_chunks(&mut v_buf, TILE_CHUNK * aa * in_c);
-        winofuse_runtime::run_sliced_jobs_with(
+        winofuse_runtime::run_sliced_jobs_with_traced(
             threads,
             slices,
+            &prof.scoped("wino.scatter"),
             || (vec![0.0f32; aa], vec![0.0f32; aa], vec![0.0f32; aa]),
             |(d, t1, t2), job, slice| {
                 let p0 = job * TILE_CHUNK;
@@ -440,9 +474,18 @@ pub fn conv2d_batched(
                 }
             },
         );
-    }
-    if let Some(s) = stats {
-        s.add_tiles(p_total as u64);
+        if let Some(s) = stats {
+            s.add_tiles(p_total as u64);
+            // Per (tile, channel): two α×α·α×α products (Bᵀ·d, then ·B).
+            let flops = (p_total * in_c) as u64 * 4 * (alpha * alpha * alpha) as u64;
+            // Input tile elements read + transformed elements written.
+            let bytes = 8 * (p_total * aa * in_c) as u64;
+            s.add_phase(ConvPhase::Scatter, flops, bytes);
+            s.add_phase_ns(
+                ConvPhase::Scatter,
+                t_phase.expect("timed with stats").elapsed().as_nanos() as u64,
+            );
+        }
     }
 
     // Phase 2 — α² GEMMs: M[uv][k][p] = Σ_c U_uv[k][c] · V_uv[c][p].
@@ -460,9 +503,12 @@ pub fn conv2d_batched(
         let slices = winofuse_runtime::split_lengths(&mut m_buf, &lengths);
         let v_ref = &v_buf;
         let blocking = GemmBlocking::default();
-        winofuse_runtime::run_sliced_jobs_with(
+        let t_phase = stats.map(|_| Instant::now());
+        let timed = stats.is_some();
+        winofuse_runtime::run_sliced_jobs_with_traced(
             threads,
             slices,
+            &prof.scoped("wino.gemm"),
             GemmScratch::new,
             |scratch, job, slice| {
                 let uv = job / k_blocks.len();
@@ -470,7 +516,7 @@ pub fn conv2d_batched(
                 // B operand: V_uv is [in_c × p_total] with element (c, p)
                 // at V[p·α²·in_c + uv·in_c + c].
                 let b_op = BOperand::strided(&v_ref[uv * in_c..], 1, aa * in_c);
-                let bytes = crate::gemm::gemm_f32(
+                let outcome = crate::gemm::gemm_f32_profiled(
                     scratch,
                     blocking,
                     kb,
@@ -479,12 +525,20 @@ pub fn conv2d_batched(
                     &filters.planes[uv][k0 * in_c..(k0 + kb) * in_c],
                     b_op,
                     slice,
+                    timed,
                 );
                 if let Some(s) = stats {
-                    s.add_gemm(1, bytes);
+                    s.add_gemm(1, outcome.bytes_packed);
+                    // Operands read + result rows written by this job.
+                    let bytes = 4 * (kb * in_c + in_c * p_total + kb * p_total) as u64;
+                    s.add_phase(ConvPhase::Gemm, outcome.flops, bytes);
+                    s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
                 }
             },
         );
+        if let (Some(s), Some(t0)) = (stats, t_phase) {
+            s.add_phase_ns(ConvPhase::Gemm, t0.elapsed().as_nanos() as u64);
+        }
     }
     drop(v_buf);
 
@@ -502,9 +556,11 @@ pub fn conv2d_batched(
             .collect();
         let slices = winofuse_runtime::split_lengths(out.as_mut_slice(), &lengths);
         let m_ref = &m_buf;
-        winofuse_runtime::run_sliced_jobs_with(
+        let t_phase = stats.map(|_| Instant::now());
+        winofuse_runtime::run_sliced_jobs_with_traced(
             threads,
             slices,
+            &prof.scoped("wino.gather"),
             || {
                 (
                     vec![0.0f32; aa],
@@ -542,6 +598,18 @@ pub fn conv2d_batched(
                 }
             },
         );
+        if let Some(s) = stats {
+            // Per (output channel, tile): Aᵀ·M (m×α · α×α) then ·A (m×α · α×m).
+            let per_tile = (2 * m * alpha * alpha + 2 * m * m * alpha) as u64;
+            let flops = (out_c * p_total) as u64 * per_tile;
+            // Transform-domain elements read + output elements written.
+            let bytes = 4 * (aa * out_c * p_total + batch * out_c * oh * ow) as u64;
+            s.add_phase(ConvPhase::Gather, flops, bytes);
+            s.add_phase_ns(
+                ConvPhase::Gather,
+                t_phase.expect("timed with stats").elapsed().as_nanos() as u64,
+            );
+        }
     }
     Ok(out)
 }

@@ -34,6 +34,7 @@ use winofuse_model::layer::{ConvParams, LayerKind, LrnSpec, PoolParams};
 use winofuse_model::network::Network;
 use winofuse_model::runtime::{LayerWeights, NetworkWeights};
 use winofuse_model::shape::{DataType, FmShape};
+use winofuse_runtime::PoolProfiler;
 use winofuse_telemetry::Telemetry;
 
 use crate::pipeline::LayerConfig;
@@ -182,6 +183,7 @@ trait RunnerElement: Scalar + PartialOrd {
         geom: ConvGeometry,
         transform: &WinogradTransform,
         threads: usize,
+        prof: &PoolProfiler,
     ) -> Result<Tensor<Self>, FusionError>;
 }
 
@@ -193,12 +195,21 @@ impl RunnerElement for f32 {
         geom: ConvGeometry,
         transform: &WinogradTransform,
         threads: usize,
+        prof: &PoolProfiler,
     ) -> Result<Tensor<f32>, FusionError> {
         Ok(match &stage.banks {
-            Some(banks) => {
-                winograd::conv2d_batched(strip, &banks[group], geom, transform, threads, None)?
+            Some(banks) => winograd::conv2d_batched_traced(
+                strip,
+                &banks[group],
+                geom,
+                transform,
+                threads,
+                None,
+                prof,
+            )?,
+            None => {
+                direct::conv2d_fast_traced(strip, &stage.kernels[group], geom, threads, None, prof)?
             }
-            None => direct::conv2d_fast(strip, &stage.kernels[group], geom, threads, None)?,
         })
     }
 }
@@ -211,6 +222,7 @@ impl RunnerElement for Fix16 {
         geom: ConvGeometry,
         _transform: &WinogradTransform,
         threads: usize,
+        _prof: &PoolProfiler,
     ) -> Result<Tensor<Fix16>, FusionError> {
         // Fixed point always runs the exact wide-integer datapath
         // (matching `forward_fix16`); the algorithm choice is a
@@ -578,7 +590,21 @@ impl FusedGroupRunner {
                 })
         };
         match &st.op {
-            StageOp::Conv(conv) => self.conv_strip(st, conv, &row_at, o0, o1),
+            StageOp::Conv(conv) => {
+                // Worker-lane tracing for the fused path: spans read
+                // `fused<group-start>/stage<i>/wino.gemm[k]` etc. The
+                // profiler is rebuilt per strip only when telemetry is
+                // live, so the disabled path stays allocation-free.
+                let prof = if self.telemetry.is_enabled() {
+                    PoolProfiler::new(
+                        self.telemetry.clone(),
+                        &format!("fused{}/stage{i}", self.start),
+                    )
+                } else {
+                    PoolProfiler::disabled()
+                };
+                self.conv_strip(st, conv, &row_at, o0, o1, &prof)
+            }
             StageOp::Pool(p) => {
                 let mut rows = Vec::with_capacity(o1 - o0);
                 for o in o0..o1 {
@@ -621,6 +647,7 @@ impl FusedGroupRunner {
         row_at: &impl Fn(usize) -> Result<&'w Vec<T>, FusionError>,
         o0: usize,
         o1: usize,
+        prof: &PoolProfiler,
     ) -> Result<Vec<Vec<T>>, FusionError> {
         let c = &conv.params;
         let (ih, iw) = (st.input.height, st.input.width);
@@ -649,13 +676,15 @@ impl FusedGroupRunner {
         let groups = c.groups.max(1);
         let mut strip_out = Tensor::zeros(1, out_c, o1 - o0, out_w);
         if groups <= 1 {
-            strip_out = T::conv_group_strip(conv, 0, &strip, geom, &self.transform, self.threads)?;
+            strip_out =
+                T::conv_group_strip(conv, 0, &strip, geom, &self.transform, self.threads, prof)?;
         } else {
             let cg = c.channels_per_group(in_c);
             let ng = c.num_output / groups;
             for g in 0..groups {
                 let x = strip.slice_channels(g * cg, (g + 1) * cg);
-                let y = T::conv_group_strip(conv, g, &x, geom, &self.transform, self.threads)?;
+                let y =
+                    T::conv_group_strip(conv, g, &x, geom, &self.transform, self.threads, prof)?;
                 strip_out.write_channels(g * ng, &y);
             }
         }

@@ -8,14 +8,15 @@
 
 use winofuse_conv::cook_toom::{f43, WinogradTransform};
 use winofuse_conv::fixed::Fix16;
-use winofuse_conv::gemm::ConvStats;
+use winofuse_conv::gemm::{ConvProfile, ConvStats};
 use winofuse_conv::ops::{self, LrnParams};
 use winofuse_conv::tensor::{random_tensor, Tensor};
 use winofuse_conv::winograd::BatchedFilters;
 use winofuse_conv::{direct, im2col, winograd, ConvGeometry};
+use winofuse_runtime::PoolProfiler;
 use winofuse_telemetry::Telemetry;
 
-use crate::layer::{ConvParams, LayerKind};
+use crate::layer::{ConvParams, Layer, LayerKind};
 use crate::network::Network;
 use crate::ModelError;
 
@@ -364,6 +365,38 @@ pub enum ExecAlgo {
     Direct,
 }
 
+/// Per-layer attribution record from [`NetworkExecutor::run_profiled`].
+#[derive(Debug, Clone)]
+pub struct LayerProfile {
+    /// Layer name from the network description.
+    pub name: String,
+    /// Layer kind tag (`conv`, `pool`, `fc`, ...).
+    pub kind: &'static str,
+    /// Algorithm that executed the layer: `winograd`, `direct`, or `-`
+    /// for layers without a convolution backend.
+    pub algo: &'static str,
+    /// Wall-clock spent executing the layer, in nanoseconds.
+    pub wall_ns: u64,
+    /// Model-level arithmetic operation count ([`Layer::ops`]) — what
+    /// the layer mathematically requires, independent of algorithm.
+    pub model_ops: u64,
+    /// Kernel-phase counters recorded while executing this layer
+    /// (all-zero for non-conv layers).
+    pub conv: ConvProfile,
+}
+
+impl LayerProfile {
+    /// Achieved algorithm-level GFLOP/s over the layer's wall-clock
+    /// (`None` for layers with no counted kernel flops).
+    pub fn achieved_gflops(&self) -> Option<f64> {
+        let flops = self.conv.total_flops();
+        if flops == 0 || self.wall_ns == 0 {
+            return None;
+        }
+        Some(flops as f64 / self.wall_ns as f64)
+    }
+}
+
 /// One convolution layer, prepared for the fast path: per-group filter
 /// banks transformed/sliced once at construction so repeated runs pay
 /// only the online cost.
@@ -536,6 +569,76 @@ impl<'n> NetworkExecutor<'n> {
     /// Returns [`ModelError::Execution`] when the input tensor does not
     /// match the network's input shape or a kernel rejects its arguments.
     pub fn run_all(&self, input: &Tensor<f32>) -> Result<Vec<Tensor<f32>>, ModelError> {
+        self.check_input(input)?;
+        let stats = ConvStats::new();
+        let base = PoolProfiler::new(self.telemetry.clone(), "");
+        let mut outputs = Vec::with_capacity(self.net.len());
+        let mut cur = input.clone();
+        for (i, layer) in self.net.layers().iter().enumerate() {
+            let span = self.telemetry.span("exec", &layer.name);
+            let next = self.exec_layer(i, layer, &cur, &stats, &base.scoped(&layer.name))?;
+            drop(span);
+            outputs.push(next.clone());
+            cur = next;
+        }
+        self.publish_conv_counters(&stats);
+        Ok(outputs)
+    }
+
+    /// Runs the network and returns the final output together with a
+    /// per-layer attribution record: wall-clock, model-level op count
+    /// ([`Layer::ops`]), the executing algorithm, and — for
+    /// convolutions — the exact kernel-phase flop/byte/time counters from
+    /// `winofuse-conv`. Each layer gets its own [`ConvStats`], so phase
+    /// counters attribute to the layer that incurred them; the flop/byte
+    /// quantities are analytic and thread-count-invariant, while the
+    /// `*_ns` fields are wall-clock.
+    ///
+    /// When telemetry is attached, worker-lane trace slices are emitted
+    /// under each layer's name (e.g. `conv1_1/wino.gemm[3]`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkExecutor::run_all`].
+    pub fn run_profiled(
+        &self,
+        input: &Tensor<f32>,
+    ) -> Result<(Tensor<f32>, Vec<LayerProfile>), ModelError> {
+        self.check_input(input)?;
+        let base = PoolProfiler::new(self.telemetry.clone(), "");
+        let total = ConvStats::new();
+        let mut profiles = Vec::with_capacity(self.net.len());
+        let mut cur = input.clone();
+        for (i, layer) in self.net.layers().iter().enumerate() {
+            let span = self.telemetry.span("exec", &layer.name);
+            let stats = ConvStats::new();
+            let t0 = std::time::Instant::now();
+            let next = self.exec_layer(i, layer, &cur, &stats, &base.scoped(&layer.name))?;
+            let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            drop(span);
+            let algo = match &self.prepared[i] {
+                PreparedLayer::Conv(PreparedConv::Winograd(_)) => "winograd",
+                PreparedLayer::Conv(PreparedConv::Direct(_)) => "direct",
+                _ => "-",
+            };
+            let (gemm_calls, tiles, bytes_packed) = stats.snapshot();
+            total.add_gemm(gemm_calls, bytes_packed);
+            total.add_tiles(tiles);
+            profiles.push(LayerProfile {
+                name: layer.name.clone(),
+                kind: layer.kind.tag(),
+                algo,
+                wall_ns,
+                model_ops: layer.ops(self.shapes[i]),
+                conv: stats.profile(),
+            });
+            cur = next;
+        }
+        self.publish_conv_counters(&total);
+        Ok((cur, profiles))
+    }
+
+    fn check_input(&self, input: &Tensor<f32>) -> Result<(), ModelError> {
         let in_shape = self.net.input_shape();
         if input.c() != in_shape.channels
             || input.h() != in_shape.height
@@ -549,55 +652,59 @@ impl<'n> NetworkExecutor<'n> {
                 in_shape
             )));
         }
-        let stats = ConvStats::new();
-        let mut outputs = Vec::with_capacity(self.net.len());
-        let mut cur = input.clone();
-        for (i, layer) in self.net.layers().iter().enumerate() {
-            let span = self.telemetry.span("exec", &layer.name);
-            let next = match &layer.kind {
-                LayerKind::Conv(c) => {
-                    let PreparedLayer::Conv(conv) = &self.prepared[i] else {
-                        unreachable!("conv layer prepared as non-conv");
-                    };
-                    self.run_conv(&cur, c, conv, &stats, self.shapes[i].channels)?
-                }
-                LayerKind::Pool(p) => {
-                    let geom = ConvGeometry::rect(cur.h(), cur.w(), p.kernel, p.stride, p.pad)?;
-                    ops::pool(&cur, geom, p.kind)?
-                }
-                LayerKind::Lrn(spec) => ops::lrn(
-                    &cur,
-                    LrnParams {
-                        local_size: spec.local_size,
-                        alpha: spec.alpha,
-                        beta: spec.beta,
-                        k: spec.k,
-                    },
-                )?,
-                LayerKind::Relu => ops::relu(&cur),
-                LayerKind::Fc(fc) => {
-                    let PreparedLayer::Fc { weights, bias } = &self.prepared[i] else {
-                        unreachable!("fc layer prepared as non-fc");
-                    };
-                    let mut y = ops::fully_connected(&cur, weights, bias, fc.num_output)?;
-                    if fc.relu {
-                        y = ops::relu(&y);
-                    }
-                    y
-                }
-                LayerKind::Softmax => ops::softmax(&cur)?,
-            };
-            drop(span);
-            outputs.push(next.clone());
-            cur = next;
-        }
+        Ok(())
+    }
+
+    fn publish_conv_counters(&self, stats: &ConvStats) {
         let (gemm_calls, tiles, bytes_packed) = stats.snapshot();
         self.telemetry.counter("conv.gemm_calls").add(gemm_calls);
         self.telemetry.counter("conv.tiles").add(tiles);
         self.telemetry
             .counter("conv.bytes_packed")
             .add(bytes_packed);
-        Ok(outputs)
+    }
+
+    fn exec_layer(
+        &self,
+        i: usize,
+        layer: &Layer,
+        cur: &Tensor<f32>,
+        stats: &ConvStats,
+        prof: &PoolProfiler,
+    ) -> Result<Tensor<f32>, ModelError> {
+        Ok(match &layer.kind {
+            LayerKind::Conv(c) => {
+                let PreparedLayer::Conv(conv) = &self.prepared[i] else {
+                    unreachable!("conv layer prepared as non-conv");
+                };
+                self.run_conv(cur, c, conv, stats, self.shapes[i].channels, prof)?
+            }
+            LayerKind::Pool(p) => {
+                let geom = ConvGeometry::rect(cur.h(), cur.w(), p.kernel, p.stride, p.pad)?;
+                ops::pool(cur, geom, p.kind)?
+            }
+            LayerKind::Lrn(spec) => ops::lrn(
+                cur,
+                LrnParams {
+                    local_size: spec.local_size,
+                    alpha: spec.alpha,
+                    beta: spec.beta,
+                    k: spec.k,
+                },
+            )?,
+            LayerKind::Relu => ops::relu(cur),
+            LayerKind::Fc(fc) => {
+                let PreparedLayer::Fc { weights, bias } = &self.prepared[i] else {
+                    unreachable!("fc layer prepared as non-fc");
+                };
+                let mut y = ops::fully_connected(cur, weights, bias, fc.num_output)?;
+                if fc.relu {
+                    y = ops::relu(&y);
+                }
+                y
+            }
+            LayerKind::Softmax => ops::softmax(cur)?,
+        })
     }
 
     fn run_conv(
@@ -607,21 +714,28 @@ impl<'n> NetworkExecutor<'n> {
         conv: &PreparedConv,
         stats: &ConvStats,
         in_channels: usize,
+        prof: &PoolProfiler,
     ) -> Result<Tensor<f32>, ModelError> {
         let geom = ConvGeometry::rect(cur.h(), cur.w(), c.kernel, c.stride, c.pad)?;
         let run_group = |x: &Tensor<f32>, g: usize| -> Result<Tensor<f32>, ModelError> {
             Ok(match conv {
-                PreparedConv::Winograd(banks) => winograd::conv2d_batched(
+                PreparedConv::Winograd(banks) => winograd::conv2d_batched_traced(
                     x,
                     &banks[g],
                     geom,
                     &self.transform,
                     self.threads,
                     Some(stats),
+                    prof,
                 )?,
-                PreparedConv::Direct(kernels) => {
-                    direct::conv2d_fast(x, &kernels[g], geom, self.threads, Some(stats))?
-                }
+                PreparedConv::Direct(kernels) => direct::conv2d_fast_traced(
+                    x,
+                    &kernels[g],
+                    geom,
+                    self.threads,
+                    Some(stats),
+                    prof,
+                )?,
             })
         };
         let mut y = if c.groups <= 1 {
@@ -844,6 +958,73 @@ mod tests {
         assert!(summary.counter("conv.gemm_calls") > 0);
         assert!(summary.counter("conv.tiles") > 0);
         assert!(summary.counter("conv.bytes_packed") > 0);
+    }
+
+    #[test]
+    fn profiled_run_matches_run_and_attributes_conv_work() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 25).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 26);
+        let exec = NetworkExecutor::new(&net, &w).unwrap().with_threads(2);
+        let plain = exec.run(&x).unwrap();
+        let (out, profiles) = exec.run_profiled(&x).unwrap();
+        assert_eq!(plain, out, "profiled run changed the numerics");
+        assert_eq!(profiles.len(), net.len());
+        for p in &profiles {
+            if p.kind == "conv" {
+                assert!(
+                    p.conv.total_flops() > 0,
+                    "conv `{}` counted no flops",
+                    p.name
+                );
+                assert!(
+                    p.conv.total_bytes() > 0,
+                    "conv `{}` counted no bytes",
+                    p.name
+                );
+                assert!(p.model_ops > 0);
+                assert!(
+                    p.algo == "winograd" || p.algo == "direct",
+                    "algo {}",
+                    p.algo
+                );
+                assert!(p.achieved_gflops().is_some());
+            } else {
+                assert_eq!(
+                    p.conv.total_flops(),
+                    0,
+                    "non-conv `{}` counted flops",
+                    p.name
+                );
+                assert_eq!(p.algo, "-");
+            }
+            assert!(p.wall_ns > 0);
+        }
+    }
+
+    #[test]
+    fn profiled_run_publishes_counters_and_worker_lanes() {
+        use std::sync::{Arc, Mutex};
+        use winofuse_telemetry::{VecSink, PID_WALL};
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 27).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 28);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let telemetry = Telemetry::with_sink(Box::new(VecSink(events.clone())));
+        let exec = NetworkExecutor::new(&net, &w)
+            .unwrap()
+            .with_threads(2)
+            .with_telemetry(telemetry.clone());
+        exec.run_profiled(&x).unwrap();
+        let summary = telemetry.summary();
+        assert!(summary.counter("conv.gemm_calls") > 0);
+        assert!(summary.counter("pool.jobs") > 0);
+        // Worker-lane slices carry the layer name joined with the kernel
+        // phase, e.g. `conv2/wino.gemm[3]`.
+        let events = events.lock().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.phase == 'X' && e.pid == PID_WALL && e.name.contains("/wino.gemm[")));
     }
 
     #[test]

@@ -17,7 +17,175 @@
 //! `tests/conv_equiv.rs` at the workspace root).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use winofuse_telemetry::{Counter, Histogram, Telemetry, PID_WALL};
+
+/// First Chrome-trace thread id used for worker lanes: worker `w` emits
+/// its job slices on `(PID_WALL, WORKER_TID_BASE + w)`. The base keeps
+/// worker lanes clear of tid 1, where `Telemetry::span` puts the main
+/// thread's wall-clock spans.
+pub const WORKER_TID_BASE: u64 = 100;
+
+// ---------------------------------------------------------------------------
+// Pool profiler
+// ---------------------------------------------------------------------------
+
+/// Observability context for the worker pool: carries a [`Telemetry`]
+/// handle plus a label that names the job spans it emits (e.g.
+/// `"wino.scatter"` → slices `wino.scatter[0..n]` on the worker lanes).
+///
+/// A disabled profiler (the default, [`PoolProfiler::disabled`]) routes
+/// every `*_traced` entry point straight to the uninstrumented loop — the
+/// cost of instrumentation when telemetry is off is exactly one branch per
+/// pool invocation.
+#[derive(Clone)]
+pub struct PoolProfiler {
+    telemetry: Telemetry,
+    label: Arc<str>,
+}
+
+impl Default for PoolProfiler {
+    fn default() -> Self {
+        PoolProfiler::disabled()
+    }
+}
+
+impl PoolProfiler {
+    /// The no-op profiler: traced pool entry points fall back to the
+    /// plain untraced path.
+    pub fn disabled() -> Self {
+        PoolProfiler {
+            telemetry: Telemetry::disabled(),
+            label: Arc::from("job"),
+        }
+    }
+
+    /// A profiler emitting onto `telemetry`, naming job spans `label[i]`.
+    pub fn new(telemetry: Telemetry, label: &str) -> Self {
+        PoolProfiler {
+            telemetry,
+            label: Arc::from(label),
+        }
+    }
+
+    /// A view of this profiler with `label` appended to the span label
+    /// (`"conv3_1"` scoped by `"wino.gemm"` → spans `conv3_1/wino.gemm[i]`)
+    /// — the cheap way to tag each kernel phase distinctly while sharing
+    /// one telemetry registry. On a disabled profiler this allocates
+    /// nothing.
+    pub fn scoped(&self, label: &str) -> PoolProfiler {
+        if !self.is_enabled() {
+            return PoolProfiler::disabled();
+        }
+        let joined = if self.label.is_empty() {
+            label.to_string()
+        } else {
+            format!("{}/{label}", self.label)
+        };
+        PoolProfiler {
+            telemetry: self.telemetry.clone(),
+            label: Arc::from(joined.as_str()),
+        }
+    }
+
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+}
+
+/// Per-invocation shared state for an instrumented pool run: cached
+/// counter/histogram handles plus the pool start time that queue waits are
+/// measured from.
+struct PoolRun<'a> {
+    prof: &'a PoolProfiler,
+    start: Instant,
+    jobs: Counter,
+    runs: Counter,
+    idle_ns: Counter,
+    worker_busy_ns: Histogram,
+    job_wait_us: Histogram,
+}
+
+impl<'a> PoolRun<'a> {
+    fn start(prof: &'a PoolProfiler) -> Self {
+        let t = &prof.telemetry;
+        let run = PoolRun {
+            prof,
+            start: Instant::now(),
+            jobs: t.counter("pool.jobs"),
+            runs: t.counter("pool.runs"),
+            idle_ns: t.counter("pool.idle_ns"),
+            worker_busy_ns: t.histogram("pool.worker_busy_ns"),
+            job_wait_us: t.histogram("pool.job_wait_us"),
+        };
+        run.runs.incr();
+        run
+    }
+
+    fn lane(&self, worker: usize) -> WorkerLane<'_> {
+        let tid = WORKER_TID_BASE + worker as u64;
+        self.prof
+            .telemetry
+            .name_thread_once(PID_WALL, tid, &format!("worker {worker}"));
+        WorkerLane {
+            run: self,
+            tid,
+            busy_ns: 0,
+            jobs: 0,
+        }
+    }
+}
+
+/// One worker's view of an instrumented pool run. Accumulates busy time
+/// locally; `finish` folds it into the pool-level imbalance metrics.
+struct WorkerLane<'a> {
+    run: &'a PoolRun<'a>,
+    tid: u64,
+    busy_ns: u64,
+    jobs: u64,
+}
+
+impl WorkerLane<'_> {
+    /// Runs one job, emitting its complete slice on this worker's lane.
+    /// The queue wait (pool start → claim) lands in `pool.job_wait_us`;
+    /// the slice name carries the job index.
+    fn run_job(&mut self, index: usize, f: impl FnOnce()) {
+        let wait_us = self.run.start.elapsed().as_micros() as u64;
+        let ts = self.run.prof.telemetry.now_us();
+        let t0 = Instant::now();
+        f();
+        let elapsed = t0.elapsed();
+        self.busy_ns += elapsed.as_nanos() as u64;
+        self.jobs += 1;
+        self.run.job_wait_us.record(wait_us);
+        self.run.prof.telemetry.slice_at(
+            "pool",
+            &format!("{}[{index}]", self.run.prof.label),
+            PID_WALL,
+            self.tid,
+            ts,
+            elapsed.as_micros() as u64,
+        );
+    }
+
+    /// Called when the worker's claim loop ends: records this worker's
+    /// busy time (the min/max spread of `pool.worker_busy_ns` within one
+    /// run is the imbalance) and charges the unproductive remainder of
+    /// its lifetime to `pool.idle_ns`.
+    fn finish(self) {
+        let lifetime_ns = self.run.start.elapsed().as_nanos() as u64;
+        self.run.jobs.add(self.jobs);
+        self.run.worker_busy_ns.record(self.busy_ns);
+        self.run
+            .idle_ns
+            .add(lifetime_ns.saturating_sub(self.busy_ns));
+    }
+}
 
 /// Worker threads to use when the caller asks for "auto" (`threads == 0`):
 /// the machine's available parallelism, or 1 when that cannot be
@@ -64,6 +232,51 @@ where
                     break;
                 }
                 f(i);
+            });
+        }
+    });
+    workers
+}
+
+/// [`run_jobs`] with worker-lane tracing: when `prof` is enabled, each
+/// worker emits one Chrome-trace complete slice per job on its own stable
+/// tid ([`WORKER_TID_BASE`]` + worker`), and the pool-level counters
+/// (`pool.jobs`, `pool.runs`, `pool.idle_ns`) and histograms
+/// (`pool.worker_busy_ns`, `pool.job_wait_us`) accumulate. When `prof` is
+/// disabled this is exactly [`run_jobs`] plus one branch.
+pub fn run_jobs_traced<F>(threads: usize, jobs: usize, prof: &PoolProfiler, f: F) -> usize
+where
+    F: Fn(usize) + Sync,
+{
+    if !prof.is_enabled() {
+        return run_jobs(threads, jobs, f);
+    }
+    let workers = threads.min(jobs).max(1);
+    let run = PoolRun::start(prof);
+    if workers <= 1 {
+        let mut lane = run.lane(0);
+        for i in 0..jobs {
+            lane.run_job(i, || f(i));
+        }
+        lane.finish();
+        return workers;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let run = &run;
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                let mut lane = run.lane(w);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    lane.run_job(i, || f(i));
+                }
+                lane.finish();
             });
         }
     });
@@ -129,6 +342,67 @@ where
                         .expect("job slice claimed twice");
                     f(&mut state, i, slice);
                 }
+            });
+        }
+    });
+    workers
+}
+
+/// [`run_sliced_jobs_with`] with worker-lane tracing — the sliced
+/// counterpart of [`run_jobs_traced`], with identical metrics and lanes.
+/// When `prof` is disabled this is exactly [`run_sliced_jobs_with`] plus
+/// one branch.
+pub fn run_sliced_jobs_with_traced<T, S, I, F>(
+    threads: usize,
+    slices: Vec<&mut [T]>,
+    prof: &PoolProfiler,
+    init: I,
+    f: F,
+) -> usize
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    if !prof.is_enabled() {
+        return run_sliced_jobs_with(threads, slices, init, f);
+    }
+    let jobs = slices.len();
+    let workers = threads.min(jobs).max(1);
+    let run = PoolRun::start(prof);
+    if workers <= 1 {
+        let mut state = init();
+        let mut lane = run.lane(0);
+        for (i, s) in slices.into_iter().enumerate() {
+            lane.run_job(i, || f(&mut state, i, s));
+        }
+        lane.finish();
+        return workers;
+    }
+    let cells: Vec<Mutex<Option<&mut [T]>>> =
+        slices.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let run = &run;
+            let next = &next;
+            let cells = &cells;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state = init();
+                let mut lane = run.lane(w);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let slice = cell
+                        .lock()
+                        .expect("job slice lock poisoned")
+                        .take()
+                        .expect("job slice claimed twice");
+                    lane.run_job(i, || f(&mut state, i, slice));
+                }
+                lane.finish();
             });
         }
     });
@@ -242,6 +516,85 @@ mod tests {
         assert_eq!(total.load(Ordering::Relaxed), 64);
         // No worker can have run more jobs than exist.
         assert!(data.iter().all(|&v| (1..=64).contains(&v)));
+    }
+
+    #[test]
+    fn traced_pool_counts_jobs_and_emits_worker_lanes() {
+        use winofuse_telemetry::VecSink;
+        for threads in [1usize, 3] {
+            let sink = VecSink::default();
+            let events = sink.0.clone();
+            let tele = Telemetry::with_sink(Box::new(sink));
+            let prof = PoolProfiler::new(tele.clone(), "test.job");
+            let jobs = 17;
+            let used = run_jobs_traced(threads, jobs, &prof, |_| {
+                std::hint::black_box(0u64);
+            });
+
+            let s = tele.summary();
+            assert_eq!(s.counter("pool.jobs"), jobs as u64);
+            assert_eq!(s.counter("pool.runs"), 1);
+            assert_eq!(s.histograms["pool.worker_busy_ns"].count, used as u64);
+            assert_eq!(s.histograms["pool.job_wait_us"].count, jobs as u64);
+
+            let events = events.lock().unwrap();
+            let slices: Vec<_> = events.iter().filter(|e| e.phase == 'X').collect();
+            assert_eq!(slices.len(), jobs);
+            let mut seen: Vec<usize> = slices
+                .iter()
+                .map(|e| {
+                    assert_eq!(e.pid, PID_WALL);
+                    assert!(e.tid >= WORKER_TID_BASE);
+                    assert!(e.tid < WORKER_TID_BASE + used as u64);
+                    assert!(e.dur.is_some());
+                    let open = e.name.find('[').expect("indexed name");
+                    e.name[open + 1..e.name.len() - 1].parse().unwrap()
+                })
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..jobs).collect::<Vec<_>>());
+            // One thread_name metadata record per distinct worker lane.
+            let lanes = events.iter().filter(|e| e.phase == 'M').count();
+            assert_eq!(lanes, used);
+        }
+    }
+
+    #[test]
+    fn traced_sliced_pool_matches_untraced_results() {
+        let tele = Telemetry::enabled();
+        let prof = PoolProfiler::new(tele.clone(), "sliced");
+        let mut data = vec![0u64; 100];
+        let slices = split_chunks(&mut data, 7);
+        run_sliced_jobs_with_traced(
+            3,
+            slices,
+            &prof,
+            || (),
+            |(), i, s| {
+                for v in s.iter_mut() {
+                    *v = i as u64 + 1;
+                }
+            },
+        );
+        for (idx, v) in data.iter().enumerate() {
+            assert_eq!(*v, (idx / 7) as u64 + 1);
+        }
+        let s = tele.summary();
+        assert_eq!(s.counter("pool.jobs"), 15);
+    }
+
+    #[test]
+    fn disabled_profiler_registers_nothing() {
+        let prof = PoolProfiler::disabled();
+        assert!(!prof.is_enabled());
+        let hits = AtomicU64::new(0);
+        run_jobs_traced(4, 8, &prof, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        assert_eq!(prof.telemetry().summary().counters.len(), 0);
+        // A scoped view of a disabled profiler stays disabled.
+        assert!(!prof.scoped("phase").is_enabled());
     }
 
     #[test]

@@ -182,6 +182,7 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
     sink: Mutex<Option<Box<dyn TraceSink + Send>>>,
+    named_lanes: Mutex<std::collections::BTreeSet<(u64, u64)>>,
 }
 
 /// Shared observability context threaded through the optimizer and
@@ -208,6 +209,7 @@ impl Telemetry {
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             sink: Mutex::new(None),
+            named_lanes: Mutex::new(std::collections::BTreeSet::new()),
         })))
     }
 
@@ -300,6 +302,36 @@ impl Telemetry {
             pid: PID_SIM,
             tid,
         });
+    }
+
+    /// Emits a complete wall-clock slice on an explicit `(pid, tid)` lane
+    /// with timestamps already measured by the caller (microseconds since
+    /// this context's epoch, as returned by [`Telemetry::now_us`]).
+    ///
+    /// This is how worker-pool jobs land on per-worker lanes: each worker
+    /// measures its own start/duration and emits onto its stable tid, which
+    /// [`Telemetry::span`] (always lane `(PID_WALL, 1)`) cannot express.
+    pub fn slice_at(&self, category: &str, name: &str, pid: u64, tid: u64, ts: u64, dur: u64) {
+        self.emit(TraceEvent {
+            name: name.to_string(),
+            category: category.to_string(),
+            phase: 'X',
+            ts,
+            dur: Some(dur),
+            pid,
+            tid,
+        });
+    }
+
+    /// Like [`Telemetry::name_thread`], but emits the metadata record only
+    /// the first time this context sees the `(pid, tid)` lane — the worker
+    /// pool runs per layer and per phase, and the trace should not repeat
+    /// one `thread_name` record per pool invocation.
+    pub fn name_thread_once(&self, pid: u64, tid: u64, name: &str) {
+        let Some(inner) = &self.0 else { return };
+        if inner.named_lanes.lock().unwrap().insert((pid, tid)) {
+            self.name_thread(pid, tid, name);
+        }
     }
 
     /// Emits a `"ph":"M"` metadata event naming a virtual thread lane, so

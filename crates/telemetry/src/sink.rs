@@ -65,10 +65,22 @@ pub struct ChromeTraceSink {
     events: Vec<TraceEvent>,
 }
 
+/// Creates `path` for writing, first creating any missing parent
+/// directories — `--trace-out traces/run/a.json` should not fail with a
+/// raw "No such file or directory".
+pub(crate) fn create_with_parents(path: &Path) -> io::Result<File> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    File::create(path)
+}
+
 impl ChromeTraceSink {
     pub fn create(path: &Path) -> io::Result<Self> {
         Ok(ChromeTraceSink {
-            out: Some(BufWriter::new(File::create(path)?)),
+            out: Some(BufWriter::new(create_with_parents(path)?)),
             events: Vec::new(),
         })
     }
@@ -102,7 +114,7 @@ pub struct JsonLinesSink {
 impl JsonLinesSink {
     pub fn create(path: &Path) -> io::Result<Self> {
         Ok(JsonLinesSink {
-            out: BufWriter::new(File::create(path)?),
+            out: BufWriter::new(create_with_parents(path)?),
         })
     }
 }
@@ -216,6 +228,24 @@ mod tests {
         t.finish_sink().unwrap();
         assert!(!path.exists());
         assert_eq!(t.summary().counters.len(), 0);
+    }
+
+    #[test]
+    fn sinks_create_missing_parent_directories() {
+        let dir = tmp("nested-dir");
+        std::fs::remove_dir_all(&dir).ok();
+        let chrome = dir.join("a/b/trace.json");
+        let t = Telemetry::with_sink(Box::new(ChromeTraceSink::create(&chrome).unwrap()));
+        t.slice("sim", "x", 1, 0, 1);
+        t.finish_sink().unwrap();
+        assert!(chrome.exists());
+
+        let jsonl = dir.join("c/d/events.jsonl");
+        let t = Telemetry::with_sink(Box::new(JsonLinesSink::create(&jsonl).unwrap()));
+        t.slice("sim", "y", 1, 0, 1);
+        t.finish_sink().unwrap();
+        assert!(jsonl.exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

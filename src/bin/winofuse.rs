@@ -10,6 +10,8 @@
 //! winofuse run      <model.prototxt> [--exec-algo auto|wino|direct]
 //!                   [--threads N] [--frames N] [--seed N]
 //! winofuse run      <model.prototxt> --fused [--budget-mb N] [--threads N]
+//! winofuse profile  <model.prototxt | --network NAME> [--threads N] [--fused]
+//!                   [--trace-out PATH] [--profile-json PATH]
 //! ```
 //!
 //! This is the paper's Fig. 3 pipeline as a single executable: Caffe
@@ -20,9 +22,11 @@ use std::process::ExitCode;
 
 use winofuse::codegen::{check, testbench, HlsProject};
 use winofuse::core::bnb::AlgoPolicy;
+use winofuse::fpga::engine::{computational_roof_gops, Algorithm};
+use winofuse::fpga::roofline::Roofline;
 use winofuse::fusion::simulator::FusedGroupSim;
-use winofuse::model::runtime::{ExecAlgo, NetworkExecutor, NetworkWeights};
-use winofuse::model::{prototxt, DataType, Network};
+use winofuse::model::runtime::{ExecAlgo, LayerProfile, NetworkExecutor, NetworkWeights};
+use winofuse::model::{prototxt, zoo, DataType, LayerKind, Network};
 use winofuse::prelude::{FpgaDevice, Framework};
 use winofuse::telemetry::{ChromeTraceSink, JsonLinesSink, Telemetry, TraceSink};
 
@@ -30,7 +34,8 @@ const MB: u64 = 1024 * 1024;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: winofuse <info|optimize|curve|codegen|simulate|run> <model.prototxt> [options]\n\
+        "usage: winofuse <info|optimize|curve|codegen|simulate|run|profile> <model.prototxt> \
+         [options]\n\
          options:\n\
            --budget-mb N     feature-map transfer budget in MiB (default 8)\n\
            --budget-kb N     ... or in KiB (overrides --budget-mb)\n\
@@ -54,7 +59,13 @@ fn usage() -> ! {
            --reconfig-cycles N  inter-group reconfiguration cost (default 0)\n\
            --trace-out PATH  write a Chrome trace (load in Perfetto or\n\
                              chrome://tracing); .jsonl streams JSON-lines instead\n\
-           --telemetry-json PATH  write the run's counter/histogram summary"
+                             (`profile` defaults to profile.trace.json)\n\
+           --telemetry-json PATH  write the run's counter/histogram summary\n\
+           --network NAME    `profile` only: use a built-in network instead of a\n\
+                             prototxt — alexnet, vgg16, vgg-e, vgg-e-prefix,\n\
+                             small, mixed\n\
+           --profile-json PATH  `profile` only: machine-readable per-layer\n\
+                             attribution (default profile.json)"
     );
     std::process::exit(2);
 }
@@ -79,6 +90,10 @@ struct Options {
     reconfig_cycles: Option<u64>,
     trace_out: Option<PathBuf>,
     telemetry_json: Option<PathBuf>,
+    /// `profile` only: built-in zoo network instead of a prototxt path.
+    network: Option<String>,
+    /// `profile` only: machine-readable attribution output path.
+    profile_json: Option<PathBuf>,
     /// Shared observability context; enabled when either flag is given.
     telemetry: Telemetry,
 }
@@ -99,6 +114,8 @@ fn parse_options(args: &[String]) -> Options {
         reconfig_cycles: None,
         trace_out: None,
         telemetry_json: None,
+        network: None,
+        profile_json: None,
         telemetry: Telemetry::disabled(),
     };
     let mut it = args.iter();
@@ -165,6 +182,8 @@ fn parse_options(args: &[String]) -> Options {
             "--max-group" => o.max_group = value("--max-group").parse().unwrap_or_else(|_| usage()),
             "--threads" => o.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
             "--out" => o.out = Some(PathBuf::from(value("--out"))),
+            "--network" => o.network = Some(value("--network")),
+            "--profile-json" => o.profile_json = Some(PathBuf::from(value("--profile-json"))),
             "--trace-out" => o.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--telemetry-json" => o.telemetry_json = Some(PathBuf::from(value("--telemetry-json"))),
             "--testbench" => o.testbench = true,
@@ -537,32 +556,372 @@ fn cmd_run(net: &Network, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves a `--network` name to a built-in zoo network.
+fn zoo_network(name: &str) -> Result<Network, String> {
+    Ok(match name {
+        "alexnet" => zoo::alexnet(),
+        "vgg16" => zoo::vgg16(),
+        "vgg-e" | "vgg_e" => zoo::vgg_e(),
+        "vgg-e-prefix" => zoo::vgg_e_fused_prefix(),
+        "small" => zoo::small_test_net(),
+        "mixed" => zoo::mixed_test_net(),
+        other => {
+            return Err(format!(
+                "unknown built-in network `{other}` \
+                 (alexnet | vgg16 | vgg-e | vgg-e-prefix | small | mixed)"
+            ))
+        }
+    })
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Roofline attribution for one profiled layer: attainable GOPS at the
+/// layer's arithmetic intensity (on the selected device) and the achieved
+/// fraction of it. `None` for layers with no counted kernel flops.
+fn roofline_attribution(
+    layer_kind: &LayerKind,
+    p: &LayerProfile,
+    roofline: &Roofline,
+    device: &FpgaDevice,
+) -> Option<(f64, f64)> {
+    let LayerKind::Conv(c) = layer_kind else {
+        return None;
+    };
+    let achieved = p.achieved_gflops()?;
+    let algorithm = if p.algo == "winograd" {
+        Algorithm::Winograd { m: 4 }
+    } else {
+        Algorithm::Conventional
+    };
+    let roof = computational_roof_gops(device, algorithm, c.kernel);
+    let point = roofline.evaluate(&p.name, p.conv.arithmetic_intensity(), roof);
+    if point.attainable_gops <= 0.0 {
+        return None;
+    }
+    Some((
+        point.attainable_gops,
+        100.0 * achieved / point.attainable_gops,
+    ))
+}
+
+fn cmd_profile(net: &Network, o: &Options) -> Result<(), String> {
+    let algo = o.exec_algo.unwrap_or_default();
+    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let shape = net.input_shape();
+    let input = winofuse::conv::tensor::random_tensor(
+        1,
+        shape.channels,
+        shape.height,
+        shape.width,
+        o.seed + 1,
+    );
+    let exec = NetworkExecutor::with_algo(net, &weights, algo)
+        .map_err(|e| e.to_string())?
+        .with_threads(o.threads)
+        .with_telemetry(o.telemetry.clone());
+    let start = std::time::Instant::now();
+    let (out, profiles) = exec.run_profiled(&input).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let roofline = Roofline::for_device(&o.device);
+
+    println!("network: {net}");
+    println!("device:  {} (roofline reference)", o.device);
+    println!("output:  {}x{}x{}", out.c(), out.h(), out.w());
+    println!(
+        "\n{:<16} {:<5} {:<9} {:>9} {:>10} {:>9} {:>12} {:>7}",
+        "layer", "kind", "algo", "wall ms", "GFLOP/s", "AI op/B", "attain GOPS", "%roof"
+    );
+    let mut total_flops = 0u64;
+    for (layer, p) in net.layers().iter().zip(&profiles) {
+        total_flops += p.conv.total_flops();
+        let wall_ms = p.wall_ns as f64 / 1e6;
+        match (
+            p.achieved_gflops(),
+            roofline_attribution(&layer.kind, p, &roofline, &o.device),
+        ) {
+            (Some(gflops), Some((attain, pct))) => println!(
+                "{:<16} {:<5} {:<9} {:>9.2} {:>10.2} {:>9.2} {:>12.1} {:>7.1}",
+                p.name,
+                p.kind,
+                p.algo,
+                wall_ms,
+                gflops,
+                p.conv.arithmetic_intensity(),
+                attain,
+                pct
+            ),
+            _ => println!(
+                "{:<16} {:<5} {:<9} {:>9.2} {:>10} {:>9} {:>12} {:>7}",
+                p.name, p.kind, p.algo, wall_ms, "-", "-", "-", "-"
+            ),
+        }
+    }
+    println!(
+        "\ntotal: {:.1} ms, {:.2} counted Gflop, {:.2} effective GFLOP/s",
+        elapsed * 1e3,
+        total_flops as f64 / 1e9,
+        total_flops as f64 / elapsed / 1e9
+    );
+    if let Some(path) = &o.profile_json {
+        write_profile_json(path, net, o, &profiles, &roofline)?;
+        eprintln!("per-layer attribution written to {}", path.display());
+    }
+    Ok(())
+}
+
+/// Serializes the per-layer attribution (hand-rolled JSON, matching the
+/// telemetry crate's no-serde convention).
+fn write_profile_json(
+    path: &std::path::Path,
+    net: &Network,
+    o: &Options,
+    profiles: &[LayerProfile],
+    roofline: &Roofline,
+) -> Result<(), String> {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"network\": {},\n", json_str(net.name())));
+    s.push_str(&format!("  \"device\": {},\n", json_str(o.device.name())));
+    s.push_str(&format!("  \"threads\": {},\n", o.threads));
+    s.push_str(&format!("  \"seed\": {},\n", o.seed));
+    s.push_str("  \"layers\": [\n");
+    for (idx, (layer, p)) in net.layers().iter().zip(profiles).enumerate() {
+        let c = &p.conv;
+        let attribution = roofline_attribution(&layer.kind, p, roofline, &o.device);
+        s.push_str("    {");
+        s.push_str(&format!("\"name\": {}, ", json_str(&p.name)));
+        s.push_str(&format!("\"kind\": {}, ", json_str(p.kind)));
+        s.push_str(&format!("\"algo\": {}, ", json_str(p.algo)));
+        s.push_str(&format!("\"wall_ns\": {}, ", p.wall_ns));
+        s.push_str(&format!("\"model_ops\": {}, ", p.model_ops));
+        s.push_str(&format!("\"flops\": {}, ", c.total_flops()));
+        s.push_str(&format!("\"bytes\": {}, ", c.total_bytes()));
+        s.push_str(&format!(
+            "\"arithmetic_intensity\": {:.6}, ",
+            c.arithmetic_intensity()
+        ));
+        match (p.achieved_gflops(), attribution) {
+            (Some(g), Some((attain, pct))) => s.push_str(&format!(
+                "\"achieved_gflops\": {g:.6}, \"attainable_gops\": {attain:.6}, \
+                 \"pct_of_roofline\": {pct:.3}, "
+            )),
+            _ => s.push_str(
+                "\"achieved_gflops\": null, \"attainable_gops\": null, \
+                 \"pct_of_roofline\": null, ",
+            ),
+        }
+        s.push_str(&format!(
+            "\"gemm_calls\": {}, \"tiles\": {}, \"bytes_packed\": {}, ",
+            c.gemm_calls, c.tiles, c.bytes_packed
+        ));
+        s.push_str(&format!(
+            "\"phases\": {{\"scatter\": {{\"flops\": {}, \"bytes\": {}, \"ns\": {}}}, \
+             \"gemm\": {{\"flops\": {}, \"bytes\": {}, \"ns\": {}, \"pack_ns\": {}, \
+             \"kernel_ns\": {}}}, \
+             \"gather\": {{\"flops\": {}, \"bytes\": {}, \"ns\": {}}}}}",
+            c.flops_scatter,
+            c.bytes_scatter,
+            c.scatter_ns,
+            c.flops_gemm,
+            c.bytes_gemm,
+            c.gemm_ns,
+            c.pack_ns,
+            c.kernel_ns,
+            c.flops_gather,
+            c.bytes_gather,
+            c.gather_ns
+        ));
+        s.push('}');
+        if idx + 1 < profiles.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating `{}`: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, s).map_err(|e| format!("writing `{}`: {e}", path.display()))
+}
+
+/// `profile --fused`: execute the optimized strategy's fusion groups with
+/// worker-lane tracing on, reporting per-group DRAM traffic and the
+/// kernel counters; the Chrome trace carries the per-stage lanes.
+fn cmd_profile_fused(net: &Network, o: &Options) -> Result<(), String> {
+    let fw = framework(o);
+    let design = fw
+        .optimize(net, o.budget_bytes)
+        .map_err(|e| e.to_string())?;
+    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let shape = net.input_shape();
+    let input = winofuse::conv::tensor::random_tensor(
+        1,
+        shape.channels,
+        shape.height,
+        shape.width,
+        o.seed + 1,
+    );
+    let runner = fw
+        .fused_runner(net, &design, &weights)
+        .map_err(|e| e.to_string())?
+        .strict_dram(false);
+    let start = std::time::Instant::now();
+    let report = runner.run(&input).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+    println!("network: {net}");
+    println!("strategy:\n{}", design.partition.strategy);
+    println!(
+        "{:>6} {:>10} {:>13} {:>13} {:>13} {:>7}",
+        "group", "layers", "read (B)", "written (B)", "analytic (B)", "delta"
+    );
+    for g in &report.groups {
+        println!(
+            "{:>6} {:>7}..{:<2} {:>13} {:>13} {:>13} {:>7}",
+            g.start,
+            g.start,
+            g.end,
+            g.dram_bytes_read,
+            g.dram_bytes_written,
+            g.analytic_dram_bytes,
+            g.delta()
+        );
+    }
+    let summary = o.telemetry.summary();
+    println!(
+        "\nfused run: {:.1} ms; {} pool jobs across {} pool runs",
+        elapsed * 1e3,
+        summary.counter("pool.jobs"),
+        summary.counter("pool.runs")
+    );
+    if let Some(path) = &o.profile_json {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"network\": {},\n", json_str(net.name())));
+        s.push_str(&format!("  \"device\": {},\n", json_str(o.device.name())));
+        s.push_str(&format!("  \"threads\": {},\n", o.threads));
+        s.push_str("  \"fused\": true,\n  \"groups\": [\n");
+        for (idx, g) in report.groups.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"start\": {}, \"end\": {}, \"dram_bytes_read\": {}, \
+                 \"dram_bytes_written\": {}, \"analytic_dram_bytes\": {}, \"delta\": {}}}{}\n",
+                g.start,
+                g.end,
+                g.dram_bytes_read,
+                g.dram_bytes_written,
+                g.analytic_dram_bytes,
+                g.delta(),
+                if idx + 1 < report.groups.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating `{}`: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(path, s).map_err(|e| format!("writing `{}`: {e}", path.display()))?;
+        eprintln!("per-group attribution written to {}", path.display());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
         usage();
     }
     let cmd = args[0].as_str();
-    let path = args[1].as_str();
-    let opts = parse_options(&args[2..]);
+    // `profile --network NAME` has no model path; every other command
+    // (and `profile <model.prototxt>`) takes one as the second argument.
+    let (path, rest): (&str, &[String]) = if args[1].starts_with("--") {
+        ("", &args[1..])
+    } else {
+        (args[1].as_str(), &args[2..])
+    };
+    let mut opts = parse_options(rest);
 
-    if opts.exec_algo.is_some() && cmd != "run" {
-        eprintln!("error: --exec-algo only applies to the `run` command");
+    if opts.exec_algo.is_some() && cmd != "run" && cmd != "profile" {
+        eprintln!("error: --exec-algo only applies to the `run` and `profile` commands");
         return ExitCode::FAILURE;
     }
-    if opts.fused && cmd != "run" {
-        eprintln!("error: --fused only applies to the `run` command");
+    if opts.fused && cmd != "run" && cmd != "profile" {
+        eprintln!("error: --fused only applies to the `run` and `profile` commands");
         return ExitCode::FAILURE;
     }
     if opts.fused && opts.exec_algo.is_some() {
-        eprintln!("error: --exec-algo does not apply to `run --fused`");
+        eprintln!("error: --exec-algo does not apply to fused execution");
         return ExitCode::FAILURE;
     }
+    if (opts.network.is_some() || opts.profile_json.is_some()) && cmd != "profile" {
+        eprintln!("error: --network / --profile-json only apply to the `profile` command");
+        return ExitCode::FAILURE;
+    }
+    if cmd == "profile" {
+        // A profile run always produces its two artifacts; honor explicit
+        // paths, default the rest.
+        if opts.trace_out.is_none() {
+            let p = PathBuf::from("profile.trace.json");
+            match ChromeTraceSink::create(&p) {
+                Ok(sink) => {
+                    opts.telemetry = Telemetry::with_sink(Box::new(sink));
+                    opts.trace_out = Some(p);
+                }
+                Err(e) => {
+                    eprintln!("error: cannot create trace file `{}`: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if opts.profile_json.is_none() {
+            opts.profile_json = Some(PathBuf::from("profile.json"));
+        }
+    }
 
-    // `run` executes the network on the CPU, FC/softmax tail included;
-    // the accelerator commands — including `run --fused`, which executes
-    // an optimized strategy — map the convolutional body only.
-    let loaded = if cmd == "run" && !opts.fused {
+    // `run` and layer-wise `profile` execute the network on the CPU,
+    // FC/softmax tail included; the accelerator commands — including
+    // fused execution of an optimized strategy — map the convolutional
+    // body only.
+    let loaded = if cmd == "profile" {
+        match &opts.network {
+            Some(name) => zoo_network(name).and_then(|n| {
+                if opts.fused {
+                    n.conv_body().map_err(|e| e.to_string())
+                } else {
+                    Ok(n)
+                }
+            }),
+            None if !path.is_empty() => {
+                if opts.fused {
+                    load_network(path)
+                } else {
+                    load_full_network(path)
+                }
+            }
+            None => Err("profile requires a model path or --network NAME".to_string()),
+        }
+    } else if path.is_empty() {
+        Err(format!("the `{cmd}` command requires a model path"))
+    } else if cmd == "run" && !opts.fused {
         load_full_network(path)
     } else {
         load_network(path)
@@ -582,6 +941,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&net, &opts),
         "run" if opts.fused => cmd_run_fused(&net, &opts),
         "run" => cmd_run(&net, &opts),
+        "profile" if opts.fused => cmd_profile_fused(&net, &opts),
+        "profile" => cmd_profile(&net, &opts),
         _ => {
             usage();
         }

@@ -50,6 +50,7 @@ pub use winofuse_core as core;
 pub use winofuse_fpga as fpga;
 pub use winofuse_fusion as fusion;
 pub use winofuse_model as model;
+pub use winofuse_runtime as runtime;
 pub use winofuse_telemetry as telemetry;
 
 /// The most commonly used types, importable in one line.

@@ -131,6 +131,76 @@ fn single_range_table_matches_serial() {
     assert_eq!(table, serial.plan(0..net.len()).expect("serial plan"));
 }
 
+/// Deterministic slice of one layer's profile: everything the profiler
+/// derives analytically (work, traffic, job geometry) — never the
+/// wall-clock fields, which are allowed to move.
+fn pinned_profile(p: &winofuse::model::runtime::LayerProfile) -> (String, &'static str, [u64; 10]) {
+    (
+        p.name.clone(),
+        p.algo,
+        [
+            p.model_ops,
+            p.conv.flops_scatter,
+            p.conv.flops_gemm,
+            p.conv.flops_gather,
+            p.conv.bytes_scatter,
+            p.conv.bytes_gemm,
+            p.conv.bytes_gather,
+            p.conv.gemm_calls,
+            p.conv.tiles,
+            p.conv.bytes_packed,
+        ],
+    )
+}
+
+#[test]
+fn profiled_execution_counters_are_thread_count_invariant() {
+    // The profiler's analytic quantities (FLOPs, bytes, GEMM calls,
+    // tiles, pool job counts) must be bit-identical at any worker
+    // count — only the ns fields may differ. This is what makes a
+    // 1-thread profile comparable against an 8-thread one.
+    use winofuse::conv::tensor::random_tensor;
+    use winofuse::model::runtime::{ExecAlgo, NetworkExecutor, NetworkWeights};
+
+    let net = zoo::small_test_net();
+    let weights = NetworkWeights::random(&net, 7).expect("weights");
+    let shape = net.input_shape();
+    let x = random_tensor(1, shape.channels, shape.height, shape.width, 9);
+
+    let run = |threads: usize| {
+        let tele = Telemetry::enabled();
+        let exec = NetworkExecutor::with_algo(&net, &weights, ExecAlgo::Auto)
+            .expect("executor")
+            .with_threads(threads)
+            .with_telemetry(tele.clone());
+        let (out, profiles) = exec.run_profiled(&x).expect("profiled run");
+        let pinned: Vec<_> = profiles.iter().map(pinned_profile).collect();
+        let s = tele.summary();
+        let counters = [
+            ("pool.jobs", s.counter("pool.jobs")),
+            ("conv.gemm_calls", s.counter("conv.gemm_calls")),
+            ("conv.tiles", s.counter("conv.tiles")),
+            ("conv.bytes_packed", s.counter("conv.bytes_packed")),
+        ];
+        (out, pinned, counters)
+    };
+
+    let (base_out, base_pinned, base_counters) = run(1);
+    assert!(base_counters.iter().all(|&(_, v)| v > 0));
+    for threads in [2usize, 4, 8] {
+        let (out, pinned, counters) = run(threads);
+        assert_eq!(out, base_out, "{threads}-thread output differs");
+        assert_eq!(
+            pinned, base_pinned,
+            "{threads}-thread layer profiles differ from serial"
+        );
+        assert_eq!(
+            counters, base_counters,
+            "{threads}-thread telemetry counters differ from serial"
+        );
+    }
+}
+
 /// Strategy for random small CNNs (the same shape family as
 /// `optimizer_properties.rs`): 1–3 convs over a 3-channel input, maybe a
 /// trailing pool.

@@ -1,0 +1,133 @@
+//! End-to-end checks on the Chrome-trace files the profiler writes: the
+//! JSON must parse, every slice must be well-formed, pids must stay on
+//! the two documented lanes ([`PID_WALL`] for wall-clock, [`PID_SIM`]
+//! for simulator cycles), and the worker-lane tids must be stable from
+//! run to run at a fixed thread count — the property that makes two
+//! traces of the same build directly comparable in the viewer.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+use winofuse::runtime::WORKER_TID_BASE;
+use winofuse::telemetry::json::{parse, JsonValue};
+use winofuse::telemetry::{PID_SIM, PID_WALL};
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("winofuse_trace_{tag}_{}", std::process::id()))
+}
+
+/// Runs `winofuse profile --network small` with an explicit trace path
+/// and returns the parsed `traceEvents` array.
+fn profile_trace(tag: &str, threads: usize) -> Vec<JsonValue> {
+    let trace = tmp(&format!("{tag}.trace.json"));
+    let profile = tmp(&format!("{tag}.profile.json"));
+    let out = Command::new(env!("CARGO_BIN_EXE_winofuse"))
+        .args(["profile", "--network", "small"])
+        .args(["--threads", &threads.to_string()])
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--profile-json")
+        .arg(&profile)
+        .output()
+        .expect("run winofuse profile");
+    assert!(
+        out.status.success(),
+        "profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&profile).ok();
+    let doc = parse(&text).expect("trace is valid JSON");
+    doc.get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array")
+        .to_vec()
+}
+
+fn field_u64(ev: &JsonValue, key: &str) -> Option<u64> {
+    ev.get(key).and_then(JsonValue::as_u64)
+}
+
+/// The worker lanes named by `thread_name` metadata on the wall-clock
+/// pid — the tids the pool assigned to its workers.
+fn worker_lanes(events: &[JsonValue]) -> BTreeSet<u64> {
+    events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M"))
+        .filter(|e| field_u64(e, "pid") == Some(PID_WALL))
+        .filter_map(|e| field_u64(e, "tid"))
+        .filter(|&tid| tid >= WORKER_TID_BASE)
+        .collect()
+}
+
+#[test]
+fn profile_trace_slices_are_well_formed() {
+    let events = profile_trace("wellformed", 4);
+    assert!(!events.is_empty(), "profile run emitted no trace events");
+
+    let mut slices = 0;
+    for ev in &events {
+        let ph = ev.get("ph").and_then(JsonValue::as_str).expect("ph field");
+        let pid = field_u64(ev, "pid").expect("pid field");
+        assert!(
+            pid == PID_WALL || pid == PID_SIM,
+            "event on undocumented pid {pid}"
+        );
+        match ph {
+            "M" => {
+                // thread_name metadata: must carry a non-empty lane label.
+                let label = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(JsonValue::as_str)
+                    .expect("thread_name args.name");
+                assert!(!label.is_empty());
+            }
+            "X" => {
+                slices += 1;
+                assert!(!ev
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .expect("slice name")
+                    .is_empty());
+                field_u64(ev, "ts").expect("complete slice has ts");
+                field_u64(ev, "dur").expect("complete slice has dur");
+                field_u64(ev, "tid").expect("complete slice has tid");
+            }
+            other => panic!("unexpected trace phase {other:?}"),
+        }
+    }
+    assert!(slices > 0, "no complete slices in the trace");
+
+    // Worker-lane slices exist and stay inside the named lanes.
+    let lanes = worker_lanes(&events);
+    assert!(!lanes.is_empty(), "no worker lanes named");
+    let lane_slices: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .filter(|e| field_u64(e, "pid") == Some(PID_WALL))
+        .filter_map(|e| field_u64(e, "tid"))
+        .filter(|&tid| tid >= WORKER_TID_BASE)
+        .collect();
+    assert!(!lane_slices.is_empty(), "no slices on worker lanes");
+    for tid in lane_slices {
+        assert!(lanes.contains(&tid), "slice on unnamed worker lane {tid}");
+    }
+}
+
+#[test]
+fn worker_lane_tids_are_stable_across_runs() {
+    // Same build, same thread count → the viewer must show the same
+    // lanes, whatever the scheduler did to the individual slices.
+    let first = worker_lanes(&profile_trace("stable_a", 4));
+    let second = worker_lanes(&profile_trace("stable_b", 4));
+    assert_eq!(first, second, "worker-lane tids changed between runs");
+    for &tid in &first {
+        assert!(
+            (WORKER_TID_BASE..WORKER_TID_BASE + 4).contains(&tid),
+            "worker lane {tid} outside the 4-thread range"
+        );
+    }
+}

@@ -160,12 +160,12 @@ fn fill_patches<T: Scalar + Send + Sync>(
     patches: &mut [T],
     threads: usize,
     prof: &PoolProfiler,
-) {
+) -> Result<(), ConvError> {
     let (k, s, pad) = (geom.kernel(), geom.stride(), geom.pad() as isize);
     let (oh, ow) = (geom.output_height(), geom.output_width());
     let cols = oh * ow;
     let slices = winofuse_runtime::split_chunks(patches, PATCH_ROW_CHUNK * cols);
-    winofuse_runtime::run_sliced_jobs_with_traced(
+    winofuse_runtime::run_sliced_jobs_isolated(
         threads,
         slices,
         prof,
@@ -184,7 +184,8 @@ fn fill_patches<T: Scalar + Send + Sync>(
                 }
             }
         },
-    );
+    )?;
+    Ok(())
 }
 
 /// Fast direct convolution: im2col lowering followed by the blocked GEMM
@@ -252,7 +253,7 @@ pub fn conv2d_fast_traced(
     let timed = stats.is_some();
     for bn in 0..batch {
         let t_phase = stats.map(|_| Instant::now());
-        fill_patches(input, geom, bn, &mut patches, threads, &im2col_prof);
+        fill_patches(input, geom, bn, &mut patches, threads, &im2col_prof)?;
         if let Some(s) = stats {
             // Pure data movement: input elements read, patch matrix written.
             s.add_phase(ConvPhase::Scatter, 0, 8 * (ckk * cols) as u64);
@@ -266,7 +267,7 @@ pub fn conv2d_fast_traced(
         let slices = winofuse_runtime::split_lengths(img, &lengths);
         let patches_ref = &patches;
         let t_phase = stats.map(|_| Instant::now());
-        winofuse_runtime::run_sliced_jobs_with_traced(
+        winofuse_runtime::run_sliced_jobs_isolated(
             threads,
             slices,
             &gemm_prof,
@@ -291,7 +292,7 @@ pub fn conv2d_fast_traced(
                     s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
                 }
             },
-        );
+        )?;
         if let (Some(s), Some(t0)) = (stats, t_phase) {
             s.add_phase_ns(ConvPhase::Gemm, t0.elapsed().as_nanos() as u64);
         }
@@ -338,14 +339,15 @@ pub fn conv2d_fix16_fast(
             &mut patches,
             threads,
             &PoolProfiler::disabled(),
-        );
+        )?;
         let out_all = out.as_mut_slice();
         let img = &mut out_all[bn * out_c * cols..(bn + 1) * out_c * cols];
         let slices = winofuse_runtime::split_lengths(img, &lengths);
         let patches_ref = &patches;
-        winofuse_runtime::run_sliced_jobs_with(
+        winofuse_runtime::run_sliced_jobs_isolated(
             threads,
             slices,
+            &PoolProfiler::disabled(),
             || vec![Accumulator::new(); cols],
             |accs, job, slice| {
                 let (k0, kb) = k_blocks[job];
@@ -366,7 +368,7 @@ pub fn conv2d_fix16_fast(
                     }
                 }
             },
-        );
+        )?;
     }
     Ok(out)
 }

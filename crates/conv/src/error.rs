@@ -31,6 +31,31 @@ pub enum ConvError {
     /// Exact rational arithmetic overflowed `i128` during transform
     /// generation (only possible for very large tile sizes).
     RationalOverflow,
+    /// A kernel's worker-pool jobs panicked (or blew the watchdog
+    /// deadline): the panic-isolated pool caught the fault and the kernel
+    /// surfaced it as a typed error instead of unwinding. Recoverable by
+    /// re-running the layer on a different algorithm path — see the
+    /// executor's degradation ladder.
+    KernelFault {
+        /// The pool label the fault surfaced under (e.g. `conv2/wino.gemm`).
+        site: String,
+        /// One-line fault summary from [`winofuse_runtime::PoolError`].
+        detail: String,
+    },
+}
+
+impl From<winofuse_runtime::PoolError> for ConvError {
+    fn from(e: winofuse_runtime::PoolError) -> Self {
+        let site = match &e {
+            winofuse_runtime::PoolError::JobsPanicked { label, .. }
+            | winofuse_runtime::PoolError::DeadlineExceeded { label, .. } => label.clone(),
+            _ => String::from("pool"),
+        };
+        ConvError::KernelFault {
+            site,
+            detail: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for ConvError {
@@ -51,6 +76,9 @@ impl fmt::Display for ConvError {
                     f,
                     "rational arithmetic overflow during transform generation"
                 )
+            }
+            ConvError::KernelFault { site, detail } => {
+                write!(f, "kernel fault at `{site}`: {detail}")
             }
         }
     }

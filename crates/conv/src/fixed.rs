@@ -5,11 +5,49 @@
 //! arithmetic, mirroring what a DSP48E-based datapath with a widened
 //! accumulator does: products are formed exactly in 32 bits and rounded
 //! back to Q8.8; sums saturate at the type's range.
+//!
+//! # Overflow semantics
+//!
+//! Every operation in this module **saturates** at the representable range
+//! `[-128.0, 127.996]` — values clamp to [`Fix16::MAX`] / [`Fix16::MIN`]
+//! and never wrap, in debug and release builds alike (the implementations
+//! go through explicit range checks, never through raw `i16` arithmetic
+//! that could wrap in release or panic in debug). `NaN` converts to zero.
+//! [`Accumulator::mac`] is exact in 64 bits and cannot overflow for any
+//! realistic reduction length (it would take ~2⁴⁴ maximal products);
+//! saturation happens once, at [`Accumulator::finish`].
+//!
+//! Each saturation event increments a process-wide counter readable via
+//! [`saturation_count`] / [`take_saturation_count`] — the runtime snapshots
+//! it around kernel runs to publish the `fix16.saturations` telemetry
+//! counter and to detect Winograd-domain range blowups worth falling back
+//! to the direct path for. The counter only touches the rare clamp branch;
+//! the in-range fast path is unchanged.
 
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::tensor::Scalar;
+
+static SATURATIONS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn note_saturation() {
+    SATURATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total fix16 saturation events in this process (monotonic; all threads).
+pub fn saturation_count() -> u64 {
+    SATURATIONS.load(Ordering::Relaxed)
+}
+
+/// Reads and resets the process-wide saturation counter, returning the
+/// count drained. Concurrent kernels share the counter, so a drained
+/// window attributes saturations to whatever ran inside it.
+pub fn take_saturation_count() -> u64 {
+    SATURATIONS.swap(0, Ordering::Relaxed)
+}
 
 /// Number of fractional bits in [`Fix16`].
 pub const FRAC_BITS: u32 = 8;
@@ -60,8 +98,14 @@ impl Fix16 {
         }
         let scaled = (v * ONE_RAW as f32).round();
         if scaled >= i16::MAX as f32 {
+            if scaled > i16::MAX as f32 {
+                note_saturation();
+            }
             Fix16::MAX
         } else if scaled <= i16::MIN as f32 {
+            if scaled < i16::MIN as f32 {
+                note_saturation();
+            }
             Fix16::MIN
         } else {
             Fix16(scaled as i16)
@@ -75,12 +119,32 @@ impl Fix16 {
 
     /// Saturating addition.
     pub fn saturating_add(self, rhs: Self) -> Self {
-        Fix16(self.0.saturating_add(rhs.0))
+        match self.0.checked_add(rhs.0) {
+            Some(raw) => Fix16(raw),
+            None => {
+                note_saturation();
+                if self.0 >= 0 {
+                    Fix16::MAX
+                } else {
+                    Fix16::MIN
+                }
+            }
+        }
     }
 
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: Self) -> Self {
-        Fix16(self.0.saturating_sub(rhs.0))
+        match self.0.checked_sub(rhs.0) {
+            Some(raw) => Fix16(raw),
+            None => {
+                note_saturation();
+                if self.0 >= 0 {
+                    Fix16::MAX
+                } else {
+                    Fix16::MIN
+                }
+            }
+        }
     }
 
     /// Saturating multiplication: exact 32-bit product, rounded to nearest
@@ -94,8 +158,10 @@ impl Fix16 {
             -((-wide + (ONE_RAW / 2)) >> FRAC_BITS)
         };
         if rounded > i16::MAX as i32 {
+            note_saturation();
             Fix16::MAX
         } else if rounded < i16::MIN as i32 {
+            note_saturation();
             Fix16::MIN
         } else {
             Fix16(rounded as i16)
@@ -105,6 +171,7 @@ impl Fix16 {
     /// Absolute value (saturating: `|MIN|` maps to `MAX`).
     pub fn abs(self) -> Self {
         if self.0 == i16::MIN {
+            note_saturation();
             Fix16::MAX
         } else {
             Fix16(self.0.abs())
@@ -136,7 +203,12 @@ impl Mul for Fix16 {
 impl Neg for Fix16 {
     type Output = Fix16;
     fn neg(self) -> Self {
-        Fix16(self.0.saturating_neg())
+        if self.0 == i16::MIN {
+            note_saturation();
+            Fix16::MAX
+        } else {
+            Fix16(-self.0)
+        }
     }
 }
 
@@ -196,8 +268,10 @@ impl Accumulator {
             -((-wide + half) >> FRAC_BITS)
         };
         if rounded > i16::MAX as i64 {
+            note_saturation();
             Fix16::MAX
         } else if rounded < i16::MIN as i64 {
+            note_saturation();
             Fix16::MIN
         } else {
             Fix16::from_raw(rounded as i16)
@@ -277,6 +351,35 @@ mod tests {
             acc.mac(big, Fix16::ONE);
         }
         assert_eq!(acc.finish(), Fix16::MAX);
+    }
+
+    #[test]
+    fn saturation_events_are_counted() {
+        // The counter is process-global and other tests saturate too, so
+        // assert on deltas being at least the events this test causes.
+        let before = saturation_count();
+        let _ = Fix16::from_f32(1e9); // +1
+        let big = Fix16::from_f32(127.0);
+        let _ = big + big; // +1
+        let _ = Fix16::MIN - big; // +1
+        let _ = big * big; // +1
+        let _ = -Fix16::MIN; // +1
+        let _ = Fix16::MIN.abs(); // +1
+        let mut acc = Accumulator::new();
+        acc.mac(big, big);
+        acc.mac(big, big);
+        let _ = acc.finish(); // +1
+        assert!(saturation_count() >= before + 7);
+        // In-range arithmetic must not count.
+        let mid = saturation_count();
+        let a = Fix16::from_f32(1.5);
+        let _ = a + a;
+        let _ = a * a;
+        let _ = -a;
+        let _ = Fix16::from_f32(-2.0);
+        assert!(saturation_count() >= mid); // others may run concurrently…
+        let drained = take_saturation_count();
+        assert!(drained >= 7 || saturation_count() == 0);
     }
 
     #[test]

@@ -445,7 +445,7 @@ pub fn conv2d_batched_traced(
     {
         let t_phase = stats.map(|_| Instant::now());
         let slices = winofuse_runtime::split_chunks(&mut v_buf, TILE_CHUNK * aa * in_c);
-        winofuse_runtime::run_sliced_jobs_with_traced(
+        winofuse_runtime::run_sliced_jobs_isolated(
             threads,
             slices,
             &prof.scoped("wino.scatter"),
@@ -473,7 +473,7 @@ pub fn conv2d_batched_traced(
                     }
                 }
             },
-        );
+        )?;
         if let Some(s) = stats {
             s.add_tiles(p_total as u64);
             // Per (tile, channel): two α×α·α×α products (Bᵀ·d, then ·B).
@@ -505,7 +505,7 @@ pub fn conv2d_batched_traced(
         let blocking = GemmBlocking::default();
         let t_phase = stats.map(|_| Instant::now());
         let timed = stats.is_some();
-        winofuse_runtime::run_sliced_jobs_with_traced(
+        winofuse_runtime::run_sliced_jobs_isolated(
             threads,
             slices,
             &prof.scoped("wino.gemm"),
@@ -535,7 +535,7 @@ pub fn conv2d_batched_traced(
                     s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
                 }
             },
-        );
+        )?;
         if let (Some(s), Some(t0)) = (stats, t_phase) {
             s.add_phase_ns(ConvPhase::Gemm, t0.elapsed().as_nanos() as u64);
         }
@@ -557,7 +557,7 @@ pub fn conv2d_batched_traced(
         let slices = winofuse_runtime::split_lengths(out.as_mut_slice(), &lengths);
         let m_ref = &m_buf;
         let t_phase = stats.map(|_| Instant::now());
-        winofuse_runtime::run_sliced_jobs_with_traced(
+        winofuse_runtime::run_sliced_jobs_isolated(
             threads,
             slices,
             &prof.scoped("wino.gather"),
@@ -597,7 +597,7 @@ pub fn conv2d_batched_traced(
                     }
                 }
             },
-        );
+        )?;
         if let Some(s) = stats {
             // Per (output channel, tile): Aᵀ·M (m×α · α×α) then ·A (m×α · α×m).
             let per_tile = (2 * m * alpha * alpha + 2 * m * m * alpha) as u64;

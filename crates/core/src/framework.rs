@@ -7,6 +7,7 @@ use winofuse_fpga::device::FpgaDevice;
 use winofuse_fpga::energy::EnergyModel;
 use winofuse_fpga::engine::Algorithm;
 use winofuse_model::network::Network;
+use winofuse_runtime::faults::{FaultInjector, FaultMode};
 use winofuse_telemetry::{RunTelemetry, Telemetry};
 
 use crate::bnb::{AlgoPolicy, GroupPlanner};
@@ -64,6 +65,8 @@ pub struct Framework {
     /// Strategy-search worker threads (1 = fully serial search).
     threads: usize,
     telemetry: Telemetry,
+    faults: FaultInjector,
+    fault_mode: Option<FaultMode>,
 }
 
 impl Framework {
@@ -78,6 +81,8 @@ impl Framework {
             max_group_layers: crate::MAX_FUSION_LAYERS,
             threads: crate::parallel::default_threads(),
             telemetry: Telemetry::disabled(),
+            faults: FaultInjector::disabled(),
+            fault_mode: None,
         }
     }
 
@@ -111,6 +116,26 @@ impl Framework {
     /// The observability context (disabled unless set).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Attaches a deterministic fault injector; it propagates into every
+    /// runner the framework builds (see `winofuse_runtime::faults`).
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The attached fault injector (disabled unless set).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Overrides the fault-handling mode of every runner the framework
+    /// builds. `None` (the default) keeps each runner's own default
+    /// (strict under `debug_assertions`).
+    pub fn with_fault_mode(mut self, mode: FaultMode) -> Self {
+        self.fault_mode = Some(mode);
+        self
     }
 
     /// Overrides the fusion-group size cap (default 8, §7.1; the AlexNet
@@ -378,11 +403,16 @@ impl Framework {
         design: &OptimizedDesign,
         weights: &winofuse_model::runtime::NetworkWeights,
     ) -> Result<winofuse_fusion::runner::FusedNetworkRunner, CoreError> {
-        Ok(design
+        let mut runner = design
             .execution_plan()
             .runner(net, weights)?
             .with_threads(self.threads)
-            .with_telemetry(self.telemetry.clone()))
+            .with_telemetry(self.telemetry.clone())
+            .with_faults(self.faults.clone());
+        if let Some(mode) = self.fault_mode {
+            runner = runner.with_fault_mode(mode);
+        }
+        Ok(runner)
     }
 
     /// A per-layer bottleneck diagnosis: for every layer of every fusion

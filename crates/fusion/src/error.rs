@@ -27,6 +27,24 @@ pub enum FusionError {
         /// The analytic transfer bytes budgeted for the group.
         analytic: u64,
     },
+    /// A convolution kernel fault surfaced through the fused datapath
+    /// (panic-isolated worker pool caught a panic or blew its deadline).
+    /// Recoverable: the lenient-mode runner re-runs the group unfused.
+    KernelFault {
+        /// The pool label the fault surfaced under.
+        site: String,
+        /// One-line fault summary.
+        detail: String,
+    },
+    /// A fused group faulted (caught panic, injected saturation, or a
+    /// fallback rung that itself failed) and strict fault mode refused
+    /// to degrade — or lenient mode exhausted the degradation ladder.
+    GroupFault {
+        /// Network index of the group's first layer.
+        start: usize,
+        /// One-line fault description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FusionError {
@@ -46,6 +64,12 @@ impl fmt::Display for FusionError {
                 "dram reconciliation failed for group at layer {start}: \
                  measured {measured} B vs analytic {analytic} B"
             ),
+            FusionError::KernelFault { site, detail } => {
+                write!(f, "kernel fault at `{site}`: {detail}")
+            }
+            FusionError::GroupFault { start, reason } => {
+                write!(f, "fused group at layer {start} faulted: {reason}")
+            }
         }
     }
 }
@@ -66,7 +90,15 @@ impl From<winofuse_fpga::FpgaError> for FusionError {
 
 impl From<winofuse_conv::ConvError> for FusionError {
     fn from(e: winofuse_conv::ConvError) -> Self {
-        FusionError::Conv(e.to_string())
+        match e {
+            // Keep the fault class typed through the conversion so the
+            // runner's degradation ladder can tell a crashed kernel from
+            // a shape or geometry error.
+            winofuse_conv::ConvError::KernelFault { site, detail } => {
+                FusionError::KernelFault { site, detail }
+            }
+            other => FusionError::Conv(other.to_string()),
+        }
     }
 }
 

@@ -18,13 +18,16 @@
 //! analytic transfer budget for the group — the paper's central claim
 //! that fusing keeps intermediate maps off DRAM (§4.2) becomes a checked
 //! invariant: a mismatch is a hard [`FusionError::DramMismatch`] in
-//! strict mode (the default under `debug_assertions`) and a
-//! `fused.dram_delta` telemetry counter otherwise.
+//! strict fault mode (the default under `debug_assertions`), while
+//! lenient mode records `fused.dram_delta` and degrades the group to
+//! unfused direct execution (see [`GroupFallback`] and the degradation
+//! ladder in `DESIGN.md` §12).
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use winofuse_conv::cook_toom::{f43, WinogradTransform};
-use winofuse_conv::fixed::Fix16;
+use winofuse_conv::fixed::{saturation_count, Fix16};
 use winofuse_conv::ops::PoolKind;
 use winofuse_conv::tensor::{Scalar, Tensor};
 use winofuse_conv::winograd::BatchedFilters;
@@ -34,6 +37,7 @@ use winofuse_model::layer::{ConvParams, LayerKind, LrnSpec, PoolParams};
 use winofuse_model::network::Network;
 use winofuse_model::runtime::{LayerWeights, NetworkWeights};
 use winofuse_model::shape::{DataType, FmShape};
+use winofuse_runtime::faults::{describe_panic, FaultInjector, FaultKind, FaultMode};
 use winofuse_runtime::PoolProfiler;
 use winofuse_telemetry::Telemetry;
 
@@ -74,6 +78,18 @@ impl GroupDramReport {
     }
 }
 
+/// Record of one fused group degrading to unfused per-layer execution
+/// (lenient fault mode only). The output is still exact — the fallback
+/// rung streams the same frame through the direct kernels — but the
+/// group no longer ran the plan's fused datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupFallback {
+    /// Network index of the group's first layer.
+    pub start: usize,
+    /// Why the fused attempt was abandoned.
+    pub reason: String,
+}
+
 /// Result of streaming one frame through one fused group.
 #[derive(Debug, Clone)]
 pub struct GroupRunResult<T> {
@@ -81,6 +97,9 @@ pub struct GroupRunResult<T> {
     pub output: Tensor<T>,
     /// Measured-vs-analytic DRAM accounting for the frame.
     pub dram: GroupDramReport,
+    /// `Some` when lenient fault mode re-ran the group unfused after a
+    /// fault or reconciliation mismatch on the fused attempt.
+    pub fallback: Option<GroupFallback>,
 }
 
 /// Result of streaming one frame through a whole planned network.
@@ -90,6 +109,10 @@ pub struct FusedRunReport<T> {
     pub output: Tensor<T>,
     /// Per-group DRAM accounting, in network order.
     pub groups: Vec<GroupDramReport>,
+    /// Groups that degraded to unfused execution (lenient mode only),
+    /// in network order. Their [`GroupDramReport`]s describe the
+    /// fallback run, not the abandoned fused attempt.
+    pub fallbacks: Vec<GroupFallback>,
 }
 
 impl<T> FusedRunReport<T> {
@@ -175,7 +198,11 @@ impl RunnerStage {
 /// [`forward_fix16`]: winofuse_model::runtime::forward_fix16
 trait RunnerElement: Scalar + PartialOrd {
     /// Runs one conv stage on a materialized zero-padded strip (one
-    /// group's channel slice), honoring the plan's algorithm choice.
+    /// group's channel slice), honoring the plan's algorithm choice
+    /// unless `force_direct` pins the blocked direct kernels (the
+    /// lenient-mode fallback rung — numerically identical to the
+    /// unfused direct executor).
+    #[allow(clippy::too_many_arguments)]
     fn conv_group_strip(
         stage: &ConvStage,
         group: usize,
@@ -184,6 +211,7 @@ trait RunnerElement: Scalar + PartialOrd {
         transform: &WinogradTransform,
         threads: usize,
         prof: &PoolProfiler,
+        force_direct: bool,
     ) -> Result<Tensor<Self>, FusionError>;
 }
 
@@ -196,9 +224,10 @@ impl RunnerElement for f32 {
         transform: &WinogradTransform,
         threads: usize,
         prof: &PoolProfiler,
+        force_direct: bool,
     ) -> Result<Tensor<f32>, FusionError> {
-        Ok(match &stage.banks {
-            Some(banks) => winograd::conv2d_batched_traced(
+        Ok(match (&stage.banks, force_direct) {
+            (Some(banks), false) => winograd::conv2d_batched_traced(
                 strip,
                 &banks[group],
                 geom,
@@ -207,7 +236,7 @@ impl RunnerElement for f32 {
                 None,
                 prof,
             )?,
-            None => {
+            _ => {
                 direct::conv2d_fast_traced(strip, &stage.kernels[group], geom, threads, None, prof)?
             }
         })
@@ -223,6 +252,7 @@ impl RunnerElement for Fix16 {
         _transform: &WinogradTransform,
         threads: usize,
         _prof: &PoolProfiler,
+        _force_direct: bool,
     ) -> Result<Tensor<Fix16>, FusionError> {
         // Fixed point always runs the exact wide-integer datapath
         // (matching `forward_fix16`); the algorithm choice is a
@@ -249,7 +279,8 @@ pub struct FusedGroupRunner {
     transform: WinogradTransform,
     threads: usize,
     analytic_dram_bytes: u64,
-    strict_dram: bool,
+    fault_mode: FaultMode,
+    faults: FaultInjector,
     telemetry: Telemetry,
     weight_stream_bytes: u64,
 }
@@ -301,7 +332,7 @@ impl FusedGroupRunner {
             let spec = crate::pyramid::SpatialSpec::of(&cfg.layer.kind);
             let (pad, op, strip_rows) = match &cfg.layer.kind {
                 LayerKind::Conv(c) => {
-                    let LayerWeights::Conv(kernels) = weights.layer(idx) else {
+                    let Some(LayerWeights::Conv(kernels)) = weights.get(idx) else {
                         return Err(FusionError::Simulation(format!(
                             "missing conv weights for layer {idx} `{}`",
                             cfg.layer.name
@@ -342,7 +373,9 @@ impl FusedGroupRunner {
             });
         }
         let first = &configs[0];
-        let last = configs.last().expect("nonempty");
+        let last = configs
+            .last()
+            .expect("invariant: configs checked nonempty above");
         let dtype = DataType::Fixed16;
         let weight_stream_bytes: u64 = stages
             .iter()
@@ -363,7 +396,12 @@ impl FusedGroupRunner {
             transform,
             threads: 0,
             analytic_dram_bytes,
-            strict_dram: cfg!(debug_assertions),
+            fault_mode: if cfg!(debug_assertions) {
+                FaultMode::Strict
+            } else {
+                FaultMode::Lenient
+            },
+            faults: FaultInjector::disabled(),
             telemetry: Telemetry::disabled(),
             weight_stream_bytes,
         })
@@ -383,11 +421,33 @@ impl FusedGroupRunner {
         self
     }
 
-    /// Selects reconciliation behavior: strict (mismatch is a hard
-    /// error) or lenient (mismatch only bumps `fused.dram_delta`).
-    /// Defaults to strict exactly when `debug_assertions` are on.
-    pub fn strict_dram(mut self, strict: bool) -> Self {
-        self.strict_dram = strict;
+    /// Sugar for [`FusedGroupRunner::with_fault_mode`], kept for the
+    /// original reconciliation-only API: `true` is strict mode, `false`
+    /// lenient. Defaults to strict exactly when `debug_assertions` are
+    /// on.
+    pub fn strict_dram(self, strict: bool) -> Self {
+        self.with_fault_mode(if strict {
+            FaultMode::Strict
+        } else {
+            FaultMode::Lenient
+        })
+    }
+
+    /// Selects fault behavior: strict mode surfaces a DRAM mismatch or
+    /// group fault as a typed error; lenient mode re-runs the group
+    /// unfused on the direct kernels (recording `exec.fallbacks` and
+    /// the per-group [`GroupFallback`]).
+    pub fn with_fault_mode(mut self, mode: FaultMode) -> Self {
+        self.fault_mode = mode;
+        self
+    }
+
+    /// Attaches a deterministic fault injector. Sites: `fused.group<n>`
+    /// (group-level panic/saturation), `fused.dram<n>` (DRAM-meter
+    /// perturbation), and the conv worker pools under
+    /// `pool.fused<n>/stage<i>/...`.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -426,11 +486,13 @@ impl FusedGroupRunner {
     ///
     /// # Errors
     ///
-    /// Returns [`FusionError::Simulation`] for a mismatched input shape
-    /// and [`FusionError::DramMismatch`] when strict reconciliation
-    /// fails.
+    /// Returns [`FusionError::Simulation`] for a mismatched input shape;
+    /// in strict fault mode, [`FusionError::DramMismatch`] when
+    /// reconciliation fails and [`FusionError::GroupFault`] for a caught
+    /// kernel panic. Lenient mode degrades to unfused execution instead
+    /// (see [`GroupFallback`]).
     pub fn run(&self, input: &Tensor<f32>) -> Result<GroupRunResult<f32>, FusionError> {
-        self.run_generic(input)
+        self.run_guarded(input)
     }
 
     /// Streams one fixed-point frame through the group. Bit-exact
@@ -442,12 +504,114 @@ impl FusedGroupRunner {
     ///
     /// [`forward_fix16`]: winofuse_model::runtime::forward_fix16
     pub fn run_fix16(&self, input: &Tensor<Fix16>) -> Result<GroupRunResult<Fix16>, FusionError> {
-        self.run_generic(input)
+        self.run_guarded(input)
     }
 
+    /// Runs the group behind the fault guard and degradation ladder:
+    /// the fused attempt is wrapped in `catch_unwind`; a caught panic,
+    /// typed kernel fault, injected group fault, or (after a clean run)
+    /// a nonzero DRAM-reconciliation delta either surfaces as a typed
+    /// error (strict) or triggers one unfused re-run on the direct
+    /// kernels (lenient), bumping `exec.fallbacks` and
+    /// `exec.fallbacks.<class>`.
+    fn run_guarded<T: RunnerElement>(
+        &self,
+        input: &Tensor<T>,
+    ) -> Result<GroupRunResult<T>, FusionError> {
+        let sat0 = saturation_count();
+        let out = self.run_ladder(input);
+        let sats = saturation_count().saturating_sub(sat0);
+        if sats > 0 {
+            self.telemetry.add("fix16.saturations", sats);
+        }
+        out
+    }
+
+    fn run_ladder<T: RunnerElement>(
+        &self,
+        input: &Tensor<T>,
+    ) -> Result<GroupRunResult<T>, FusionError> {
+        let primary = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(kind) = self.faults.trip(&format!("fused.group{}", self.start)) {
+                if matches!(kind, FaultKind::Saturate) {
+                    return Err(FusionError::GroupFault {
+                        start: self.start,
+                        reason: "injected winograd-domain fix16 saturation".to_string(),
+                    });
+                }
+            }
+            self.run_generic(input, false, true)
+        }));
+        let (reason, class) = match primary {
+            Ok(Ok(r)) => {
+                if r.dram.delta() == 0 {
+                    return Ok(r);
+                }
+                match self.fault_mode {
+                    FaultMode::Strict => {
+                        return Err(FusionError::DramMismatch {
+                            start: self.start,
+                            measured: r.dram.measured(),
+                            analytic: r.dram.analytic_dram_bytes,
+                        })
+                    }
+                    FaultMode::Lenient => (
+                        format!(
+                            "dram reconciliation failed: measured {} B vs analytic {} B",
+                            r.dram.measured(),
+                            r.dram.analytic_dram_bytes
+                        ),
+                        "dram_mismatch",
+                    ),
+                }
+            }
+            Ok(Err(e)) => match fault_class(&e) {
+                Some(class) => (e.to_string(), class),
+                // Shape, config and simulation errors are not kernel
+                // faults — switching algorithms cannot fix them.
+                None => return Err(e),
+            },
+            Err(payload) => (describe_panic(payload.as_ref()), "panic"),
+        };
+        if self.fault_mode == FaultMode::Lenient {
+            let retry = catch_unwind(AssertUnwindSafe(|| self.run_generic(input, true, false)));
+            return match retry {
+                Ok(Ok(mut r)) => {
+                    self.telemetry.counter("exec.fallbacks").incr();
+                    self.telemetry
+                        .counter(&format!("exec.fallbacks.{class}"))
+                        .incr();
+                    r.fallback = Some(GroupFallback {
+                        start: self.start,
+                        reason,
+                    });
+                    Ok(r)
+                }
+                Ok(Err(e)) => Err(e),
+                Err(payload) => Err(FusionError::GroupFault {
+                    start: self.start,
+                    reason: format!(
+                        "unfused fallback panicked after `{reason}`: {}",
+                        describe_panic(payload.as_ref())
+                    ),
+                }),
+            };
+        }
+        Err(FusionError::GroupFault {
+            start: self.start,
+            reason,
+        })
+    }
+
+    /// One streaming pass. `force_direct` pins every conv stage to the
+    /// blocked direct kernels (the fallback rung); `primary` gates fault
+    /// injection and the `fused.*` telemetry so a fallback re-run never
+    /// re-trips its own cause or double-counts traffic.
     fn run_generic<T: RunnerElement>(
         &self,
         input: &Tensor<T>,
+        force_direct: bool,
+        primary: bool,
     ) -> Result<GroupRunResult<T>, FusionError> {
         let s = self.input_shape;
         if input.n() != 1
@@ -514,7 +678,15 @@ impl FusedGroupRunner {
                     if fed[i] < self.stages[i].rows_needed(o1) {
                         break;
                     }
-                    let rows = self.produce_strip(i, &windows[i], win_start[i], o0, o1)?;
+                    let rows = self.produce_strip(
+                        i,
+                        &windows[i],
+                        win_start[i],
+                        o0,
+                        o1,
+                        force_direct,
+                        primary,
+                    )?;
                     done[i] = o1;
                     // Evict rows no future strip of this stage needs.
                     let st = &self.stages[i];
@@ -549,6 +721,20 @@ impl FusedGroupRunner {
             }
         }
 
+        if primary {
+            // Deterministic DRAM-meter perturbation: a `dram:<±bytes>`
+            // rule at this site makes reconciliation diverge on the
+            // fused attempt only (the fallback re-run meters honestly).
+            if let Some(FaultKind::DramDelta(d)) =
+                self.faults.trip(&format!("fused.dram{}", self.start))
+            {
+                if d >= 0 {
+                    read = read.saturating_add(d as u64);
+                } else {
+                    read = read.saturating_sub(d.unsigned_abs());
+                }
+            }
+        }
         let dram = GroupDramReport {
             start: self.start,
             end: self.end,
@@ -556,21 +742,23 @@ impl FusedGroupRunner {
             dram_bytes_written: written,
             analytic_dram_bytes: self.analytic_dram_bytes,
         };
-        self.telemetry.add("fused.dram_bytes_read", read);
-        self.telemetry.add("fused.dram_bytes_written", written);
-        self.telemetry.add("fused.dram_delta", dram.delta());
-        if dram.delta() != 0 && self.strict_dram {
-            return Err(FusionError::DramMismatch {
-                start: self.start,
-                measured: dram.measured(),
-                analytic: dram.analytic_dram_bytes,
-            });
+        if primary {
+            self.telemetry.add("fused.dram_bytes_read", read);
+            self.telemetry.add("fused.dram_bytes_written", written);
+            self.telemetry.add("fused.dram_delta", dram.delta());
         }
-        Ok(GroupRunResult { output: out, dram })
+        Ok(GroupRunResult {
+            output: out,
+            dram,
+            fallback: None,
+        })
     }
 
     /// Computes output rows `[o0, o1)` of stage `i` from its window,
     /// returning them channel-major (`C_out·W_out` values per row).
+    /// `primary` gates pool-level fault injection: a fallback re-run must
+    /// never re-trip the injector that degraded the fused attempt.
+    #[allow(clippy::too_many_arguments)]
     fn produce_strip<T: RunnerElement>(
         &self,
         i: usize,
@@ -578,6 +766,8 @@ impl FusedGroupRunner {
         win_start: usize,
         o0: usize,
         o1: usize,
+        force_direct: bool,
+        primary: bool,
     ) -> Result<Vec<Vec<T>>, FusionError> {
         let st = &self.stages[i];
         let row_at = |r: usize| -> Result<&Vec<T>, FusionError> {
@@ -595,15 +785,21 @@ impl FusedGroupRunner {
                 // `fused<group-start>/stage<i>/wino.gemm[k]` etc. The
                 // profiler is rebuilt per strip only when telemetry is
                 // live, so the disabled path stays allocation-free.
-                let prof = if self.telemetry.is_enabled() {
-                    PoolProfiler::new(
+                let inject = primary && self.faults.is_enabled();
+                let prof = if self.telemetry.is_enabled() || inject {
+                    let p = PoolProfiler::new(
                         self.telemetry.clone(),
                         &format!("fused{}/stage{i}", self.start),
-                    )
+                    );
+                    if inject {
+                        p.with_faults(self.faults.clone())
+                    } else {
+                        p
+                    }
                 } else {
                     PoolProfiler::disabled()
                 };
-                self.conv_strip(st, conv, &row_at, o0, o1, &prof)
+                self.conv_strip(st, conv, &row_at, o0, o1, &prof, force_direct)
             }
             StageOp::Pool(p) => {
                 let mut rows = Vec::with_capacity(o1 - o0);
@@ -640,6 +836,7 @@ impl FusedGroupRunner {
     /// Winograd strips are `m` rows starting at a multiple of `m`, so
     /// the strip's tile grid coincides with the whole image's and the
     /// result is bit-identical to an unfused call.
+    #[allow(clippy::too_many_arguments)]
     fn conv_strip<'w, T: RunnerElement + 'w>(
         &self,
         st: &RunnerStage,
@@ -648,6 +845,7 @@ impl FusedGroupRunner {
         o0: usize,
         o1: usize,
         prof: &PoolProfiler,
+        force_direct: bool,
     ) -> Result<Vec<Vec<T>>, FusionError> {
         let c = &conv.params;
         let (ih, iw) = (st.input.height, st.input.width);
@@ -676,15 +874,31 @@ impl FusedGroupRunner {
         let groups = c.groups.max(1);
         let mut strip_out = Tensor::zeros(1, out_c, o1 - o0, out_w);
         if groups <= 1 {
-            strip_out =
-                T::conv_group_strip(conv, 0, &strip, geom, &self.transform, self.threads, prof)?;
+            strip_out = T::conv_group_strip(
+                conv,
+                0,
+                &strip,
+                geom,
+                &self.transform,
+                self.threads,
+                prof,
+                force_direct,
+            )?;
         } else {
             let cg = c.channels_per_group(in_c);
             let ng = c.num_output / groups;
             for g in 0..groups {
                 let x = strip.slice_channels(g * cg, (g + 1) * cg);
-                let y =
-                    T::conv_group_strip(conv, g, &x, geom, &self.transform, self.threads, prof)?;
+                let y = T::conv_group_strip(
+                    conv,
+                    g,
+                    &x,
+                    geom,
+                    &self.transform,
+                    self.threads,
+                    prof,
+                    force_direct,
+                )?;
                 strip_out.write_channels(g * ng, &y);
             }
         }
@@ -706,6 +920,22 @@ impl FusedGroupRunner {
             rows.push(row);
         }
         Ok(rows)
+    }
+}
+
+/// Classifies an error from the fused attempt: `Some(class)` when the
+/// degradation ladder may absorb it by re-running unfused, `None` when
+/// it must propagate (shape/config/simulation errors, which no
+/// algorithm switch can fix).
+fn fault_class(e: &FusionError) -> Option<&'static str> {
+    match e {
+        FusionError::KernelFault { .. } => Some("kernel_fault"),
+        FusionError::GroupFault { reason, .. } => Some(if reason.contains("saturation") {
+            "saturation"
+        } else {
+            "kernel_fault"
+        }),
+        _ => None,
     }
 }
 
@@ -920,10 +1150,28 @@ impl FusedNetworkRunner {
         self
     }
 
-    /// Selects strict or lenient DRAM reconciliation for every group.
-    pub fn strict_dram(mut self, strict: bool) -> Self {
+    /// Sugar for [`FusedNetworkRunner::with_fault_mode`]: `true` is
+    /// strict mode, `false` lenient.
+    pub fn strict_dram(self, strict: bool) -> Self {
+        self.with_fault_mode(if strict {
+            FaultMode::Strict
+        } else {
+            FaultMode::Lenient
+        })
+    }
+
+    /// Selects strict or lenient fault handling for every group.
+    pub fn with_fault_mode(mut self, mode: FaultMode) -> Self {
         for g in &mut self.groups {
-            g.strict_dram = strict;
+            g.fault_mode = mode;
+        }
+        self
+    }
+
+    /// Attaches a deterministic fault injector to every group.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        for g in &mut self.groups {
+            g.faults = faults.clone();
         }
         self
     }
@@ -950,7 +1198,10 @@ impl FusedNetworkRunner {
 
     /// The plan's output feature-map shape.
     pub fn output_shape(&self) -> FmShape {
-        self.groups.last().expect("nonempty").output_shape()
+        self.groups
+            .last()
+            .expect("invariant: constructor rejects empty plans")
+            .output_shape()
     }
 
     /// Streams one `f32` frame through every group in order.
@@ -977,10 +1228,14 @@ impl FusedNetworkRunner {
         run_group: impl Fn(&FusedGroupRunner, &Tensor<T>) -> Result<GroupRunResult<T>, FusionError>,
     ) -> Result<FusedRunReport<T>, FusionError> {
         let mut reports = Vec::with_capacity(self.groups.len());
+        let mut fallbacks = Vec::new();
         let mut cur = input.clone();
         for g in &self.groups {
             let r = run_group(g, &cur)?;
             reports.push(r.dram);
+            if let Some(fb) = r.fallback {
+                fallbacks.push(fb);
+            }
             cur = r.output;
         }
         self.telemetry.add("fused.frames", 1);
@@ -988,6 +1243,7 @@ impl FusedNetworkRunner {
         Ok(FusedRunReport {
             output: cur,
             groups: reports,
+            fallbacks,
         })
     }
 }
@@ -1191,10 +1447,11 @@ mod tests {
     }
 
     #[test]
-    fn lenient_mode_records_delta_in_telemetry() {
+    fn lenient_mode_records_delta_and_degrades_to_unfused() {
         let net = zoo::small_test_net();
         let weights = NetworkWeights::random(&net, 91).unwrap();
         let x = random_tensor(1, 3, 32, 32, 92);
+        let reference = forward(&net, &weights, &x).unwrap();
         let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
         let tel = Telemetry::enabled();
         let runner = FusedGroupRunner::new(&net, 0, &configs, &weights)
@@ -1203,11 +1460,102 @@ mod tests {
             .strict_dram(false)
             .with_telemetry(tel.clone());
         let r = runner.run(&x).unwrap();
-        assert!(r.dram.delta() > 0);
+        // The mismatch triggered the fallback rung: same output, with
+        // the downgrade recorded on the result and in telemetry.
+        assert!(r.output.approx_eq(reference.last().unwrap(), 1e-4));
+        let fb = r.fallback.expect("lenient mismatch must fall back");
+        assert_eq!(fb.start, 0);
+        assert!(fb.reason.contains("dram reconciliation"));
+        assert!(r.dram.delta() > 0, "wrong budget stays wrong on rerun");
         let summary = tel.summary();
         assert_eq!(
             summary.counters.get("fused.dram_delta").copied(),
-            Some(r.dram.delta())
+            Some(r.dram.delta()),
+            "primary attempt's delta is recorded exactly once"
+        );
+        assert_eq!(summary.counters.get("exec.fallbacks").copied(), Some(1));
+        assert_eq!(
+            summary
+                .counters
+                .get("exec.fallbacks.dram_mismatch")
+                .copied(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn injected_dram_perturbation_falls_back_bit_exact() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 93).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 94);
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let clean = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .run(&x)
+            .unwrap();
+        let inj = FaultInjector::parse("dram:4096@fused.dram0#*").unwrap();
+        let tel = Telemetry::enabled();
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_faults(inj)
+            .with_fault_mode(FaultMode::Lenient)
+            .with_telemetry(tel.clone());
+        let r = runner.run(&x).unwrap();
+        assert_eq!(r.output, clean.output, "fallback output is bit-exact");
+        assert!(r.fallback.is_some());
+        // The fallback re-run meters honestly (no re-injection).
+        assert_eq!(r.dram.delta(), 0);
+        assert_eq!(
+            tel.summary().counters.get("exec.fallbacks").copied(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn strict_mode_surfaces_injected_group_panic_as_group_fault() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 95).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 96);
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let inj = FaultInjector::parse("panic@fused.group0").unwrap();
+        winofuse_runtime::faults::install_quiet_panic_hook();
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_faults(inj)
+            .with_fault_mode(FaultMode::Strict);
+        match runner.run(&x) {
+            Err(FusionError::GroupFault { start, reason }) => {
+                assert_eq!(start, 0);
+                assert!(reason.contains("injected"), "reason: {reason}");
+            }
+            other => panic!("expected GroupFault, got {:?}", other.map(|r| r.dram)),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_recovers_injected_group_panic_bit_exact() {
+        let net = zoo::small_test_net();
+        let weights = NetworkWeights::random(&net, 97).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 98);
+        let configs = configs_for(&net, 0..net.len(), Algorithm::Conventional);
+        let clean = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .run(&x)
+            .unwrap();
+        let inj = FaultInjector::parse("panic@fused.group0").unwrap();
+        winofuse_runtime::faults::install_quiet_panic_hook();
+        let tel = Telemetry::enabled();
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_faults(inj)
+            .with_fault_mode(FaultMode::Lenient)
+            .with_telemetry(tel.clone());
+        let r = runner.run(&x).unwrap();
+        assert_eq!(r.output, clean.output);
+        assert!(r.fallback.unwrap().reason.contains("injected"));
+        assert_eq!(
+            tel.summary().counters.get("exec.fallbacks.panic").copied(),
+            Some(1)
         );
     }
 

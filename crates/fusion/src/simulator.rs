@@ -306,8 +306,8 @@ impl FusedGroupSim {
                     )))
                 }
             }
-            let kernels = match (&cfg.layer.kind, weights.layer(idx)) {
-                (LayerKind::Conv(_), LayerWeights::Conv(k)) => Some(k.clone()),
+            let kernels = match (&cfg.layer.kind, weights.get(idx)) {
+                (LayerKind::Conv(_), Some(LayerWeights::Conv(k))) => Some(k.clone()),
                 (LayerKind::Conv(_), _) => {
                     return Err(FusionError::Simulation(format!(
                         "missing conv weights for layer {idx} `{}`",
@@ -341,7 +341,9 @@ impl FusedGroupSim {
             });
         }
         let first = &configs[0];
-        let last = configs.last().expect("nonempty");
+        let last = configs
+            .last()
+            .expect("invariant: configs checked nonempty above");
         let weight_bytes: u64 = configs.iter().map(|c| c.weight_bytes).sum();
         // Weight streaming shares the load channel: amortize over rows.
         let weight_per_row = weight_bytes / (first.input.height as u64).max(1);

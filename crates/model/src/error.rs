@@ -32,6 +32,16 @@ pub enum ModelError {
     },
     /// Numeric execution failed in the convolution substrate.
     Execution(String),
+    /// A kernel fault (caught panic, pool deadline, or detected
+    /// Winograd-domain fix16 overflow) that no fallback path absorbed —
+    /// surfaced by the executor in strict fault mode, or in lenient mode
+    /// when the last rung of the degradation ladder itself faulted.
+    KernelFault {
+        /// Name of the faulting layer.
+        layer: String,
+        /// One-line fault description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -48,6 +58,9 @@ impl fmt::Display for ModelError {
                 write!(f, "layer index {index} out of range for {len} layers")
             }
             ModelError::Execution(msg) => write!(f, "network execution failed: {msg}"),
+            ModelError::KernelFault { layer, reason } => {
+                write!(f, "kernel fault at layer `{layer}`: {reason}")
+            }
         }
     }
 }
@@ -56,7 +69,16 @@ impl Error for ModelError {}
 
 impl From<winofuse_conv::ConvError> for ModelError {
     fn from(e: winofuse_conv::ConvError) -> Self {
-        ModelError::Execution(e.to_string())
+        match e {
+            // Keep the fault class visible through the conversion so the
+            // executor's degradation ladder (and the CLI's exit-code map)
+            // can distinguish a crashed kernel from a shape error.
+            winofuse_conv::ConvError::KernelFault { site, detail } => ModelError::KernelFault {
+                layer: site,
+                reason: detail,
+            },
+            other => ModelError::Execution(other.to_string()),
+        }
     }
 }
 

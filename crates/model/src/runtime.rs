@@ -6,6 +6,7 @@
 //! chooses between — so a heterogeneous strategy can be checked for
 //! functional equivalence end to end.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use winofuse_conv::cook_toom::{f43, WinogradTransform};
 use winofuse_conv::fixed::Fix16;
 use winofuse_conv::gemm::{ConvProfile, ConvStats};
@@ -13,6 +14,7 @@ use winofuse_conv::ops::{self, LrnParams};
 use winofuse_conv::tensor::{random_tensor, Tensor};
 use winofuse_conv::winograd::BatchedFilters;
 use winofuse_conv::{direct, im2col, winograd, ConvGeometry};
+use winofuse_runtime::faults::{describe_panic, FaultInjector, FaultKind, FaultMode};
 use winofuse_runtime::PoolProfiler;
 use winofuse_telemetry::Telemetry;
 
@@ -113,9 +115,17 @@ impl NetworkWeights {
     ///
     /// # Panics
     ///
-    /// Panics when the index is out of range.
+    /// Panics when the index is out of range — use
+    /// [`NetworkWeights::get`] on indices that are not already validated.
     pub fn layer(&self, index: usize) -> &LayerWeights {
         &self.entries[index]
+    }
+
+    /// Weights of layer `index`, or `None` when the index is out of range
+    /// — the fallible companion of [`NetworkWeights::layer`] for callers
+    /// holding externally supplied indices.
+    pub fn get(&self, index: usize) -> Option<&LayerWeights> {
+        self.entries.get(index)
     }
 
     /// Number of layer entries.
@@ -399,12 +409,14 @@ impl LayerProfile {
 
 /// One convolution layer, prepared for the fast path: per-group filter
 /// banks transformed/sliced once at construction so repeated runs pay
-/// only the online cost.
-enum PreparedConv {
-    /// Batched Winograd with pre-transformed per-group filter banks.
-    Winograd(Vec<BatchedFilters>),
-    /// Blocked im2col+GEMM with per-group kernel slices.
-    Direct(Vec<Tensor<f32>>),
+/// only the online cost. The raw per-group kernel slices are kept even
+/// for Winograd layers — they are the fallback operand when a Winograd
+/// kernel faults and the layer re-runs on the direct path.
+struct PreparedConv {
+    /// Per-group kernel slices (the direct path's operand).
+    kernels: Vec<Tensor<f32>>,
+    /// Pre-transformed per-group Winograd banks; `None` = direct layer.
+    banks: Option<Vec<BatchedFilters>>,
 }
 
 enum PreparedLayer {
@@ -439,6 +451,8 @@ pub struct NetworkExecutor<'n> {
     net: &'n Network,
     threads: usize,
     telemetry: Telemetry,
+    faults: FaultInjector,
+    fault_mode: FaultMode,
     transform: WinogradTransform,
     prepared: Vec<PreparedLayer>,
     /// Validated per-layer input shapes (`shapes[i]` feeds layer `i`) —
@@ -498,14 +512,19 @@ impl<'n> NetworkExecutor<'n> {
                         }
                     };
                     let groups = group_slices(kernels, c);
-                    PreparedLayer::Conv(if use_wino {
-                        let banks = groups
-                            .iter()
-                            .map(|k| BatchedFilters::new(k, &transform))
-                            .collect::<Result<Vec<_>, _>>()?;
-                        PreparedConv::Winograd(banks)
+                    let banks = if use_wino {
+                        Some(
+                            groups
+                                .iter()
+                                .map(|k| BatchedFilters::new(k, &transform))
+                                .collect::<Result<Vec<_>, _>>()?,
+                        )
                     } else {
-                        PreparedConv::Direct(groups)
+                        None
+                    };
+                    PreparedLayer::Conv(PreparedConv {
+                        kernels: groups,
+                        banks,
                     })
                 }
                 LayerKind::Fc(_) => {
@@ -528,6 +547,8 @@ impl<'n> NetworkExecutor<'n> {
             net,
             threads: 0,
             telemetry: Telemetry::disabled(),
+            faults: FaultInjector::disabled(),
+            fault_mode: FaultMode::Strict,
             transform,
             prepared,
             shapes,
@@ -546,6 +567,24 @@ impl<'n> NetworkExecutor<'n> {
     /// `conv.gemm_calls` / `conv.tiles` / `conv.bytes_packed` counters.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a fault injector. Each layer checks the site
+    /// `exec.<layer-name>` before running, and the injector is threaded
+    /// into the worker pool (sites `pool.<layer>/<phase>`).
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Selects how detected kernel faults are handled (default
+    /// [`FaultMode::Strict`]): strict converts them into
+    /// [`ModelError::KernelFault`]; lenient re-runs a faulted Winograd
+    /// layer on the direct path (the degradation ladder), counting
+    /// `exec.fallbacks`.
+    pub fn with_fault_mode(mut self, mode: FaultMode) -> Self {
+        self.fault_mode = mode;
         self
     }
 
@@ -571,7 +610,7 @@ impl<'n> NetworkExecutor<'n> {
     pub fn run_all(&self, input: &Tensor<f32>) -> Result<Vec<Tensor<f32>>, ModelError> {
         self.check_input(input)?;
         let stats = ConvStats::new();
-        let base = PoolProfiler::new(self.telemetry.clone(), "");
+        let base = PoolProfiler::new(self.telemetry.clone(), "").with_faults(self.faults.clone());
         let mut outputs = Vec::with_capacity(self.net.len());
         let mut cur = input.clone();
         for (i, layer) in self.net.layers().iter().enumerate() {
@@ -605,7 +644,7 @@ impl<'n> NetworkExecutor<'n> {
         input: &Tensor<f32>,
     ) -> Result<(Tensor<f32>, Vec<LayerProfile>), ModelError> {
         self.check_input(input)?;
-        let base = PoolProfiler::new(self.telemetry.clone(), "");
+        let base = PoolProfiler::new(self.telemetry.clone(), "").with_faults(self.faults.clone());
         let total = ConvStats::new();
         let mut profiles = Vec::with_capacity(self.net.len());
         let mut cur = input.clone();
@@ -617,8 +656,8 @@ impl<'n> NetworkExecutor<'n> {
             let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             drop(span);
             let algo = match &self.prepared[i] {
-                PreparedLayer::Conv(PreparedConv::Winograd(_)) => "winograd",
-                PreparedLayer::Conv(PreparedConv::Direct(_)) => "direct",
+                PreparedLayer::Conv(conv) if conv.banks.is_some() => "winograd",
+                PreparedLayer::Conv(_) => "direct",
                 _ => "-",
             };
             let (gemm_calls, tiles, bytes_packed) = stats.snapshot();
@@ -672,12 +711,48 @@ impl<'n> NetworkExecutor<'n> {
         stats: &ConvStats,
         prof: &PoolProfiler,
     ) -> Result<Tensor<f32>, ModelError> {
-        Ok(match &layer.kind {
+        match &layer.kind {
             LayerKind::Conv(c) => {
                 let PreparedLayer::Conv(conv) = &self.prepared[i] else {
-                    unreachable!("conv layer prepared as non-conv");
+                    unreachable!("invariant: conv layer prepared as non-conv");
                 };
-                self.run_conv(cur, c, conv, stats, self.shapes[i].channels, prof)?
+                self.run_conv_guarded(layer, cur, c, conv, stats, self.shapes[i].channels, prof)
+            }
+            _ => {
+                // Non-conv layers have no alternate algorithm rung: a
+                // caught panic (or injected fault) becomes a typed
+                // `KernelFault` in either fault mode.
+                let guarded = catch_unwind(AssertUnwindSafe(|| {
+                    if self.faults.trip(&format!("exec.{}", layer.name)).is_some() {
+                        return Err(ModelError::KernelFault {
+                            layer: layer.name.clone(),
+                            reason: "injected fault".to_string(),
+                        });
+                    }
+                    self.exec_simple(i, layer, cur)
+                }));
+                match guarded {
+                    Ok(result) => result,
+                    Err(payload) => Err(ModelError::KernelFault {
+                        layer: layer.name.clone(),
+                        reason: describe_panic(payload.as_ref()),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// The non-conv layer bodies (pool/LRN/ReLU/FC/softmax) — no fallback
+    /// path, called inside the guard of [`NetworkExecutor::exec_layer`].
+    fn exec_simple(
+        &self,
+        i: usize,
+        layer: &Layer,
+        cur: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, ModelError> {
+        Ok(match &layer.kind {
+            LayerKind::Conv(_) => {
+                unreachable!("invariant: conv layers route through run_conv_guarded")
             }
             LayerKind::Pool(p) => {
                 let geom = ConvGeometry::rect(cur.h(), cur.w(), p.kernel, p.stride, p.pad)?;
@@ -695,7 +770,7 @@ impl<'n> NetworkExecutor<'n> {
             LayerKind::Relu => ops::relu(cur),
             LayerKind::Fc(fc) => {
                 let PreparedLayer::Fc { weights, bias } = &self.prepared[i] else {
-                    unreachable!("fc layer prepared as non-fc");
+                    unreachable!("invariant: fc layer prepared as non-fc");
                 };
                 let mut y = ops::fully_connected(cur, weights, bias, fc.num_output)?;
                 if fc.relu {
@@ -707,6 +782,81 @@ impl<'n> NetworkExecutor<'n> {
         })
     }
 
+    /// Runs a conv layer with the fault guard and the degradation ladder:
+    /// a detected kernel fault (caught panic, pool-reported fault, or
+    /// injected Winograd-domain saturation) on a Winograd layer re-runs
+    /// the layer on the direct path in lenient mode, counting
+    /// `exec.fallbacks` / `exec.fallbacks.<reason>`; in strict mode (or
+    /// when the direct rung itself faults) it surfaces as
+    /// [`ModelError::KernelFault`].
+    #[allow(clippy::too_many_arguments)]
+    fn run_conv_guarded(
+        &self,
+        layer: &Layer,
+        cur: &Tensor<f32>,
+        c: &ConvParams,
+        conv: &PreparedConv,
+        stats: &ConvStats,
+        in_channels: usize,
+        prof: &PoolProfiler,
+    ) -> Result<Tensor<f32>, ModelError> {
+        let primary = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(kind) = self.faults.trip(&format!("exec.{}", layer.name)) {
+                if matches!(kind, FaultKind::Saturate) {
+                    return Err(ModelError::KernelFault {
+                        layer: layer.name.clone(),
+                        reason: "injected winograd-domain fix16 saturation".to_string(),
+                    });
+                }
+            }
+            self.run_conv(cur, c, conv, stats, in_channels, prof, conv.banks.is_some())
+        }));
+        let (reason, class) = match primary {
+            Ok(Ok(y)) => return Ok(y),
+            Ok(Err(ModelError::KernelFault { reason, .. })) => {
+                let class = if reason.contains("saturation") {
+                    "saturation"
+                } else {
+                    "kernel_fault"
+                };
+                (reason, class)
+            }
+            // Non-fault errors (shape mismatches etc.) are not recoverable
+            // by switching algorithms — propagate untouched.
+            Ok(Err(other)) => return Err(other),
+            Err(payload) => (describe_panic(payload.as_ref()), "panic"),
+        };
+        if self.fault_mode == FaultMode::Lenient && conv.banks.is_some() {
+            let retry = catch_unwind(AssertUnwindSafe(|| {
+                self.run_conv(cur, c, conv, stats, in_channels, prof, false)
+            }));
+            match retry {
+                Ok(Ok(y)) => {
+                    self.telemetry.counter("exec.fallbacks").incr();
+                    self.telemetry
+                        .counter(&format!("exec.fallbacks.{class}"))
+                        .incr();
+                    return Ok(y);
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    return Err(ModelError::KernelFault {
+                        layer: layer.name.clone(),
+                        reason: format!(
+                            "direct fallback panicked after `{reason}`: {}",
+                            describe_panic(payload.as_ref())
+                        ),
+                    })
+                }
+            }
+        }
+        Err(ModelError::KernelFault {
+            layer: layer.name.clone(),
+            reason,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_conv(
         &self,
         cur: &Tensor<f32>,
@@ -715,11 +865,12 @@ impl<'n> NetworkExecutor<'n> {
         stats: &ConvStats,
         in_channels: usize,
         prof: &PoolProfiler,
+        use_banks: bool,
     ) -> Result<Tensor<f32>, ModelError> {
         let geom = ConvGeometry::rect(cur.h(), cur.w(), c.kernel, c.stride, c.pad)?;
         let run_group = |x: &Tensor<f32>, g: usize| -> Result<Tensor<f32>, ModelError> {
-            Ok(match conv {
-                PreparedConv::Winograd(banks) => winograd::conv2d_batched_traced(
+            Ok(match (&conv.banks, use_banks) {
+                (Some(banks), true) => winograd::conv2d_batched_traced(
                     x,
                     &banks[g],
                     geom,
@@ -728,9 +879,9 @@ impl<'n> NetworkExecutor<'n> {
                     Some(stats),
                     prof,
                 )?,
-                PreparedConv::Direct(kernels) => direct::conv2d_fast_traced(
+                _ => direct::conv2d_fast_traced(
                     x,
-                    &kernels[g],
+                    &conv.kernels[g],
                     geom,
                     self.threads,
                     Some(stats),

@@ -16,10 +16,15 @@
 //! perturbing bit-exact comparisons (see `tests/determinism.rs` and
 //! `tests/conv_equiv.rs` at the workspace root).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod faults;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use winofuse_telemetry::{Counter, Histogram, Telemetry, PID_WALL};
+
+use faults::{describe_panic, FaultInjector};
 
 /// First Chrome-trace thread id used for worker lanes: worker `w` emits
 /// its job slices on `(PID_WALL, WORKER_TID_BASE + w)`. The base keeps
@@ -43,6 +48,8 @@ pub const WORKER_TID_BASE: u64 = 100;
 pub struct PoolProfiler {
     telemetry: Telemetry,
     label: Arc<str>,
+    faults: FaultInjector,
+    guard: GuardPolicy,
 }
 
 impl Default for PoolProfiler {
@@ -58,6 +65,8 @@ impl PoolProfiler {
         PoolProfiler {
             telemetry: Telemetry::disabled(),
             label: Arc::from("job"),
+            faults: FaultInjector::disabled(),
+            guard: GuardPolicy::default(),
         }
     }
 
@@ -66,37 +75,156 @@ impl PoolProfiler {
         PoolProfiler {
             telemetry,
             label: Arc::from(label),
+            faults: FaultInjector::disabled(),
+            guard: GuardPolicy::default(),
         }
     }
 
     /// A view of this profiler with `label` appended to the span label
     /// (`"conv3_1"` scoped by `"wino.gemm"` → spans `conv3_1/wino.gemm[i]`)
     /// — the cheap way to tag each kernel phase distinctly while sharing
-    /// one telemetry registry. On a disabled profiler this allocates
-    /// nothing.
+    /// one telemetry registry. The fault injector and guard policy are
+    /// always carried through (the joined label doubles as the pool's
+    /// fault-injection site name, `pool.<label>`); when both telemetry and
+    /// faults are off this allocates nothing.
     pub fn scoped(&self, label: &str) -> PoolProfiler {
-        if !self.is_enabled() {
-            return PoolProfiler::disabled();
+        let mut out = self.clone();
+        if self.is_enabled() || self.faults.is_enabled() {
+            let joined = if self.label.is_empty() {
+                label.to_string()
+            } else {
+                format!("{}/{label}", self.label)
+            };
+            out.label = Arc::from(joined.as_str());
         }
-        let joined = if self.label.is_empty() {
-            label.to_string()
-        } else {
-            format!("{}/{label}", self.label)
-        };
-        PoolProfiler {
-            telemetry: self.telemetry.clone(),
-            label: Arc::from(joined.as_str()),
-        }
+        out
+    }
+
+    /// Attaches a fault injector: the isolated pool entry points check the
+    /// site `pool.<label>` before every job attempt.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry/deadline policy applied by the isolated entry points.
+    pub fn with_guard(mut self, guard: GuardPolicy) -> Self {
+        self.guard = guard;
+        self
     }
 
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
     }
 
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    pub fn guard(&self) -> GuardPolicy {
+        self.guard
+    }
+
     pub fn is_enabled(&self) -> bool {
         self.telemetry.is_enabled()
     }
+
+    /// Fault-injection hook run inside each isolated job attempt's
+    /// `catch_unwind` region: checks (and applies) the `pool.<label>`
+    /// site. One branch when no injector is attached.
+    #[inline]
+    fn trip_job(&self) {
+        if self.faults.is_enabled() {
+            self.faults.trip(&format!("pool.{}", self.label));
+        }
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Panic isolation: guard policy + pool errors
+// ---------------------------------------------------------------------------
+
+/// Retry/watchdog policy for the `*_isolated` pool entry points.
+///
+/// `retries` is the number of *additional* attempts a panicking job gets
+/// before its panic is reported (jobs must be idempotent: every attempt
+/// rewrites the job's full output region, which all kernels in this
+/// workspace satisfy). `deadline` is a soft watchdog per pool invocation:
+/// workers stop claiming new jobs once it has elapsed — an already-running
+/// job is never interrupted, so the granularity is one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardPolicy {
+    pub retries: u32,
+    pub deadline: Option<Duration>,
+}
+
+/// One job's final (post-retry) panic, as collected by the isolated pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    pub index: usize,
+    /// Total attempts made (1 = no retry).
+    pub attempts: u32,
+    pub message: String,
+}
+
+/// Failure of an isolated pool invocation. The pool itself never unwinds:
+/// per-job panics are caught, retried per [`GuardPolicy`], and collected
+/// here with the invocation's completion tally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PoolError {
+    /// One or more jobs panicked on every attempt. `completed` counts the
+    /// jobs that did finish — the pool drains all claimable work before
+    /// reporting, so a single bad job never poisons its siblings.
+    JobsPanicked {
+        label: String,
+        panics: Vec<JobPanic>,
+        completed: usize,
+        total: usize,
+    },
+    /// The watchdog deadline elapsed before all jobs were claimed.
+    DeadlineExceeded {
+        label: String,
+        deadline: Duration,
+        completed: usize,
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::JobsPanicked {
+                label,
+                panics,
+                completed,
+                total,
+            } => {
+                let first = panics.first().expect("invariant: JobsPanicked is nonempty");
+                write!(
+                    f,
+                    "pool `{label}`: {} of {total} jobs panicked ({completed} completed; \
+                     first: job {} after {} attempt(s): {})",
+                    panics.len(),
+                    first.index,
+                    first.attempts,
+                    first.message
+                )
+            }
+            PoolError::DeadlineExceeded {
+                label,
+                deadline,
+                completed,
+                total,
+            } => write!(
+                f,
+                "pool `{label}`: deadline {deadline:?} exceeded with {completed}/{total} jobs completed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// Per-invocation shared state for an instrumented pool run: cached
 /// counter/histogram handles plus the pool start time that queue waits are
@@ -407,6 +535,247 @@ where
         }
     });
     workers
+}
+
+// ---------------------------------------------------------------------------
+// Panic-isolated pool entry points
+// ---------------------------------------------------------------------------
+
+/// Shared bookkeeping for one isolated pool invocation.
+struct IsolatedRun {
+    start: Instant,
+    completed: AtomicUsize,
+    deadline_hit: AtomicBool,
+    panics: Mutex<Vec<JobPanic>>,
+}
+
+impl IsolatedRun {
+    fn new() -> Self {
+        IsolatedRun {
+            start: Instant::now(),
+            completed: AtomicUsize::new(0),
+            deadline_hit: AtomicBool::new(false),
+            panics: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Watchdog check before a claim: true = stop claiming.
+    fn past_deadline(&self, guard: GuardPolicy) -> bool {
+        match guard.deadline {
+            Some(d) if self.start.elapsed() > d => {
+                self.deadline_hit.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Runs one job attempt loop: `catch_unwind` around every attempt,
+    /// bounded retry per `guard`, telemetry on the rare path only.
+    fn attempt_job(
+        &self,
+        prof: &PoolProfiler,
+        index: usize,
+        guard: GuardPolicy,
+        mut run: impl FnMut(),
+    ) {
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            match catch_unwind(AssertUnwindSafe(|| {
+                prof.trip_job();
+                run();
+            })) {
+                Ok(()) => {
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(payload) => {
+                    prof.telemetry.counter("pool.job_panics").incr();
+                    if attempt <= guard.retries {
+                        prof.telemetry.counter("pool.job_retries").incr();
+                        continue;
+                    }
+                    self.panics
+                        .lock()
+                        .expect("invariant: job panic list lock never poisoned")
+                        .push(JobPanic {
+                            index,
+                            attempts: attempt,
+                            message: describe_panic(payload.as_ref()),
+                        });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Folds the invocation into a result, emitting the deadline counter
+    /// when the watchdog fired.
+    fn finish(self, prof: &PoolProfiler, workers: usize, total: usize) -> Result<usize, PoolError> {
+        let mut panics = self
+            .panics
+            .into_inner()
+            .expect("invariant: job panic list lock never poisoned");
+        let completed = self.completed.into_inner();
+        if !panics.is_empty() {
+            panics.sort_by_key(|p| p.index);
+            return Err(PoolError::JobsPanicked {
+                label: prof.label.to_string(),
+                panics,
+                completed,
+                total,
+            });
+        }
+        if self.deadline_hit.into_inner() && completed < total {
+            prof.telemetry.counter("pool.deadline_exceeded").incr();
+            return Err(PoolError::DeadlineExceeded {
+                label: prof.label.to_string(),
+                deadline: prof
+                    .guard
+                    .deadline
+                    .expect("invariant: deadline_hit implies deadline set"),
+                completed,
+                total,
+            });
+        }
+        Ok(workers)
+    }
+}
+
+/// [`run_jobs_traced`] with per-job panic isolation: every job attempt runs
+/// inside `catch_unwind`, panicking jobs are retried per the profiler's
+/// [`GuardPolicy`] and finally *collected* instead of unwinding through the
+/// pool — one bad job never poisons its siblings, and the caller gets a
+/// typed [`PoolError`] naming every failed index. An optional watchdog
+/// deadline stops workers from claiming new jobs once elapsed.
+///
+/// Telemetry parity: with an enabled profiler this emits exactly the lanes
+/// and counters of [`run_jobs_traced`], plus `pool.job_panics` /
+/// `pool.job_retries` / `pool.deadline_exceeded` on the respective rare
+/// paths. Fault injection (see [`faults`]) checks site `pool.<label>`
+/// before each attempt.
+///
+/// # Errors
+///
+/// [`PoolError::JobsPanicked`] when any job panicked on all attempts;
+/// [`PoolError::DeadlineExceeded`] when the watchdog cut the run short.
+pub fn run_jobs_isolated<F>(
+    threads: usize,
+    jobs: usize,
+    prof: &PoolProfiler,
+    f: F,
+) -> Result<usize, PoolError>
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = threads.min(jobs).max(1);
+    if jobs == 0 {
+        return Ok(workers);
+    }
+    let guard = prof.guard;
+    let run = prof.is_enabled().then(|| PoolRun::start(prof));
+    let iso = IsolatedRun::new();
+    let next = AtomicUsize::new(0);
+    let worker = |w: usize| {
+        let mut lane = run.as_ref().map(|r| r.lane(w));
+        loop {
+            if iso.past_deadline(guard) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= jobs {
+                break;
+            }
+            iso.attempt_job(prof, i, guard, || match lane.as_mut() {
+                Some(l) => l.run_job(i, || f(i)),
+                None => f(i),
+            });
+        }
+        if let Some(l) = lane {
+            l.finish();
+        }
+    };
+    if workers <= 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let worker = &worker;
+                scope.spawn(move || worker(w));
+            }
+        });
+    }
+    iso.finish(prof, workers, jobs)
+}
+
+/// [`run_sliced_jobs_with_traced`] with the panic isolation, retry, and
+/// watchdog semantics of [`run_jobs_isolated`]. A retried job gets its
+/// slice back (reborrowed), so retries rewrite the same disjoint region.
+///
+/// # Errors
+///
+/// Same conditions as [`run_jobs_isolated`].
+pub fn run_sliced_jobs_isolated<T, S, I, F>(
+    threads: usize,
+    slices: Vec<&mut [T]>,
+    prof: &PoolProfiler,
+    init: I,
+    f: F,
+) -> Result<usize, PoolError>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    let jobs = slices.len();
+    let workers = threads.min(jobs).max(1);
+    if jobs == 0 {
+        return Ok(workers);
+    }
+    let guard = prof.guard;
+    let run = prof.is_enabled().then(|| PoolRun::start(prof));
+    let iso = IsolatedRun::new();
+    let cells: Vec<Mutex<Option<&mut [T]>>> =
+        slices.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let next = AtomicUsize::new(0);
+    let worker = |w: usize| {
+        let mut state = init();
+        let mut lane = run.as_ref().map(|r| r.lane(w));
+        loop {
+            if iso.past_deadline(guard) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(cell) = cells.get(i) else { break };
+            let slice = cell
+                .lock()
+                .expect("invariant: slice cell lock never poisoned")
+                .take()
+                .expect("invariant: each slice cell is claimed exactly once");
+            iso.attempt_job(prof, i, guard, || {
+                let s: &mut [T] = slice;
+                match lane.as_mut() {
+                    Some(l) => l.run_job(i, || f(&mut state, i, s)),
+                    None => f(&mut state, i, s),
+                }
+            });
+        }
+        if let Some(l) = lane {
+            l.finish();
+        }
+    };
+    if workers <= 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let worker = &worker;
+                scope.spawn(move || worker(w));
+            }
+        });
+    }
+    iso.finish(prof, workers, jobs)
 }
 
 /// Splits `data` into consecutive slices of the given lengths. The lengths

@@ -28,7 +28,9 @@ use winofuse::fusion::simulator::FusedGroupSim;
 use winofuse::model::runtime::{ExecAlgo, LayerProfile, NetworkExecutor, NetworkWeights};
 use winofuse::model::{prototxt, zoo, DataType, LayerKind, Network};
 use winofuse::prelude::{FpgaDevice, Framework};
+use winofuse::runtime::faults::{install_quiet_panic_hook, FaultInjector, FaultMode};
 use winofuse::telemetry::{ChromeTraceSink, JsonLinesSink, Telemetry, TraceSink};
+use winofuse::{error::render_chain, TaskError};
 
 const MB: u64 = 1024 * 1024;
 
@@ -52,6 +54,15 @@ fn usage() -> ! {
            --exec-algo NAME  CPU convolution backend for `run`: auto (default),\n\
                              wino (batched Winograd F(4,3)), or direct\n\
                              (blocked im2col+GEMM)\n\
+           --inject SPEC     deterministic fault injection (run, profile):\n\
+                             comma-separated rules `kind@site[#occ]` with kind\n\
+                             panic | slow:<ms> | sat | dram:<±bytes>; site is a\n\
+                             literal or prefix `...*` (e.g. pool.conv2/wino.*,\n\
+                             exec.conv2, fused.group0, fused.dram0); occ is an\n\
+                             occurrence number, `*` (every), or s<seed>\n\
+           --fault-mode M    strict (typed error, per-class exit code) or\n\
+                             lenient (degrade: winograd->direct rerun, fused\n\
+                             group -> unfused; default for run/profile)\n\
            --fused           `run` only: optimize first, then execute the\n\
                              strategy's fusion groups with the fast kernels and\n\
                              reconcile measured DRAM traffic per group against\n\
@@ -96,6 +107,10 @@ struct Options {
     profile_json: Option<PathBuf>,
     /// Shared observability context; enabled when either flag is given.
     telemetry: Telemetry,
+    /// Deterministic fault injector from `--inject` (disabled without it).
+    faults: FaultInjector,
+    /// `--fault-mode`; `None` keeps each command's default.
+    fault_mode: Option<FaultMode>,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -117,6 +132,8 @@ fn parse_options(args: &[String]) -> Options {
         network: None,
         profile_json: None,
         telemetry: Telemetry::disabled(),
+        faults: FaultInjector::disabled(),
+        fault_mode: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -186,6 +203,19 @@ fn parse_options(args: &[String]) -> Options {
             "--profile-json" => o.profile_json = Some(PathBuf::from(value("--profile-json"))),
             "--trace-out" => o.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--telemetry-json" => o.telemetry_json = Some(PathBuf::from(value("--telemetry-json"))),
+            "--inject" => {
+                let spec = value("--inject");
+                o.faults = FaultInjector::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bad --inject spec: {e}");
+                    usage()
+                })
+            }
+            "--fault-mode" => {
+                o.fault_mode = Some(value("--fault-mode").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --fault-mode: {e}");
+                    usage()
+                }))
+            }
             "--testbench" => o.testbench = true,
             "--fused" => o.fused = true,
             "--seed" => o.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
@@ -215,11 +245,20 @@ fn parse_options(args: &[String]) -> Options {
             }
         };
     }
+    if o.faults.is_enabled() {
+        // Injection without observability would hide the recovery story;
+        // force counters on (a sink-backed context from --trace-out wins)
+        // and keep injected panics off stderr.
+        if !o.telemetry.is_enabled() {
+            o.telemetry = Telemetry::enabled();
+        }
+        install_quiet_panic_hook();
+    }
     o
 }
 
 /// Flushes the trace sink and writes the telemetry summary, if requested.
-fn finish_telemetry(o: &Options) -> Result<(), String> {
+fn finish_telemetry(o: &Options) -> Result<(), TaskError> {
     o.telemetry
         .finish_sink()
         .map_err(|e| format!("writing trace: {e}"))?;
@@ -236,18 +275,19 @@ fn finish_telemetry(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn load_network(path: &str) -> Result<Network, String> {
+fn load_network(path: &str) -> Result<Network, TaskError> {
     let net = load_full_network(path)?;
     // The accelerator maps the convolutional body only (the paper omits
     // FC layers, §7.3).
-    net.conv_body().map_err(|e| format!("{e}"))
+    Ok(net.conv_body()?)
 }
 
 /// Parses the network with its FC/softmax tail intact — the CPU executor
 /// runs the whole thing, unlike the accelerator flow.
-fn load_full_network(path: &str) -> Result<Network, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    prototxt::parse(&text).map_err(|e| format!("parse `{path}`: {e}"))
+fn load_full_network(path: &str) -> Result<Network, TaskError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TaskError::Other(format!("cannot read `{path}`: {e}")))?;
+    Ok(prototxt::parse(&text)?)
 }
 
 fn framework(o: &Options) -> Framework {
@@ -260,12 +300,13 @@ fn framework(o: &Options) -> Framework {
         .with_max_group_layers(o.max_group)
         .with_threads(o.threads)
         .with_telemetry(o.telemetry.clone())
+        .with_faults(o.faults.clone())
 }
 
-fn cmd_info(net: &Network, o: &Options) -> Result<(), String> {
+fn cmd_info(net: &Network, o: &Options) -> Result<(), TaskError> {
     println!("network: {net}");
     println!("device:  {}", o.device);
-    let shapes = net.shapes().map_err(|e| e.to_string())?;
+    let shapes = net.shapes()?;
     println!(
         "\n{:<16} {:<8} {:>14} {:>14} {:>12}",
         "layer", "kind", "input", "output", "MMACs"
@@ -286,12 +327,8 @@ fn cmd_info(net: &Network, o: &Options) -> Result<(), String> {
         net.total_ops() as f64 / 1e9,
         net.total_weights() as f64 / 1e6
     );
-    let fused = net
-        .fused_transfer_bytes(0..net.len(), DataType::Fixed16)
-        .map_err(|e| e.to_string())?;
-    let unfused = net
-        .unfused_transfer_bytes(0..net.len(), DataType::Fixed16)
-        .map_err(|e| e.to_string())?;
+    let fused = net.fused_transfer_bytes(0..net.len(), DataType::Fixed16)?;
+    let unfused = net.unfused_transfer_bytes(0..net.len(), DataType::Fixed16)?;
     println!(
         "feature-map transfer: {:.2} MB unfused, {:.2} MB fully fused",
         unfused as f64 / MB as f64,
@@ -300,11 +337,9 @@ fn cmd_info(net: &Network, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_optimize(net: &Network, o: &Options) -> Result<(), String> {
+fn cmd_optimize(net: &Network, o: &Options) -> Result<(), TaskError> {
     let fw = framework(o);
-    let design = fw
-        .optimize(net, o.budget_bytes)
-        .map_err(|e| e.to_string())?;
+    let design = fw.optimize(net, o.budget_bytes)?;
     println!("strategy:\n{}", design.partition.strategy);
     print!("{}", fw.report(net, &design));
     println!(
@@ -313,9 +348,7 @@ fn cmd_optimize(net: &Network, o: &Options) -> Result<(), String> {
         fw.energy_joules(&design) * 1e3
     );
     if o.frames > 1 {
-        let batch = fw
-            .batch_timing(&design, o.frames)
-            .map_err(|e| e.to_string())?;
+        let batch = fw.batch_timing(&design, o.frames)?;
         println!(
             "batch of {}: {} cycles total ({:.0} cycles/frame, reconfig {} cycles)",
             batch.frames, batch.total_cycles, batch.cycles_per_frame, batch.reconfig_cycles
@@ -324,9 +357,9 @@ fn cmd_optimize(net: &Network, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_curve(net: &Network, o: &Options) -> Result<(), String> {
+fn cmd_curve(net: &Network, o: &Options) -> Result<(), TaskError> {
     let fw = framework(o);
-    let curve = fw.tradeoff_curve(net).map_err(|e| e.to_string())?;
+    let curve = fw.tradeoff_curve(net)?;
     let ops = net.total_ops();
     println!("{:>12} {:>14} {:>9}", "transfer", "latency (cyc)", "GOPS");
     for (t, l) in curve {
@@ -340,18 +373,19 @@ fn cmd_curve(net: &Network, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_codegen(net: &Network, o: &Options) -> Result<(), String> {
-    let out = o.out.clone().ok_or("codegen requires --out DIR")?;
+fn cmd_codegen(net: &Network, o: &Options) -> Result<(), TaskError> {
+    let out = o
+        .out
+        .clone()
+        .ok_or_else(|| TaskError::usage("codegen requires --out DIR"))?;
     let fw = framework(o);
-    let design = fw
-        .optimize(net, o.budget_bytes)
-        .map_err(|e| e.to_string())?;
-    let project = HlsProject::generate(net, &design).map_err(|e| e.to_string())?;
-    check::verify_project(net, &design, &project).map_err(|e| e.to_string())?;
-    project.write_to_dir(&out).map_err(|e| e.to_string())?;
+    let design = fw.optimize(net, o.budget_bytes)?;
+    let project = HlsProject::generate(net, &design)?;
+    check::verify_project(net, &design, &project)?;
+    project.write_to_dir(&out)?;
     let mut n_files = project.files().len();
     if o.testbench {
-        let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+        let weights = NetworkWeights::random(net, o.seed)?;
         let input = winofuse::conv::tensor::random_tensor(
             1,
             net.input_shape().channels,
@@ -359,10 +393,9 @@ fn cmd_codegen(net: &Network, o: &Options) -> Result<(), String> {
             net.input_shape().width,
             o.seed + 1,
         );
-        let tbs = testbench::generate_testbenches(net, &design, &weights, &input, &o.device)
-            .map_err(|e| e.to_string())?;
+        let tbs = testbench::generate_testbenches(net, &design, &weights, &input, &o.device)?;
         for (name, contents) in &tbs {
-            std::fs::write(out.join(name), contents).map_err(|e| e.to_string())?;
+            std::fs::write(out.join(name), contents)?;
         }
         n_files += tbs.len();
     }
@@ -373,12 +406,10 @@ fn cmd_codegen(net: &Network, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
+fn cmd_simulate(net: &Network, o: &Options) -> Result<(), TaskError> {
     let fw = framework(o);
-    let design = fw
-        .optimize(net, o.budget_bytes)
-        .map_err(|e| e.to_string())?;
-    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let design = fw.optimize(net, o.budget_bytes)?;
+    let weights = NetworkWeights::random(net, o.seed)?;
     let input = winofuse::conv::tensor::random_tensor(
         1,
         net.input_shape().channels,
@@ -386,8 +417,7 @@ fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
         net.input_shape().width,
         o.seed + 1,
     );
-    let reference =
-        winofuse::model::runtime::forward(net, &weights, &input).map_err(|e| e.to_string())?;
+    let reference = winofuse::model::runtime::forward(net, &weights, &input)?;
 
     let mut cur = input;
     let mut total_cycles = 0u64;
@@ -397,26 +427,25 @@ fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
         "group", "layers", "cycles", "read (B)", "max |err|"
     );
     for plan in &design.partition.groups {
-        let mut sim = FusedGroupSim::new(net, plan.start, &plan.configs, &weights, &o.device)
-            .map_err(|e| e.to_string())?;
+        let mut sim = FusedGroupSim::new(net, plan.start, &plan.configs, &weights, &o.device)?;
         if o.telemetry.is_enabled() {
             // Stage lanes are consecutive across groups; each group's
             // slices start where the previous group finished.
             sim.set_telemetry(o.telemetry.clone(), tid_base, total_cycles);
             tid_base += plan.configs.len() as u64;
         }
-        let r = sim.run(&cur).map_err(|e| e.to_string())?;
+        let r = sim.run(&cur)?;
         let gold = &reference[plan.end - 1];
-        let err = r.output.max_abs_diff(gold).map_err(|e| e.to_string())?;
+        let err = r.output.max_abs_diff(gold)?;
         println!(
             "{:>6} {:>7}..{:<2} {:>14} {:>12} {:>12.2e}",
             plan.start, plan.start, plan.end, r.cycles, r.dram_bytes_read, err
         );
         if err > 1e-3 {
-            return Err(format!(
+            return Err(TaskError::Other(format!(
                 "group {}..{} diverged: {err}",
                 plan.start, plan.end
-            ));
+            )));
         }
         total_cycles += r.cycles;
         cur = r.output;
@@ -432,12 +461,10 @@ fn cmd_simulate(net: &Network, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run_fused(net: &Network, o: &Options) -> Result<(), String> {
+fn cmd_run_fused(net: &Network, o: &Options) -> Result<(), TaskError> {
     let fw = framework(o);
-    let design = fw
-        .optimize(net, o.budget_bytes)
-        .map_err(|e| e.to_string())?;
-    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let design = fw.optimize(net, o.budget_bytes)?;
+    let weights = NetworkWeights::random(net, o.seed)?;
     let shape = net.input_shape();
     let input = winofuse::conv::tensor::random_tensor(
         1,
@@ -446,14 +473,15 @@ fn cmd_run_fused(net: &Network, o: &Options) -> Result<(), String> {
         shape.width,
         o.seed + 1,
     );
-    // Lenient mode here: collect every group's delta for the table, then
-    // fail once at the end so the operator sees the whole picture.
+    // Lenient mode by default: collect every group's delta (and any
+    // fault-driven fallbacks) for the table, then fail once at the end
+    // so the operator sees the whole picture. `--fault-mode strict`
+    // surfaces the first fault as a typed error instead.
     let runner = fw
-        .fused_runner(net, &design, &weights)
-        .map_err(|e| e.to_string())?
-        .strict_dram(false);
+        .fused_runner(net, &design, &weights)?
+        .with_fault_mode(o.fault_mode.unwrap_or(FaultMode::Lenient));
     let start = std::time::Instant::now();
-    let report = runner.run(&input).map_err(|e| e.to_string())?;
+    let report = runner.run(&input)?;
     let elapsed = start.elapsed().as_secs_f64();
     println!("network: {net}");
     println!("strategy:\n{}", design.partition.strategy);
@@ -473,34 +501,72 @@ fn cmd_run_fused(net: &Network, o: &Options) -> Result<(), String> {
             g.delta()
         );
     }
-    let exec = NetworkExecutor::with_algo(net, &weights, ExecAlgo::Auto)
-        .map_err(|e| e.to_string())?
-        .with_threads(o.threads);
-    let reference = exec.run(&input).map_err(|e| e.to_string())?;
-    let err = report
-        .output
-        .max_abs_diff(&reference)
-        .map_err(|e| e.to_string())?;
+    let exec = NetworkExecutor::with_algo(net, &weights, ExecAlgo::Auto)?.with_threads(o.threads);
+    let reference = exec.run(&input)?;
+    let err = report.output.max_abs_diff(&reference)?;
     println!(
         "\nfused run: {:.1} ms, max |err| vs layer-by-layer executor: {err:.2e}",
         elapsed * 1e3
     );
     if err > 1e-3 {
-        return Err(format!("fused output diverged from the reference: {err}"));
+        return Err(TaskError::Other(format!(
+            "fused output diverged from the reference: {err}"
+        )));
     }
-    if report.max_dram_delta() != 0 {
-        return Err(format!(
-            "DRAM reconciliation failed: max per-group delta {} B",
-            report.max_dram_delta()
-        ));
+    if !report.fallbacks.is_empty() {
+        println!("recovered group faults (degraded to unfused execution):");
+        for fb in &report.fallbacks {
+            println!("  group {}: {}", fb.start, fb.reason);
+        }
     }
-    println!("DRAM traffic reconciles with the DP budget in every group ✓");
+    if o.faults.is_enabled() {
+        print_recovery_counters(&o.telemetry);
+    }
+    // A fallen-back group ran unfused, so its meter legitimately
+    // diverges from the fused-plan budget — reconcile the rest.
+    let fallen: std::collections::HashSet<usize> =
+        report.fallbacks.iter().map(|f| f.start).collect();
+    let max_delta = report
+        .groups
+        .iter()
+        .filter(|g| !fallen.contains(&g.start))
+        .map(|g| g.delta())
+        .max()
+        .unwrap_or(0);
+    if max_delta != 0 {
+        return Err(TaskError::Other(format!(
+            "DRAM reconciliation failed: max per-group delta {max_delta} B"
+        )));
+    }
+    if fallen.is_empty() {
+        println!("DRAM traffic reconciles with the DP budget in every group ✓");
+    } else {
+        println!(
+            "DRAM traffic reconciles in every fused group; {} group(s) degraded to unfused ✓",
+            fallen.len()
+        );
+    }
     Ok(())
 }
 
-fn cmd_run(net: &Network, o: &Options) -> Result<(), String> {
+/// One-line summary of the fault-tolerance counters after an injected
+/// (or naturally faulty) run.
+fn print_recovery_counters(telemetry: &Telemetry) {
+    let s = telemetry.summary();
+    println!(
+        "fault recovery: {} job panic(s), {} retry(ies), {} deadline(s) blown, \
+         {} fallback(s), {} fix16 saturation(s)",
+        s.counter("pool.job_panics"),
+        s.counter("pool.job_retries"),
+        s.counter("pool.deadline_exceeded"),
+        s.counter("exec.fallbacks"),
+        s.counter("fix16.saturations"),
+    );
+}
+
+fn cmd_run(net: &Network, o: &Options) -> Result<(), TaskError> {
     let algo = o.exec_algo.unwrap_or_default();
-    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let weights = NetworkWeights::random(net, o.seed)?;
     let shape = net.input_shape();
     let input = winofuse::conv::tensor::random_tensor(
         1,
@@ -517,15 +583,16 @@ fn cmd_run(net: &Network, o: &Options) -> Result<(), String> {
     } else {
         Telemetry::enabled()
     };
-    let exec = NetworkExecutor::with_algo(net, &weights, algo)
-        .map_err(|e| e.to_string())?
+    let exec = NetworkExecutor::with_algo(net, &weights, algo)?
         .with_threads(o.threads)
-        .with_telemetry(telemetry.clone());
+        .with_telemetry(telemetry.clone())
+        .with_faults(o.faults.clone())
+        .with_fault_mode(o.fault_mode.unwrap_or(FaultMode::Lenient));
     let frames = o.frames.max(1);
     let start = std::time::Instant::now();
     let mut last = None;
     for _ in 0..frames {
-        last = Some(exec.run(&input).map_err(|e| e.to_string())?);
+        last = Some(exec.run(&input)?);
     }
     let elapsed = start.elapsed().as_secs_f64();
     let out = last.expect("at least one frame");
@@ -553,11 +620,14 @@ fn cmd_run(net: &Network, o: &Options) -> Result<(), String> {
         elapsed * 1e3 / frames as f64,
         net.total_ops() as f64 * frames as f64 / elapsed / 1e9
     );
+    if o.faults.is_enabled() {
+        print_recovery_counters(&telemetry);
+    }
     Ok(())
 }
 
 /// Resolves a `--network` name to a built-in zoo network.
-fn zoo_network(name: &str) -> Result<Network, String> {
+fn zoo_network(name: &str) -> Result<Network, TaskError> {
     Ok(match name {
         "alexnet" => zoo::alexnet(),
         "vgg16" => zoo::vgg16(),
@@ -566,10 +636,10 @@ fn zoo_network(name: &str) -> Result<Network, String> {
         "small" => zoo::small_test_net(),
         "mixed" => zoo::mixed_test_net(),
         other => {
-            return Err(format!(
+            return Err(TaskError::usage(format!(
                 "unknown built-in network `{other}` \
                  (alexnet | vgg16 | vgg-e | vgg-e-prefix | small | mixed)"
-            ))
+            )))
         }
     })
 }
@@ -618,9 +688,9 @@ fn roofline_attribution(
     ))
 }
 
-fn cmd_profile(net: &Network, o: &Options) -> Result<(), String> {
+fn cmd_profile(net: &Network, o: &Options) -> Result<(), TaskError> {
     let algo = o.exec_algo.unwrap_or_default();
-    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let weights = NetworkWeights::random(net, o.seed)?;
     let shape = net.input_shape();
     let input = winofuse::conv::tensor::random_tensor(
         1,
@@ -629,12 +699,13 @@ fn cmd_profile(net: &Network, o: &Options) -> Result<(), String> {
         shape.width,
         o.seed + 1,
     );
-    let exec = NetworkExecutor::with_algo(net, &weights, algo)
-        .map_err(|e| e.to_string())?
+    let exec = NetworkExecutor::with_algo(net, &weights, algo)?
         .with_threads(o.threads)
-        .with_telemetry(o.telemetry.clone());
+        .with_telemetry(o.telemetry.clone())
+        .with_faults(o.faults.clone())
+        .with_fault_mode(o.fault_mode.unwrap_or(FaultMode::Lenient));
     let start = std::time::Instant::now();
-    let (out, profiles) = exec.run_profiled(&input).map_err(|e| e.to_string())?;
+    let (out, profiles) = exec.run_profiled(&input)?;
     let elapsed = start.elapsed().as_secs_f64();
     let roofline = Roofline::for_device(&o.device);
 
@@ -691,7 +762,7 @@ fn write_profile_json(
     o: &Options,
     profiles: &[LayerProfile],
     roofline: &Roofline,
-) -> Result<(), String> {
+) -> Result<(), TaskError> {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"network\": {},\n", json_str(net.name())));
     s.push_str(&format!("  \"device\": {},\n", json_str(o.device.name())));
@@ -757,18 +828,17 @@ fn write_profile_json(
                 .map_err(|e| format!("creating `{}`: {e}", parent.display()))?;
         }
     }
-    std::fs::write(path, s).map_err(|e| format!("writing `{}`: {e}", path.display()))
+    std::fs::write(path, s).map_err(|e| format!("writing `{}`: {e}", path.display()))?;
+    Ok(())
 }
 
 /// `profile --fused`: execute the optimized strategy's fusion groups with
 /// worker-lane tracing on, reporting per-group DRAM traffic and the
 /// kernel counters; the Chrome trace carries the per-stage lanes.
-fn cmd_profile_fused(net: &Network, o: &Options) -> Result<(), String> {
+fn cmd_profile_fused(net: &Network, o: &Options) -> Result<(), TaskError> {
     let fw = framework(o);
-    let design = fw
-        .optimize(net, o.budget_bytes)
-        .map_err(|e| e.to_string())?;
-    let weights = NetworkWeights::random(net, o.seed).map_err(|e| e.to_string())?;
+    let design = fw.optimize(net, o.budget_bytes)?;
+    let weights = NetworkWeights::random(net, o.seed)?;
     let shape = net.input_shape();
     let input = winofuse::conv::tensor::random_tensor(
         1,
@@ -778,11 +848,10 @@ fn cmd_profile_fused(net: &Network, o: &Options) -> Result<(), String> {
         o.seed + 1,
     );
     let runner = fw
-        .fused_runner(net, &design, &weights)
-        .map_err(|e| e.to_string())?
-        .strict_dram(false);
+        .fused_runner(net, &design, &weights)?
+        .with_fault_mode(o.fault_mode.unwrap_or(FaultMode::Lenient));
     let start = std::time::Instant::now();
-    let report = runner.run(&input).map_err(|e| e.to_string())?;
+    let report = runner.run(&input)?;
     let elapsed = start.elapsed().as_secs_f64();
     println!("network: {net}");
     println!("strategy:\n{}", design.partition.strategy);
@@ -801,6 +870,15 @@ fn cmd_profile_fused(net: &Network, o: &Options) -> Result<(), String> {
             g.analytic_dram_bytes,
             g.delta()
         );
+    }
+    if !report.fallbacks.is_empty() {
+        println!("recovered group faults (degraded to unfused execution):");
+        for fb in &report.fallbacks {
+            println!("  group {}: {}", fb.start, fb.reason);
+        }
+    }
+    if o.faults.is_enabled() {
+        print_recovery_counters(&o.telemetry);
     }
     let summary = o.telemetry.summary();
     println!(
@@ -872,6 +950,10 @@ fn main() -> ExitCode {
         eprintln!("error: --exec-algo does not apply to fused execution");
         return ExitCode::FAILURE;
     }
+    if (opts.faults.is_enabled() || opts.fault_mode.is_some()) && cmd != "run" && cmd != "profile" {
+        eprintln!("error: --inject / --fault-mode only apply to the `run` and `profile` commands");
+        return ExitCode::from(2);
+    }
     if (opts.network.is_some() || opts.profile_json.is_some()) && cmd != "profile" {
         eprintln!("error: --network / --profile-json only apply to the `profile` command");
         return ExitCode::FAILURE;
@@ -905,7 +987,7 @@ fn main() -> ExitCode {
         match &opts.network {
             Some(name) => zoo_network(name).and_then(|n| {
                 if opts.fused {
-                    n.conv_body().map_err(|e| e.to_string())
+                    n.conv_body().map_err(TaskError::from)
                 } else {
                     Ok(n)
                 }
@@ -917,10 +999,14 @@ fn main() -> ExitCode {
                     load_full_network(path)
                 }
             }
-            None => Err("profile requires a model path or --network NAME".to_string()),
+            None => Err(TaskError::usage(
+                "profile requires a model path or --network NAME",
+            )),
         }
     } else if path.is_empty() {
-        Err(format!("the `{cmd}` command requires a model path"))
+        Err(TaskError::usage(format!(
+            "the `{cmd}` command requires a model path"
+        )))
     } else if cmd == "run" && !opts.fused {
         load_full_network(path)
     } else {
@@ -929,8 +1015,8 @@ fn main() -> ExitCode {
     let net = match loaded {
         Ok(n) => n,
         Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {}", render_chain(&e));
+            return ExitCode::from(e.exit_code());
         }
     };
     let result = match cmd {
@@ -951,8 +1037,10 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // Full source chain on stderr, per-class exit code (see
+            // `winofuse::error` for the documented map).
+            eprintln!("error: {}", render_chain(&e));
+            ExitCode::from(e.exit_code())
         }
     }
 }

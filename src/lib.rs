@@ -44,6 +44,9 @@
 //! # }
 //! ```
 
+pub mod error;
+
+pub use error::TaskError;
 pub use winofuse_codegen as codegen;
 pub use winofuse_conv as conv;
 pub use winofuse_core as core;

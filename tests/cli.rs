@@ -235,6 +235,82 @@ fn simulate_emits_trace_and_telemetry_json() {
 }
 
 #[test]
+fn inject_lenient_run_recovers_and_reports() {
+    let p = demo_path("inject_lenient");
+    // Sabotage every Winograd pool job of conv1; `run` defaults to
+    // lenient, so the direct fallback must carry the frame to success.
+    let out = bin()
+        .arg("run")
+        .arg(&p)
+        .args(["--inject", "panic@pool.conv1/wino.*#*"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "lenient run must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("fault recovery"),
+        "recovery counters must be reported:\n{text}"
+    );
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn inject_strict_run_exits_with_kernel_fault_code() {
+    let p = demo_path("inject_strict");
+    let out = bin()
+        .arg("run")
+        .arg(&p)
+        .args([
+            "--inject",
+            "panic@pool.conv1/wino.*#*",
+            "--fault-mode",
+            "strict",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "strict kernel fault is exit code 7: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("caused by:"),
+        "error chain must render:\n{err}"
+    );
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn inject_flag_misuse_is_a_usage_error() {
+    let p = demo_path("inject_misuse");
+    // Malformed spec.
+    let out = bin()
+        .arg("run")
+        .arg(&p)
+        .args(["--inject", "frobnicate@@"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --inject spec"));
+
+    // Injection on a command that never executes kernels.
+    let out = bin()
+        .arg("info")
+        .arg(&p)
+        .args(["--inject", "panic@pool.conv1/wino.*"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
 fn device_and_policy_flags_are_honored() {
     let p = demo_path("flags");
     let out = bin()

@@ -9,6 +9,12 @@
 //! - `gflops_*`, `speedup_*` — throughput and ratios, higher is better;
 //!   the current value may fall below the baseline by at most the same
 //!   threshold.
+//! - `speedup_parallel_vs_serial` additionally carries an **absolute
+//!   floor** (default 2.0): the tile-grain schedule must actually win
+//!   on a multicore host. The floor is enforced only when the current
+//!   report's host has at least as many CPUs as the benchmark used
+//!   threads — a 1-CPU container cannot exhibit parallel speedup, so
+//!   there the floor downgrades to an informative note.
 //! - `latency_cycles`, `dram_bytes`, `groups`, `plans_computed`,
 //!   `menu_dominated`, `dram_reconciled` — deterministic model outputs;
 //!   any change is a failure regardless of threshold.
@@ -29,12 +35,38 @@ use winofuse_telemetry::JsonValue;
 pub struct DiffConfig {
     /// Allowed relative slowdown / throughput loss.
     pub tolerance: f64,
+    /// Absolute floor for `speedup_parallel_vs_serial`, enforced only
+    /// when the current report's host CPUs cover the benchmark threads.
+    pub parallel_speedup_floor: f64,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { tolerance: 0.30 }
+        DiffConfig {
+            tolerance: 0.30,
+            parallel_speedup_floor: 2.0,
+        }
     }
+}
+
+/// The one metric that carries an absolute floor on capable hosts.
+const PARALLEL_SPEEDUP: &str = "speedup_parallel_vs_serial";
+
+/// Whether the current report was produced on a host that can actually
+/// exhibit parallel speedup: `host.cpus >= threads` and the benchmark
+/// ran with more than one worker. Reports without host metadata are
+/// treated as incapable (floor not enforced) rather than failed.
+fn floor_applies(current: &JsonValue) -> bool {
+    let threads = current
+        .get("threads")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(1);
+    let cpus = current
+        .get("host")
+        .and_then(|h| h.get("cpus"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    threads >= 2 && cpus >= threads
 }
 
 /// How a metric is judged.
@@ -118,8 +150,10 @@ fn judge(
     baseline: &JsonValue,
     current: Option<&JsonValue>,
     cfg: &DiffConfig,
+    floor_enforced: bool,
 ) -> MetricDiff {
-    let direction = direction_for(key.rsplit('/').next().unwrap_or(key));
+    let metric = key.rsplit('/').next().unwrap_or(key);
+    let direction = direction_for(metric);
     let Some(current) = current else {
         return MetricDiff {
             key: key.to_string(),
@@ -157,7 +191,7 @@ fn judge(
                     failed: true,
                 };
             };
-            let (limit, failed, verb) = if direction == Direction::LowerIsBetter {
+            let (limit, mut failed, verb) = if direction == Direction::LowerIsBetter {
                 let limit = b * (1.0 + cfg.tolerance);
                 (limit, c > limit, "≤")
             } else {
@@ -165,11 +199,27 @@ fn judge(
                 (limit, c < limit, "≥")
             };
             let delta_pct = if b != 0.0 { 100.0 * (c - b) / b } else { 0.0 };
+            let mut detail = format!(
+                "baseline {b:.3}, current {c:.3} ({delta_pct:+.1}%), allowed {verb} {limit:.3}"
+            );
+            if metric == PARALLEL_SPEEDUP {
+                let floor = cfg.parallel_speedup_floor;
+                if floor_enforced {
+                    if c < floor {
+                        failed = true;
+                        detail.push_str(&format!("; below the enforced {floor:.1}× floor"));
+                    } else {
+                        detail.push_str(&format!("; clears the {floor:.1}× floor"));
+                    }
+                } else {
+                    detail.push_str(&format!(
+                        "; {floor:.1}× floor not enforced (host cpus < threads)"
+                    ));
+                }
+            }
             MetricDiff {
                 key: key.to_string(),
-                detail: format!(
-                    "baseline {b:.3}, current {c:.3} ({delta_pct:+.1}%), allowed {verb} {limit:.3}"
-                ),
+                detail,
                 failed,
             }
         }
@@ -192,6 +242,7 @@ fn fmt_value(v: &JsonValue) -> String {
 pub fn diff_reports(baseline: &JsonValue, current: &JsonValue, cfg: &DiffConfig) -> DiffReport {
     let mut report = DiffReport::default();
     let current_cases = cases_of(current);
+    let floor_enforced = floor_applies(current);
     for (case_name, base_case) in cases_of(baseline) {
         let cur_case = current_cases.get(&case_name);
         let JsonValue::Object(base_metrics) = base_case else {
@@ -210,6 +261,7 @@ pub fn diff_reports(baseline: &JsonValue, current: &JsonValue, cfg: &DiffConfig)
                         base_value,
                         cur_case.get(metric),
                         cfg,
+                        floor_enforced,
                     ));
                 }
             }
@@ -277,7 +329,10 @@ mod tests {
 
     #[test]
     fn deterministic_drift_fails_regardless_of_threshold() {
-        let cfg = DiffConfig { tolerance: 10.0 };
+        let cfg = DiffConfig {
+            tolerance: 10.0,
+            ..DiffConfig::default()
+        };
         let r = diff_texts(BASE, &with(100.0, 10.0, 5001), &cfg).unwrap();
         assert!(r.failures().any(|m| m.key == "vgg/latency_cycles"));
     }
@@ -293,6 +348,47 @@ mod tests {
         let cur = r#"{"cases": {"vgg": {"median_serial_ms": 100.0}}}"#;
         let r = diff_texts(BASE, cur, &DiffConfig::default()).unwrap();
         assert!(r.failures().any(|m| m.key == "vgg/gflops_serial"));
+    }
+
+    fn speedup_report(cpus: u64, threads: u64, speedup: f64) -> String {
+        format!(
+            r#"{{"bench": "conv", "threads": {threads}, "runs": 1,
+                "host": {{"cpus": {cpus}, "git_sha": "x", "timestamp": 1}},
+                "cases": {{"vgg": {{"speedup_parallel_vs_serial": {speedup}}}}}}}"#
+        )
+    }
+
+    #[test]
+    fn parallel_floor_enforced_on_capable_host() {
+        let base = speedup_report(8, 4, 2.5);
+        let cur = speedup_report(8, 4, 1.4);
+        let cfg = DiffConfig {
+            tolerance: 10.0, // relative check wide open: only the floor can fail
+            ..DiffConfig::default()
+        };
+        let r = diff_texts(&base, &cur, &cfg).unwrap();
+        let fail: Vec<_> = r.failures().collect();
+        assert_eq!(fail.len(), 1, "{:?}", r.metrics);
+        assert!(fail[0].detail.contains("below the enforced 2.0× floor"));
+    }
+
+    #[test]
+    fn parallel_floor_passes_when_cleared() {
+        let base = speedup_report(8, 4, 2.5);
+        let cur = speedup_report(8, 4, 2.1);
+        let r = diff_texts(&base, &cur, &DiffConfig::default()).unwrap();
+        assert!(!r.has_failures(), "{:?}", r.failures().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_floor_not_enforced_on_undersized_host() {
+        // A 1-CPU container cannot speed up; the floor downgrades to a
+        // note and only the relative tolerance applies.
+        let base = speedup_report(1, 4, 1.0);
+        let cur = speedup_report(1, 4, 1.0);
+        let r = diff_texts(&base, &cur, &DiffConfig::default()).unwrap();
+        assert!(!r.has_failures(), "{:?}", r.failures().collect::<Vec<_>>());
+        assert!(r.metrics.iter().any(|m| m.detail.contains("not enforced")));
     }
 
     #[test]

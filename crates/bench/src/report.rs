@@ -9,14 +9,15 @@
 //!   "bench": "search",
 //!   "threads": 4,
 //!   "runs": 5,
-//!   "host": { "cpus": 8, "git_sha": "abc1234", "timestamp": 1754650000 },
+//!   "host": { "cpus": 8, "threads": 4, "simd": "avx2",
+//!             "git_sha": "abc1234", "timestamp": 1754650000 },
 //!   "cases": { "vgg_e": { "median_serial_ms": 123.4, ... }, ... }
 //! }
 //! ```
 //!
-//! The `host` block stamps where the numbers came from — thread count
-//! and CPU count bound how comparable two files are, the git sha and
-//! timestamp say what was measured when.
+//! The `host` block stamps where the numbers came from — thread count,
+//! CPU count, and the active SIMD microkernel bound how comparable two
+//! files are, the git sha and timestamp say what was measured when.
 
 use std::io;
 use std::path::PathBuf;
@@ -120,8 +121,10 @@ impl BenchReport {
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
         s.push_str(&format!("  \"runs\": {},\n", self.runs));
         s.push_str(&format!(
-            "  \"host\": {{\"cpus\": {}, \"git_sha\": \"{}\", \"timestamp\": {}}},\n",
+            "  \"host\": {{\"cpus\": {}, \"threads\": {}, \"simd\": \"{}\", \"git_sha\": \"{}\", \"timestamp\": {}}},\n",
             host_cpus(),
+            self.threads,
+            esc(winofuse_conv::microkernel::active_kernel_name()),
             esc(&git_sha()),
             unix_timestamp()
         ));
@@ -223,6 +226,11 @@ mod tests {
         assert_eq!(doc.get("runs").and_then(JsonValue::as_u64), Some(3));
         let host = doc.get("host").expect("host block");
         assert!(host.get("cpus").and_then(JsonValue::as_u64).unwrap() >= 1);
+        assert_eq!(host.get("threads").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(
+            host.get("simd").and_then(JsonValue::as_str),
+            Some(winofuse_conv::microkernel::active_kernel_name())
+        );
         assert!(host.get("git_sha").and_then(JsonValue::as_str).is_some());
         assert!(host.get("timestamp").and_then(JsonValue::as_u64).is_some());
         let case = doc

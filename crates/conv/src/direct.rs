@@ -9,7 +9,8 @@
 //! the reference every other algorithm in this crate is validated against.
 
 use crate::fixed::{Accumulator, Fix16};
-use crate::gemm::{BOperand, ConvPhase, ConvStats, GemmBlocking, GemmScratch};
+use crate::gemm::{BOperand, ConvPhase, ConvStats, GemmBlocking, GemmScratch, PackedA};
+use crate::microkernel::KernelChoice;
 use crate::tensor::{Scalar, Tensor};
 use crate::{ConvError, ConvGeometry};
 use std::time::Instant;
@@ -144,11 +145,17 @@ pub fn conv2d_fix16(
     Ok(out)
 }
 
-/// im2col rows filled per parallel job in the fast paths (a tuning
-/// constant; results never depend on it).
+/// im2col rows filled per parallel job in the fixed-point fast path (a
+/// tuning constant; results never depend on it).
 const PATCH_ROW_CHUNK: usize = 8;
-/// Output channels per GEMM / accumulation job in the fast paths.
+/// Output channels per accumulation job in the fixed-point fast path.
 const OUT_C_BLOCK: usize = 16;
+/// Output rows owned by one fused job in [`conv2d_fast`]: each job
+/// lowers its own rows (im2col), runs one full-output-channel prepacked
+/// GEMM, and writes its row band across every output plane — a single
+/// pool invocation per call instead of per-batch im2col/GEMM barriers.
+/// A tuning constant; results never depend on it.
+const DIRECT_ROW_BLOCK: usize = 4;
 
 /// Fills `patches` (length `C·K² × outH·outW`) with the im2col lowering of
 /// batch element `bn`, rows ordered `(channel, ku, kv)` — the same order
@@ -215,11 +222,11 @@ pub fn conv2d_fast(
     )
 }
 
-/// [`conv2d_fast`] with worker-lane tracing: im2col and GEMM jobs are
+/// [`conv2d_fast`] with worker-lane tracing: fused row-block jobs are
 /// emitted as Chrome-trace slices on per-worker lanes via `prof` (scoped
-/// to `direct.im2col` / `direct.gemm`), and when `stats` is supplied,
-/// per-phase wall times and the pack-vs-microkernel split are recorded
-/// alongside the exact flop/byte accounting (the im2col lowering lands in
+/// to `direct.rowblock`), and when `stats` is supplied, per-phase times
+/// and the pack-vs-microkernel split are recorded alongside the exact
+/// flop/byte accounting (the im2col lowering lands in
 /// [`ConvPhase::Scatter`] — zero flops, pure data movement).
 ///
 /// # Errors
@@ -233,69 +240,217 @@ pub fn conv2d_fast_traced(
     stats: Option<&ConvStats>,
     prof: &PoolProfiler,
 ) -> Result<Tensor<f32>, ConvError> {
+    conv2d_fast_ext(input, kernels, geom, threads, stats, prof, None)
+}
+
+/// Thread-local working set for one fused direct-convolution job: GEMM
+/// scratch plus the job's own patch matrix and GEMM result band, sized
+/// once for the largest row block so the job loop never allocates.
+struct RowBlockScratch {
+    gemm: GemmScratch,
+    patches: Vec<f32>,
+    cbuf: Vec<f32>,
+}
+
+/// A direct-path filter bank lowered once into GEMM `A` panels.
+///
+/// [`conv2d_fast_ext`] packs its filter matrix on every call — fine for
+/// whole-image convolution, but the fused runner convolves the same
+/// filters dozens of times per frame (once per strip). Build this at
+/// plan-lowering time instead and call [`conv2d_fast_packed_ext`]; no
+/// strip ever re-packs coefficients (the same hoist
+/// `BatchedFilters` applies to the Winograd planes).
+pub struct PackedKernels {
+    packed: PackedA,
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+}
+
+impl PackedKernels {
+    /// Packs `kernels` (`Nout×M×K×K`, row-major) into `A` panels.
+    pub fn new(kernels: &Tensor<f32>) -> Self {
+        let (out_c, in_c, kh, kw) = kernels.shape();
+        debug_assert_eq!(kh, kw, "direct kernels are square");
+        PackedKernels {
+            packed: PackedA::pack(
+                kernels.as_slice(),
+                out_c,
+                in_c * kh * kw,
+                GemmBlocking::default(),
+            ),
+            out_c,
+            in_c,
+            k: kh,
+        }
+    }
+
+    /// Heap footprint of the packed panels.
+    pub fn bytes(&self) -> u64 {
+        self.packed.bytes()
+    }
+}
+
+/// [`conv2d_fast_traced`] with an explicit microkernel pin — the handle
+/// the oracle test matrix uses. Work is partitioned at output-row-block
+/// grain: each job owns [`DIRECT_ROW_BLOCK`] output rows of one image,
+/// lowers exactly those patch columns thread-locally, and runs one GEMM
+/// over all output channels against the filter matrix pre-packed once per
+/// call — one pool invocation total, no im2col/GEMM barrier, no per-job
+/// re-pack of the `A` operand.
+///
+/// Results are bit-identical to the former per-batch barrier grain: every
+/// output element still accumulates its `C·K²` products in ascending
+/// `(channel, ku, kv)` order under the same `KC` blocking.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_fast`].
+pub fn conv2d_fast_ext(
+    input: &Tensor<f32>,
+    kernels: &Tensor<f32>,
+    geom: ConvGeometry,
+    threads: usize,
+    stats: Option<&ConvStats>,
+    prof: &PoolProfiler,
+    kernel: Option<KernelChoice>,
+) -> Result<Tensor<f32>, ConvError> {
     check_shapes(input, kernels, geom)?;
+    // The filter matrix is packed into GEMM `A` panels exactly once per
+    // call; every job reuses the shared panels read-only. Callers that
+    // convolve the same filters repeatedly hoist this with
+    // [`PackedKernels`].
+    let packed = PackedKernels::new(kernels);
+    conv2d_fast_packed_ext(input, &packed, geom, threads, stats, prof, kernel)
+}
+
+/// [`conv2d_fast_ext`] against a pre-lowered filter bank: identical
+/// scheduling, partitioning, and bit-exact results, but the `A`-panel
+/// pack is the caller's (one-time) cost.
+///
+/// # Errors
+///
+/// Returns [`ConvError::ShapeMismatch`] when the input or the packed
+/// bank disagrees with `geom` — the same conditions as [`conv2d_fast`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_fast_packed_ext(
+    input: &Tensor<f32>,
+    packed: &PackedKernels,
+    geom: ConvGeometry,
+    threads: usize,
+    stats: Option<&ConvStats>,
+    prof: &PoolProfiler,
+    kernel: Option<KernelChoice>,
+) -> Result<Tensor<f32>, ConvError> {
+    if input.h() != geom.height() || input.w() != geom.width() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("input {}x{}", geom.height(), geom.width()),
+            found: format!("input {}x{}", input.h(), input.w()),
+        });
+    }
+    if packed.k != geom.kernel() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("kernel {0}x{0}", geom.kernel()),
+            found: format!("kernel {0}x{0}", packed.k),
+        });
+    }
+    if packed.in_c != input.c() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("{} kernel channels", input.c()),
+            found: format!("{}", packed.in_c),
+        });
+    }
     let threads = winofuse_runtime::resolve_threads(threads);
     let (batch, in_c, _, _) = input.shape();
-    let out_c = kernels.n();
+    let out_c = packed.out_c;
     let (oh, ow) = (geom.output_height(), geom.output_width());
-    let (ckk, cols) = (in_c * geom.kernel() * geom.kernel(), oh * ow);
-    let kflat = kernels.as_slice(); // N×(C·K·K) row-major already
-
-    let mut patches = vec![0.0f32; ckk * cols];
-    let mut out = Tensor::zeros(batch, out_c, oh, ow);
-    let k_blocks: Vec<(usize, usize)> = (0..out_c)
-        .step_by(OUT_C_BLOCK)
-        .map(|k0| (k0, OUT_C_BLOCK.min(out_c - k0)))
-        .collect();
-    let lengths: Vec<usize> = k_blocks.iter().map(|&(_, kb)| kb * cols).collect();
-    let im2col_prof = prof.scoped("direct.im2col");
-    let gemm_prof = prof.scoped("direct.gemm");
+    let (k, s_stride, pad) = (geom.kernel(), geom.stride(), geom.pad() as isize);
+    let (ckk, cols) = (in_c * k * k, oh * ow);
+    let micro = kernel.unwrap_or_else(KernelChoice::auto);
     let timed = stats.is_some();
+    let packed_k = &packed.packed;
+
+    let row_blocks = oh.div_ceil(DIRECT_ROW_BLOCK);
+    let n_jobs = batch * row_blocks;
+    let rows_in_block = |blk: usize| DIRECT_ROW_BLOCK.min(oh - blk * DIRECT_ROW_BLOCK);
+    let max_bc = DIRECT_ROW_BLOCK * ow;
+
+    let mut out = Tensor::zeros(batch, out_c, oh, ow);
+    // Carve the NCHW output into per-job row bands in memory order: each
+    // job owns the same row range in every output-channel plane.
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(batch * out_c * row_blocks);
     for bn in 0..batch {
-        let t_phase = stats.map(|_| Instant::now());
-        fill_patches(input, geom, bn, &mut patches, threads, &im2col_prof)?;
-        if let Some(s) = stats {
-            // Pure data movement: input elements read, patch matrix written.
-            s.add_phase(ConvPhase::Scatter, 0, 8 * (ckk * cols) as u64);
-            s.add_phase_ns(
-                ConvPhase::Scatter,
-                t_phase.expect("timed with stats").elapsed().as_nanos() as u64,
-            );
+        for _kk in 0..out_c {
+            for blk in 0..row_blocks {
+                spans.push((bn * row_blocks + blk, rows_in_block(blk) * ow));
+            }
         }
-        let out_all = out.as_mut_slice();
-        let img = &mut out_all[bn * out_c * cols..(bn + 1) * out_c * cols];
-        let slices = winofuse_runtime::split_lengths(img, &lengths);
-        let patches_ref = &patches;
-        let t_phase = stats.map(|_| Instant::now());
-        winofuse_runtime::run_sliced_jobs_isolated(
-            threads,
-            slices,
-            &gemm_prof,
-            GemmScratch::new,
-            |scratch, job, slice| {
-                let (k0, kb) = k_blocks[job];
-                let outcome = crate::gemm::gemm_f32_profiled(
-                    scratch,
-                    GemmBlocking::default(),
-                    kb,
-                    ckk,
-                    cols,
-                    &kflat[k0 * ckk..(k0 + kb) * ckk],
-                    BOperand::row_major(patches_ref, cols),
-                    slice,
-                    timed,
-                );
-                if let Some(s) = stats {
-                    s.add_gemm(1, outcome.bytes_packed);
-                    let bytes = 4 * (kb * ckk + ckk * cols + kb * cols) as u64;
-                    s.add_phase(ConvPhase::Gemm, outcome.flops, bytes);
-                    s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
+    }
+    let groups = winofuse_runtime::split_spans(out.as_mut_slice(), &spans, n_jobs);
+
+    let packed_ref = packed_k;
+    winofuse_runtime::run_grouped_jobs_isolated(
+        threads,
+        groups,
+        &prof.scoped("direct.rowblock"),
+        move || RowBlockScratch {
+            gemm: GemmScratch::with_kernel(micro),
+            patches: vec![0.0; ckk * max_bc],
+            cbuf: vec![0.0; out_c * max_bc],
+        },
+        |st, job, frags| {
+            let bn = job / row_blocks;
+            let blk = job % row_blocks;
+            let r0 = blk * DIRECT_ROW_BLOCK;
+            let rows_here = rows_in_block(blk);
+            let bc = rows_here * ow;
+            let patches = &mut st.patches[..ckk * bc];
+            let cbuf = &mut st.cbuf[..out_c * bc];
+            let t_job = stats.map(|_| Instant::now());
+
+            // im2col for exactly this job's output positions, rows ordered
+            // (channel, ku, kv) — the order the naive kernels accumulate in.
+            for (r, row) in patches.chunks_exact_mut(bc).enumerate() {
+                let (m, u, v) = (r / (k * k), (r / k) % k, r % k);
+                for i in 0..rows_here {
+                    for j in 0..ow {
+                        let hh = ((r0 + i) * s_stride + u) as isize - pad;
+                        let ww = (j * s_stride + v) as isize - pad;
+                        row[i * ow + j] = input.get_padded(bn, m, hh, ww);
+                    }
                 }
-            },
-        )?;
-        if let (Some(s), Some(t0)) = (stats, t_phase) {
-            s.add_phase_ns(ConvPhase::Gemm, t0.elapsed().as_nanos() as u64);
-        }
+            }
+            let t_lowered = stats.map(|_| Instant::now());
+
+            // One GEMM over every output channel for this row band.
+            let outcome = crate::gemm::gemm_f32_prepacked(
+                &mut st.gemm,
+                packed_ref,
+                bc,
+                BOperand::row_major(patches, bc),
+                cbuf,
+                timed,
+            );
+            for (kk, frag) in frags.iter_mut().enumerate() {
+                frag.copy_from_slice(&cbuf[kk * bc..(kk + 1) * bc]);
+            }
+            if let (Some(s), Some(t0), Some(tl)) = (stats, t_job, t_lowered) {
+                s.add_gemm(1, outcome.bytes_packed);
+                s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
+                s.add_phase_ns(ConvPhase::Scatter, (tl - t0).as_nanos() as u64);
+                s.add_phase_ns(ConvPhase::Gemm, tl.elapsed().as_nanos() as u64);
+            }
+        },
+    )?;
+    if let Some(s) = stats {
+        // Schedule-invariant analytic accounting, identical to what the
+        // former barrier grain reported in total: the im2col lowering is
+        // pure data movement; the GEMM reads each operand once and writes
+        // the output once, per image.
+        s.add_phase(ConvPhase::Scatter, 0, (batch * 8 * ckk * cols) as u64);
+        let gemm_flops = (batch * 2 * out_c * ckk * cols) as u64;
+        let gemm_bytes = (batch * 4 * (out_c * ckk + ckk * cols + out_c * cols)) as u64;
+        s.add_phase(ConvPhase::Gemm, gemm_flops, gemm_bytes);
     }
     Ok(out)
 }
@@ -315,6 +470,25 @@ pub fn conv2d_fix16_fast(
     kernels: &Tensor<Fix16>,
     geom: ConvGeometry,
     threads: usize,
+) -> Result<Tensor<Fix16>, ConvError> {
+    conv2d_fix16_fast_with_kernel(input, kernels, geom, threads, KernelChoice::auto())
+}
+
+/// [`conv2d_fix16_fast`] with an explicit microkernel pin. The inner MAC
+/// sweep runs through [`KernelChoice::mac_span_fix16`] — packed 16-bit
+/// lanes widened into 64-bit accumulators on AVX2, the scalar span
+/// otherwise. Integer accumulation is exact and order-free, so every
+/// kernel is bit-identical to the naive reference.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_fix16_fast`].
+pub fn conv2d_fix16_fast_with_kernel(
+    input: &Tensor<Fix16>,
+    kernels: &Tensor<Fix16>,
+    geom: ConvGeometry,
+    threads: usize,
+    micro: KernelChoice,
 ) -> Result<Tensor<Fix16>, ConvError> {
     check_shapes(input, kernels, geom)?;
     let threads = winofuse_runtime::resolve_threads(threads);
@@ -348,23 +522,23 @@ pub fn conv2d_fix16_fast(
             threads,
             slices,
             &PoolProfiler::disabled(),
-            || vec![Accumulator::new(); cols],
+            || vec![0i64; cols],
             |accs, job, slice| {
                 let (k0, kb) = k_blocks[job];
                 for k in k0..k0 + kb {
-                    accs.fill(Accumulator::new());
+                    accs.fill(0);
                     // Row-major sweep of the patch matrix keeps the memory
                     // access streaming while every output element still
-                    // accumulates its products in ascending row order.
+                    // accumulates its products in ascending row order
+                    // (irrelevant for exactness — integer adds commute —
+                    // but it mirrors the float path's contract).
                     for (r, &kv) in kflat[k * ckk..(k + 1) * ckk].iter().enumerate() {
                         let row = &patches_ref[r * cols..(r + 1) * cols];
-                        for (acc, &d) in accs.iter_mut().zip(row) {
-                            acc.mac(d, kv);
-                        }
+                        micro.mac_span_fix16(accs, row, kv);
                     }
                     let plane = &mut slice[(k - k0) * cols..(k - k0 + 1) * cols];
-                    for (dst, acc) in plane.iter_mut().zip(accs.iter()) {
-                        *dst = acc.finish();
+                    for (dst, &acc) in plane.iter_mut().zip(accs.iter()) {
+                        *dst = Accumulator::from_raw(acc).finish();
                     }
                 }
             },
@@ -503,7 +677,7 @@ mod tests {
         let stats = ConvStats::new();
         conv2d_fast(&x, &k, geom, 2, Some(&stats)).unwrap();
         let (gemm_calls, _, bytes) = stats.snapshot();
-        // 20 output channels over blocks of 16 = 2 GEMM jobs.
+        // 8 output rows over row blocks of 4 = 2 fused jobs, one GEMM each.
         assert_eq!(gemm_calls, 2);
         assert!(bytes > 0);
     }

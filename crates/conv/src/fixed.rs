@@ -258,6 +258,17 @@ impl Accumulator {
         self.0 += a.to_raw() as i64 * b.to_raw() as i64;
     }
 
+    /// The raw Q16.16 running sum — the lane representation the
+    /// vectorized fix16 microkernels accumulate in.
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Rebuilds an accumulator from a raw Q16.16 running sum.
+    pub fn from_raw(raw: i64) -> Self {
+        Accumulator(raw)
+    }
+
     /// Rounds the Q16.16 accumulation to nearest Q8.8 and saturates.
     pub fn finish(self) -> Fix16 {
         let wide = self.0;

@@ -16,6 +16,7 @@
 //! threads — callers parallelize by splitting rows of `A`/`C` or issuing
 //! independent GEMMs, never by splitting `k`.
 
+use crate::microkernel::KernelChoice;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -93,12 +94,28 @@ impl<'a> BOperand<'a> {
 pub struct GemmScratch {
     a_pack: Vec<f32>,
     b_pack: Vec<f32>,
+    kernel: KernelChoice,
 }
 
 impl GemmScratch {
-    /// An empty scratch (buffers grow on first use).
+    /// An empty scratch (buffers grow on first use) dispatching to the
+    /// auto-detected microkernel.
     pub fn new() -> Self {
         GemmScratch::default()
+    }
+
+    /// An empty scratch pinned to an explicit microkernel — the handle the
+    /// oracle test matrix uses to run every kernel over the same inputs.
+    pub fn with_kernel(kernel: KernelChoice) -> Self {
+        GemmScratch {
+            kernel,
+            ..GemmScratch::default()
+        }
+    }
+
+    /// The microkernel this scratch dispatches to.
+    pub fn kernel(&self) -> KernelChoice {
+        self.kernel
     }
 }
 
@@ -369,6 +386,7 @@ pub fn gemm_f32_profiled(
                 out.bytes_packed += (mb.div_ceil(MR) * MR * kb * 4) as u64;
                 let t0 = timed.then(Instant::now);
                 macro_kernel(
+                    scratch.kernel,
                     &scratch.a_pack,
                     &scratch.b_pack,
                     mb,
@@ -419,10 +437,18 @@ fn pack_a(a_pack: &mut Vec<f32>, a: &[f32], k: usize, ic: usize, mb: usize, pc: 
     let panels = mb.div_ceil(MR);
     a_pack.clear();
     a_pack.resize(panels * kb * MR, 0.0);
+    pack_a_into(a_pack, a, k, ic, mb, pc, kb);
+}
+
+/// [`pack_a`] into a pre-zeroed destination of exactly
+/// `⌈mb/MR⌉·MR·kb` elements — shared by the on-the-fly path and
+/// [`PackedA::pack`] so both produce bit-identical panels.
+fn pack_a_into(dst: &mut [f32], a: &[f32], k: usize, ic: usize, mb: usize, pc: usize, kb: usize) {
+    let panels = mb.div_ceil(MR);
     for panel in 0..panels {
         let i0 = panel * MR;
         let height = MR.min(mb - i0);
-        let dst = &mut a_pack[panel * kb * MR..(panel + 1) * kb * MR];
+        let dst = &mut dst[panel * kb * MR..(panel + 1) * kb * MR];
         for i in 0..height {
             let src = &a[(ic + i0 + i) * k + pc..(ic + i0 + i) * k + pc + kb];
             for (p, &v) in src.iter().enumerate() {
@@ -436,6 +462,7 @@ fn pack_a(a_pack: &mut Vec<f32>, a: &[f32], k: usize, ic: usize, mb: usize, pc: 
 /// packed block and writes (or accumulates) into `C` with edge clipping.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    kernel: KernelChoice,
     a_pack: &[f32],
     b_pack: &[f32],
     mb: usize,
@@ -455,7 +482,7 @@ fn macro_kernel(
         let width = NR.min(nb - jp * NR);
         for ip in 0..m_panels {
             let ap = &a_pack[ip * kb * MR..(ip + 1) * kb * MR];
-            let acc = micro_kernel(ap, bp, kb);
+            let acc = kernel.tile_f32(ap, bp, kb);
             let i0 = ic + ip * MR;
             let height = MR.min(mb - ip * MR);
             for (i, acc_row) in acc.iter().enumerate().take(height) {
@@ -472,23 +499,175 @@ fn macro_kernel(
     }
 }
 
-/// The `MR×NR` register tile: `kb` rank-1 updates over one packed `A`
-/// panel and one packed `B` panel. Fixed-size accumulators let the
-/// compiler vectorize the inner loop and keep the tile in registers.
-#[inline]
-fn micro_kernel(ap: &[f32], bp: &[f32], kb: usize) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kb) {
-        let av: &[f32; MR] = av.try_into().expect("packed A panel stride");
-        let bv: &[f32; NR] = bv.try_into().expect("packed B panel stride");
-        for (i, acc_row) in acc.iter_mut().enumerate() {
-            let a = av[i];
-            for (j, slot) in acc_row.iter_mut().enumerate() {
-                *slot += a * bv[j];
+/// A row-major `m × k` GEMM `A` operand packed once into the exact
+/// `(pc, ic)`-blocked panel layout the macro kernel consumes, so repeated
+/// GEMMs against the same `A` (every strip of a fused run, every transform
+/// point of a Winograd layer) skip the per-call `pack_a` entirely.
+///
+/// The pack is bit-for-bit the layout [`gemm_f32_profiled`] would build on
+/// the fly with the same [`GemmBlocking`], so results are bit-identical.
+#[derive(Debug, Clone)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    blocking: GemmBlocking,
+    /// Concatenated per-`(pc, ic)` panel blocks, `pc`-major.
+    data: Vec<f32>,
+    /// Start of each `(pc, ic)` block in `data`, indexed
+    /// `pc_idx · n_ic_blocks + ic_idx`.
+    offsets: Vec<usize>,
+    n_ic_blocks: usize,
+}
+
+impl PackedA {
+    /// Packs row-major `a` (`m × k`) for reuse under `blocking`. Exactly
+    /// two allocations regardless of shape (the panel buffer and the
+    /// offset table) — the property the counting-allocator test pins so
+    /// bank preparation stays a plan-lowering-time cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a.len() != m·k` or a blocking parameter is zero.
+    pub fn pack(a: &[f32], m: usize, k: usize, blocking: GemmBlocking) -> Self {
+        assert_eq!(a.len(), m * k, "A must be m×k row-major");
+        assert!(
+            blocking.mc > 0 && blocking.kc > 0 && blocking.nc > 0,
+            "blocking parameters must be positive"
+        );
+        let n_ic_blocks = if m == 0 { 0 } else { m.div_ceil(blocking.mc) };
+        let mut total = 0usize;
+        let mut offsets = Vec::with_capacity(k.div_ceil(blocking.kc) * n_ic_blocks);
+        for pc in (0..k).step_by(blocking.kc) {
+            let kb = blocking.kc.min(k - pc);
+            for ic in (0..m).step_by(blocking.mc) {
+                let mb = blocking.mc.min(m - ic);
+                offsets.push(total);
+                total += mb.div_ceil(MR) * MR * kb;
+            }
+        }
+        let mut data = vec![0.0f32; total];
+        let mut idx = 0usize;
+        for pc in (0..k).step_by(blocking.kc) {
+            let kb = blocking.kc.min(k - pc);
+            for ic in (0..m).step_by(blocking.mc) {
+                let mb = blocking.mc.min(m - ic);
+                let len = mb.div_ceil(MR) * MR * kb;
+                pack_a_into(
+                    &mut data[offsets[idx]..offsets[idx] + len],
+                    a,
+                    k,
+                    ic,
+                    mb,
+                    pc,
+                    kb,
+                );
+                idx += 1;
+            }
+        }
+        PackedA {
+            m,
+            k,
+            blocking,
+            data,
+            offsets,
+            n_ic_blocks,
+        }
+    }
+
+    /// Rows of the packed operand.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Depth of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The blocking the panels were packed for.
+    pub fn blocking(&self) -> GemmBlocking {
+        self.blocking
+    }
+
+    /// Bytes held by the packed panels (the one-time pack cost).
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * 4) as u64
+    }
+
+    /// The packed panel block for cache block `(pc_idx, ic_idx)`.
+    fn block(&self, pc_idx: usize, ic_idx: usize) -> &[f32] {
+        let idx = pc_idx * self.n_ic_blocks + ic_idx;
+        let start = self.offsets[idx];
+        let end = self
+            .offsets
+            .get(idx + 1)
+            .copied()
+            .unwrap_or(self.data.len());
+        &self.data[start..end]
+    }
+}
+
+/// [`gemm_f32_profiled`] against a pre-packed `A`: identical loop
+/// structure, blocking, and accumulation order — only the per-call
+/// `pack_a` is gone, so `bytes_packed` counts the `B` panels alone.
+pub fn gemm_f32_prepacked(
+    scratch: &mut GemmScratch,
+    packed_a: &PackedA,
+    n: usize,
+    b: BOperand<'_>,
+    c: &mut [f32],
+    timed: bool,
+) -> GemmOutcome {
+    let (m, k) = (packed_a.m, packed_a.k);
+    assert_eq!(c.len(), m * n, "C must be m×n row-major");
+    if m == 0 || n == 0 {
+        return GemmOutcome::default();
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return GemmOutcome::default();
+    }
+    let _ = b.at(k - 1, n - 1);
+
+    let GemmBlocking { mc, kc, nc } = packed_a.blocking;
+    let mut out = GemmOutcome {
+        flops: 2 * (m as u64) * (k as u64) * (n as u64),
+        ..GemmOutcome::default()
+    };
+    for jc in (0..n).step_by(nc) {
+        let nb = nc.min(n - jc);
+        for (pc_idx, pc) in (0..k).step_by(kc).enumerate() {
+            let kb = kc.min(k - pc);
+            let t0 = timed.then(Instant::now);
+            pack_b(&mut scratch.b_pack, b, pc, kb, jc, nb);
+            if let Some(t0) = t0 {
+                out.pack_ns += t0.elapsed().as_nanos() as u64;
+            }
+            out.bytes_packed += (nb.div_ceil(NR) * NR * kb * 4) as u64;
+            let first_k_block = pc == 0;
+            for (ic_idx, ic) in (0..m).step_by(mc).enumerate() {
+                let mb = mc.min(m - ic);
+                let t0 = timed.then(Instant::now);
+                macro_kernel(
+                    scratch.kernel,
+                    packed_a.block(pc_idx, ic_idx),
+                    &scratch.b_pack,
+                    mb,
+                    kb,
+                    nb,
+                    c,
+                    ic,
+                    jc,
+                    n,
+                    first_k_block,
+                );
+                if let Some(t0) = t0 {
+                    out.kernel_ns += t0.elapsed().as_nanos() as u64;
+                }
             }
         }
     }
-    acc
+    out
 }
 
 #[cfg(test)]
@@ -714,6 +893,90 @@ mod tests {
         );
         // One full A panel + one full B panel, each k deep.
         assert_eq!(bytes, ((MR * k + NR * k) * 4) as u64);
+    }
+
+    #[test]
+    fn prepacked_a_matches_on_the_fly_bitwise() {
+        // Same blocking ⇒ same panels ⇒ same accumulation order ⇒ same bits,
+        // across ragged shapes and every supported microkernel.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (17, 31, 23), (64, 300, 40)] {
+            let a = seeded(m * k, (m + k) as u64);
+            let b = seeded(k * n, (k + n) as u64);
+            for blocking in [
+                GemmBlocking::default(),
+                GemmBlocking {
+                    mc: 8,
+                    kc: 16,
+                    nc: 8,
+                },
+            ] {
+                let packed = PackedA::pack(&a, m, k, blocking);
+                assert!(packed.bytes() > 0);
+                for kernel in crate::microkernel::KernelChoice::all_supported() {
+                    let mut s1 = GemmScratch::with_kernel(kernel);
+                    let mut c1 = vec![f32::NAN; m * n];
+                    let fly = gemm_f32_profiled(
+                        &mut s1,
+                        blocking,
+                        m,
+                        k,
+                        n,
+                        &a,
+                        BOperand::row_major(&b, n),
+                        &mut c1,
+                        false,
+                    );
+                    let mut c2 = vec![f32::NAN; m * n];
+                    let pre = gemm_f32_prepacked(
+                        &mut s1,
+                        &packed,
+                        n,
+                        BOperand::row_major(&b, n),
+                        &mut c2,
+                        false,
+                    );
+                    assert_eq!(c1, c2, "{m}x{k}x{n} {blocking:?} {}", kernel.name());
+                    assert_eq!(pre.flops, fly.flops);
+                    // The prepacked call packs only B panels.
+                    assert!(pre.bytes_packed < fly.bytes_packed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_kernels_match_auto_bitwise() {
+        let (m, k, n) = (21, 300, 19); // spans multiple KC blocks
+        let a = seeded(m * k, 71);
+        let b = seeded(k * n, 72);
+        let mut auto = GemmScratch::new();
+        let mut c_auto = vec![0.0f32; m * n];
+        gemm_f32(
+            &mut auto,
+            GemmBlocking::default(),
+            m,
+            k,
+            n,
+            &a,
+            BOperand::row_major(&b, n),
+            &mut c_auto,
+        );
+        for kernel in crate::microkernel::KernelChoice::all_supported() {
+            let mut s = GemmScratch::with_kernel(kernel);
+            assert_eq!(s.kernel(), kernel);
+            let mut c = vec![0.0f32; m * n];
+            gemm_f32(
+                &mut s,
+                GemmBlocking::default(),
+                m,
+                k,
+                n,
+                &a,
+                BOperand::row_major(&b, n),
+                &mut c,
+            );
+            assert_eq!(c, c_auto, "kernel {}", kernel.name());
+        }
     }
 
     #[test]

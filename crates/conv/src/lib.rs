@@ -40,6 +40,7 @@ pub mod fixed;
 pub mod gemm;
 pub mod im2col;
 pub mod matrix;
+pub mod microkernel;
 pub mod ops;
 pub mod rational;
 pub mod tensor;

@@ -7,8 +7,9 @@
 //! conventional algorithm otherwise, exactly as the paper does.
 
 use crate::cook_toom::{f43, WinogradTransform};
-use crate::gemm::{BOperand, ConvPhase, ConvStats, GemmBlocking, GemmScratch};
+use crate::gemm::{BOperand, ConvPhase, ConvStats, GemmBlocking, GemmScratch, PackedA};
 use crate::matrix::Mat;
+use crate::microkernel::KernelChoice;
 use crate::tensor::Tensor;
 use crate::{ConvError, ConvGeometry};
 use std::time::Instant;
@@ -247,13 +248,56 @@ pub fn conv2d_f43(
     conv2d_with(input, kernels, geom, &f43())
 }
 
-/// Input tiles scattered per job in the batched path (sizes the phase-1
-/// write regions; results never depend on it).
+/// Input tiles scattered per job in the barrier (transform-point) path
+/// (sizes the phase-1 write regions; results never depend on it).
 const TILE_CHUNK: usize = 32;
-/// Output-channel rows per GEMM job in the batched path.
-const GEMM_K_BLOCK: usize = 32;
-/// Output channels per gather job in the batched path.
+/// Output channels per gather job in the barrier path.
 const GATHER_K_BLOCK: usize = 16;
+/// Tiles owned by one worker job under the tile-block schedule: each job
+/// runs fused scatter → α² GEMMs → gather over this many contiguous tiles
+/// with thread-local buffers. Sized so the per-job `V`/`M` blocks stay
+/// cache-resident while GEMM `n` fills whole `NR` panels. Results never
+/// depend on it.
+pub const WINO_TILE_BLOCK: usize = 32;
+/// Minimum job count for `Auto` to pick the tile-block schedule — below
+/// this the layer has too few tiles to parallelize at tile grain (deep,
+/// spatially small layers like VGG conv5), and the transform-point
+/// schedule's 36-way GEMM parallelism wins.
+const TILE_BLOCK_MIN_JOBS: usize = 4;
+
+/// How the batched Winograd layer is partitioned into parallel jobs.
+///
+/// Every schedule produces **bit-identical outputs** — each output element
+/// accumulates its `in_c` products in the same ascending order under the
+/// same `KC` blocking — so the choice is purely a performance decision and
+/// `Auto` may pick per layer shape without affecting results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WinoSchedule {
+    /// Pick per shape: tile-block when the layer has enough tiles to feed
+    /// [`TILE_BLOCK_MIN_JOBS`] jobs, transform-point otherwise.
+    #[default]
+    Auto,
+    /// One pool invocation; each job owns a contiguous block of
+    /// [`WINO_TILE_BLOCK`] tiles and runs fused
+    /// scatter → α²-batched packed GEMM → gather over its block with
+    /// thread-local panels. No barriers between phases.
+    TileBlock,
+    /// Three barrier phases (scatter / GEMM / gather) with one GEMM job
+    /// per transform point — the right grain when tiles are scarce but
+    /// channels are deep.
+    TransformPoint,
+}
+
+/// Knobs for [`conv2d_batched_ext`]: schedule selection and an explicit
+/// microkernel pin (both default to auto-selection).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchedOptions {
+    /// Parallel partitioning; `Auto` resolves per layer shape.
+    pub schedule: WinoSchedule,
+    /// `None` dispatches to [`KernelChoice::auto`]; tests pin kernels
+    /// explicitly to hold the oracle contract down.
+    pub kernel: Option<KernelChoice>,
+}
 
 /// Filter bank laid out for batched Winograd-as-GEMM: one
 /// `out_c × in_c` row-major GEMM operand per transform-domain point
@@ -269,10 +313,15 @@ pub struct BatchedFilters {
     in_c: usize,
     /// `planes[u·α + v][k·in_c + c] = (G·g_{k,c}·Gᵀ)[u][v]`.
     planes: Vec<Vec<f32>>,
+    /// Each plane pre-packed into GEMM `A` panels under the default
+    /// blocking — built once here (plan-lowering time), so no strip or
+    /// transform-point job ever re-packs filter coefficients.
+    packed: Vec<PackedA>,
 }
 
 impl BatchedFilters {
-    /// Transforms and repacks a kernel tensor (`N×C×r×r`).
+    /// Transforms and repacks a kernel tensor (`N×C×r×r`), including the
+    /// one-time GEMM panel pack of every transform-point plane.
     ///
     /// # Errors
     ///
@@ -291,6 +340,11 @@ impl BatchedFilters {
                 }
             }
         }
+        let blocking = GemmBlocking::default();
+        let packed = planes
+            .iter()
+            .map(|p| PackedA::pack(p, out_c, in_c, blocking))
+            .collect();
         Ok(BatchedFilters {
             m: transform.m(),
             r: transform.r(),
@@ -298,7 +352,13 @@ impl BatchedFilters {
             out_c,
             in_c,
             planes,
+            packed,
         })
+    }
+
+    /// The pre-packed GEMM `A` operand for transform point `uv`.
+    pub fn packed_plane(&self, uv: usize) -> &PackedA {
+        &self.packed[uv]
     }
 
     /// Output channels.
@@ -338,15 +398,16 @@ fn matmul_flat(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, p: usi
     }
 }
 
-/// Batched Winograd convolution: scatter (input transforms into a
-/// `[tiles × in_c]` matrix per transform point), α² GEMMs against the
-/// repacked filter planes, gather (output transforms with edge clipping).
-/// All three phases run on the shared worker pool; `threads == 0` means
-/// auto-detect, `1` runs inline.
+/// Batched Winograd convolution: scatter (input transforms), α² GEMMs
+/// against the pre-packed filter planes, gather (output transforms with
+/// edge clipping). Work is partitioned per [`WinoSchedule::Auto`];
+/// `threads == 0` means auto-detect, `1` runs inline.
 ///
-/// Results are bit-identical for any thread count: jobs partition the
-/// tile/channel space in fixed-size blocks whose contents and accumulation
-/// order never depend on the worker count.
+/// Results are bit-identical for any thread count **and any schedule**:
+/// jobs partition the tile/channel space in fixed-size blocks whose
+/// contents and accumulation order never depend on the worker count, and
+/// every schedule accumulates each output element's `in_c` products in
+/// the same ascending order under the same `KC` blocking.
 ///
 /// # Errors
 ///
@@ -360,7 +421,7 @@ pub fn conv2d_batched(
     threads: usize,
     stats: Option<&ConvStats>,
 ) -> Result<Tensor<f32>, ConvError> {
-    conv2d_batched_traced(
+    conv2d_batched_ext(
         input,
         filters,
         geom,
@@ -368,19 +429,21 @@ pub fn conv2d_batched(
         threads,
         stats,
         &PoolProfiler::disabled(),
+        BatchedOptions::default(),
     )
 }
 
-/// [`conv2d_batched`] with worker-lane tracing: each phase's jobs are
-/// emitted as Chrome-trace slices on per-worker lanes via `prof` (scoped
-/// to `wino.scatter` / `wino.gemm` / `wino.gather`), and when `stats` is
-/// supplied, per-phase wall times and the GEMM pack-vs-microkernel split
-/// are recorded alongside the exact flop/byte accounting.
+/// [`conv2d_batched`] with worker-lane tracing: jobs are emitted as
+/// Chrome-trace slices on per-worker lanes via `prof` (scoped to
+/// `wino.scatter` / `wino.gemm` / `wino.gather` under the transform-point
+/// schedule, `wino.tileblock` under the fused tile-block schedule), and
+/// when `stats` is supplied, per-phase times and the GEMM
+/// pack-vs-microkernel split are recorded alongside the exact flop/byte
+/// accounting.
 ///
 /// # Errors
 ///
 /// Same conditions as [`conv2d_batched`].
-#[allow(clippy::too_many_arguments)] // the batched entry plus observability
 pub fn conv2d_batched_traced(
     input: &Tensor<f32>,
     filters: &BatchedFilters,
@@ -389,6 +452,88 @@ pub fn conv2d_batched_traced(
     threads: usize,
     stats: Option<&ConvStats>,
     prof: &PoolProfiler,
+) -> Result<Tensor<f32>, ConvError> {
+    conv2d_batched_ext(
+        input,
+        filters,
+        geom,
+        transform,
+        threads,
+        stats,
+        prof,
+        BatchedOptions::default(),
+    )
+}
+
+/// Shape-derived state shared by both schedules, resolved once after
+/// validation.
+struct WinoCtx<'a> {
+    input: &'a Tensor<f32>,
+    filters: &'a BatchedFilters,
+    threads: usize,
+    kernel: KernelChoice,
+    timed: bool,
+    m: usize,
+    alpha: usize,
+    aa: usize,
+    b_t: Vec<f32>,
+    b: Vec<f32>,
+    a_t: Vec<f32>,
+    a: Vec<f32>,
+    batch: usize,
+    in_c: usize,
+    out_c: usize,
+    oh: usize,
+    ow: usize,
+    pad: isize,
+    tiles_w: usize,
+    tiles_per_img: usize,
+    p_total: usize,
+}
+
+/// Schedule-invariant phase accounting: flops and bytes depend only on
+/// the layer shape, never on how the work was partitioned, so profiles
+/// taken under different schedules (or thread counts) reconcile exactly.
+fn add_phase_totals(cx: &WinoCtx<'_>, s: &ConvStats) {
+    let (m, alpha, aa) = (cx.m, cx.alpha, cx.aa);
+    s.add_tiles(cx.p_total as u64);
+    // Scatter, per (tile, channel): two α×α·α×α products (Bᵀ·d, then ·B);
+    // input tile elements read + transformed elements written.
+    let scatter_flops = (cx.p_total * cx.in_c) as u64 * 4 * (alpha * alpha * alpha) as u64;
+    let scatter_bytes = 8 * (cx.p_total * aa * cx.in_c) as u64;
+    s.add_phase(ConvPhase::Scatter, scatter_flops, scatter_bytes);
+    // GEMM: 2·N·C·P multiply-adds per transform point; each operand read
+    // once and the transform-domain product written once.
+    let gemm_flops = 2 * (aa * cx.out_c * cx.in_c * cx.p_total) as u64;
+    let gemm_bytes =
+        4 * (aa * (cx.out_c * cx.in_c + cx.in_c * cx.p_total + cx.out_c * cx.p_total)) as u64;
+    s.add_phase(ConvPhase::Gemm, gemm_flops, gemm_bytes);
+    // Gather, per (output channel, tile): Aᵀ·M (m×α·α×α) then ·A (m×α·α×m);
+    // transform-domain elements read + output elements written.
+    let per_tile = (2 * m * alpha * alpha + 2 * m * m * alpha) as u64;
+    let gather_flops = (cx.out_c * cx.p_total) as u64 * per_tile;
+    let gather_bytes =
+        4 * (aa * cx.out_c * cx.p_total + cx.batch * cx.out_c * cx.oh * cx.ow) as u64;
+    s.add_phase(ConvPhase::Gather, gather_flops, gather_bytes);
+}
+
+/// [`conv2d_batched`] with explicit [`BatchedOptions`] — the full entry
+/// point: schedule pinning for the determinism tests, kernel pinning for
+/// the microkernel oracle matrix, tracing for the profiler.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_batched`].
+#[allow(clippy::too_many_arguments)] // the batched entry plus observability
+pub fn conv2d_batched_ext(
+    input: &Tensor<f32>,
+    filters: &BatchedFilters,
+    geom: ConvGeometry,
+    transform: &WinogradTransform,
+    threads: usize,
+    stats: Option<&ConvStats>,
+    prof: &PoolProfiler,
+    opts: BatchedOptions,
 ) -> Result<Tensor<f32>, ConvError> {
     if geom.stride() != 1 {
         return Err(ConvError::StrideUnsupported {
@@ -420,23 +565,72 @@ pub fn conv2d_batched_traced(
         });
     }
 
-    let threads = winofuse_runtime::resolve_threads(threads);
     let m = transform.m();
     let alpha = transform.alpha();
-    let aa = alpha * alpha;
-    let b_t: Vec<f32> = transform.b_t_f32().as_slice().to_vec();
-    let b: Vec<f32> = transform.b_t_f32().transpose().as_slice().to_vec();
-    let a_t: Vec<f32> = transform.a_t_f32().as_slice().to_vec();
-    let a: Vec<f32> = transform.a_t_f32().transpose().as_slice().to_vec();
-
     let (batch, in_c, _, _) = input.shape();
-    let out_c = filters.out_c;
     let (oh, ow) = (geom.output_height(), geom.output_width());
-    let pad = geom.pad() as isize;
     let tiles_h = oh.div_ceil(m);
     let tiles_w = ow.div_ceil(m);
     let tiles_per_img = tiles_h * tiles_w;
-    let p_total = batch * tiles_per_img;
+    let cx = WinoCtx {
+        input,
+        filters,
+        threads: winofuse_runtime::resolve_threads(threads),
+        kernel: opts.kernel.unwrap_or_else(KernelChoice::auto),
+        timed: stats.is_some(),
+        m,
+        alpha,
+        aa: alpha * alpha,
+        b_t: transform.b_t_f32().as_slice().to_vec(),
+        b: transform.b_t_f32().transpose().as_slice().to_vec(),
+        a_t: transform.a_t_f32().as_slice().to_vec(),
+        a: transform.a_t_f32().transpose().as_slice().to_vec(),
+        batch,
+        in_c,
+        out_c: filters.out_c,
+        oh,
+        ow,
+        pad: geom.pad() as isize,
+        tiles_w,
+        tiles_per_img,
+        p_total: batch * tiles_per_img,
+    };
+
+    // Resolve `Auto` on shape alone (never on thread count — the schedule
+    // must be deterministic for a given layer so profiles reproduce).
+    let schedule = match opts.schedule {
+        WinoSchedule::Auto => {
+            if batch * tiles_per_img.div_ceil(WINO_TILE_BLOCK) >= TILE_BLOCK_MIN_JOBS {
+                WinoSchedule::TileBlock
+            } else {
+                WinoSchedule::TransformPoint
+            }
+        }
+        pinned => pinned,
+    };
+    let out = match schedule {
+        WinoSchedule::TileBlock => run_tile_block(&cx, stats, prof)?,
+        _ => run_transform_point(&cx, stats, prof)?,
+    };
+    if let Some(s) = stats {
+        add_phase_totals(&cx, s);
+    }
+    Ok(out)
+}
+
+/// The barrier schedule: three pool invocations (scatter / GEMM / gather)
+/// with one GEMM job per transform point. GEMMs run against the bank's
+/// pre-packed `A` panels, so no job re-packs filter coefficients.
+fn run_transform_point(
+    cx: &WinoCtx<'_>,
+    stats: Option<&ConvStats>,
+    prof: &PoolProfiler,
+) -> Result<Tensor<f32>, ConvError> {
+    let (m, alpha, aa) = (cx.m, cx.alpha, cx.aa);
+    let (batch, in_c, out_c) = (cx.batch, cx.in_c, cx.out_c);
+    let (oh, ow, pad) = (cx.oh, cx.ow, cx.pad);
+    let (tiles_w, tiles_per_img, p_total) = (cx.tiles_w, cx.tiles_per_img, cx.p_total);
+    let (input, threads) = (cx.input, cx.threads);
 
     // Phase 1 — scatter: V[p][u·α+v][c] = (Bᵀ·d·B)[u][v] for tile p,
     // channel c. The [p][uv][c] layout makes each tile chunk a contiguous
@@ -465,8 +659,8 @@ pub fn conv2d_batched_traced(
                                     input.get_padded(bn, c, h0 + u as isize, w0 + v as isize);
                             }
                         }
-                        matmul_flat(&b_t, d, t1, alpha, alpha, alpha);
-                        matmul_flat(t1, &b, t2, alpha, alpha, alpha);
+                        matmul_flat(&cx.b_t, d, t1, alpha, alpha, alpha);
+                        matmul_flat(t1, &cx.b, t2, alpha, alpha, alpha);
                         for uv in 0..aa {
                             chunk[uv * in_c + c] = t2[uv];
                         }
@@ -474,64 +668,40 @@ pub fn conv2d_batched_traced(
                 }
             },
         )?;
-        if let Some(s) = stats {
-            s.add_tiles(p_total as u64);
-            // Per (tile, channel): two α×α·α×α products (Bᵀ·d, then ·B).
-            let flops = (p_total * in_c) as u64 * 4 * (alpha * alpha * alpha) as u64;
-            // Input tile elements read + transformed elements written.
-            let bytes = 8 * (p_total * aa * in_c) as u64;
-            s.add_phase(ConvPhase::Scatter, flops, bytes);
-            s.add_phase_ns(
-                ConvPhase::Scatter,
-                t_phase.expect("timed with stats").elapsed().as_nanos() as u64,
-            );
+        if let (Some(s), Some(t0)) = (stats, t_phase) {
+            s.add_phase_ns(ConvPhase::Scatter, t0.elapsed().as_nanos() as u64);
         }
     }
 
     // Phase 2 — α² GEMMs: M[uv][k][p] = Σ_c U_uv[k][c] · V_uv[c][p].
-    // Jobs are (uv, output-channel block) pairs; the [uv][k][p] layout
+    // One job per transform point over the full output-channel range, so
+    // each job runs exactly one prepacked GEMM; the [uv][k][p] layout
     // makes each job's rows a contiguous write region.
     let mut m_buf = vec![0.0f32; aa * out_c * p_total];
     {
-        let k_blocks: Vec<(usize, usize)> = (0..out_c)
-            .step_by(GEMM_K_BLOCK)
-            .map(|k0| (k0, GEMM_K_BLOCK.min(out_c - k0)))
-            .collect();
-        let lengths: Vec<usize> = (0..aa)
-            .flat_map(|_| k_blocks.iter().map(|&(_, kb)| kb * p_total))
-            .collect();
-        let slices = winofuse_runtime::split_lengths(&mut m_buf, &lengths);
+        let slices = winofuse_runtime::split_chunks(&mut m_buf, out_c * p_total);
         let v_ref = &v_buf;
-        let blocking = GemmBlocking::default();
         let t_phase = stats.map(|_| Instant::now());
-        let timed = stats.is_some();
+        let kernel = cx.kernel;
         winofuse_runtime::run_sliced_jobs_isolated(
             threads,
             slices,
             &prof.scoped("wino.gemm"),
-            GemmScratch::new,
-            |scratch, job, slice| {
-                let uv = job / k_blocks.len();
-                let (k0, kb) = k_blocks[job % k_blocks.len()];
+            move || GemmScratch::with_kernel(kernel),
+            |scratch, uv, slice| {
                 // B operand: V_uv is [in_c × p_total] with element (c, p)
                 // at V[p·α²·in_c + uv·in_c + c].
                 let b_op = BOperand::strided(&v_ref[uv * in_c..], 1, aa * in_c);
-                let outcome = crate::gemm::gemm_f32_profiled(
+                let outcome = crate::gemm::gemm_f32_prepacked(
                     scratch,
-                    blocking,
-                    kb,
-                    in_c,
+                    cx.filters.packed_plane(uv),
                     p_total,
-                    &filters.planes[uv][k0 * in_c..(k0 + kb) * in_c],
                     b_op,
                     slice,
-                    timed,
+                    cx.timed,
                 );
                 if let Some(s) = stats {
                     s.add_gemm(1, outcome.bytes_packed);
-                    // Operands read + result rows written by this job.
-                    let bytes = 4 * (kb * in_c + in_c * p_total + kb * p_total) as u64;
-                    s.add_phase(ConvPhase::Gemm, outcome.flops, bytes);
                     s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
                 }
             },
@@ -578,8 +748,8 @@ pub fn conv2d_batched_traced(
                         for (uv, slot) in m_tile.iter_mut().enumerate() {
                             *slot = m_ref[(uv * out_c + k) * p_total + p];
                         }
-                        matmul_flat(&a_t, m_tile, t1, m, alpha, alpha);
-                        matmul_flat(t1, &a, y, m, alpha, m);
+                        matmul_flat(&cx.a_t, m_tile, t1, m, alpha, alpha);
+                        matmul_flat(t1, &cx.a, y, m, alpha, m);
                         let (th, tw) = (t / tiles_w, t % tiles_w);
                         for u in 0..m {
                             let oi = th * m + u;
@@ -598,19 +768,186 @@ pub fn conv2d_batched_traced(
                 }
             },
         )?;
-        if let Some(s) = stats {
-            // Per (output channel, tile): Aᵀ·M (m×α · α×α) then ·A (m×α · α×m).
-            let per_tile = (2 * m * alpha * alpha + 2 * m * m * alpha) as u64;
-            let flops = (out_c * p_total) as u64 * per_tile;
-            // Transform-domain elements read + output elements written.
-            let bytes = 4 * (aa * out_c * p_total + batch * out_c * oh * ow) as u64;
-            s.add_phase(ConvPhase::Gather, flops, bytes);
-            s.add_phase_ns(
-                ConvPhase::Gather,
-                t_phase.expect("timed with stats").elapsed().as_nanos() as u64,
-            );
+        if let (Some(s), Some(t0)) = (stats, t_phase) {
+            s.add_phase_ns(ConvPhase::Gather, t0.elapsed().as_nanos() as u64);
         }
     }
+    Ok(out)
+}
+
+/// Thread-local working set for one tile-block worker: GEMM scratch plus
+/// every transform buffer, sized once for the largest block so the fused
+/// scatter → GEMM → gather loop never allocates.
+struct TileBlockScratch {
+    gemm: GemmScratch,
+    d: Vec<f32>,
+    t1: Vec<f32>,
+    t2: Vec<f32>,
+    /// Transformed tiles, `[uv][c][t]` with stride = this block's tile
+    /// count — the GEMM `B` operand is a contiguous row-major slice per uv.
+    v: Vec<f32>,
+    /// GEMM results, `[uv][k][t]` with the same stride.
+    mbuf: Vec<f32>,
+    m_tile: Vec<f32>,
+    g1: Vec<f32>,
+    y: Vec<f32>,
+}
+
+/// The fused schedule: one pool invocation; each job owns a contiguous
+/// block of [`WINO_TILE_BLOCK`] tiles within one image and runs
+/// scatter → α² prepacked GEMMs → gather over its block with thread-local
+/// buffers. No barriers, no shared `V`/`M` round-trips through memory.
+///
+/// Output ownership: a block's tiles are contiguous in `p`, so within any
+/// output row the block owns exactly one contiguous column span —
+/// [`winofuse_runtime::split_spans`] hands each job its disjoint set of
+/// row fragments, ordered (channel-major, row-minor) in NCHW memory order.
+fn run_tile_block(
+    cx: &WinoCtx<'_>,
+    stats: Option<&ConvStats>,
+    prof: &PoolProfiler,
+) -> Result<Tensor<f32>, ConvError> {
+    let (m, alpha, aa) = (cx.m, cx.alpha, cx.aa);
+    let (batch, in_c, out_c) = (cx.batch, cx.in_c, cx.out_c);
+    let (oh, ow, pad) = (cx.oh, cx.ow, cx.pad);
+    let (tiles_w, tiles_per_img) = (cx.tiles_w, cx.tiles_per_img);
+    let (input, filters, threads, timed) = (cx.input, cx.filters, cx.threads, cx.timed);
+    let tb = WINO_TILE_BLOCK;
+    let blocks_per_img = tiles_per_img.div_ceil(tb);
+    let n_jobs = batch * blocks_per_img;
+
+    let mut out = Tensor::zeros(batch, out_c, oh, ow);
+    // Carve the NCHW output into per-job fragment sets in memory order.
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(batch * out_c * oh * blocks_per_img);
+    for bn in 0..batch {
+        for _k in 0..out_c {
+            for r in 0..oh {
+                let p_row0 = (r / m) * tiles_w;
+                let blk_first = p_row0 / tb;
+                let blk_last = (p_row0 + tiles_w - 1) / tb;
+                for blk in blk_first..=blk_last {
+                    let tw_lo = (blk * tb).max(p_row0) - p_row0;
+                    let tw_hi = ((blk + 1) * tb).min(p_row0 + tiles_w) - p_row0;
+                    let cols = (tw_hi * m).min(ow) - tw_lo * m;
+                    spans.push((bn * blocks_per_img + blk, cols));
+                }
+            }
+        }
+    }
+    let groups = winofuse_runtime::split_spans(out.as_mut_slice(), &spans, n_jobs);
+
+    let kernel = cx.kernel;
+    winofuse_runtime::run_grouped_jobs_isolated(
+        threads,
+        groups,
+        &prof.scoped("wino.tileblock"),
+        move || TileBlockScratch {
+            gemm: GemmScratch::with_kernel(kernel),
+            d: vec![0.0; aa],
+            t1: vec![0.0; aa],
+            t2: vec![0.0; aa],
+            v: vec![0.0; aa * in_c * tb],
+            mbuf: vec![0.0; aa * out_c * tb],
+            m_tile: vec![0.0; aa],
+            g1: vec![0.0; m * alpha],
+            y: vec![0.0; m * m],
+        },
+        |st, job, frags| {
+            let TileBlockScratch {
+                gemm,
+                d,
+                t1,
+                t2,
+                v,
+                mbuf,
+                m_tile,
+                g1,
+                y,
+            } = st;
+            let bn = job / blocks_per_img;
+            let blk = job % blocks_per_img;
+            let p_lo = blk * tb;
+            let p_hi = (p_lo + tb).min(tiles_per_img);
+            let nt = p_hi - p_lo;
+            let v = &mut v[..aa * in_c * nt];
+            let mbuf = &mut mbuf[..aa * out_c * nt];
+            let t_job = stats.map(|_| Instant::now());
+
+            // Scatter this block's tiles into the thread-local V.
+            for t_local in 0..nt {
+                let p = p_lo + t_local;
+                let h0 = ((p / tiles_w) * m) as isize - pad;
+                let w0 = ((p % tiles_w) * m) as isize - pad;
+                for c in 0..in_c {
+                    for u in 0..alpha {
+                        for vv in 0..alpha {
+                            d[u * alpha + vv] =
+                                input.get_padded(bn, c, h0 + u as isize, w0 + vv as isize);
+                        }
+                    }
+                    matmul_flat(&cx.b_t, d, t1, alpha, alpha, alpha);
+                    matmul_flat(t1, &cx.b, t2, alpha, alpha, alpha);
+                    for uv in 0..aa {
+                        v[(uv * in_c + c) * nt + t_local] = t2[uv];
+                    }
+                }
+            }
+            let t_scattered = stats.map(|_| Instant::now());
+
+            // α² prepacked GEMMs over this block's tiles only.
+            for uv in 0..aa {
+                let b_op = BOperand::row_major(&v[uv * in_c * nt..(uv + 1) * in_c * nt], nt);
+                let outcome = crate::gemm::gemm_f32_prepacked(
+                    gemm,
+                    filters.packed_plane(uv),
+                    nt,
+                    b_op,
+                    &mut mbuf[uv * out_c * nt..(uv + 1) * out_c * nt],
+                    timed,
+                );
+                if let Some(s) = stats {
+                    s.add_gemm(1, outcome.bytes_packed);
+                    s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
+                }
+            }
+            let t_gemmed = stats.map(|_| Instant::now());
+
+            // Gather with edge clipping into this job's output fragments,
+            // which arrive (k-major, row-minor): frags[k·rows + local_row].
+            let th_first = p_lo / tiles_w;
+            let th_last = (p_hi - 1) / tiles_w;
+            let rows_covered: usize = (th_first..=th_last).map(|th| m.min(oh - th * m)).sum();
+            for k in 0..out_c {
+                let mut row_base = 0usize;
+                for th in th_first..=th_last {
+                    let rows_here = m.min(oh - th * m);
+                    let p_row0 = th * tiles_w;
+                    let tw_lo = p_lo.max(p_row0) - p_row0;
+                    let tw_hi = p_hi.min(p_row0 + tiles_w) - p_row0;
+                    for tw in tw_lo..tw_hi {
+                        let t_local = p_row0 + tw - p_lo;
+                        for (uv, slot) in m_tile.iter_mut().enumerate() {
+                            *slot = mbuf[(uv * out_c + k) * nt + t_local];
+                        }
+                        matmul_flat(&cx.a_t, m_tile, g1, m, alpha, alpha);
+                        matmul_flat(g1, &cx.a, y, m, alpha, m);
+                        let cols = m.min(ow - tw * m);
+                        let col0 = (tw - tw_lo) * m;
+                        for u in 0..rows_here {
+                            frags[k * rows_covered + row_base + u][col0..col0 + cols]
+                                .copy_from_slice(&y[u * m..u * m + cols]);
+                        }
+                    }
+                    row_base += rows_here;
+                }
+            }
+            if let (Some(s), Some(t0), Some(ts), Some(tg)) = (stats, t_job, t_scattered, t_gemmed) {
+                s.add_phase_ns(ConvPhase::Scatter, (ts - t0).as_nanos() as u64);
+                s.add_phase_ns(ConvPhase::Gemm, (tg - ts).as_nanos() as u64);
+                s.add_phase_ns(ConvPhase::Gather, tg.elapsed().as_nanos() as u64);
+            }
+        },
+    )?;
     Ok(out)
 }
 
@@ -960,6 +1297,93 @@ mod tests {
         assert_eq!(tiles, 9);
         assert_eq!(gemm_calls, 36);
         assert!(bytes > 0);
+    }
+
+    #[test]
+    fn tile_block_matches_transform_point_bitwise() {
+        // Big enough for several tile blocks per image, ragged in both
+        // dimensions so blocks straddle partial tiles and row boundaries.
+        let geom = ConvGeometry::rect(37, 29, 3, 1, 1).unwrap();
+        let x = random_tensor(2, 5, 37, 29, 71);
+        let k = random_tensor(9, 5, 3, 3, 72);
+        let t = f43();
+        let filters = BatchedFilters::new(&k, &t).unwrap();
+        let tp = BatchedOptions {
+            schedule: WinoSchedule::TransformPoint,
+            kernel: None,
+        };
+        let tb = BatchedOptions {
+            schedule: WinoSchedule::TileBlock,
+            kernel: None,
+        };
+        let prof = PoolProfiler::disabled();
+        let base = conv2d_batched_ext(&x, &filters, geom, &t, 1, None, &prof, tp).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let y = conv2d_batched_ext(&x, &filters, geom, &t, threads, None, &prof, tb).unwrap();
+            assert_eq!(y, base, "tile-block @ {threads} threads differs");
+        }
+    }
+
+    #[test]
+    fn tile_block_handles_tiny_blocks() {
+        // Fewer tiles than one block: a single job owning a partial block.
+        let geom = ConvGeometry::rect(6, 6, 3, 1, 1).unwrap();
+        let x = random_tensor(1, 2, 6, 6, 81);
+        let k = random_tensor(3, 2, 3, 3, 82);
+        let t = f43();
+        let filters = BatchedFilters::new(&k, &t).unwrap();
+        let tb = BatchedOptions {
+            schedule: WinoSchedule::TileBlock,
+            kernel: None,
+        };
+        let prof = PoolProfiler::disabled();
+        let y = conv2d_batched_ext(&x, &filters, geom, &t, 2, None, &prof, tb).unwrap();
+        let reference = direct::conv2d(&x, &k, geom).unwrap();
+        assert!(reference.approx_eq(&y, 1e-3));
+    }
+
+    #[test]
+    fn auto_picks_tile_block_when_tiles_abound() {
+        // 24x24 → 6x6 tiles/image; two images → four 32-tile-capped blocks,
+        // each running α² = 36 GEMMs.
+        let geom = ConvGeometry::rect(24, 24, 3, 1, 1).unwrap();
+        let x = random_tensor(2, 3, 24, 24, 7);
+        let k = random_tensor(4, 3, 3, 3, 8);
+        let t = f43();
+        let filters = BatchedFilters::new(&k, &t).unwrap();
+        let stats = ConvStats::new();
+        conv2d_batched(&x, &filters, geom, &t, 1, Some(&stats)).unwrap();
+        let (gemm_calls, tiles, _) = stats.snapshot();
+        assert_eq!(tiles, 72);
+        assert_eq!(gemm_calls, 144);
+    }
+
+    #[test]
+    fn phase_accounting_is_schedule_invariant() {
+        let geom = ConvGeometry::rect(24, 20, 3, 1, 1).unwrap();
+        let x = random_tensor(1, 4, 24, 20, 17);
+        let k = random_tensor(6, 4, 3, 3, 18);
+        let t = f43();
+        let filters = BatchedFilters::new(&k, &t).unwrap();
+        let prof = PoolProfiler::disabled();
+        let snap = |schedule: WinoSchedule| {
+            let stats = ConvStats::new();
+            let opts = BatchedOptions {
+                schedule,
+                kernel: None,
+            };
+            conv2d_batched_ext(&x, &filters, geom, &t, 2, Some(&stats), &prof, opts).unwrap();
+            stats.profile()
+        };
+        let a = snap(WinoSchedule::TransformPoint);
+        let b = snap(WinoSchedule::TileBlock);
+        assert_eq!(a.flops_scatter, b.flops_scatter);
+        assert_eq!(a.flops_gemm, b.flops_gemm);
+        assert_eq!(a.flops_gather, b.flops_gather);
+        assert_eq!(a.bytes_scatter, b.bytes_scatter);
+        assert_eq!(a.bytes_gemm, b.bytes_gemm);
+        assert_eq!(a.bytes_gather, b.bytes_gather);
+        assert_eq!(a.tiles, b.tiles);
     }
 
     #[test]

@@ -778,6 +778,107 @@ where
     iso.finish(prof, workers, jobs)
 }
 
+/// [`run_sliced_jobs_isolated`] for jobs that own a *group* of disjoint
+/// output fragments instead of one contiguous slice — the shape a
+/// tile-block Winograd job has, owning the same output rows across every
+/// channel plane of an NCHW tensor. Build the groups with [`split_spans`].
+///
+/// Panic isolation, retry, and watchdog semantics match
+/// [`run_jobs_isolated`]; a retried job gets its whole fragment group back
+/// (reborrowed), so retries rewrite the same disjoint regions.
+///
+/// # Errors
+///
+/// Same conditions as [`run_jobs_isolated`].
+pub fn run_grouped_jobs_isolated<T, S, I, F>(
+    threads: usize,
+    groups: Vec<Vec<&mut [T]>>,
+    prof: &PoolProfiler,
+    init: I,
+    f: F,
+) -> Result<usize, PoolError>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [&mut [T]]) + Sync,
+{
+    let jobs = groups.len();
+    let workers = threads.min(jobs).max(1);
+    if jobs == 0 {
+        return Ok(workers);
+    }
+    let guard = prof.guard;
+    let run = prof.is_enabled().then(|| PoolRun::start(prof));
+    let iso = IsolatedRun::new();
+    let cells: Vec<Mutex<Option<Vec<&mut [T]>>>> =
+        groups.into_iter().map(|g| Mutex::new(Some(g))).collect();
+    let next = AtomicUsize::new(0);
+    let worker = |w: usize| {
+        let mut state = init();
+        let mut lane = run.as_ref().map(|r| r.lane(w));
+        loop {
+            if iso.past_deadline(guard) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(cell) = cells.get(i) else { break };
+            let mut group = cell
+                .lock()
+                .expect("invariant: group cell lock never poisoned")
+                .take()
+                .expect("invariant: each group cell is claimed exactly once");
+            iso.attempt_job(prof, i, guard, || {
+                let g: &mut [&mut [T]] = &mut group;
+                match lane.as_mut() {
+                    Some(l) => l.run_job(i, || f(&mut state, i, g)),
+                    None => f(&mut state, i, g),
+                }
+            });
+        }
+        if let Some(l) = lane {
+            l.finish();
+        }
+    };
+    if workers <= 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let worker = &worker;
+                scope.spawn(move || worker(w));
+            }
+        });
+    }
+    iso.finish(prof, workers, jobs)
+}
+
+/// Carves `data` into per-owner fragment groups for
+/// [`run_grouped_jobs_isolated`]: `spans` lists `(owner, len)` pairs in
+/// memory order covering all of `data`, and the returned `Vec` holds, for
+/// each owner `0..owners`, its fragments in memory order. Owners may
+/// interleave arbitrarily in the span list — that is the point: a job can
+/// own non-contiguous regions (e.g. the same rows of every channel plane)
+/// with no `unsafe` and no copying.
+///
+/// # Panics
+///
+/// Panics when the span lengths do not sum to `data.len()` or an owner
+/// index is out of range.
+pub fn split_spans<'a, T>(
+    mut data: &'a mut [T],
+    spans: &[(usize, usize)],
+    owners: usize,
+) -> Vec<Vec<&'a mut [T]>> {
+    let mut groups: Vec<Vec<&'a mut [T]>> = (0..owners).map(|_| Vec::new()).collect();
+    for &(owner, len) in spans {
+        let (head, tail) = data.split_at_mut(len);
+        groups[owner].push(head);
+        data = tail;
+    }
+    assert!(data.is_empty(), "split_spans: spans do not cover data");
+    groups
+}
+
 /// Splits `data` into consecutive slices of the given lengths. The lengths
 /// must sum to exactly `data.len()` — this is how a flat output buffer is
 /// carved into the disjoint per-job regions [`run_sliced_jobs`] hands out.
@@ -829,6 +930,83 @@ mod tests {
         assert!(default_threads() >= 1);
         assert_eq!(resolve_threads(0), default_threads());
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn split_spans_groups_interleaved_owners() {
+        let mut data: Vec<u32> = (0..10).collect();
+        // Owner 0 gets [0..2) and [5..8); owner 1 gets [2..5) and [8..10).
+        let groups = split_spans(&mut data, &[(0, 2), (1, 3), (0, 3), (1, 2)], 2);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![&[0, 1][..], &[5, 6, 7][..]]);
+        assert_eq!(groups[1], vec![&[2, 3, 4][..], &[8, 9][..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans do not cover data")]
+    fn split_spans_rejects_short_cover() {
+        let mut data = [0u8; 4];
+        let _ = split_spans(&mut data, &[(0, 2)], 1);
+    }
+
+    #[test]
+    fn grouped_jobs_write_all_fragments_at_any_thread_count() {
+        for threads in [1usize, 2, 4, 8] {
+            let mut data = vec![0usize; 24];
+            // Each of 4 owners holds two fragments of 3, interleaved.
+            let spans: Vec<(usize, usize)> = (0..8).map(|i| (i % 4, 3)).collect();
+            let groups = split_spans(&mut data, &spans, 4);
+            let prof = PoolProfiler::disabled();
+            let workers = run_grouped_jobs_isolated(
+                threads,
+                groups,
+                &prof,
+                || (),
+                |(), job, frags| {
+                    for frag in frags.iter_mut() {
+                        for v in frag.iter_mut() {
+                            *v = job + 1;
+                        }
+                    }
+                },
+            )
+            .unwrap();
+            assert!(workers >= 1);
+            let expect: Vec<usize> = (0..8).flat_map(|i| [i % 4 + 1; 3]).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn grouped_jobs_isolate_panics() {
+        let mut data = vec![0u8; 6];
+        let groups = split_spans(&mut data, &[(0, 2), (1, 2), (2, 2)], 3);
+        let prof = PoolProfiler::disabled();
+        let err = run_grouped_jobs_isolated(
+            2,
+            groups,
+            &prof,
+            || (),
+            |(), job, frags| {
+                if job == 1 {
+                    panic!("boom");
+                }
+                frags[0].fill(7);
+            },
+        )
+        .unwrap_err();
+        match err {
+            PoolError::JobsPanicked {
+                panics, completed, ..
+            } => {
+                assert_eq!(panics.len(), 1);
+                assert_eq!(panics[0].index, 1);
+                assert_eq!(completed, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Healthy siblings still ran.
+        assert_eq!(data, vec![7, 7, 0, 0, 7, 7]);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 use proptest::prelude::*;
 use winofuse::conv::cook_toom::f43;
 use winofuse::conv::fixed::Fix16;
+use winofuse::conv::microkernel::KernelChoice;
 use winofuse::conv::tensor::{random_tensor, Tensor};
-use winofuse::conv::winograd::{self, BatchedFilters};
+use winofuse::conv::winograd::{self, BatchedFilters, BatchedOptions, WinoSchedule};
 use winofuse::conv::{direct, ConvGeometry};
+use winofuse::runtime::PoolProfiler;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -126,6 +128,127 @@ proptest! {
         for threads in THREADS {
             let fast = direct::conv2d_fix16_fast(&x, &kr, geom, threads).unwrap();
             prop_assert_eq!(&naive, &fast, "fix16 differs at {} threads", threads);
+        }
+    }
+}
+
+// --- Microkernel oracle matrix -------------------------------------------
+//
+// The scalar 4×8 kernel is the bit-exactness oracle: every other
+// `MicroKernel` implementation the host supports must reproduce its
+// output *bitwise* through every execution path (batched Winograd under
+// both schedules, the fused direct path, the fixed-point span path), at
+// every thread count. The vector kernels keep the same per-element
+// ascending-k accumulation order, so this is an equality contract, not a
+// tolerance contract.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched Winograd: every supported kernel × both schedules ×
+    /// several thread counts, bitwise against the scalar serial oracle.
+    /// Odd geometries keep partial tiles and edge clips in play.
+    #[test]
+    fn winograd_kernels_match_scalar_oracle(
+        batch in 1usize..3,
+        h in 5usize..24,
+        w in 5usize..24,
+        pad in 0usize..2,
+        in_c in 1usize..14,
+        out_c in 1usize..14,
+        seed in 0u64..1000,
+    ) {
+        let geom = ConvGeometry::rect(h, w, 3, 1, pad).unwrap();
+        let x = random_tensor(batch, in_c, h, w, seed);
+        let kr = random_tensor(out_c, in_c, 3, 3, seed + 11);
+        let t = f43();
+        let filters = BatchedFilters::new(&kr, &t).unwrap();
+        let prof = PoolProfiler::disabled();
+        let oracle = winograd::conv2d_batched_ext(
+            &x, &filters, geom, &t, 1, None, &prof,
+            BatchedOptions { schedule: WinoSchedule::TransformPoint, kernel: Some(KernelChoice::Scalar) },
+        ).unwrap();
+        for kernel in KernelChoice::all_supported() {
+            for schedule in [WinoSchedule::TransformPoint, WinoSchedule::TileBlock] {
+                for threads in [1usize, 4] {
+                    let y = winograd::conv2d_batched_ext(
+                        &x, &filters, geom, &t, threads, None, &prof,
+                        BatchedOptions { schedule, kernel: Some(kernel) },
+                    ).unwrap();
+                    prop_assert_eq!(
+                        &y, &oracle,
+                        "{} under {:?} @ {} threads diverges from scalar oracle",
+                        kernel.name(), schedule, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fused direct path: every supported kernel bitwise against the
+    /// scalar oracle, including strided/large-kernel geometries.
+    #[test]
+    fn direct_kernels_match_scalar_oracle(
+        h in 3usize..16,
+        w in 3usize..16,
+        k in 1usize..6,
+        s in 1usize..3,
+        pad in 0usize..3,
+        in_c in 1usize..14,
+        out_c in 1usize..14,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= h + 2 * pad && k <= w + 2 * pad);
+        let geom = ConvGeometry::rect(h, w, k, s, pad).unwrap();
+        let x = random_tensor(2, in_c, h, w, seed);
+        let kr = random_tensor(out_c, in_c, k, k, seed + 13);
+        let prof = PoolProfiler::disabled();
+        let oracle = direct::conv2d_fast_ext(
+            &x, &kr, geom, 1, None, &prof, Some(KernelChoice::Scalar),
+        ).unwrap();
+        for kernel in KernelChoice::all_supported() {
+            for threads in [1usize, 4] {
+                let y = direct::conv2d_fast_ext(
+                    &x, &kr, geom, threads, None, &prof, Some(kernel),
+                ).unwrap();
+                prop_assert_eq!(
+                    &y, &oracle,
+                    "{} direct @ {} threads diverges from scalar oracle",
+                    kernel.name(), threads
+                );
+            }
+        }
+    }
+
+    /// Fixed-point span path: every supported kernel must equal the naive
+    /// wide-accumulator reference exactly (integer accumulation is exact,
+    /// so any lane arrangement is bit-identical by construction — this
+    /// pins that the packed lanes actually are).
+    #[test]
+    fn fix16_kernels_match_scalar_oracle(
+        h in 3usize..14,
+        w in 3usize..14,
+        k in 1usize..6,
+        s in 1usize..3,
+        pad in 0usize..3,
+        in_c in 1usize..10,
+        out_c in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= h + 2 * pad && k <= w + 2 * pad);
+        let geom = ConvGeometry::rect(h, w, k, s, pad).unwrap();
+        let x: Tensor<Fix16> = random_tensor(1, in_c, h, w, seed).cast();
+        let kr: Tensor<Fix16> = random_tensor(out_c, in_c, k, k, seed + 17).cast();
+        let naive = direct::conv2d_fix16(&x, &kr, geom).unwrap();
+        for kernel in KernelChoice::all_supported() {
+            for threads in [1usize, 4] {
+                let y = direct::conv2d_fix16_fast_with_kernel(&x, &kr, geom, threads, kernel).unwrap();
+                prop_assert_eq!(
+                    &y, &naive,
+                    "{} fix16 @ {} threads diverges from naive reference",
+                    kernel.name(), threads
+                );
+            }
         }
     }
 }

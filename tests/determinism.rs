@@ -201,6 +201,74 @@ fn profiled_execution_counters_are_thread_count_invariant() {
     }
 }
 
+#[test]
+fn winograd_schedules_agree_on_profile_and_output() {
+    // The tile-block (fused, one pool invocation) and transform-point
+    // (three barrier phases) schedules are two partitionings of the same
+    // arithmetic: outputs must be bit-identical and every analytic
+    // profile quantity (FLOPs, algorithm-level bytes, tiles) must match
+    // exactly — phase accounting is computed from the layer shape, never
+    // from the job structure. Only ns fields and gemm-call/packed-byte
+    // counts (which follow the job grain by design) may differ.
+    use winofuse::conv::cook_toom::f43;
+    use winofuse::conv::gemm::ConvStats;
+    use winofuse::conv::tensor::random_tensor;
+    use winofuse::conv::winograd::{self, BatchedFilters, BatchedOptions, WinoSchedule};
+    use winofuse::conv::ConvGeometry;
+    use winofuse::runtime::PoolProfiler;
+
+    let geom = ConvGeometry::rect(33, 27, 3, 1, 1).unwrap();
+    let x = random_tensor(2, 6, 33, 27, 401);
+    let k = random_tensor(10, 6, 3, 3, 402);
+    let t = f43();
+    let filters = BatchedFilters::new(&k, &t).unwrap();
+    let prof = PoolProfiler::disabled();
+
+    let run = |schedule: WinoSchedule, threads: usize| {
+        let stats = ConvStats::new();
+        let opts = BatchedOptions {
+            schedule,
+            kernel: None,
+        };
+        let out = winograd::conv2d_batched_ext(
+            &x,
+            &filters,
+            geom,
+            &t,
+            threads,
+            Some(&stats),
+            &prof,
+            opts,
+        )
+        .unwrap();
+        (out, stats.profile())
+    };
+
+    let (base_out, base_prof) = run(WinoSchedule::TransformPoint, 1);
+    for schedule in [WinoSchedule::TransformPoint, WinoSchedule::TileBlock] {
+        for threads in [1usize, 2, 4, 8] {
+            let (out, p) = run(schedule, threads);
+            assert_eq!(out, base_out, "{schedule:?} @ {threads} threads differs");
+            let pinned = |p: &winofuse::conv::gemm::ConvProfile| {
+                [
+                    p.flops_scatter,
+                    p.flops_gemm,
+                    p.flops_gather,
+                    p.bytes_scatter,
+                    p.bytes_gemm,
+                    p.bytes_gather,
+                    p.tiles,
+                ]
+            };
+            assert_eq!(
+                pinned(&p),
+                pinned(&base_prof),
+                "{schedule:?} @ {threads} threads: analytic profile differs"
+            );
+        }
+    }
+}
+
 /// Strategy for random small CNNs (the same shape family as
 /// `optimizer_properties.rs`): 1–3 convs over a 3-channel input, maybe a
 /// trailing pool.

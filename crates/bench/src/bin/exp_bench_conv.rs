@@ -18,9 +18,7 @@
 //!   --threads N  parallel worker count         [default 4]
 //! ```
 
-use std::time::Instant;
-
-use winofuse_bench::{banner, BenchCase, BenchReport};
+use winofuse_bench::{banner, BenchCase, BenchReport, LatencySamples};
 use winofuse_conv::cook_toom::f43;
 use winofuse_conv::tensor::{random_tensor, Tensor};
 use winofuse_conv::winograd::{self, BatchedFilters};
@@ -95,17 +93,14 @@ impl Case {
 }
 
 /// Runs `f` once to warm caches, then `runs` timed repetitions; returns
-/// (median milliseconds, last output).
+/// (median milliseconds via the shared histogram, last output).
 fn median_ms<F: FnMut() -> Tensor<f32>>(runs: usize, mut f: F) -> (f64, Tensor<f32>) {
+    let samples = LatencySamples::new();
     let mut out = f();
-    let mut times = Vec::with_capacity(runs);
     for _ in 0..runs {
-        let start = Instant::now();
-        out = f();
-        times.push(start.elapsed().as_secs_f64() * 1e3);
+        out = samples.time(&mut f);
     }
-    times.sort_by(f64::total_cmp);
-    (times[times.len() / 2], out)
+    (samples.median_ms(), out)
 }
 
 struct Measurement {

@@ -16,9 +16,7 @@
 //!   --threads N  parallel worker count          [default 4]
 //! ```
 
-use std::time::Instant;
-
-use winofuse_bench::{banner, BenchCase, BenchReport};
+use winofuse_bench::{banner, BenchCase, BenchReport, LatencySamples};
 use winofuse_conv::tensor::random_tensor;
 use winofuse_core::framework::Framework;
 use winofuse_fpga::device::FpgaDevice;
@@ -54,17 +52,14 @@ fn cases() -> Vec<Case> {
 }
 
 /// Runs `f` once to warm caches, then `runs` timed repetitions; returns
-/// the median milliseconds.
+/// the median milliseconds via the shared histogram recorder.
 fn median_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let samples = LatencySamples::new();
     f();
-    let mut times = Vec::with_capacity(runs);
     for _ in 0..runs {
-        let start = Instant::now();
-        f();
-        times.push(start.elapsed().as_secs_f64() * 1e3);
+        samples.time(&mut f);
     }
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    samples.median_ms()
 }
 
 struct Measurement {

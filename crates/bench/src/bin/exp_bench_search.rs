@@ -16,9 +16,7 @@
 //!   --threads N  parallel worker count          [default 4]
 //! ```
 
-use std::time::Instant;
-
-use winofuse_bench::{banner, fmt_cycles, BenchCase, BenchReport};
+use winofuse_bench::{banner, fmt_cycles, BenchCase, BenchReport, LatencySamples};
 use winofuse_core::framework::Framework;
 use winofuse_fpga::device::FpgaDevice;
 use winofuse_model::network::Network;
@@ -71,19 +69,17 @@ fn measure(case: &Case, threads: usize, runs: usize, merged: &mut RunTelemetry) 
     let fw = Framework::new(FpgaDevice::zc706())
         .with_max_group_layers(case.max_group_layers)
         .with_threads(threads);
-    let mut times = Vec::with_capacity(runs);
+    let samples = LatencySamples::new();
     let mut latency = 0;
     for _ in 0..runs {
-        let start = Instant::now();
-        let (design, run) = fw
-            .optimize_traced(&case.net, case.budget)
-            .expect("benchmark configurations are feasible");
-        times.push(start.elapsed().as_secs_f64() * 1e3);
+        let (design, run) = samples.time(|| {
+            fw.optimize_traced(&case.net, case.budget)
+                .expect("benchmark configurations are feasible")
+        });
         latency = design.timing.latency;
         merged.merge(&run);
     }
-    times.sort_by(f64::total_cmp);
-    (times[times.len() / 2], latency)
+    (samples.median_ms(), latency)
 }
 
 fn run_case(case: &Case, threads: usize, runs: usize) -> Measurement {

@@ -3,12 +3,13 @@
 //! Compares a current benchmark report against a committed baseline,
 //! metric by metric, with direction-aware thresholds:
 //!
-//! - `median_*_ms` — wall-clock medians, lower is better; the current
+//! - `median_*_ms`, `p50_*_ms`, `p95_*_ms`, `p99_*_ms` — wall-clock
+//!   medians and tail-latency percentiles, lower is better; the current
 //!   value may exceed the baseline by at most the timing threshold
 //!   (default 30%).
-//! - `gflops_*`, `speedup_*` — throughput and ratios, higher is better;
-//!   the current value may fall below the baseline by at most the same
-//!   threshold.
+//! - `gflops_*`, `speedup_*`, `throughput_*` — throughput and ratios,
+//!   higher is better; the current value may fall below the baseline by
+//!   at most the same threshold.
 //! - `speedup_parallel_vs_serial` additionally carries an **absolute
 //!   floor** (default 2.0): the tile-grain schedule must actually win
 //!   on a multicore host. The floor is enforced only when the current
@@ -16,8 +17,9 @@
 //!   threads — a 1-CPU container cannot exhibit parallel speedup, so
 //!   there the floor downgrades to an informative note.
 //! - `latency_cycles`, `dram_bytes`, `groups`, `plans_computed`,
-//!   `menu_dominated`, `dram_reconciled` — deterministic model outputs;
-//!   any change is a failure regardless of threshold.
+//!   `menu_dominated`, `dram_reconciled`, `plan_search_once` —
+//!   deterministic model outputs; any change is a failure regardless of
+//!   threshold.
 //! - Everything else (labels, run parameters, host metadata) is
 //!   informational.
 //!
@@ -84,15 +86,18 @@ pub enum Direction {
 
 /// Classifies a metric key into its comparison direction.
 pub fn direction_for(key: &str) -> Direction {
-    if key.starts_with("median_") && key.ends_with("_ms") {
+    let timing_prefix = ["median_", "p50_", "p95_", "p99_"]
+        .iter()
+        .any(|p| key.starts_with(p));
+    if timing_prefix && key.ends_with("_ms") {
         return Direction::LowerIsBetter;
     }
-    if key.starts_with("gflops_") || key.starts_with("speedup_") {
+    if key.starts_with("gflops_") || key.starts_with("speedup_") || key.starts_with("throughput_") {
         return Direction::HigherIsBetter;
     }
     match key {
         "latency_cycles" | "dram_bytes" | "groups" | "plans_computed" | "menu_dominated"
-        | "dram_reconciled" => Direction::Exact,
+        | "dram_reconciled" | "plan_search_once" => Direction::Exact,
         _ => Direction::Informational,
     }
 }
@@ -389,6 +394,30 @@ mod tests {
         let r = diff_texts(&base, &cur, &DiffConfig::default()).unwrap();
         assert!(!r.has_failures(), "{:?}", r.failures().collect::<Vec<_>>());
         assert!(r.metrics.iter().any(|m| m.detail.contains("not enforced")));
+    }
+
+    #[test]
+    fn serve_metrics_are_direction_judged() {
+        assert_eq!(direction_for("p99_request_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("p50_batched_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("throughput_rps"), Direction::HigherIsBetter);
+        assert_eq!(direction_for("plan_search_once"), Direction::Exact);
+        let base = r#"{"cases": {"serve": {"p99_request_ms": 10.0,
+            "throughput_rps": 100.0, "plan_search_once": true}}}"#;
+        // Tail latency blown past tolerance, throughput collapsed, and a
+        // second strategy search ran: all three must fail.
+        let cur = r#"{"cases": {"serve": {"p99_request_ms": 20.0,
+            "throughput_rps": 50.0, "plan_search_once": false}}}"#;
+        let r = diff_texts(base, cur, &DiffConfig::default()).unwrap();
+        let fails: Vec<_> = r.failures().map(|m| m.key.as_str()).collect();
+        assert_eq!(
+            fails,
+            [
+                "serve/p99_request_ms",
+                "serve/plan_search_once",
+                "serve/throughput_rps"
+            ]
+        );
     }
 
     #[test]

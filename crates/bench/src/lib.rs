@@ -79,6 +79,63 @@ pub fn parse_bench_args(bin: &str, args: impl Iterator<Item = String>) -> BenchO
     opts
 }
 
+/// Wall-clock sample recorder backed by the telemetry histogram, so the
+/// `exp_bench_*` binaries report medians and tail percentiles through
+/// the same log-linear buckets as the serving engine (no per-binary
+/// sort-and-index math). Microsecond samples; ≤12.5% bucket-relative
+/// error, exact for repeated identical values.
+pub struct LatencySamples {
+    hist: winofuse_telemetry::Histogram,
+}
+
+impl Default for LatencySamples {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencySamples {
+    /// An empty recorder with its own private histogram.
+    pub fn new() -> Self {
+        LatencySamples {
+            hist: winofuse_telemetry::Telemetry::enabled().histogram("bench.sample_us"),
+        }
+    }
+
+    /// Records one sample in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.hist.record(us);
+    }
+
+    /// Times one invocation of `f`, records it, returns its result.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.record_us(start.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.hist.snapshot().count
+    }
+
+    /// Median of the recorded samples, in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.hist.snapshot().p50() as f64 / 1e3
+    }
+
+    /// 95th percentile, in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.hist.snapshot().p95() as f64 / 1e3
+    }
+
+    /// 99th percentile, in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.hist.snapshot().p99() as f64 / 1e3
+    }
+}
+
 /// Formats a cycle count with thousands separators.
 pub fn fmt_cycles(c: u64) -> String {
     let s = c.to_string();
@@ -189,6 +246,18 @@ mod tests {
             Some(7)
         );
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn latency_samples_report_percentiles() {
+        let s = LatencySamples::new();
+        for v in [1000, 2000, 3000] {
+            s.record_us(v);
+        }
+        assert_eq!(s.count(), 3);
+        let m = s.median_ms();
+        assert!((2.0..=2.25).contains(&m), "median {m} outside bucket bound");
+        assert!(s.p99_ms() >= s.median_ms());
     }
 
     #[test]

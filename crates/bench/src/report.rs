@@ -162,10 +162,27 @@ impl BenchReport {
 }
 
 /// Logical CPU count of the machine the benchmark ran on.
+///
+/// `available_parallelism` alone under-reports inside containers whose
+/// affinity mask is narrower than the machine (and the seed baselines
+/// were stamped with `"cpus": 1` that way), so take the larger of it and
+/// the `/proc/cpuinfo` processor count when that is readable.
 pub fn host_cpus() -> usize {
-    std::thread::available_parallelism()
+    let available = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+        .unwrap_or(1);
+    available.max(proc_cpuinfo_cpus().unwrap_or(0)).max(1)
+}
+
+/// Processor entries in `/proc/cpuinfo`; `None` off Linux or when the
+/// file is unreadable.
+fn proc_cpuinfo_cpus() -> Option<usize> {
+    let text = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    let n = text
+        .lines()
+        .filter(|l| l.split(':').next().map(str::trim) == Some("processor"))
+        .count();
+    (n > 0).then_some(n)
 }
 
 /// The commit the benchmark measured: `git rev-parse --short HEAD`,
@@ -204,6 +221,14 @@ mod tests {
     use super::*;
     use winofuse_telemetry::json::parse;
     use winofuse_telemetry::JsonValue;
+
+    #[test]
+    fn host_cpus_covers_available_parallelism() {
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert!(host_cpus() >= available);
+    }
 
     #[test]
     fn report_serializes_host_block_and_cases() {

@@ -293,6 +293,104 @@ impl<T: Scalar> Tensor<T> {
         }
     }
 
+    /// Copies one batch entry into a new `1×c×h×w` tensor. NCHW is
+    /// `n`-outermost, so this is a single contiguous copy — the cheap
+    /// direction for splitting a served batch back into per-request
+    /// frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` is out of bounds.
+    pub fn frame(&self, b: usize) -> Tensor<T> {
+        assert!(b < self.n, "frame {b} out of bounds for batch {}", self.n);
+        let stride = self.c * self.h * self.w;
+        Tensor {
+            n: 1,
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data: self.data[b * stride..(b + 1) * stride].to_vec(),
+        }
+    }
+
+    /// Writes a `1×c×h×w` frame into batch entry `b` (inverse of
+    /// [`Tensor::frame`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` is out of bounds or `src` does not have this
+    /// tensor's per-frame shape with `n == 1`.
+    pub fn write_frame(&mut self, b: usize, src: &Tensor<T>) {
+        assert!(b < self.n, "frame {b} out of bounds for batch {}", self.n);
+        assert!(
+            src.n == 1 && src.c == self.c && src.h == self.h && src.w == self.w,
+            "frame shape {}x{}x{}x{} does not match batch entry 1x{}x{}x{}",
+            src.n,
+            src.c,
+            src.h,
+            src.w,
+            self.c,
+            self.h,
+            self.w
+        );
+        let stride = self.c * self.h * self.w;
+        self.data[b * stride..(b + 1) * stride].copy_from_slice(&src.data);
+    }
+
+    /// Stacks single-frame tensors along the batch dimension — how the
+    /// dynamic batcher coalesces queued requests into one `n = B`
+    /// invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvError::ShapeMismatch`] when `frames` is empty, any
+    /// frame has `n != 1`, or the per-frame shapes disagree.
+    pub fn concat_frames(frames: &[Tensor<T>]) -> Result<Tensor<T>, ConvError> {
+        let first = frames.first().ok_or_else(|| ConvError::ShapeMismatch {
+            expected: "at least one frame".to_string(),
+            found: "empty frame list".to_string(),
+        })?;
+        let mut data = Vec::with_capacity(frames.len() * first.data.len());
+        for f in frames {
+            if f.n != 1 || (f.c, f.h, f.w) != (first.c, first.h, first.w) {
+                return Err(ConvError::ShapeMismatch {
+                    expected: format!("1x{}x{}x{} frame", first.c, first.h, first.w),
+                    found: format!("{}x{}x{}x{}", f.n, f.c, f.h, f.w),
+                });
+            }
+            data.extend_from_slice(&f.data);
+        }
+        Ok(Tensor {
+            n: frames.len(),
+            c: first.c,
+            h: first.h,
+            w: first.w,
+            data,
+        })
+    }
+
+    /// Replicates this single-frame tensor `copies` times along the batch
+    /// dimension (`winofuse run --batch N`'s synthetic batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.n != 1` or `copies == 0`.
+    pub fn repeat_frames(&self, copies: usize) -> Tensor<T> {
+        assert_eq!(self.n, 1, "repeat_frames requires a single-frame tensor");
+        assert!(copies > 0, "cannot build an empty batch");
+        let mut data = Vec::with_capacity(copies * self.data.len());
+        for _ in 0..copies {
+            data.extend_from_slice(&self.data);
+        }
+        Tensor {
+            n: copies,
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data,
+        }
+    }
+
     /// Converts every element to a different scalar type.
     pub fn cast<U: Scalar>(&self) -> Tensor<U> {
         Tensor {
@@ -456,5 +554,47 @@ mod tests {
         let d: Tensor<f64> = a.cast();
         let back: Tensor<f32> = d.cast();
         assert!(a.approx_eq(&back, 0.0));
+    }
+
+    #[test]
+    fn frames_concat_and_split_roundtrip() {
+        let a = random_tensor(1, 2, 3, 3, 5);
+        let b = random_tensor(1, 2, 3, 3, 6);
+        let c = random_tensor(1, 2, 3, 3, 7);
+        let batch = Tensor::concat_frames(&[a.clone(), b.clone(), c.clone()]).unwrap();
+        assert_eq!(batch.shape(), (3, 2, 3, 3));
+        assert_eq!(batch.frame(0), a);
+        assert_eq!(batch.frame(1), b);
+        assert_eq!(batch.frame(2), c);
+    }
+
+    #[test]
+    fn write_frame_inverts_frame() {
+        let batch = random_tensor(3, 2, 4, 4, 9);
+        let mut rebuilt: Tensor<f32> = Tensor::zeros(3, 2, 4, 4);
+        for i in 0..3 {
+            rebuilt.write_frame(i, &batch.frame(i));
+        }
+        assert_eq!(rebuilt, batch);
+    }
+
+    #[test]
+    fn concat_frames_rejects_mismatches() {
+        let a = random_tensor(1, 2, 3, 3, 1);
+        let b = random_tensor(1, 2, 4, 4, 2);
+        assert!(Tensor::concat_frames(&[a.clone(), b]).is_err());
+        let multi = random_tensor(2, 2, 3, 3, 3);
+        assert!(Tensor::concat_frames(&[a, multi]).is_err());
+        assert!(Tensor::<f32>::concat_frames(&[]).is_err());
+    }
+
+    #[test]
+    fn repeat_frames_replicates_the_frame() {
+        let a = random_tensor(1, 2, 3, 3, 4);
+        let batch = a.repeat_frames(4);
+        assert_eq!(batch.shape(), (4, 2, 3, 3));
+        for i in 0..4 {
+            assert_eq!(batch.frame(i), a);
+        }
     }
 }

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod bnb;
+pub mod cache;
 pub mod dp;
 pub mod exhaustive;
 pub mod framework;

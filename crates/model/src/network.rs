@@ -292,6 +292,94 @@ impl Network {
             .ok_or_else(|| ModelError::InvalidNetwork("network is all FC/softmax".into()))?;
         self.subnetwork(0..end + 1)
     }
+
+    /// A stable 64-bit structural fingerprint of the network: FNV-1a over
+    /// the name, input shape, and every layer's name, kind, and
+    /// parameters. Two networks fingerprint equal iff they describe the
+    /// same computation on the same shapes — the plan cache keys on this
+    /// (together with a weights fingerprint) so a cached strategy is
+    /// never replayed against a different model.
+    ///
+    /// The value is deterministic across runs and platforms (all inputs
+    /// are hashed through fixed-width little-endian encodings), so it is
+    /// safe to persist alongside a design report.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.str(&self.name);
+        for d in [self.input.channels, self.input.height, self.input.width] {
+            h.u64(d as u64);
+        }
+        h.u64(self.layers.len() as u64);
+        for layer in &self.layers {
+            h.str(&layer.name);
+            h.str(layer.kind.tag());
+            match &layer.kind {
+                LayerKind::Conv(c) => {
+                    for d in [c.num_output, c.kernel, c.stride, c.pad, c.groups] {
+                        h.u64(d as u64);
+                    }
+                    h.u64(c.relu as u64);
+                }
+                LayerKind::Pool(p) => {
+                    for d in [p.kernel, p.stride, p.pad] {
+                        h.u64(d as u64);
+                    }
+                    h.u64(match p.kind {
+                        winofuse_conv::ops::PoolKind::Max => 0,
+                        winofuse_conv::ops::PoolKind::Average => 1,
+                    });
+                }
+                LayerKind::Lrn(s) => {
+                    h.u64(s.local_size as u64);
+                    h.f32(s.alpha);
+                    h.f32(s.beta);
+                    h.f32(s.k);
+                }
+                LayerKind::Fc(fc) => {
+                    h.u64(fc.num_output as u64);
+                    h.u64(fc.relu as u64);
+                }
+                LayerKind::Relu | LayerKind::Softmax => {}
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator — the model crate must not pull in a
+/// hashing dependency, and `DefaultHasher` is explicitly not stable
+/// across releases, which a persistable fingerprint cannot tolerate.
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed so `("ab","c")` and `("a","bc")` hash apart.
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    pub(crate) fn f32(&mut self, v: f32) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 impl fmt::Display for Network {
@@ -539,5 +627,49 @@ mod tests {
         let body = net.conv_body().unwrap();
         assert_eq!(body.len(), 2);
         assert_eq!(body.layers()[1].name, "p1");
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_structural() {
+        let build = |name: &str, input: FmShape, num_output: usize, layer_name: &str| {
+            Network::builder(name, input)
+                .conv(layer_name, ConvParams::vgg3x3(num_output))
+                .pool("p1", PoolParams::max2x2())
+                .build()
+                .unwrap()
+        };
+        let base = build("tiny", FmShape::new(3, 16, 16), 8, "c1");
+        // Rebuilding the identical description reproduces the value...
+        assert_eq!(
+            base.fingerprint(),
+            build("tiny", FmShape::new(3, 16, 16), 8, "c1").fingerprint()
+        );
+        // ...while any structural perturbation moves it: a changed conv
+        // parameter, a renamed layer, a different input shape.
+        assert_ne!(
+            base.fingerprint(),
+            build("tiny", FmShape::new(3, 16, 16), 16, "c1").fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            build("tiny", FmShape::new(3, 16, 16), 8, "c1x").fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            build("tiny", FmShape::new(3, 32, 32), 8, "c1").fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_releases() {
+        // Pin the exact value: the fingerprint keys persisted plan-cache
+        // artifacts, so an accidental encoding change must fail loudly
+        // here rather than silently invalidating (or worse, colliding
+        // with) existing keys.
+        let net = Network::builder("pin", FmShape::new(1, 4, 4))
+            .conv("c", ConvParams::new(2, 3, 1, 1, true))
+            .build()
+            .unwrap();
+        assert_eq!(net.fingerprint(), 0x9f22_9c1e_959e_5ea2);
     }
 }

@@ -137,6 +137,43 @@ impl NetworkWeights {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// A stable 64-bit fingerprint over every weight bit (FNV-1a on the
+    /// IEEE bit patterns, little-endian). Combined with
+    /// [`Network::fingerprint`] this identifies a servable model: same
+    /// structure + same weights ⇒ same fingerprints ⇒ the plan cache may
+    /// reuse a prepared entry.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::network::Fnv1a::new();
+        h.u64(self.entries.len() as u64);
+        for entry in &self.entries {
+            match entry {
+                LayerWeights::Conv(t) => {
+                    h.str("conv");
+                    let (n, c, kh, kw) = t.shape();
+                    for d in [n, c, kh, kw] {
+                        h.u64(d as u64);
+                    }
+                    for &v in t.as_slice() {
+                        h.f32(v);
+                    }
+                }
+                LayerWeights::Fc { weights, bias } => {
+                    h.str("fc");
+                    h.u64(weights.len() as u64);
+                    for &v in weights {
+                        h.f32(v);
+                    }
+                    h.u64(bias.len() as u64);
+                    for &v in bias {
+                        h.f32(v);
+                    }
+                }
+                LayerWeights::None => h.str("none"),
+            }
+        }
+        h.finish()
+    }
 }
 
 /// Runs the network with the conventional algorithm everywhere, returning
@@ -425,68 +462,43 @@ enum PreparedLayer {
     Stateless,
 }
 
-/// Whole-network fast-path executor: convolutions run through the batched
-/// Winograd / blocked-GEMM kernels of `winofuse-conv`, threaded over the
-/// shared `winofuse-runtime` worker pool; pool/LRN/ReLU/FC/softmax reuse
-/// the reference operators. The naive [`forward`] path remains the oracle
-/// — outputs agree within 1e-4 (f32) and the executor is bit-identical
-/// across thread counts.
+/// Everything the fast path pays *once per model*: shape inference,
+/// per-group kernel slicing, and the Winograd filter-bank transforms.
 ///
-/// # Examples
-///
-/// ```
-/// use winofuse_model::runtime::{random_input, NetworkExecutor, NetworkWeights};
-/// use winofuse_model::zoo;
-///
-/// # fn main() -> Result<(), winofuse_model::ModelError> {
-/// let net = zoo::small_test_net();
-/// let weights = NetworkWeights::random(&net, 1)?;
-/// let exec = NetworkExecutor::new(&net, &weights)?.with_threads(2);
-/// let probs = exec.run(&random_input(1, 3, 32, 32, 2))?;
-/// assert_eq!(probs.c(), 16);
-/// # Ok(())
-/// # }
-/// ```
-pub struct NetworkExecutor<'n> {
-    net: &'n Network,
-    threads: usize,
-    telemetry: Telemetry,
-    faults: FaultInjector,
-    fault_mode: FaultMode,
+/// A [`NetworkExecutor`] borrows the network but holds its preparation
+/// behind an `Arc`, so the expensive part is shareable: the plan cache
+/// keeps one `PreparedNetwork` per (network, weights, backend)
+/// configuration and every request-serving executor clones the `Arc`
+/// instead of re-transforming filters
+/// (see [`NetworkExecutor::from_prepared`]).
+pub struct PreparedNetwork {
     transform: WinogradTransform,
-    prepared: Vec<PreparedLayer>,
+    layers: Vec<PreparedLayer>,
     /// Validated per-layer input shapes (`shapes[i]` feeds layer `i`) —
     /// grouped-conv slicing derives from these, never raw tensor dims.
     shapes: Vec<crate::shape::FmShape>,
+    algo: ExecAlgo,
+    network_fingerprint: u64,
 }
 
-impl<'n> NetworkExecutor<'n> {
-    /// Prepares the network with the default [`ExecAlgo::Auto`] backend.
+impl PreparedNetwork {
+    /// Prepares a network for repeated execution: slices grouped kernels
+    /// and transforms Winograd filter banks according to `algo`.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::Execution`] when a layer's weights are
-    /// missing or malformed.
-    pub fn new(net: &'n Network, weights: &NetworkWeights) -> Result<Self, ModelError> {
-        Self::with_algo(net, weights, ExecAlgo::Auto)
-    }
-
-    /// Prepares the network with an explicit convolution backend.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`NetworkExecutor::new`]; additionally
-    /// [`ModelError::Execution`] when [`ExecAlgo::Winograd`] is forced on
+    /// missing or malformed, or when [`ExecAlgo::Winograd`] is forced on
     /// a layer the `F(4×4, 3×3)` path cannot run (kernel ≠ 3 or
     /// stride ≠ 1).
-    pub fn with_algo(
-        net: &'n Network,
+    pub fn new(
+        net: &Network,
         weights: &NetworkWeights,
         algo: ExecAlgo,
     ) -> Result<Self, ModelError> {
         let transform = f43();
         let shapes = net.shapes()?;
-        let mut prepared = Vec::with_capacity(net.len());
+        let mut layers = Vec::with_capacity(net.len());
         for (i, layer) in net.layers().iter().enumerate() {
             let p = match &layer.kind {
                 LayerKind::Conv(c) => {
@@ -541,7 +553,120 @@ impl<'n> NetworkExecutor<'n> {
                 }
                 _ => PreparedLayer::Stateless,
             };
-            prepared.push(p);
+            layers.push(p);
+        }
+        Ok(PreparedNetwork {
+            transform,
+            layers,
+            shapes,
+            algo,
+            network_fingerprint: net.fingerprint(),
+        })
+    }
+
+    /// The backend this preparation was built for.
+    pub fn algo(&self) -> ExecAlgo {
+        self.algo
+    }
+
+    /// Fingerprint of the network this preparation belongs to
+    /// ([`Network::fingerprint`]); [`NetworkExecutor::from_prepared`]
+    /// refuses a mismatch.
+    pub fn network_fingerprint(&self) -> u64 {
+        self.network_fingerprint
+    }
+
+    /// Number of pre-transformed Winograd filter banks held — the
+    /// transform work that was paid at construction and is amortized by
+    /// every run sharing this preparation.
+    pub fn winograd_banks(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                PreparedLayer::Conv(c) => c.banks.as_ref().map_or(0, Vec::len),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Whole-network fast-path executor: convolutions run through the batched
+/// Winograd / blocked-GEMM kernels of `winofuse-conv`, threaded over the
+/// shared `winofuse-runtime` worker pool; pool/LRN/ReLU/FC/softmax reuse
+/// the reference operators. The naive [`forward`] path remains the oracle
+/// — outputs agree within 1e-4 (f32) and the executor is bit-identical
+/// across thread counts.
+///
+/// # Examples
+///
+/// ```
+/// use winofuse_model::runtime::{random_input, NetworkExecutor, NetworkWeights};
+/// use winofuse_model::zoo;
+///
+/// # fn main() -> Result<(), winofuse_model::ModelError> {
+/// let net = zoo::small_test_net();
+/// let weights = NetworkWeights::random(&net, 1)?;
+/// let exec = NetworkExecutor::new(&net, &weights)?.with_threads(2);
+/// let probs = exec.run(&random_input(1, 3, 32, 32, 2))?;
+/// assert_eq!(probs.c(), 16);
+/// # Ok(())
+/// # }
+/// ```
+pub struct NetworkExecutor<'n> {
+    net: &'n Network,
+    threads: usize,
+    telemetry: Telemetry,
+    faults: FaultInjector,
+    fault_mode: FaultMode,
+    prepared: std::sync::Arc<PreparedNetwork>,
+}
+
+impl<'n> NetworkExecutor<'n> {
+    /// Prepares the network with the default [`ExecAlgo::Auto`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Execution`] when a layer's weights are
+    /// missing or malformed.
+    pub fn new(net: &'n Network, weights: &NetworkWeights) -> Result<Self, ModelError> {
+        Self::with_algo(net, weights, ExecAlgo::Auto)
+    }
+
+    /// Prepares the network with an explicit convolution backend.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkExecutor::new`]; additionally
+    /// [`ModelError::Execution`] when [`ExecAlgo::Winograd`] is forced on
+    /// a layer the `F(4×4, 3×3)` path cannot run (kernel ≠ 3 or
+    /// stride ≠ 1).
+    pub fn with_algo(
+        net: &'n Network,
+        weights: &NetworkWeights,
+        algo: ExecAlgo,
+    ) -> Result<Self, ModelError> {
+        let prepared = std::sync::Arc::new(PreparedNetwork::new(net, weights, algo)?);
+        Self::from_prepared(net, prepared)
+    }
+
+    /// Builds an executor around an already-shared preparation, paying no
+    /// filter transforms at all — the plan cache's hit path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Execution`] when `prepared` was built for a
+    /// structurally different network (fingerprint mismatch).
+    pub fn from_prepared(
+        net: &'n Network,
+        prepared: std::sync::Arc<PreparedNetwork>,
+    ) -> Result<Self, ModelError> {
+        if prepared.network_fingerprint != net.fingerprint() {
+            return Err(ModelError::Execution(format!(
+                "prepared network fingerprint {:#018x} does not match network `{}` ({:#018x})",
+                prepared.network_fingerprint,
+                net.name(),
+                net.fingerprint()
+            )));
         }
         Ok(NetworkExecutor {
             net,
@@ -549,9 +674,7 @@ impl<'n> NetworkExecutor<'n> {
             telemetry: Telemetry::disabled(),
             faults: FaultInjector::disabled(),
             fault_mode: FaultMode::Strict,
-            transform,
             prepared,
-            shapes,
         })
     }
 
@@ -655,7 +778,7 @@ impl<'n> NetworkExecutor<'n> {
             let next = self.exec_layer(i, layer, &cur, &stats, &base.scoped(&layer.name))?;
             let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             drop(span);
-            let algo = match &self.prepared[i] {
+            let algo = match &self.prepared.layers[i] {
                 PreparedLayer::Conv(conv) if conv.banks.is_some() => "winograd",
                 PreparedLayer::Conv(_) => "direct",
                 _ => "-",
@@ -668,7 +791,7 @@ impl<'n> NetworkExecutor<'n> {
                 kind: layer.kind.tag(),
                 algo,
                 wall_ns,
-                model_ops: layer.ops(self.shapes[i]),
+                model_ops: layer.ops(self.prepared.shapes[i]),
                 conv: stats.profile(),
             });
             cur = next;
@@ -713,10 +836,18 @@ impl<'n> NetworkExecutor<'n> {
     ) -> Result<Tensor<f32>, ModelError> {
         match &layer.kind {
             LayerKind::Conv(c) => {
-                let PreparedLayer::Conv(conv) = &self.prepared[i] else {
+                let PreparedLayer::Conv(conv) = &self.prepared.layers[i] else {
                     unreachable!("invariant: conv layer prepared as non-conv");
                 };
-                self.run_conv_guarded(layer, cur, c, conv, stats, self.shapes[i].channels, prof)
+                self.run_conv_guarded(
+                    layer,
+                    cur,
+                    c,
+                    conv,
+                    stats,
+                    self.prepared.shapes[i].channels,
+                    prof,
+                )
             }
             _ => {
                 // Non-conv layers have no alternate algorithm rung: a
@@ -769,7 +900,7 @@ impl<'n> NetworkExecutor<'n> {
             )?,
             LayerKind::Relu => ops::relu(cur),
             LayerKind::Fc(fc) => {
-                let PreparedLayer::Fc { weights, bias } = &self.prepared[i] else {
+                let PreparedLayer::Fc { weights, bias } = &self.prepared.layers[i] else {
                     unreachable!("invariant: fc layer prepared as non-fc");
                 };
                 let mut y = ops::fully_connected(cur, weights, bias, fc.num_output)?;
@@ -874,7 +1005,7 @@ impl<'n> NetworkExecutor<'n> {
                     x,
                     &banks[g],
                     geom,
-                    &self.transform,
+                    &self.prepared.transform,
                     self.threads,
                     Some(stats),
                     prof,

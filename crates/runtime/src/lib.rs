@@ -17,6 +17,7 @@
 //! `tests/conv_equiv.rs` at the workspace root).
 
 pub mod faults;
+pub mod serve;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

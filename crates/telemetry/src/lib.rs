@@ -73,16 +73,65 @@ impl Counter {
     }
 }
 
+/// Number of log-linear buckets a histogram distributes samples over.
+///
+/// Values `0..4` get one exact bucket each; every power-of-two octave
+/// above that is split into 4 linear sub-buckets, so a reported
+/// percentile is at most one sub-bucket (≤ 12.5 %) above the true
+/// sample. 252 buckets cover the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 252;
+
+/// Bucket index for a sample (HDR-style log-linear: 2 sub-bucket bits).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < 4 {
+        return value as usize;
+    }
+    let m = 63 - value.leading_zeros() as usize;
+    (m - 2) * 4 + (value >> (m - 2)) as usize
+}
+
+/// Largest value that lands in bucket `b` (the reported representative).
+fn bucket_upper(b: usize) -> u64 {
+    if b < 4 {
+        return b as u64;
+    }
+    let m = b / 4 + 1;
+    let top = (b - (m - 2) * 4) as u128;
+    let upper = (top + 1) << (m - 2);
+    if upper > u64::MAX as u128 {
+        u64::MAX
+    } else {
+        (upper - 1) as u64
+    }
+}
+
 /// Aggregate statistics for a stream of observed values.
 ///
-/// Tracks count / sum / min / max — enough to answer "how many frontier
-/// points per DP cell" style questions without storing every sample.
+/// Tracks count / sum / min / max plus a log-linear bucket array, so it
+/// can answer both "how many frontier points per DP cell" style
+/// questions and tail-latency percentiles (p50/p95/p99) without storing
+/// every sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
     pub min: u64,
     pub max: u64,
+    /// Sample counts per log-linear bucket (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
 }
 
 impl HistogramSnapshot {
@@ -92,6 +141,42 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The value at (or just above) the `p`-th percentile of the recorded
+    /// samples, `p` in `[0, 100]`. The result is the upper edge of the
+    /// bucket holding the rank, clamped into `[min, max]`, so it is exact
+    /// for single-valued streams and at most one sub-bucket (≤ 12.5 %)
+    /// above the true order statistic otherwise. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile (see [`HistogramSnapshot::percentile`]).
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile (see [`HistogramSnapshot::percentile`]).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
     }
 
     /// Combines two snapshots as if their samples had been recorded into
@@ -104,29 +189,45 @@ impl HistogramSnapshot {
         if other.count == 0 {
             return *self;
         }
+        let mut buckets = self.buckets;
+        for (mine, theirs) in buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
         HistogramSnapshot {
             count: self.count + other.count,
             sum: self.sum + other.sum,
             min: self.min.min(other.min),
             max: self.max.max(other.max),
+            buckets,
         }
     }
 }
 
-#[derive(Default)]
 struct HistogramCell {
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
     fn record(&self, value: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
@@ -140,6 +241,7 @@ impl HistogramCell {
                 self.min.load(Ordering::Relaxed)
             },
             max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed)),
         }
     }
 }
@@ -161,15 +263,7 @@ impl Histogram {
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {
-        self.0
-            .as_ref()
-            .map(|c| c.snapshot())
-            .unwrap_or(HistogramSnapshot {
-                count: 0,
-                sum: 0,
-                min: 0,
-                max: 0,
-            })
+        self.0.as_ref().map(|c| c.snapshot()).unwrap_or_default()
     }
 }
 
@@ -256,12 +350,7 @@ impl Telemetry {
                 let mut reg = inner.histograms.lock().unwrap();
                 let cell = reg
                     .entry(name.to_string())
-                    .or_insert_with(|| {
-                        Arc::new(HistogramCell {
-                            min: AtomicU64::new(u64::MAX),
-                            ..HistogramCell::default()
-                        })
-                    })
+                    .or_insert_with(|| Arc::new(HistogramCell::new()))
                     .clone();
                 Histogram(Some(cell))
             }
@@ -475,13 +564,17 @@ impl RunTelemetry {
             }
             first = false;
             s.push_str(&format!(
-                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}}}",
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
                 json::esc(name),
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
             ));
         }
         s.push_str("\n  }\n}\n");
@@ -578,14 +671,104 @@ mod tests {
         merged.merge(&RunTelemetry::default());
         assert_eq!(merged, before);
         // An empty min placeholder never wins.
-        let empty = HistogramSnapshot {
-            count: 0,
-            sum: 0,
-            min: 0,
-            max: 0,
-        };
+        let empty = HistogramSnapshot::default();
         assert_eq!(empty.merge(&h), h);
         assert_eq!(h.merge(&empty), h);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_invertible() {
+        // Every bucket's upper edge maps back into that bucket, and
+        // bucket boundaries never go backwards.
+        let mut prev = 0u64;
+        for b in 0..HISTOGRAM_BUCKETS {
+            let upper = bucket_upper(b);
+            assert_eq!(bucket_index(upper), b, "bucket {b} upper {upper}");
+            assert!(b == 0 || upper > prev, "bucket {b} not monotone");
+            prev = upper;
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Small values are exact: one bucket per value below 4, and the
+        // first octaves stay one-per-value too.
+        for v in 0..8u64 {
+            assert_eq!(bucket_upper(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_for_small_values() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("lat");
+        for v in [1u64, 2, 3, 3, 3, 2, 1, 2] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 2);
+        assert_eq!(s.percentile(100.0), 3);
+        assert_eq!(s.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn percentiles_bound_relative_error() {
+        // A 1..=1000 uniform stream: every reported percentile must sit
+        // within one sub-bucket (12.5 %) above the true order statistic,
+        // and never below it.
+        let t = Telemetry::enabled();
+        let h = t.histogram("lat");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (p, truth) in [(50.0, 500u64), (95.0, 950), (99.0, 990)] {
+            let got = s.percentile(p);
+            assert!(got >= truth, "p{p} reported {got} below true {truth}");
+            assert!(
+                got as f64 <= truth as f64 * 1.125 + 1.0,
+                "p{p} reported {got} too far above true {truth}"
+            );
+        }
+        assert_eq!(s.percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn single_valued_stream_reports_exact_percentiles() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("lat");
+        for _ in 0..17 {
+            h.record(123_456);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.p50(), s.p95(), s.p99()), (123_456, 123_456, 123_456));
+    }
+
+    #[test]
+    fn merged_snapshots_preserve_percentiles() {
+        let a = Telemetry::enabled();
+        let b = Telemetry::enabled();
+        for v in 1..=500u64 {
+            a.histogram("h").record(v);
+        }
+        for v in 501..=1000u64 {
+            b.histogram("h").record(v);
+        }
+        let merged = a.summary().histograms["h"].merge(&b.summary().histograms["h"]);
+        let whole = Telemetry::enabled();
+        for v in 1..=1000u64 {
+            whole.histogram("h").record(v);
+        }
+        assert_eq!(merged, whole.summary().histograms["h"]);
+    }
+
+    #[test]
+    fn summary_json_carries_percentiles() {
+        let t = Telemetry::enabled();
+        for v in [1u64, 2, 3] {
+            t.histogram("h").record(v);
+        }
+        let parsed = json::parse(&t.summary().to_json()).expect("summary JSON must parse");
+        let h = parsed.get("histograms").and_then(|h| h.get("h")).unwrap();
+        assert_eq!(h.get("p50").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(h.get("p99").and_then(JsonValue::as_u64), Some(3));
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! winofuse codegen  <model.prototxt> --out DIR [--budget-mb N] [--testbench]
 //! winofuse simulate <model.prototxt> [--budget-mb N] [--seed N]
 //! winofuse run      <model.prototxt> [--exec-algo auto|wino|direct]
-//!                   [--threads N] [--frames N] [--seed N]
+//!                   [--threads N] [--frames N] [--batch N] [--seed N]
 //! winofuse run      <model.prototxt> --fused [--budget-mb N] [--threads N]
 //! winofuse profile  <model.prototxt | --network NAME> [--threads N] [--fused]
 //!                   [--trace-out PATH] [--profile-json PATH]
+//! winofuse serve    <model.prototxt> [--requests N] [--concurrency N]
+//!                   [--max-batch N] [--batch-window-ms N] [--queue-depth N]
+//!                   [--threads N] [--seed N] [--fused]
 //! ```
 //!
 //! This is the paper's Fig. 3 pipeline as a single executable: Caffe
@@ -30,14 +33,14 @@ use winofuse::model::{prototxt, zoo, DataType, LayerKind, Network};
 use winofuse::prelude::{FpgaDevice, Framework};
 use winofuse::runtime::faults::{install_quiet_panic_hook, FaultInjector, FaultMode};
 use winofuse::telemetry::{ChromeTraceSink, JsonLinesSink, Telemetry, TraceSink};
-use winofuse::{error::render_chain, TaskError};
+use winofuse::{error::render_chain, ServeConfig, ServeEngine, TaskError};
 
 const MB: u64 = 1024 * 1024;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: winofuse <info|optimize|curve|codegen|simulate|run|profile> <model.prototxt> \
-         [options]\n\
+        "usage: winofuse <info|optimize|curve|codegen|simulate|run|profile|serve> \
+         <model.prototxt> [options]\n\
          options:\n\
            --budget-mb N     feature-map transfer budget in MiB (default 8)\n\
            --budget-kb N     ... or in KiB (overrides --budget-mb)\n\
@@ -50,7 +53,11 @@ fn usage() -> ! {
            --out DIR         output directory (codegen)\n\
            --testbench       also emit golden-vector C testbenches (codegen)\n\
            --seed N          synthetic weight/input seed (simulate, run; default 42)\n\
-           --frames N        batch size for amortized timing (optimize, run; default 1)\n\
+           --frames N        sequential repetitions for amortized timing (optimize,\n\
+                             run; default 1)\n\
+           --batch N         `run` only: replicate the input into an N-frame batch\n\
+                             and execute it through the batched kernels in one\n\
+                             invocation (default 1; not valid with --fused)\n\
            --exec-algo NAME  CPU convolution backend for `run`: auto (default),\n\
                              wino (batched Winograd F(4,3)), or direct\n\
                              (blocked im2col+GEMM)\n\
@@ -76,7 +83,19 @@ fn usage() -> ! {
                              prototxt — alexnet, vgg16, vgg-e, vgg-e-prefix,\n\
                              small, mixed\n\
            --profile-json PATH  `profile` only: machine-readable per-layer\n\
-                             attribution (default profile.json)"
+                             attribution (default profile.json)\n\
+         serve options (the long-running engine; conv body, plan cached):\n\
+           --requests N      total requests the built-in load generator submits\n\
+                             (default 32)\n\
+           --concurrency N   client threads submitting concurrently (default 4)\n\
+           --max-batch N     most frames coalesced per batched invocation\n\
+                             (default 8)\n\
+           --batch-window-ms N  how long the batcher waits for followers after\n\
+                             the first request of a batch (default 2)\n\
+           --queue-depth N   admission-control queue capacity; pushes beyond it\n\
+                             are rejected with exit-code-9 errors (default 64)\n\
+           --fused           serve batches on the fused-group runner instead of\n\
+                             the batched layer executor"
     );
     std::process::exit(2);
 }
@@ -93,6 +112,18 @@ struct Options {
     testbench: bool,
     seed: u64,
     frames: u64,
+    /// `run` only: replicate the input into an N-frame batch.
+    batch: Option<usize>,
+    /// `serve` only: load-generator request count.
+    requests: Option<u64>,
+    /// `serve` only: load-generator client threads.
+    concurrency: Option<usize>,
+    /// `serve` only: batcher coalescing cap.
+    max_batch: Option<usize>,
+    /// `serve` only: batcher deadline in milliseconds.
+    batch_window_ms: Option<u64>,
+    /// `serve` only: admission-control queue capacity.
+    queue_depth: Option<usize>,
     /// Convolution backend for `run`; other commands must not set it.
     exec_algo: Option<ExecAlgo>,
     /// `run` executes the optimized strategy's fusion groups instead of
@@ -124,6 +155,12 @@ fn parse_options(args: &[String]) -> Options {
         testbench: false,
         seed: 42,
         frames: 1,
+        batch: None,
+        requests: None,
+        concurrency: None,
+        max_batch: None,
+        batch_window_ms: None,
+        queue_depth: None,
         exec_algo: None,
         fused: false,
         reconfig_cycles: None,
@@ -168,6 +205,26 @@ fn parse_options(args: &[String]) -> Options {
                 })
             }
             "--frames" => o.frames = value("--frames").parse().unwrap_or_else(|_| usage()),
+            "--batch" => o.batch = Some(value("--batch").parse().unwrap_or_else(|_| usage())),
+            "--requests" => {
+                o.requests = Some(value("--requests").parse().unwrap_or_else(|_| usage()))
+            }
+            "--concurrency" => {
+                o.concurrency = Some(value("--concurrency").parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-batch" => {
+                o.max_batch = Some(value("--max-batch").parse().unwrap_or_else(|_| usage()))
+            }
+            "--batch-window-ms" => {
+                o.batch_window_ms = Some(
+                    value("--batch-window-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--queue-depth" => {
+                o.queue_depth = Some(value("--queue-depth").parse().unwrap_or_else(|_| usage()))
+            }
             "--reconfig-cycles" => {
                 let c = value("--reconfig-cycles")
                     .parse()
@@ -566,6 +623,10 @@ fn print_recovery_counters(telemetry: &Telemetry) {
 
 fn cmd_run(net: &Network, o: &Options) -> Result<(), TaskError> {
     let algo = o.exec_algo.unwrap_or_default();
+    let batch = o.batch.unwrap_or(1);
+    if batch == 0 {
+        return Err(TaskError::usage("--batch must be at least 1"));
+    }
     let weights = NetworkWeights::random(net, o.seed)?;
     let shape = net.input_shape();
     let input = winofuse::conv::tensor::random_tensor(
@@ -575,6 +636,14 @@ fn cmd_run(net: &Network, o: &Options) -> Result<(), TaskError> {
         shape.width,
         o.seed + 1,
     );
+    // `--batch N` exercises the batched kernel path: one invocation over
+    // an N-frame tensor (frames replicated, so the per-frame outputs
+    // must come back bit-identical).
+    let input = if batch > 1 {
+        input.repeat_frames(batch)
+    } else {
+        input
+    };
     // Kernel counters are always collected for the report; when the user
     // asked for a trace/summary, reuse their context so the per-layer
     // spans land in it too.
@@ -606,20 +675,178 @@ fn cmd_run(net: &Network, o: &Options) -> Result<(), TaskError> {
             o.threads.to_string()
         }
     );
-    println!("output:  {}x{}x{}", out.c(), out.h(), out.w());
+    println!("output:  {}x{}x{}x{}", out.n(), out.c(), out.h(), out.w());
     println!(
         "conv kernels: {} GEMM calls, {} Winograd tiles, {:.1} MiB packed",
         summary.counter("conv.gemm_calls"),
         summary.counter("conv.tiles"),
         summary.counter("conv.bytes_packed") as f64 / MB as f64
     );
+    let total_frames = frames * batch as u64;
     println!(
         "{} frame(s) in {:.1} ms ({:.1} ms/frame, {:.2} effective GOPS)",
-        frames,
+        total_frames,
         elapsed * 1e3,
-        elapsed * 1e3 / frames as f64,
-        net.total_ops() as f64 * frames as f64 / elapsed / 1e9
+        elapsed * 1e3 / total_frames as f64,
+        net.total_ops() as f64 * total_frames as f64 / elapsed / 1e9
     );
+    if batch > 1 {
+        // Identical inputs through the batched kernels must produce
+        // identical outputs — anything else is a frame-indexing bug.
+        let first = out.frame(0);
+        for b in 1..batch {
+            if out.frame(b).as_slice() != first.as_slice() {
+                return Err(TaskError::Other(format!(
+                    "batched frame {b} diverged from frame 0"
+                )));
+            }
+        }
+        println!("batch of {batch}: replicated frames are bit-identical ✓");
+    }
+    if o.faults.is_enabled() {
+        print_recovery_counters(&telemetry);
+    }
+    Ok(())
+}
+
+/// `winofuse serve`: start the long-running engine (bounded queue →
+/// dynamic batcher → plan cache → batched execution), drive it with the
+/// built-in load generator, and report throughput, tail latency, and
+/// plan-cache traffic.
+fn cmd_serve(net: &Network, o: &Options) -> Result<(), TaskError> {
+    use std::time::{Duration, Instant};
+    let telemetry = if o.telemetry.is_enabled() {
+        o.telemetry.clone()
+    } else {
+        Telemetry::enabled()
+    };
+    let mut fw = Framework::new(o.device.clone())
+        .with_policy(o.policy)
+        .with_max_group_layers(o.max_group)
+        .with_threads(o.threads)
+        .with_telemetry(telemetry.clone())
+        .with_faults(o.faults.clone());
+    if let Some(mode) = o.fault_mode {
+        fw = fw.with_fault_mode(mode);
+    }
+    let threads = fw.threads();
+    let weights = NetworkWeights::random(net, o.seed)?;
+    let cfg = ServeConfig {
+        max_batch: o.max_batch.unwrap_or(8).max(1),
+        batch_window: Duration::from_millis(o.batch_window_ms.unwrap_or(2)),
+        queue_depth: o.queue_depth.unwrap_or(64).max(1),
+        budget_bytes: o.budget_bytes,
+        precision: DataType::Fixed16,
+        fused: o.fused,
+        fault_mode: o.fault_mode.unwrap_or(FaultMode::Lenient),
+    };
+    let requests = o.requests.unwrap_or(32);
+    let concurrency = o.concurrency.unwrap_or(4).max(1);
+    println!("network: {net}");
+    println!(
+        "engine:  device {}, threads {threads}, max-batch {}, window {} ms, queue depth {}, {}",
+        o.device.name(),
+        cfg.max_batch,
+        cfg.batch_window.as_millis(),
+        cfg.queue_depth,
+        if cfg.fused {
+            "fused-group runner"
+        } else {
+            "batched layer executor"
+        }
+    );
+    let engine = ServeEngine::start(fw, net.clone(), weights, telemetry.clone(), cfg)?;
+    let warm_start = Instant::now();
+    engine.warm()?;
+    println!(
+        "plan cached in {:.1} ms (strategy search + filter transforms paid once)",
+        warm_start.elapsed().as_secs_f64() * 1e3
+    );
+
+    let shape = net.input_shape();
+    let wall = Instant::now();
+    let rejected = std::thread::scope(|s| -> Result<u64, TaskError> {
+        let mut clients = Vec::new();
+        for c in 0..concurrency {
+            let engine = &engine;
+            let telemetry = telemetry.clone();
+            clients.push(s.spawn(move || -> Result<u64, TaskError> {
+                let mut rejected = 0u64;
+                let mut i = c as u64;
+                while i < requests {
+                    let input = winofuse::conv::tensor::random_tensor(
+                        1,
+                        shape.channels,
+                        shape.height,
+                        shape.width,
+                        o.seed + 1 + i,
+                    );
+                    let t0 = Instant::now();
+                    match engine.submit(input) {
+                        Ok(ticket) => {
+                            ticket.wait()?;
+                            telemetry
+                                .histogram("serve.request_us")
+                                .record(t0.elapsed().as_micros() as u64);
+                            i += concurrency as u64;
+                        }
+                        Err(TaskError::Serve(_)) => {
+                            // Backpressure worked as designed: back off
+                            // and retry the same request.
+                            rejected += 1;
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(rejected)
+            }));
+        }
+        let mut rejected = 0u64;
+        for h in clients {
+            rejected += h.join().expect("load-generator client panicked")?;
+        }
+        Ok(rejected)
+    })?;
+    let elapsed = wall.elapsed().as_secs_f64();
+    let (hits, misses) = (engine.plan_hits(), engine.plan_misses());
+    engine.shutdown()?;
+
+    let s = telemetry.summary();
+    let batches = s.counter("serve.batches").max(1);
+    println!(
+        "\n{} request(s) from {concurrency} client(s) in {:.1} ms — {:.1} req/s",
+        s.counter("serve.completed"),
+        elapsed * 1e3,
+        requests as f64 / elapsed
+    );
+    println!(
+        "batches: {batches} (mean size {:.2}); backpressure rejections: {rejected}",
+        s.counter("serve.completed") as f64 / batches as f64
+    );
+    if let Some(h) = s.histograms.get("serve.request_us") {
+        println!(
+            "request latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+            h.p50() as f64 / 1e3,
+            h.p95() as f64 / 1e3,
+            h.p99() as f64 / 1e3
+        );
+    }
+    if let Some(h) = s.histograms.get("serve.queue_wait_us") {
+        println!(
+            "queue wait:      p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+            h.p50() as f64 / 1e3,
+            h.p95() as f64 / 1e3,
+            h.p99() as f64 / 1e3
+        );
+    }
+    println!("plan cache: {hits} hit(s), {misses} miss(es)");
+    if misses != 1 {
+        return Err(TaskError::Other(format!(
+            "expected exactly one plan build for one configuration, saw {misses}"
+        )));
+    }
+    println!("strategy search ran exactly once; every request reused the cached plan ✓");
     if o.faults.is_enabled() {
         print_recovery_counters(&telemetry);
     }
@@ -942,16 +1169,43 @@ fn main() -> ExitCode {
         eprintln!("error: --exec-algo only applies to the `run` and `profile` commands");
         return ExitCode::FAILURE;
     }
-    if opts.fused && cmd != "run" && cmd != "profile" {
-        eprintln!("error: --fused only applies to the `run` and `profile` commands");
+    if opts.fused && cmd != "run" && cmd != "profile" && cmd != "serve" {
+        eprintln!("error: --fused only applies to the `run`, `profile`, and `serve` commands");
         return ExitCode::FAILURE;
     }
     if opts.fused && opts.exec_algo.is_some() {
         eprintln!("error: --exec-algo does not apply to fused execution");
         return ExitCode::FAILURE;
     }
-    if (opts.faults.is_enabled() || opts.fault_mode.is_some()) && cmd != "run" && cmd != "profile" {
-        eprintln!("error: --inject / --fault-mode only apply to the `run` and `profile` commands");
+    if (opts.faults.is_enabled() || opts.fault_mode.is_some())
+        && cmd != "run"
+        && cmd != "profile"
+        && cmd != "serve"
+    {
+        eprintln!(
+            "error: --inject / --fault-mode only apply to the `run`, `profile`, and \
+             `serve` commands"
+        );
+        return ExitCode::from(2);
+    }
+    if opts.batch.is_some() && cmd != "run" {
+        eprintln!("error: --batch only applies to the `run` command");
+        return ExitCode::from(2);
+    }
+    if opts.batch.is_some() && opts.fused {
+        eprintln!("error: --batch does not apply to fused execution");
+        return ExitCode::from(2);
+    }
+    let serve_only_flags = opts.requests.is_some()
+        || opts.concurrency.is_some()
+        || opts.max_batch.is_some()
+        || opts.batch_window_ms.is_some()
+        || opts.queue_depth.is_some();
+    if serve_only_flags && cmd != "serve" {
+        eprintln!(
+            "error: --requests / --concurrency / --max-batch / --batch-window-ms / \
+             --queue-depth only apply to the `serve` command"
+        );
         return ExitCode::from(2);
     }
     if (opts.network.is_some() || opts.profile_json.is_some()) && cmd != "profile" {
@@ -1029,6 +1283,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&net, &opts),
         "profile" if opts.fused => cmd_profile_fused(&net, &opts),
         "profile" => cmd_profile(&net, &opts),
+        "serve" => cmd_serve(&net, &opts),
         _ => {
             usage();
         }

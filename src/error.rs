@@ -14,6 +14,7 @@
 //! | 6 | DRAM reconciliation | strict-mode [`FusionError::DramMismatch`] |
 //! | 7 | kernel fault | caught panic, pool fault, strict group fault |
 //! | 8 | deadline exceeded | worker-pool watchdog fired |
+//! | 9 | serve admission | queue overloaded, engine shutting down |
 //!
 //! The kernel-fault and deadline classes are the fault-tolerance
 //! machinery's strict-mode surface (see `DESIGN.md` §12); everything
@@ -30,6 +31,7 @@ use winofuse_core::CoreError;
 use winofuse_fpga::FpgaError;
 use winofuse_fusion::FusionError;
 use winofuse_model::ModelError;
+use winofuse_runtime::serve::ServeError;
 use winofuse_runtime::PoolError;
 
 /// One top-level error for everything a `winofuse` task can fail with.
@@ -58,6 +60,8 @@ pub enum TaskError {
     Fusion(FusionError),
     /// Worker-pool fault that escaped every fallback rung.
     Pool(PoolError),
+    /// Serving admission failure: queue at capacity or engine draining.
+    Serve(ServeError),
     /// Anything else (I/O, free-form messages).
     Other(String),
 }
@@ -84,6 +88,7 @@ impl TaskError {
             TaskError::Fusion(_) => 3,
             TaskError::Pool(PoolError::DeadlineExceeded { .. }) => 8,
             TaskError::Pool(_) => 7,
+            TaskError::Serve(_) => 9,
             TaskError::Other(_) => 1,
         }
     }
@@ -100,6 +105,7 @@ impl fmt::Display for TaskError {
             TaskError::Codegen(_) => write!(f, "codegen error"),
             TaskError::Fusion(_) => write!(f, "fused execution error"),
             TaskError::Pool(_) => write!(f, "worker pool error"),
+            TaskError::Serve(_) => write!(f, "serve admission error"),
             TaskError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -116,6 +122,7 @@ impl Error for TaskError {
             TaskError::Codegen(e) => Some(e),
             TaskError::Fusion(e) => Some(e),
             TaskError::Pool(e) => Some(e),
+            TaskError::Serve(e) => Some(e),
         }
     }
 }
@@ -159,6 +166,12 @@ impl From<FusionError> for TaskError {
 impl From<PoolError> for TaskError {
     fn from(e: PoolError) -> Self {
         TaskError::Pool(e)
+    }
+}
+
+impl From<ServeError> for TaskError {
+    fn from(e: ServeError) -> Self {
+        TaskError::Serve(e)
     }
 }
 
@@ -236,6 +249,14 @@ mod tests {
             })
             .exit_code(),
             8
+        );
+        assert_eq!(
+            TaskError::from(ServeError::Overloaded {
+                depth: 64,
+                capacity: 64
+            })
+            .exit_code(),
+            9
         );
         assert_eq!(TaskError::from(String::from("misc")).exit_code(), 1);
     }

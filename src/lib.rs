@@ -45,8 +45,10 @@
 //! ```
 
 pub mod error;
+pub mod serve;
 
 pub use error::TaskError;
+pub use serve::{ServeConfig, ServeEngine, Ticket};
 pub use winofuse_codegen as codegen;
 pub use winofuse_conv as conv;
 pub use winofuse_core as core;

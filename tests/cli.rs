@@ -329,3 +329,91 @@ fn device_and_policy_flags_are_honored() {
     assert!(!text.contains("winograd(m="));
     let _ = std::fs::remove_file(p);
 }
+
+#[test]
+fn serve_reports_throughput_and_single_search() {
+    let p = demo_path("serve");
+    let out = bin()
+        .arg("serve")
+        .arg(&p)
+        .args([
+            "--requests",
+            "16",
+            "--concurrency",
+            "2",
+            "--max-batch",
+            "4",
+            "--batch-window-ms",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("16 request(s) from 2 client(s)"), "{text}");
+    assert!(text.contains("plan cache"), "{text}");
+    assert!(
+        text.contains("strategy search ran exactly once"),
+        "the plan-hit guarantee must be verified and reported:\n{text}"
+    );
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn run_batch_replicates_frames_bit_identically() {
+    let p = demo_path("run_batch");
+    let out = bin()
+        .arg("run")
+        .arg(&p)
+        .args(["--batch", "4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("replicated frames are bit-identical"),
+        "{text}"
+    );
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn serve_flags_are_scoped_to_their_commands() {
+    let p = demo_path("serve_misuse");
+    // Serve knobs on a one-shot command.
+    let out = bin()
+        .arg("run")
+        .arg(&p)
+        .args(["--max-batch", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-batch"));
+
+    // --batch outside `run`.
+    let out = bin()
+        .arg("info")
+        .arg(&p)
+        .args(["--batch", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // --batch 0 is meaningless.
+    let out = bin()
+        .arg("run")
+        .arg(&p)
+        .args(["--batch", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(p);
+}

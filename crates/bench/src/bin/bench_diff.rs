@@ -10,11 +10,13 @@
 //! ```
 //!
 //! Direction-aware rules (see `winofuse_bench::diff`): `median_*_ms`
-//! may rise at most N%, `gflops_*` / `speedup_*` may fall at most N%,
-//! and deterministic quantities (`latency_cycles`, `dram_bytes`,
-//! `groups`, `plans_computed`, `menu_dominated`, `dram_reconciled`)
-//! must match exactly. Missing cases or metrics fail too. Exit status:
-//! 0 clean (or `--warn-only`), 1 regressed, 2 usage error.
+//! (including the sparse regime's `median_sparse_*_ms`) may rise at
+//! most N%, `gflops_*` / `speedup_*` (including `gflops_sparse_*` and
+//! `speedup_sparse_vs_dense`) may fall at most N%, and deterministic
+//! quantities (`latency_cycles`, `dram_bytes`, `groups`,
+//! `plans_computed`, `menu_dominated`, `dram_reconciled`) must match
+//! exactly. Missing cases or metrics fail too. Exit status: 0 clean
+//! (or `--warn-only`), 1 regressed, 2 usage error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

@@ -50,9 +50,8 @@ fn main() {
     let mut results = Vec::new();
     for m in [2usize, 3, 4, 6] {
         let policy = AlgoPolicy {
-            conventional: true,
-            winograd: true,
             winograd_m: m,
+            ..AlgoPolicy::default()
         };
         let fw = Framework::new(device.clone()).with_policy(policy);
         let d = fw.optimize(&net, 2 * MB).expect("feasible");

@@ -1,6 +1,6 @@
 //! **Convolution benchmark** — throughput of the fast execution backends
-//! (batched Winograd-as-GEMM, blocked im2col+GEMM) against the naive
-//! reference kernels, serial and threaded.
+//! (batched Winograd-as-GEMM, blocked im2col+GEMM, and sparse Winograd
+//! CSR GEMM) against the naive reference kernels, serial and threaded.
 //!
 //! Three layers spanning the paper's workload spectrum: VGG-E `conv3_1`
 //! (many tiles, mid channels), VGG-E `conv5_1` (few tiles, deep
@@ -20,9 +20,14 @@
 
 use winofuse_bench::{banner, BenchCase, BenchReport, LatencySamples};
 use winofuse_conv::cook_toom::f43;
+use winofuse_conv::sparse::SparseFilters;
 use winofuse_conv::tensor::{random_tensor, Tensor};
 use winofuse_conv::winograd::{self, BatchedFilters};
 use winofuse_conv::{direct, ConvGeometry};
+
+/// Transform-domain density of the sparse regime, matching the CLI's
+/// `--exec-algo sparse` default.
+const SPARSE_DENSITY_PM: u16 = 250;
 
 struct Case {
     name: &'static str,
@@ -107,6 +112,8 @@ struct Measurement {
     naive_ms: f64,
     serial_ms: f64,
     parallel_ms: f64,
+    /// Sparse-Winograd regime (serial, parallel), 3×3 stride-1 cases only.
+    sparse_ms: Option<(f64, f64)>,
 }
 
 /// Applies `conv` group by group, concatenating the per-group outputs —
@@ -185,10 +192,48 @@ fn run_case(case: &Case, threads: usize, runs: usize) -> Measurement {
         case.name
     );
 
+    // Sparse Winograd regime: same layers, transform domain pruned to
+    // SPARSE_DENSITY_PM. Filter pruning runs inside the timed closure,
+    // mirroring the dense path's in-loop filter transform.
+    let sparse_ms = case.winograd.then(|| {
+        let sparse = |threads: usize| {
+            median_ms(runs, || {
+                grouped(&x, &kernels, case, |xs, ks| {
+                    let bank = SparseFilters::new(ks, &transform, SPARSE_DENSITY_PM)
+                        .expect("sparse pruning");
+                    winograd::conv2d_batched_sparse(xs, &bank, geom, &transform, threads, None)
+                        .expect("sparse winograd")
+                })
+            })
+        };
+        let (sparse_serial_ms, sparse_serial_out) = sparse(1);
+        let (sparse_parallel_ms, sparse_parallel_out) = sparse(threads);
+        // Thread invariance holds at pruned density too.
+        assert_eq!(
+            sparse_serial_out, sparse_parallel_out,
+            "{}: thread count changed the sparse result",
+            case.name
+        );
+        // At density 1000 nothing is pruned: the CSR path must be
+        // bit-identical to the dense batched Winograd output.
+        let full = grouped(&x, &kernels, case, |xs, ks| {
+            let bank = SparseFilters::new(ks, &transform, 1000).expect("sparse pruning");
+            winograd::conv2d_batched_sparse(xs, &bank, geom, &transform, 1, None)
+                .expect("sparse winograd")
+        });
+        assert_eq!(
+            full, serial_out,
+            "{}: full-density sparse diverged from dense",
+            case.name
+        );
+        (sparse_serial_ms, sparse_parallel_ms)
+    });
+
     Measurement {
         naive_ms,
         serial_ms,
         parallel_ms,
+        sparse_ms,
     }
 }
 
@@ -218,19 +263,31 @@ fn main() {
             g_parallel,
             m.serial_ms / m.parallel_ms,
         );
-        report.case(
-            case.name,
-            BenchCase::default()
-                .text("algo", if case.winograd { "winograd" } else { "direct" })
-                .float("median_naive_ms", m.naive_ms)
-                .float("median_serial_ms", m.serial_ms)
-                .float("median_parallel_ms", m.parallel_ms)
-                .float("gflops_naive", g_naive)
-                .float("gflops_serial", g_serial)
-                .float("gflops_parallel", g_parallel)
-                .float("speedup_serial_vs_naive", m.naive_ms / m.serial_ms)
-                .float("speedup_parallel_vs_serial", m.serial_ms / m.parallel_ms),
-        );
+        let mut bench_case = BenchCase::default()
+            .text("algo", if case.winograd { "winograd" } else { "direct" })
+            .float("median_naive_ms", m.naive_ms)
+            .float("median_serial_ms", m.serial_ms)
+            .float("median_parallel_ms", m.parallel_ms)
+            .float("gflops_naive", g_naive)
+            .float("gflops_serial", g_serial)
+            .float("gflops_parallel", g_parallel)
+            .float("speedup_serial_vs_naive", m.naive_ms / m.serial_ms)
+            .float("speedup_parallel_vs_serial", m.serial_ms / m.parallel_ms);
+        if let Some((sparse_serial_ms, sparse_parallel_ms)) = m.sparse_ms {
+            let (g_ss, g_sp) = (gf / sparse_serial_ms, gf / sparse_parallel_ms);
+            println!(
+                "{:<16} sparse {}‰: serial {:7.2} GF/s | {} threads {:7.2} GF/s | {:4.2}x vs dense serial",
+                "", SPARSE_DENSITY_PM, g_ss, threads, g_sp, m.serial_ms / sparse_serial_ms,
+            );
+            bench_case = bench_case
+                .float("sparse_density_pm", SPARSE_DENSITY_PM as f64)
+                .float("median_sparse_serial_ms", sparse_serial_ms)
+                .float("median_sparse_parallel_ms", sparse_parallel_ms)
+                .float("gflops_sparse_serial", g_ss)
+                .float("gflops_sparse_parallel", g_sp)
+                .float("speedup_sparse_vs_dense", m.serial_ms / sparse_serial_ms);
+        }
+        report.case(case.name, bench_case);
     }
     let path = report.write().expect("write BENCH_conv.json");
     println!("wrote {}", path.display());

@@ -397,6 +397,30 @@ mod tests {
     }
 
     #[test]
+    fn sparse_metrics_are_direction_judged() {
+        // The sparse Winograd regime's metrics ride the generic prefix
+        // rules; pin them so a rename doesn't silently demote them to
+        // informational.
+        assert_eq!(
+            direction_for("median_sparse_serial_ms"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_for("gflops_sparse_serial"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("gflops_sparse_parallel"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("speedup_sparse_vs_dense"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction_for("sparse_density_pm"), Direction::Informational);
+    }
+
+    #[test]
     fn serve_metrics_are_direction_judged() {
         assert_eq!(direction_for("p99_request_ms"), Direction::LowerIsBetter);
         assert_eq!(direction_for("p50_batched_ms"), Direction::LowerIsBetter);

@@ -50,7 +50,8 @@ pub fn render_group_top(group_index: usize, plan: &GroupPlan) -> Result<String, 
                 c.kernel,
                 c.kernel
             )),
-            (LayerKind::Conv(c), Algorithm::Winograd { m }) => {
+            (LayerKind::Conv(c), Algorithm::Winograd { m })
+            | (LayerKind::Conv(c), Algorithm::SparseWinograd { m, .. }) => {
                 let alpha = m + c.kernel - 1;
                 Some(format!(
                     "const data_t {}_wt[{}][{}][{alpha}][{alpha}]",
@@ -103,7 +104,8 @@ pub fn render_group_top(group_index: usize, plan: &GroupPlan) -> Result<String, 
         };
         let weights = match (&cfg.layer.kind, cfg.engine.algorithm) {
             (LayerKind::Conv(_), Algorithm::Conventional) => format!(", {name}_w"),
-            (LayerKind::Conv(_), Algorithm::Winograd { .. }) => format!(", {name}_wt"),
+            (LayerKind::Conv(_), Algorithm::Winograd { .. })
+            | (LayerKind::Conv(_), Algorithm::SparseWinograd { .. }) => format!(", {name}_wt"),
             _ => String::new(),
         };
         let _ = writeln!(s, "    {name}({input}, {output}{weights});");
@@ -155,7 +157,7 @@ mod tests {
                     Algorithm::Conventional => {
                         assert!(code.contains(&format!("{name}_w[")), "{name} weights")
                     }
-                    Algorithm::Winograd { .. } => {
+                    Algorithm::Winograd { .. } | Algorithm::SparseWinograd { .. } => {
                         assert!(code.contains(&format!("{name}_wt[")), "{name} t-weights")
                     }
                 }

@@ -9,7 +9,9 @@
 //! * [`fft`] — convolution by the convolution theorem,
 //! * [`winograd`] — Winograd minimal-filtering convolution `F(m×m, r×r)`,
 //!   with transform matrices generated for arbitrary `(m, r)` by the
-//!   Cook–Toom construction in [`cook_toom`].
+//!   Cook–Toom construction in [`cook_toom`],
+//! * [`sparse`] — sparse Winograd: transform-domain pruned CSR filter
+//!   banks and the CSR-panel GEMM the batched path dispatches to.
 //!
 //! Supporting pieces: a 4-D NCHW [`tensor::Tensor`], a saturating 16-bit
 //! fixed-point type [`fixed::Fix16`] matching the paper's data type, exact
@@ -43,6 +45,7 @@ pub mod matrix;
 pub mod microkernel;
 pub mod ops;
 pub mod rational;
+pub mod sparse;
 pub mod tensor;
 pub mod winograd;
 

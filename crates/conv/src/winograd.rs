@@ -10,6 +10,7 @@ use crate::cook_toom::{f43, WinogradTransform};
 use crate::gemm::{BOperand, ConvPhase, ConvStats, GemmBlocking, GemmScratch, PackedA};
 use crate::matrix::Mat;
 use crate::microkernel::KernelChoice;
+use crate::sparse::{sparse_gemm, SparseFilters, SparseKernelChoice};
 use crate::tensor::Tensor;
 use crate::{ConvError, ConvGeometry};
 use std::time::Instant;
@@ -465,11 +466,65 @@ pub fn conv2d_batched_traced(
     )
 }
 
+/// The filter bank a batched run draws its per-transform-point GEMM `A`
+/// operand from: the dense pre-packed planes, or the pruned CSR planes of
+/// a sparse-Winograd layer. Both produce one GEMM-shaped product per
+/// transform point over the same scatter/gather pipeline, so the two
+/// paths share every schedule.
+#[derive(Clone, Copy)]
+enum BankRef<'a> {
+    Dense(&'a BatchedFilters),
+    Sparse(&'a SparseFilters),
+}
+
+impl BankRef<'_> {
+    /// Runs the transform point `uv`'s GEMM `C[out_c × n] = A_uv · B`
+    /// into `c`, dense or sparse. Accumulation association is identical
+    /// across the two arms (same `KC` blocking), so a density-1000
+    /// sparse bank is bit-identical to its dense counterpart.
+    fn gemm_plane(
+        &self,
+        scratch: &mut GemmScratch,
+        uv: usize,
+        n: usize,
+        b: BOperand<'_>,
+        c: &mut [f32],
+        timed: bool,
+        stats: Option<&ConvStats>,
+    ) {
+        match self {
+            BankRef::Dense(f) => {
+                let outcome =
+                    crate::gemm::gemm_f32_prepacked(scratch, f.packed_plane(uv), n, b, c, timed);
+                if let Some(s) = stats {
+                    s.add_gemm(1, outcome.bytes_packed);
+                    s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
+                }
+            }
+            BankRef::Sparse(f) => {
+                sparse_gemm(
+                    SparseKernelChoice::Scalar,
+                    f.plane(uv),
+                    f.in_c(),
+                    n,
+                    b,
+                    c,
+                    GemmBlocking::default(),
+                );
+                if let Some(s) = stats {
+                    // No panel packing on the CSR path.
+                    s.add_gemm(1, 0);
+                }
+            }
+        }
+    }
+}
+
 /// Shape-derived state shared by both schedules, resolved once after
 /// validation.
 struct WinoCtx<'a> {
     input: &'a Tensor<f32>,
-    filters: &'a BatchedFilters,
+    bank: BankRef<'a>,
     threads: usize,
     kernel: KernelChoice,
     timed: bool,
@@ -502,11 +557,16 @@ fn add_phase_totals(cx: &WinoCtx<'_>, s: &ConvStats) {
     let scatter_flops = (cx.p_total * cx.in_c) as u64 * 4 * (alpha * alpha * alpha) as u64;
     let scatter_bytes = 8 * (cx.p_total * aa * cx.in_c) as u64;
     s.add_phase(ConvPhase::Scatter, scatter_flops, scatter_bytes);
-    // GEMM: 2·N·C·P multiply-adds per transform point; each operand read
-    // once and the transform-domain product written once.
-    let gemm_flops = 2 * (aa * cx.out_c * cx.in_c * cx.p_total) as u64;
+    // GEMM: 2·N·C·P multiply-adds per transform point (dense), or
+    // 2·nnz·P for the pruned CSR planes; each operand read once and the
+    // transform-domain product written once.
+    let a_elems = match cx.bank {
+        BankRef::Dense(_) => (aa * cx.out_c * cx.in_c) as u64,
+        BankRef::Sparse(f) => f.nnz_total(),
+    };
+    let gemm_flops = 2 * a_elems * cx.p_total as u64;
     let gemm_bytes =
-        4 * (aa * (cx.out_c * cx.in_c + cx.in_c * cx.p_total + cx.out_c * cx.p_total)) as u64;
+        4 * (a_elems + (aa * (cx.in_c * cx.p_total + cx.out_c * cx.p_total)) as u64);
     s.add_phase(ConvPhase::Gemm, gemm_flops, gemm_bytes);
     // Gather, per (output channel, tile): Aᵀ·M (m×α·α×α) then ·A (m×α·α×m);
     // transform-domain elements read + output elements written.
@@ -565,6 +625,122 @@ pub fn conv2d_batched_ext(
         });
     }
 
+    run_batched(
+        BankRef::Dense(filters),
+        filters.out_c,
+        input,
+        geom,
+        transform,
+        threads,
+        stats,
+        prof,
+        opts,
+    )
+}
+
+/// [`conv2d_batched_ext`] for a *sparse* (transform-domain pruned) filter
+/// bank: identical scatter and gather, with each transform point's GEMM
+/// running the CSR-panel kernel over the pruned plane. At density 1000
+/// the output is bit-identical to [`conv2d_batched_ext`] on the dense
+/// bank of the same kernels; at lower densities it approximates the
+/// dense convolution with the pruning error of the retained
+/// coefficients.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_batched`].
+#[allow(clippy::too_many_arguments)] // mirrors the dense batched entry
+pub fn conv2d_batched_sparse_ext(
+    input: &Tensor<f32>,
+    filters: &SparseFilters,
+    geom: ConvGeometry,
+    transform: &WinogradTransform,
+    threads: usize,
+    stats: Option<&ConvStats>,
+    prof: &PoolProfiler,
+    opts: BatchedOptions,
+) -> Result<Tensor<f32>, ConvError> {
+    if geom.stride() != 1 {
+        return Err(ConvError::StrideUnsupported {
+            stride: geom.stride(),
+        });
+    }
+    if filters.m() != transform.m() || filters.r() != transform.r() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("filter bank for F({},{})", transform.m(), transform.r()),
+            found: format!("bank for F({},{})", filters.m(), filters.r()),
+        });
+    }
+    if geom.kernel() != transform.r() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("kernel size {} for this transform", transform.r()),
+            found: format!("{}", geom.kernel()),
+        });
+    }
+    if input.h() != geom.height() || input.w() != geom.width() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("input {}x{}", geom.height(), geom.width()),
+            found: format!("{}x{}", input.h(), input.w()),
+        });
+    }
+    if filters.in_c() != input.c() {
+        return Err(ConvError::ShapeMismatch {
+            expected: format!("{} input channels", filters.in_c()),
+            found: format!("{}", input.c()),
+        });
+    }
+    run_batched(
+        BankRef::Sparse(filters),
+        filters.out_c(),
+        input,
+        geom,
+        transform,
+        threads,
+        stats,
+        prof,
+        opts,
+    )
+}
+
+/// [`conv2d_batched_sparse_ext`] with default options and no tracing.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_batched_sparse_ext`].
+pub fn conv2d_batched_sparse(
+    input: &Tensor<f32>,
+    filters: &SparseFilters,
+    geom: ConvGeometry,
+    transform: &WinogradTransform,
+    threads: usize,
+    stats: Option<&ConvStats>,
+) -> Result<Tensor<f32>, ConvError> {
+    conv2d_batched_sparse_ext(
+        input,
+        filters,
+        geom,
+        transform,
+        threads,
+        stats,
+        &PoolProfiler::disabled(),
+        BatchedOptions::default(),
+    )
+}
+
+/// Shared post-validation core of the dense and sparse batched paths:
+/// resolves the schedule on shape alone and dispatches.
+#[allow(clippy::too_many_arguments)]
+fn run_batched(
+    bank: BankRef<'_>,
+    out_c: usize,
+    input: &Tensor<f32>,
+    geom: ConvGeometry,
+    transform: &WinogradTransform,
+    threads: usize,
+    stats: Option<&ConvStats>,
+    prof: &PoolProfiler,
+    opts: BatchedOptions,
+) -> Result<Tensor<f32>, ConvError> {
     let m = transform.m();
     let alpha = transform.alpha();
     let (batch, in_c, _, _) = input.shape();
@@ -574,7 +750,7 @@ pub fn conv2d_batched_ext(
     let tiles_per_img = tiles_h * tiles_w;
     let cx = WinoCtx {
         input,
-        filters,
+        bank,
         threads: winofuse_runtime::resolve_threads(threads),
         kernel: opts.kernel.unwrap_or_else(KernelChoice::auto),
         timed: stats.is_some(),
@@ -587,7 +763,7 @@ pub fn conv2d_batched_ext(
         a: transform.a_t_f32().transpose().as_slice().to_vec(),
         batch,
         in_c,
-        out_c: filters.out_c,
+        out_c,
         oh,
         ow,
         pad: geom.pad() as isize,
@@ -692,18 +868,8 @@ fn run_transform_point(
                 // B operand: V_uv is [in_c × p_total] with element (c, p)
                 // at V[p·α²·in_c + uv·in_c + c].
                 let b_op = BOperand::strided(&v_ref[uv * in_c..], 1, aa * in_c);
-                let outcome = crate::gemm::gemm_f32_prepacked(
-                    scratch,
-                    cx.filters.packed_plane(uv),
-                    p_total,
-                    b_op,
-                    slice,
-                    cx.timed,
-                );
-                if let Some(s) = stats {
-                    s.add_gemm(1, outcome.bytes_packed);
-                    s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
-                }
+                cx.bank
+                    .gemm_plane(scratch, uv, p_total, b_op, slice, cx.timed, stats);
             },
         )?;
         if let (Some(s), Some(t0)) = (stats, t_phase) {
@@ -811,7 +977,7 @@ fn run_tile_block(
     let (batch, in_c, out_c) = (cx.batch, cx.in_c, cx.out_c);
     let (oh, ow, pad) = (cx.oh, cx.ow, cx.pad);
     let (tiles_w, tiles_per_img) = (cx.tiles_w, cx.tiles_per_img);
-    let (input, filters, threads, timed) = (cx.input, cx.filters, cx.threads, cx.timed);
+    let (input, threads, timed) = (cx.input, cx.threads, cx.timed);
     let tb = WINO_TILE_BLOCK;
     let blocks_per_img = tiles_per_img.div_ceil(tb);
     let n_jobs = batch * blocks_per_img;
@@ -894,21 +1060,18 @@ fn run_tile_block(
             }
             let t_scattered = stats.map(|_| Instant::now());
 
-            // α² prepacked GEMMs over this block's tiles only.
+            // α² prepacked (or CSR) GEMMs over this block's tiles only.
             for uv in 0..aa {
                 let b_op = BOperand::row_major(&v[uv * in_c * nt..(uv + 1) * in_c * nt], nt);
-                let outcome = crate::gemm::gemm_f32_prepacked(
+                cx.bank.gemm_plane(
                     gemm,
-                    filters.packed_plane(uv),
+                    uv,
                     nt,
                     b_op,
                     &mut mbuf[uv * out_c * nt..(uv + 1) * out_c * nt],
                     timed,
+                    stats,
                 );
-                if let Some(s) = stats {
-                    s.add_gemm(1, outcome.bytes_packed);
-                    s.add_gemm_split(outcome.pack_ns, outcome.kernel_ns);
-                }
             }
             let t_gemmed = stats.map(|_| Instant::now());
 

@@ -50,6 +50,15 @@ pub struct AlgoPolicy {
     pub winograd: bool,
     /// Winograd output tile side (the paper uses 4).
     pub winograd_m: usize,
+    /// Allow sparse Winograd (transform-domain pruned filters). Off by
+    /// default and off in [`AlgoPolicy::heterogeneous`]: a sparse layer
+    /// computes with *pruned* coefficients, so enabling it is a
+    /// numerical-accuracy decision the caller must opt into, not a pure
+    /// performance knob the optimizer may flip on its own.
+    pub sparse: bool,
+    /// Transform-domain coefficient density for sparse layers, in per
+    /// mille of `out_c·in_c` kept per transform point (1..=1000).
+    pub sparse_density_pm: u16,
 }
 
 impl Default for AlgoPolicy {
@@ -58,12 +67,15 @@ impl Default for AlgoPolicy {
             conventional: true,
             winograd: true,
             winograd_m: 4,
+            sparse: false,
+            sparse_density_pm: 1000,
         }
     }
 }
 
 impl AlgoPolicy {
-    /// Heterogeneous exploration (the paper's framework).
+    /// Heterogeneous exploration (the paper's framework): conventional
+    /// vs dense Winograd. Sparse stays off — see [`AlgoPolicy::sparse`].
     pub fn heterogeneous() -> Self {
         Self::default()
     }
@@ -73,7 +85,7 @@ impl AlgoPolicy {
         AlgoPolicy {
             conventional: true,
             winograd: false,
-            winograd_m: 4,
+            ..Self::default()
         }
     }
 
@@ -83,7 +95,28 @@ impl AlgoPolicy {
         AlgoPolicy {
             conventional: false,
             winograd: true,
-            winograd_m: 4,
+            ..Self::default()
+        }
+    }
+
+    /// The full three-entry menu: conventional, dense Winograd, and
+    /// sparse Winograd pruned to `density_pm` per mille of transformed
+    /// coefficients. The caller asserts the model tolerates pruning at
+    /// that density (e.g. after retraining).
+    pub fn heterogeneous_sparse(density_pm: u16) -> Self {
+        AlgoPolicy {
+            sparse: true,
+            sparse_density_pm: density_pm,
+            ..Self::default()
+        }
+    }
+
+    /// This policy with sparse Winograd added at `density_pm`.
+    pub fn with_sparse(self, density_pm: u16) -> Self {
+        AlgoPolicy {
+            sparse: true,
+            sparse_density_pm: density_pm,
+            ..self
         }
     }
 }
@@ -454,6 +487,19 @@ impl<'a> GroupPlanner<'a> {
             if policy.winograd && layer.winograd_eligible() {
                 algos.push(Algorithm::Winograd {
                     m: policy.winograd_m,
+                });
+            }
+            // Sparse shares Winograd's eligibility (stride-1 transform
+            // tiles); it gets its *own* menu below, so dominance pruning
+            // still compares like with like — the rule's soundness proof
+            // ("substitute b for a, group stays feasible and no slower")
+            // needs the substitution to preserve the layer's numerics,
+            // which holds within one algorithm but not across the
+            // dense/sparse boundary.
+            if policy.sparse && layer.winograd_eligible() {
+                algos.push(Algorithm::SparseWinograd {
+                    m: policy.winograd_m,
+                    density_pm: policy.sparse_density_pm,
                 });
             }
             if policy.conventional || algos.is_empty() {
@@ -884,6 +930,55 @@ mod tests {
     }
 
     #[test]
+    fn sparse_policy_selects_sparse_winograd_somewhere_on_vgg() {
+        let net = zoo::vgg_e_fused_prefix();
+        let dev = FpgaDevice::zc706();
+        let plan = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous_sparse(250))
+            .unwrap()
+            .plan(0..net.len())
+            .unwrap();
+        let sparse = plan
+            .configs
+            .iter()
+            .filter(|c| matches!(c.engine.algorithm, Algorithm::SparseWinograd { .. }))
+            .count();
+        assert!(
+            sparse > 0,
+            "expected at least one sparse-winograd layer in the pruned VGG prefix"
+        );
+        assert!(plan.timing.resources.fits_within(dev.resources()));
+        // The pruned menu can only help: the optimum is no slower than
+        // the dense heterogeneous one.
+        let dense = GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous())
+            .unwrap()
+            .plan(0..net.len())
+            .unwrap();
+        assert!(
+            plan.latency() <= dense.latency(),
+            "sparse {} vs dense {}",
+            plan.latency(),
+            dense.latency()
+        );
+    }
+
+    #[test]
+    fn sparse_policy_dominance_pruning_preserves_optimal_latency() {
+        let dev = FpgaDevice::zc706();
+        let net = zoo::small_test_net();
+        let mut pruned =
+            GroupPlanner::new(&net, &dev, AlgoPolicy::heterogeneous_sparse(250)).unwrap();
+        let mut full =
+            GroupPlanner::new_unpruned(&net, &dev, AlgoPolicy::heterogeneous_sparse(250)).unwrap();
+        for end in 1..=net.len() {
+            assert_eq!(
+                pruned.plan(0..end).as_ref().map(GroupPlan::latency),
+                full.plan(0..end).as_ref().map(GroupPlan::latency),
+                "range 0..{end}: three-menu dominance pruning must not change the optimum"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_ranges_rejected() {
         let net = zoo::vgg_e().conv_body().unwrap();
         let dev = FpgaDevice::zc706();
@@ -970,6 +1065,7 @@ mod tests {
             AlgoPolicy::heterogeneous(),
             AlgoPolicy::conventional_only(),
             AlgoPolicy::winograd_preferred(),
+            AlgoPolicy::heterogeneous_sparse(250),
         ] {
             let mut serial = GroupPlanner::new(&net, &dev, policy).unwrap();
             let split = GroupPlanner::new(&net, &dev, policy).unwrap();

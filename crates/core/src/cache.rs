@@ -19,7 +19,7 @@
 //! fails counter-pinned tests rather than just running slow.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use winofuse_fusion::runner::FusedNetworkRunner;
 use winofuse_model::network::Network;
@@ -107,9 +107,17 @@ impl PlanCache {
         }
     }
 
+    /// Locks the registry, recovering from poisoning. A build closure
+    /// that panics (killing its serve worker) must not condemn every
+    /// later lookup: the map is only written by a single `insert` after
+    /// a successful build, so a mid-build panic leaves it consistent.
+    fn lock_entries(&self) -> MutexGuard<'_, HashMap<PlanKey, Arc<PlanEntry>>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Number of cached configurations.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.lock_entries().len()
     }
 
     /// Whether the cache holds no entries.
@@ -138,7 +146,7 @@ impl PlanCache {
         key: &PlanKey,
         build: impl FnOnce() -> Result<PlanEntry, CoreError>,
     ) -> Result<Arc<PlanEntry>, CoreError> {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.lock_entries();
         if let Some(entry) = entries.get(key) {
             self.telemetry.counter("serve.plan_hits").incr();
             return Ok(Arc::clone(entry));

@@ -120,7 +120,10 @@ impl Strategy {
         &self.groups
     }
 
-    /// Number of layers implemented with the Winograd algorithm.
+    /// Number of layers implemented with the (dense) Winograd algorithm.
+    /// Sparse-Winograd layers count separately — see
+    /// [`Strategy::sparse_winograd_layer_count`]; lumping them here would
+    /// silently misreport the menu split in three-way plans.
     pub fn winograd_layer_count(&self) -> usize {
         self.layers
             .iter()
@@ -128,11 +131,22 @@ impl Strategy {
             .count()
     }
 
+    /// Number of layers implemented with the sparse Winograd algorithm.
+    pub fn sparse_winograd_layer_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l.algorithm, Algorithm::SparseWinograd { .. }))
+            .count()
+    }
+
     /// Whether the strategy mixes algorithms (the heterogeneity the paper
-    /// is named for).
+    /// is named for): more than one distinct algorithm *kind* appears
+    /// across the layers. With the menu now three entries deep, the old
+    /// "some-but-not-all Winograd" test would miss a conventional+sparse
+    /// mix entirely.
     pub fn is_heterogeneous(&self) -> bool {
-        let w = self.winograd_layer_count();
-        w > 0 && w < self.layers.len()
+        let first = self.layers[0].algorithm.tag();
+        self.layers.iter().any(|l| l.algorithm.tag() != first)
     }
 }
 
@@ -209,6 +223,20 @@ mod tests {
         let pairs = vec![(Algorithm::winograd_f43(), 1); 2];
         let s = Strategy::from_groups(&[0..2], &pairs).unwrap();
         assert!(!s.is_heterogeneous());
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // single-group tilings are the point
+    fn sparse_layers_count_separately_and_mix_is_heterogeneous() {
+        let pairs = vec![(Algorithm::Conventional, 1), (Algorithm::sparse_f43(250), 1)];
+        let s = Strategy::from_groups(&[0..2], &pairs).unwrap();
+        assert!(s.is_heterogeneous());
+        assert_eq!(s.winograd_layer_count(), 0);
+        assert_eq!(s.sparse_winograd_layer_count(), 1);
+        let pairs = vec![(Algorithm::sparse_f43(500), 1); 2];
+        let s = Strategy::from_groups(&[0..2], &pairs).unwrap();
+        assert!(!s.is_heterogeneous());
+        assert_eq!(s.sparse_winograd_layer_count(), 2);
     }
 
     #[test]

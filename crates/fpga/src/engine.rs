@@ -44,6 +44,17 @@ pub enum Algorithm {
         /// Output tile side.
         m: usize,
     },
+    /// Winograd minimal filtering over *pruned* transformed-domain weights
+    /// (sparse Winograd, 1810.01973): only the top-magnitude fraction of
+    /// the α² coefficient planes is kept, streamed as CSR panels, and the
+    /// element-wise multiply stage skips the zeros.
+    SparseWinograd {
+        /// Output tile side.
+        m: usize,
+        /// Retained coefficient density in per-mille (1..=1000); 1000 is
+        /// the dense Winograd bank, 250 keeps the top quarter.
+        density_pm: u16,
+    },
 }
 
 impl Algorithm {
@@ -52,8 +63,15 @@ impl Algorithm {
         Algorithm::Winograd { m: 4 }
     }
 
-    /// Multiplications per 2-D tile for kernel size `r` (`α²`), or `None`
-    /// for the conventional algorithm.
+    /// Sparse Winograd at `F(4×4, r×r)` with the given retained density
+    /// (per-mille).
+    pub fn sparse_f43(density_pm: u16) -> Self {
+        Algorithm::SparseWinograd { m: 4, density_pm }
+    }
+
+    /// Multiplications per 2-D tile for kernel size `r` (`α²`, scaled by
+    /// the retained density for sparse Winograd), or `None` for the
+    /// conventional algorithm.
     pub fn tile_multiplies(&self, r: usize) -> Option<u64> {
         match self {
             Algorithm::Conventional => None,
@@ -61,14 +79,20 @@ impl Algorithm {
                 let alpha = (m + r - 1) as u64;
                 Some(alpha * alpha)
             }
+            Algorithm::SparseWinograd { m, density_pm } => {
+                let alpha = (m + r - 1) as u64;
+                Some(sparse_nnz(alpha * alpha, *density_pm))
+            }
         }
     }
 
-    /// Short lowercase tag for reports ("conventional" / "winograd").
+    /// Short lowercase tag for reports ("conventional" / "winograd" /
+    /// "sparse").
     pub fn tag(&self) -> &'static str {
         match self {
             Algorithm::Conventional => "conventional",
             Algorithm::Winograd { .. } => "winograd",
+            Algorithm::SparseWinograd { .. } => "sparse",
         }
     }
 }
@@ -78,8 +102,44 @@ impl std::fmt::Display for Algorithm {
         match self {
             Algorithm::Conventional => write!(f, "conventional"),
             Algorithm::Winograd { m } => write!(f, "winograd(m={m})"),
+            Algorithm::SparseWinograd { m, density_pm } => {
+                write!(
+                    f,
+                    "sparse-winograd(m={m}, density={:.3})",
+                    *density_pm as f64 / 1000.0
+                )
+            }
         }
     }
+}
+
+// --- sparse coefficient-stream accounting ----------------------------------
+//
+// The DP's analytic DRAM budget and the fused runner's wire meter must agree
+// *exactly* (strict-mode reconciliation), so the CSR byte accounting lives
+// here as the single shared formula. Layout per transform point `uv` of one
+// filter group: a `ng × cg` coefficient plane stored CSR — one u32 row
+// pointer per output channel plus a terminator, and per retained nonzero a
+// fix16 value (2 bytes) with its u16 input-channel column (2 bytes).
+
+/// Bytes on the wire per retained nonzero: fix16 value + u16 column index.
+pub const SPARSE_NNZ_BYTES: u64 = 4;
+/// Bytes per CSR row-pointer entry (u32).
+pub const SPARSE_ROWPTR_BYTES: u64 = 4;
+
+/// Number of coefficients retained when pruning `coeffs` values at
+/// `density_pm` per-mille density (rounds up, so density 1 on a tiny plane
+/// still keeps one coefficient).
+pub fn sparse_nnz(coeffs: u64, density_pm: u16) -> u64 {
+    (coeffs * density_pm as u64).div_ceil(1000)
+}
+
+/// DRAM bytes of the sparse-Winograd coefficient stream for one filter
+/// group: `α²` CSR planes of `ng × cg` coefficients each, pruned plane-wise
+/// to `density_pm`.
+pub fn sparse_stream_bytes(ng: u64, cg: u64, alpha: u64, density_pm: u16) -> u64 {
+    let nnz = sparse_nnz(ng * cg, density_pm);
+    alpha * alpha * (nnz * SPARSE_NNZ_BYTES + (ng + 1) * SPARSE_ROWPTR_BYTES)
 }
 
 /// An engine configuration: algorithm and hardware parallelism (the number
@@ -119,6 +179,13 @@ const CONV_LUT_PER_LANE: u64 = 210;
 
 const WINO_BASE_FF: u64 = 2_200;
 const WINO_BASE_LUT: u64 = 2_800;
+
+// Sparse Winograd engines carry the dense transform networks *plus* a CSR
+// decode stage per unit (row-pointer walk, column fetch, operand select).
+const SPARSE_BASE_FF: u64 = 2_600;
+const SPARSE_BASE_LUT: u64 = 3_400;
+const SPARSE_DECODE_FF_PER_UNIT: u64 = 320;
+const SPARSE_DECODE_LUT_PER_UNIT: u64 = 410;
 /// LUT cost of one 16-bit adder in a transform network.
 const LUT_PER_ADD: u64 = 18;
 /// FF cost of one pipeline register stage in a transform network.
@@ -278,6 +345,81 @@ pub fn estimate_layer(
                         line_buffer_rows: lb_rows,
                     })
                 }
+                Algorithm::SparseWinograd { m, density_pm } => {
+                    if c.stride != 1 {
+                        return Err(FpgaError::UnsupportedConfig(format!(
+                            "sparse winograd requires stride 1, layer `{}` has stride {}",
+                            layer.name, c.stride
+                        )));
+                    }
+                    if density_pm == 0 || density_pm > 1000 {
+                        return Err(FpgaError::InvalidParameter(format!(
+                            "sparse winograd density must be in 1..=1000 per-mille, got {density_pm}"
+                        )));
+                    }
+                    let transform = WinogradTransform::generate(m, c.kernel).map_err(|e| {
+                        FpgaError::UnsupportedConfig(format!(
+                            "cannot generate F({m},{}): {e}",
+                            c.kernel
+                        ))
+                    })?;
+                    let alpha = transform.alpha() as u64;
+                    let unit_macs = (m as u64 * c.kernel as u64).pow(2);
+                    let tiles_h = output.height.div_ceil(m) as u64;
+                    let tiles_w = output.width.div_ceil(m) as u64;
+                    let cg = c.channels_per_group(input.channels) as u64;
+                    let tile_channel_pairs =
+                        tiles_h * tiles_w * cg * output.channels as u64;
+                    // A sparse unit skips pruned coefficients, so only the
+                    // retained fraction of the dense pair stream costs a
+                    // cycle.
+                    let sparse_pairs = sparse_nnz(tile_channel_pairs, density_pm);
+                    let compute_cycles = sparse_pairs.div_ceil(p);
+
+                    let lb_rows = transform.alpha() + m;
+                    let bram_lb = line_buffer_brams(lb_rows, input, dtype);
+                    // Double-buffered CSR bank for the p output channels in
+                    // flight: per channel, α² rows of `density · cg`
+                    // (value, column) entries plus one row pointer each.
+                    let nnz_row = sparse_nnz(cg, density_pm);
+                    let weight_bytes = 2
+                        * p
+                        * alpha
+                        * alpha
+                        * (nnz_row * SPARSE_NNZ_BYTES + SPARSE_ROWPTR_BYTES);
+                    let bram_w = brams_for_bytes(weight_bytes);
+
+                    let input_adds = 2 * alpha * transform.input_transform_adds() as u64;
+                    let output_adds =
+                        (m as u64 + alpha) * transform.output_transform_adds() as u64;
+                    let adds_per_unit = input_adds + output_adds;
+                    let resources = ResourceVec::new(
+                        bram_lb + bram_w,
+                        alpha * alpha * p,
+                        SPARSE_BASE_FF
+                            + (FF_PER_ADD * adds_per_unit
+                                + 24 * alpha * alpha
+                                + SPARSE_DECODE_FF_PER_UNIT)
+                                * p,
+                        SPARSE_BASE_LUT
+                            + (LUT_PER_ADD * adds_per_unit
+                                + 10 * alpha * alpha
+                                + SPARSE_DECODE_LUT_PER_UNIT)
+                                * p,
+                    );
+                    // Effective MAC throughput: the same useful work retires
+                    // in a `density` fraction of the dense cycles.
+                    let macs_per_cycle = (unit_macs * p * 1000 / density_pm as u64)
+                        .min(total_macs.max(1));
+                    Ok(LayerEstimate {
+                        resources,
+                        compute_cycles,
+                        macs_per_cycle,
+                        input_rows_per_iter: m,
+                        output_rows_per_iter: m,
+                        line_buffer_rows: lb_rows,
+                    })
+                }
             }
         }
         LayerKind::Pool(pp) => {
@@ -359,7 +501,8 @@ pub fn estimate_layer(
 pub fn max_parallelism(layer: &Layer, algorithm: Algorithm) -> usize {
     match (&layer.kind, algorithm) {
         (LayerKind::Conv(c), Algorithm::Conventional) => c.num_output * c.kernel * c.kernel,
-        (LayerKind::Conv(c), Algorithm::Winograd { .. }) => c.num_output,
+        (LayerKind::Conv(c), Algorithm::Winograd { .. })
+        | (LayerKind::Conv(c), Algorithm::SparseWinograd { .. }) => c.num_output,
         (LayerKind::Pool(_), _) | (LayerKind::Lrn(_), _) => 64,
         _ => 16,
     }
@@ -371,7 +514,8 @@ pub fn parallelism_candidates(layer: &Layer, algorithm: Algorithm, device_dsp: u
     let hard_max = max_parallelism(layer, algorithm);
     let dsp_per_unit = match (&layer.kind, algorithm) {
         (LayerKind::Conv(_), Algorithm::Conventional) => 1u64,
-        (LayerKind::Conv(c), Algorithm::Winograd { m }) => {
+        (LayerKind::Conv(c), Algorithm::Winograd { m })
+        | (LayerKind::Conv(c), Algorithm::SparseWinograd { m, .. }) => {
             let alpha = (m + c.kernel - 1) as u64;
             alpha * alpha
         }
@@ -405,6 +549,15 @@ pub fn computational_roof_gops(device: &FpgaDevice, algorithm: Algorithm, kernel
             let alpha = (m + kernel - 1) as u64;
             let units = dsp / (alpha * alpha);
             (units * (m as u64 * kernel as u64).pow(2)) as f64 * 2.0 * clk / 1e9
+        }
+        Algorithm::SparseWinograd { m, density_pm } => {
+            // The dense roof scaled by the kept-coefficient fraction: the
+            // same multiplier array retires the work in `density` of the
+            // cycles.
+            let alpha = (m + kernel - 1) as u64;
+            let units = dsp / (alpha * alpha);
+            (units * (m as u64 * kernel as u64).pow(2)) as f64 * 2.0 * clk / 1e9 * 1000.0
+                / density_pm.max(1) as f64
         }
     }
 }
@@ -653,6 +806,115 @@ mod tests {
         // Close to the paper's exact 4× (floor() loses a little).
         let ratio = wino / conv;
         assert!((3.8..=4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sparse_winograd_scales_cycles_by_density() {
+        let l = conv_layer(64, 3, 1, 1);
+        let input = FmShape::new(64, 56, 56);
+        let dense = estimate_layer(
+            &l,
+            input,
+            &EngineConfig {
+                algorithm: Algorithm::winograd_f43(),
+                parallelism: 4,
+            },
+        )
+        .unwrap();
+        let sparse = estimate_layer(
+            &l,
+            input,
+            &EngineConfig {
+                algorithm: Algorithm::sparse_f43(250),
+                parallelism: 4,
+            },
+        )
+        .unwrap();
+        // Quarter density → quarter of the dense pair stream (rounding
+        // up), still spread over the same p=4 units.
+        assert_eq!(
+            sparse.compute_cycles,
+            sparse_nnz(dense.compute_cycles * 4, 250).div_ceil(4)
+        );
+        assert!(sparse.compute_cycles * 4 <= dense.compute_cycles + 4);
+        // Same multiplier array, so the DSP bill does not shrink...
+        assert_eq!(sparse.resources.dsp, dense.resources.dsp);
+        // ...but the CSR decode stage costs extra fabric.
+        assert!(sparse.resources.ff > dense.resources.ff);
+        assert!(sparse.resources.lut > dense.resources.lut);
+        // The sparse weight bank (values + indices at quarter density) is
+        // no larger than the dense one.
+        assert!(sparse.resources.bram_18k <= dense.resources.bram_18k);
+    }
+
+    #[test]
+    fn sparse_density_1000_matches_dense_cycles() {
+        let l = conv_layer(32, 3, 1, 1);
+        let input = FmShape::new(16, 28, 28);
+        for p in [1, 4, 32] {
+            let dense = estimate_layer(
+                &l,
+                input,
+                &EngineConfig {
+                    algorithm: Algorithm::winograd_f43(),
+                    parallelism: p,
+                },
+            )
+            .unwrap();
+            let sparse = estimate_layer(
+                &l,
+                input,
+                &EngineConfig {
+                    algorithm: Algorithm::sparse_f43(1000),
+                    parallelism: p,
+                },
+            )
+            .unwrap();
+            assert_eq!(sparse.compute_cycles, dense.compute_cycles);
+            assert_eq!(sparse.resources.dsp, dense.resources.dsp);
+        }
+    }
+
+    #[test]
+    fn sparse_rejects_bad_density_and_stride() {
+        let l = conv_layer(16, 3, 1, 1);
+        let input = FmShape::new(8, 16, 16);
+        for bad in [0u16, 1001] {
+            assert!(estimate_layer(
+                &l,
+                input,
+                &EngineConfig {
+                    algorithm: Algorithm::sparse_f43(bad),
+                    parallelism: 1
+                }
+            )
+            .is_err());
+        }
+        let strided = conv_layer(96, 11, 4, 0);
+        assert!(estimate_layer(
+            &strided,
+            FmShape::new(3, 227, 227),
+            &EngineConfig {
+                algorithm: Algorithm::sparse_f43(250),
+                parallelism: 1
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sparse_stream_bytes_formula() {
+        // 4 output channels × 8 input channels at density 250‰ keeps
+        // ceil(32·0.25) = 8 nonzeros per 6×6-transform plane: 36 planes ×
+        // (8·4 + 5·4) bytes.
+        assert_eq!(sparse_nnz(32, 250), 8);
+        assert_eq!(sparse_stream_bytes(4, 8, 6, 250), 36 * (8 * 4 + 5 * 4));
+        // Density 1000 degenerates to all coefficients plus CSR overhead.
+        assert_eq!(sparse_nnz(32, 1000), 32);
+        assert_eq!(
+            sparse_stream_bytes(4, 8, 6, 1000),
+            36 * (32 * 4 + 5 * 4)
+        );
     }
 
     #[test]

@@ -71,22 +71,30 @@ impl LayerConfig {
 }
 
 /// DRAM weight traffic of a layer for one frame. Winograd engines fetch
-/// **transformed** kernels (α² coefficients instead of K²).
+/// **transformed** kernels (α² coefficients instead of K²); sparse
+/// Winograd engines fetch pruned CSR planes (retained coefficients plus
+/// column/row-pointer metadata — see
+/// [`winofuse_fpga::engine::sparse_stream_bytes`]).
 pub fn weight_traffic_bytes(layer: &Layer, input: FmShape, algorithm: Algorithm) -> u64 {
     let dtype = DataType::Fixed16;
     match &layer.kind {
         LayerKind::Conv(c) => {
-            let coeffs_per_pair = match algorithm {
-                Algorithm::Conventional => (c.kernel * c.kernel) as u64,
+            let cg = c.channels_per_group(input.channels) as u64;
+            match algorithm {
+                Algorithm::Conventional => {
+                    c.num_output as u64 * cg * (c.kernel * c.kernel) as u64 * dtype.bytes() as u64
+                }
                 Algorithm::Winograd { m } => {
                     let alpha = (m + c.kernel - 1) as u64;
-                    alpha * alpha
+                    c.num_output as u64 * cg * alpha * alpha * dtype.bytes() as u64
                 }
-            };
-            c.num_output as u64
-                * c.channels_per_group(input.channels) as u64
-                * coeffs_per_pair
-                * dtype.bytes() as u64
+                Algorithm::SparseWinograd { m, density_pm } => {
+                    let alpha = (m + c.kernel - 1) as u64;
+                    let groups = c.groups.max(1) as u64;
+                    let ng = c.num_output as u64 / groups;
+                    groups * winofuse_fpga::engine::sparse_stream_bytes(ng, cg, alpha, density_pm)
+                }
+            }
         }
         _ => 0,
     }

@@ -30,7 +30,8 @@ use winofuse_conv::cook_toom::{f43, WinogradTransform};
 use winofuse_conv::fixed::{saturation_count, Fix16};
 use winofuse_conv::ops::PoolKind;
 use winofuse_conv::tensor::{Scalar, Tensor};
-use winofuse_conv::winograd::BatchedFilters;
+use winofuse_conv::sparse::SparseFilters;
+use winofuse_conv::winograd::{BatchedFilters, BatchedOptions};
 use winofuse_conv::{direct, winograd, ConvGeometry};
 use winofuse_fpga::engine::Algorithm;
 use winofuse_model::layer::{ConvParams, LayerKind, LrnSpec, PoolParams};
@@ -185,6 +186,11 @@ struct ConvStage {
     /// the direct kernels — numerically equivalent — while weight
     /// metering still follows the plan's stream.
     banks: Option<Vec<BatchedFilters>>,
+    /// Pruned CSR per-group banks when the plan chose sparse Winograd on
+    /// a CPU-hosted shape: the fused datapath then computes with the
+    /// *pruned* coefficients, matching what the accelerator's sparse
+    /// array would produce (not the dense forward).
+    sparse_banks: Option<Vec<SparseFilters>>,
     /// DRAM bytes the accelerator streams for this layer's weights per
     /// frame, measured from the actually-prepared banks where possible.
     weight_stream_bytes: u64,
@@ -260,8 +266,18 @@ impl RunnerElement for f32 {
         prof: &PoolProfiler,
         force_direct: bool,
     ) -> Result<Tensor<f32>, FusionError> {
-        Ok(match (&stage.banks, force_direct) {
-            (Some(banks), false) => winograd::conv2d_batched_traced(
+        Ok(match (&stage.sparse_banks, &stage.banks, force_direct) {
+            (Some(banks), _, false) => winograd::conv2d_batched_sparse_ext(
+                strip,
+                &banks[group],
+                geom,
+                transform,
+                threads,
+                None,
+                prof,
+                BatchedOptions::default(),
+            )?,
+            (_, Some(banks), false) => winograd::conv2d_batched_traced(
                 strip,
                 &banks[group],
                 geom,
@@ -385,7 +401,7 @@ impl FusedGroupRunner {
                         cfg.engine.algorithm,
                         &transform,
                     )?;
-                    let strip = if conv.banks.is_some() {
+                    let strip = if conv.banks.is_some() || conv.sparse_banks.is_some() {
                         transform.m() * WINO_STRIP_TILE_ROWS
                     } else {
                         DIRECT_STRIP_ROWS
@@ -1015,7 +1031,20 @@ impl ConvStage {
         // stream — exactly what `NetworkExecutor`'s auto mode runs, so
         // the fused/executor comparison times identical kernels).
         let cpu_hosted = c.kernel == transform.r() && c.stride == 1;
-        let banks = if cpu_hosted {
+        // A sparse-planned layer is the one case where the algorithm
+        // choice changes the *computed values*, not just the metered
+        // stream: the accelerator multiplies by pruned coefficients, so
+        // the fused datapath must too.
+        let sparse_banks = match algorithm {
+            Algorithm::SparseWinograd { density_pm, .. } if cpu_hosted => Some(
+                slices
+                    .iter()
+                    .map(|k| SparseFilters::new(k, transform, density_pm))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            _ => None,
+        };
+        let banks = if cpu_hosted && sparse_banks.is_none() {
             Some(
                 slices
                     .iter()
@@ -1038,6 +1067,19 @@ impl ConvStage {
                 let alpha = (m + c.kernel - 1) as u64;
                 c.num_output as u64 * cg as u64 * alpha * alpha * dtype_bytes
             }
+            Algorithm::SparseWinograd { m, density_pm } => {
+                // Nonzero coefficients plus CSR index metadata, via the
+                // same formula the DP's cost model budgets with — exact
+                // reconciliation depends on both sides sharing it.
+                let alpha = (m + c.kernel - 1) as u64;
+                groups as u64
+                    * winofuse_fpga::engine::sparse_stream_bytes(
+                        ng as u64,
+                        cg as u64,
+                        alpha,
+                        density_pm,
+                    )
+            }
         };
         let kernels_packed = slices.iter().map(direct::PackedKernels::new).collect();
         Ok(ConvStage {
@@ -1045,6 +1087,7 @@ impl ConvStage {
             kernels_packed,
             kernels_fix,
             banks,
+            sparse_banks,
             weight_stream_bytes,
         })
     }
@@ -1425,6 +1468,69 @@ mod tests {
             .sum();
         let wino: u64 = configs.iter().map(|c| c.weight_bytes).sum();
         assert_eq!(wino, raw * 4);
+    }
+
+    #[test]
+    fn sparse_planned_group_reconciles_dram_exactly() {
+        // A sparse-planned group streams pruned coefficients plus CSR
+        // index metadata; the measured bytes must still reconcile
+        // against the DP's analytic budget to the byte in strict mode.
+        let net = Network::builder("sparse", FmShape::new(3, 20, 20))
+            .conv("c0", ConvParams::new(8, 3, 1, 1, true))
+            .conv("c1", ConvParams::new(8, 3, 1, 1, false))
+            .build()
+            .unwrap();
+        let weights = NetworkWeights::random(&net, 91).unwrap();
+        let x = random_tensor(1, 3, 20, 20, 92);
+        let algo = Algorithm::sparse_f43(250);
+        let configs = configs_for(&net, 0..net.len(), algo);
+        let runner = FusedGroupRunner::new(&net, 0, &configs, &weights)
+            .unwrap()
+            .with_fault_mode(FaultMode::Strict);
+        let r = runner.run(&x).unwrap();
+        assert_eq!(r.dram.delta(), 0, "sparse stream must reconcile exactly");
+        // Quarter density: the sparse stream is strictly smaller than
+        // the dense transformed stream despite the index overhead.
+        let dense: u64 = configs_for(&net, 0..net.len(), Algorithm::Winograd { m: 4 })
+            .iter()
+            .map(|c| c.weight_bytes)
+            .sum();
+        let sparse: u64 = configs.iter().map(|c| c.weight_bytes).sum();
+        assert!(sparse < dense, "sparse {sparse} vs dense {dense}");
+        // The computed output is the pruned forward — it must match the
+        // unfused sparse executor, not the dense reference.
+        let exec = winofuse_model::runtime::NetworkExecutor::with_algo(
+            &net,
+            &weights,
+            winofuse_model::runtime::ExecAlgo::Sparse { density_pm: 250 },
+        )
+        .unwrap();
+        let unfused = exec.run(&x).unwrap();
+        assert!(r.output.approx_eq(&unfused, 1e-4));
+    }
+
+    #[test]
+    fn sparse_full_density_group_matches_dense_plan_bits() {
+        let net = Network::builder("sparse1000", FmShape::new(3, 20, 20))
+            .conv("c0", ConvParams::new(8, 3, 1, 1, true))
+            .build()
+            .unwrap();
+        let weights = NetworkWeights::random(&net, 93).unwrap();
+        let x = random_tensor(1, 3, 20, 20, 94);
+        let sparse = configs_for(&net, 0..net.len(), Algorithm::sparse_f43(1000));
+        let dense = configs_for(&net, 0..net.len(), Algorithm::Winograd { m: 4 });
+        let rs = FusedGroupRunner::new(&net, 0, &sparse, &weights)
+            .unwrap()
+            .run(&x)
+            .unwrap();
+        let rd = FusedGroupRunner::new(&net, 0, &dense, &weights)
+            .unwrap()
+            .run(&x)
+            .unwrap();
+        // Density 1000 prunes nothing and the CSR kernel replicates the
+        // dense accumulation order, so the outputs agree bit for bit.
+        assert_eq!(rs.output, rd.output);
+        assert_eq!(rs.dram.delta(), 0);
     }
 
     #[test]

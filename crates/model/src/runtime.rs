@@ -12,7 +12,8 @@ use winofuse_conv::fixed::Fix16;
 use winofuse_conv::gemm::{ConvProfile, ConvStats};
 use winofuse_conv::ops::{self, LrnParams};
 use winofuse_conv::tensor::{random_tensor, Tensor};
-use winofuse_conv::winograd::BatchedFilters;
+use winofuse_conv::sparse::SparseFilters;
+use winofuse_conv::winograd::{BatchedFilters, BatchedOptions};
 use winofuse_conv::{direct, im2col, winograd, ConvGeometry};
 use winofuse_runtime::faults::{describe_panic, FaultInjector, FaultKind, FaultMode};
 use winofuse_runtime::PoolProfiler;
@@ -410,6 +411,15 @@ pub enum ExecAlgo {
     Winograd,
     /// Blocked im2col+GEMM on every convolution.
     Direct,
+    /// Sparse Winograd: transform-domain filters pruned to `density_pm`
+    /// per mille of coefficients on every eligible (3×3, stride-1)
+    /// layer, blocked im2col+GEMM elsewhere. Outputs are an
+    /// *approximation* of the dense forward — the caller asserts the
+    /// model tolerates that density.
+    Sparse {
+        /// Coefficients kept per transform point, in per mille (1..=1000).
+        density_pm: u16,
+    },
 }
 
 /// Per-layer attribution record from [`NetworkExecutor::run_profiled`].
@@ -419,8 +429,8 @@ pub struct LayerProfile {
     pub name: String,
     /// Layer kind tag (`conv`, `pool`, `fc`, ...).
     pub kind: &'static str,
-    /// Algorithm that executed the layer: `winograd`, `direct`, or `-`
-    /// for layers without a convolution backend.
+    /// Algorithm that executed the layer: `winograd`, `sparse`,
+    /// `direct`, or `-` for layers without a convolution backend.
     pub algo: &'static str,
     /// Wall-clock spent executing the layer, in nanoseconds.
     pub wall_ns: u64,
@@ -454,6 +464,9 @@ struct PreparedConv {
     kernels: Vec<Tensor<f32>>,
     /// Pre-transformed per-group Winograd banks; `None` = direct layer.
     banks: Option<Vec<BatchedFilters>>,
+    /// Pruned per-group CSR banks under [`ExecAlgo::Sparse`]; at most
+    /// one of `banks`/`sparse_banks` is populated.
+    sparse_banks: Option<Vec<SparseFilters>>,
 }
 
 enum PreparedLayer {
@@ -511,7 +524,7 @@ impl PreparedNetwork {
                     let wino_capable = c.kernel == transform.r() && c.stride == 1;
                     let use_wino = match algo {
                         ExecAlgo::Auto => wino_capable,
-                        ExecAlgo::Direct => false,
+                        ExecAlgo::Direct | ExecAlgo::Sparse { .. } => false,
                         ExecAlgo::Winograd => {
                             if !wino_capable {
                                 return Err(ModelError::Execution(format!(
@@ -522,6 +535,14 @@ impl PreparedNetwork {
                             }
                             true
                         }
+                    };
+                    // Sparse prunes eligible layers and leaves the rest
+                    // on the direct path — a density preference, not a
+                    // mandate (ineligible shapes have no transform
+                    // domain to prune in).
+                    let use_sparse = match algo {
+                        ExecAlgo::Sparse { .. } => wino_capable,
+                        _ => false,
                     };
                     let groups = group_slices(kernels, c);
                     let banks = if use_wino {
@@ -534,9 +555,19 @@ impl PreparedNetwork {
                     } else {
                         None
                     };
+                    let sparse_banks = match (algo, use_sparse) {
+                        (ExecAlgo::Sparse { density_pm }, true) => Some(
+                            groups
+                                .iter()
+                                .map(|k| SparseFilters::new(k, &transform, density_pm))
+                                .collect::<Result<Vec<_>, _>>()?,
+                        ),
+                        _ => None,
+                    };
                     PreparedLayer::Conv(PreparedConv {
                         kernels: groups,
                         banks,
+                        sparse_banks,
                     })
                 }
                 LayerKind::Fc(_) => {
@@ -779,6 +810,7 @@ impl<'n> NetworkExecutor<'n> {
             let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             drop(span);
             let algo = match &self.prepared.layers[i] {
+                PreparedLayer::Conv(conv) if conv.sparse_banks.is_some() => "sparse",
                 PreparedLayer::Conv(conv) if conv.banks.is_some() => "winograd",
                 PreparedLayer::Conv(_) => "direct",
                 _ => "-",
@@ -940,7 +972,8 @@ impl<'n> NetworkExecutor<'n> {
                     });
                 }
             }
-            self.run_conv(cur, c, conv, stats, in_channels, prof, conv.banks.is_some())
+            let banked = conv.banks.is_some() || conv.sparse_banks.is_some();
+            self.run_conv(cur, c, conv, stats, in_channels, prof, banked)
         }));
         let (reason, class) = match primary {
             Ok(Ok(y)) => return Ok(y),
@@ -957,7 +990,9 @@ impl<'n> NetworkExecutor<'n> {
             Ok(Err(other)) => return Err(other),
             Err(payload) => (describe_panic(payload.as_ref()), "panic"),
         };
-        if self.fault_mode == FaultMode::Lenient && conv.banks.is_some() {
+        if self.fault_mode == FaultMode::Lenient
+            && (conv.banks.is_some() || conv.sparse_banks.is_some())
+        {
             let retry = catch_unwind(AssertUnwindSafe(|| {
                 self.run_conv(cur, c, conv, stats, in_channels, prof, false)
             }));
@@ -1000,8 +1035,18 @@ impl<'n> NetworkExecutor<'n> {
     ) -> Result<Tensor<f32>, ModelError> {
         let geom = ConvGeometry::rect(cur.h(), cur.w(), c.kernel, c.stride, c.pad)?;
         let run_group = |x: &Tensor<f32>, g: usize| -> Result<Tensor<f32>, ModelError> {
-            Ok(match (&conv.banks, use_banks) {
-                (Some(banks), true) => winograd::conv2d_batched_traced(
+            Ok(match (&conv.sparse_banks, &conv.banks, use_banks) {
+                (Some(banks), _, true) => winograd::conv2d_batched_sparse_ext(
+                    x,
+                    &banks[g],
+                    geom,
+                    &self.prepared.transform,
+                    self.threads,
+                    Some(stats),
+                    prof,
+                    BatchedOptions::default(),
+                )?,
+                (_, Some(banks), true) => winograd::conv2d_batched_traced(
                     x,
                     &banks[g],
                     geom,
@@ -1175,6 +1220,66 @@ mod tests {
                 .run_all(&x)
                 .unwrap();
             assert_close(&oracle, &fast, 1e-3);
+        }
+    }
+
+    #[test]
+    fn sparse_executor_at_full_density_matches_auto_exactly() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 41).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 42);
+        let auto = NetworkExecutor::new(&net, &w).unwrap().run_all(&x).unwrap();
+        // Density 1000 prunes nothing, and the CSR kernel replicates the
+        // dense GEMM's accumulation order — bit-identical end to end.
+        let sparse = NetworkExecutor::with_algo(&net, &w, ExecAlgo::Sparse { density_pm: 1000 })
+            .unwrap()
+            .run_all(&x)
+            .unwrap();
+        for (ya, yb) in auto.iter().zip(&sparse) {
+            assert_eq!(ya, yb);
+        }
+    }
+
+    #[test]
+    fn sparse_executor_profiles_layers_as_sparse() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 43).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 44);
+        let exec =
+            NetworkExecutor::with_algo(&net, &w, ExecAlgo::Sparse { density_pm: 500 }).unwrap();
+        let (_, profiles) = exec.run_profiled(&x).unwrap();
+        // conv2/conv3 are 3x3 stride-1 (prunable); conv1 is strided and
+        // stays on the direct path.
+        let algos: Vec<&str> = profiles
+            .iter()
+            .filter(|p| p.kind == "conv")
+            .map(|p| p.algo)
+            .collect();
+        assert!(algos.contains(&"sparse"), "algos {algos:?}");
+        assert!(algos.contains(&"direct"), "algos {algos:?}");
+        assert!(!algos.contains(&"winograd"), "algos {algos:?}");
+    }
+
+    #[test]
+    fn sparse_executor_is_thread_count_invariant() {
+        let net = zoo::small_test_net();
+        let w = NetworkWeights::random(&net, 45).unwrap();
+        let x = random_tensor(1, 3, 32, 32, 46);
+        let algo = ExecAlgo::Sparse { density_pm: 250 };
+        let base = NetworkExecutor::with_algo(&net, &w, algo)
+            .unwrap()
+            .with_threads(1)
+            .run_all(&x)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let got = NetworkExecutor::with_algo(&net, &w, algo)
+                .unwrap()
+                .with_threads(threads)
+                .run_all(&x)
+                .unwrap();
+            for (ya, yb) in base.iter().zip(&got) {
+                assert_eq!(ya, yb, "outputs differ at {threads} threads");
+            }
         }
     }
 

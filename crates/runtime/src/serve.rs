@@ -17,11 +17,19 @@
 //! Plain `Mutex` + `Condvar`, no channels: the queue state is one
 //! `VecDeque` behind one lock, and both blocking operations are standard
 //! condition-variable loops.
+//!
+//! Every lock acquisition recovers from poisoning: the serve worker runs
+//! request batches under `catch_unwind`, so a panic while a producer or
+//! the worker holds this lock must not condemn every *later* operation
+//! to `PoisonError` panics — the queue's invariants are simple enough
+//! (`VecDeque` plus a flag, both updated in single statements) that the
+//! state is always consistent when the lock is released, panicked or
+//! not.
 
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Typed admission-control failures surfaced to request producers.
@@ -87,6 +95,12 @@ pub struct ServeQueue<T> {
 }
 
 impl<T> ServeQueue<T> {
+    /// Locks the queue state, recovering from poisoning (see the module
+    /// docs for why that is sound here).
+    fn lock_state(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a queue admitting at most `capacity` items at a time.
     ///
     /// # Panics
@@ -112,7 +126,7 @@ impl<T> ServeQueue<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        self.lock_state().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -122,7 +136,7 @@ impl<T> ServeQueue<T> {
 
     /// Whether [`ServeQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().unwrap().closed
+        self.lock_state().closed
     }
 
     /// Enqueues an item, returning the queue depth after the push.
@@ -133,7 +147,7 @@ impl<T> ServeQueue<T> {
     /// when the queue is full, or [`ServeError::Closed`] after shutdown
     /// began — in both cases nothing was enqueued.
     pub fn push(&self, item: T) -> Result<usize, (ServeError, T)> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.lock_state();
         if state.closed {
             return Err((ServeError::Closed, item));
         }
@@ -157,7 +171,7 @@ impl<T> ServeQueue<T> {
     /// [`ServeError::Closed`], and consumers drain the remaining items
     /// before [`ServeQueue::pop_batch`] starts returning `None`.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        self.lock_state().closed = true;
         self.cond.notify_all();
     }
 
@@ -171,14 +185,17 @@ impl<T> ServeQueue<T> {
     /// Panics when `max` is zero.
     pub fn pop_batch(&self, max: usize, window: Duration) -> Option<Vec<T>> {
         assert!(max > 0, "batch size must be positive");
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.lock_state();
         // Phase 1: wait for the first item (or shutdown with an empty
         // queue).
         while state.items.is_empty() {
             if state.closed {
                 return None;
             }
-            state = self.cond.wait(state).unwrap();
+            state = self
+                .cond
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         let mut batch = Vec::with_capacity(max.min(state.items.len()));
         batch.push(state.items.pop_front().unwrap());
@@ -199,7 +216,10 @@ impl<T> ServeQueue<T> {
             if now >= deadline {
                 break;
             }
-            let (next, timeout) = self.cond.wait_timeout(state, deadline - now).unwrap();
+            let (next, timeout) = self
+                .cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             state = next;
             if timeout.timed_out() && state.items.is_empty() {
                 break;
@@ -316,6 +336,55 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_survives_a_panic_that_poisons_the_lock() {
+        // The serve worker runs batches under catch_unwind; a panic on a
+        // thread that holds (or has held) the queue lock must not turn
+        // every subsequent push/pop into a PoisonError panic.
+        let q: Arc<ServeQueue<u32>> = Arc::new(ServeQueue::bounded(8));
+        q.push(1).unwrap();
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.lock_state();
+                panic!("injected fault while holding the queue lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "poisoner must panic");
+        assert!(q.state.is_poisoned(), "lock must actually be poisoned");
+        // Every operation still works on the recovered state.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(q.pop_batch(8, Duration::ZERO), Some(vec![1, 2]));
+        assert!(!q.is_closed());
+        q.close();
+        assert_eq!(q.push(3).unwrap_err().0, ServeError::Closed);
+        assert_eq!(q.pop_batch(8, Duration::ZERO), None);
+    }
+
+    #[test]
+    fn blocked_consumer_survives_poisoned_wakeup() {
+        // Poison the lock while a consumer is parked in the condvar
+        // wait; the wakeup path must also recover.
+        let q: Arc<ServeQueue<u32>> = Arc::new(ServeQueue::bounded(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut guard = q.lock_state();
+                guard.items.push_back(7);
+                q.cond.notify_all();
+                panic!("injected fault after enqueue");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert_eq!(consumer.join().unwrap(), Some(vec![7]));
     }
 
     #[test]

@@ -29,8 +29,19 @@ pub use sink::{ChromeTraceSink, JsonLinesSink, TraceEvent, TraceSink, VecSink};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Locks `m`, recovering from poisoning. Telemetry locks are taken on
+/// execution paths that run under `catch_unwind` (the fault-isolated
+/// worker pool, the serve engine's batch backstop); a panic on one of
+/// those threads must not turn every later counter bump or trace emit
+/// into a `PoisonError` panic. Recovery is sound here because each
+/// guarded region is a single map/option update with no multi-step
+/// invariant a mid-update panic could leave half-applied.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default Chrome-trace process id for wall-clock spans.
 pub const PID_WALL: u64 = 1;
@@ -311,7 +322,7 @@ impl Telemetry {
     pub fn with_sink(sink: Box<dyn TraceSink + Send>) -> Self {
         let t = Telemetry::enabled();
         if let Some(inner) = &t.0 {
-            *inner.sink.lock().unwrap() = Some(sink);
+            *lock_recovering(&inner.sink) = Some(sink);
         }
         t
     }
@@ -332,7 +343,7 @@ impl Telemetry {
         match &self.0 {
             None => Counter(None),
             Some(inner) => {
-                let mut reg = inner.counters.lock().unwrap();
+                let mut reg = lock_recovering(&inner.counters);
                 let cell = reg
                     .entry(name.to_string())
                     .or_insert_with(|| Arc::new(AtomicU64::new(0)))
@@ -347,7 +358,7 @@ impl Telemetry {
         match &self.0 {
             None => Histogram(None),
             Some(inner) => {
-                let mut reg = inner.histograms.lock().unwrap();
+                let mut reg = lock_recovering(&inner.histograms);
                 let cell = reg
                     .entry(name.to_string())
                     .or_insert_with(|| Arc::new(HistogramCell::new()))
@@ -418,7 +429,7 @@ impl Telemetry {
     /// one `thread_name` record per pool invocation.
     pub fn name_thread_once(&self, pid: u64, tid: u64, name: &str) {
         let Some(inner) = &self.0 else { return };
-        if inner.named_lanes.lock().unwrap().insert((pid, tid)) {
+        if lock_recovering(&inner.named_lanes).insert((pid, tid)) {
             self.name_thread(pid, tid, name);
         }
     }
@@ -439,7 +450,7 @@ impl Telemetry {
 
     fn emit(&self, event: TraceEvent) {
         if let Some(inner) = &self.0 {
-            if let Some(sink) = inner.sink.lock().unwrap().as_mut() {
+            if let Some(sink) = lock_recovering(&inner.sink).as_mut() {
                 sink.event(&event);
             }
         }
@@ -456,7 +467,7 @@ impl Telemetry {
     /// Chrome backend writes its closing bracket here.
     pub fn finish_sink(&self) -> std::io::Result<()> {
         if let Some(inner) = &self.0 {
-            if let Some(mut sink) = inner.sink.lock().unwrap().take() {
+            if let Some(mut sink) = lock_recovering(&inner.sink).take() {
                 sink.finish()?;
             }
         }
@@ -467,11 +478,11 @@ impl Telemetry {
     pub fn summary(&self) -> RunTelemetry {
         let mut out = RunTelemetry::default();
         if let Some(inner) = &self.0 {
-            for (name, cell) in inner.counters.lock().unwrap().iter() {
+            for (name, cell) in lock_recovering(&inner.counters).iter() {
                 out.counters
                     .insert(name.clone(), cell.load(Ordering::Relaxed));
             }
-            for (name, cell) in inner.histograms.lock().unwrap().iter() {
+            for (name, cell) in lock_recovering(&inner.histograms).iter() {
                 out.histograms.insert(name.clone(), cell.snapshot());
             }
         }

@@ -135,7 +135,13 @@ pub struct VecSink(pub std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>);
 
 impl TraceSink for VecSink {
     fn event(&mut self, event: &TraceEvent) {
-        self.0.lock().unwrap().push(event.clone());
+        // Recover from poisoning: tests drive sinks from threads that
+        // panic deliberately (fault injection), and a push is atomic
+        // from the Vec's point of view.
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(event.clone());
     }
 
     fn finish(&mut self) -> io::Result<()> {

@@ -37,6 +37,11 @@ use winofuse::{error::render_chain, ServeConfig, ServeEngine, TaskError};
 
 const MB: u64 = 1024 * 1024;
 
+/// Default kept-coefficient density for `--exec-algo sparse` /
+/// `--policy sparse` when `--sparsity` is not given: 25%, the regime the
+/// sparse-Winograd literature prunes to after retraining.
+const DEFAULT_SPARSITY_PM: u16 = 250;
+
 fn usage() -> ! {
     eprintln!(
         "usage: winofuse <info|optimize|curve|codegen|simulate|run|profile|serve> \
@@ -45,7 +50,8 @@ fn usage() -> ! {
            --budget-mb N     feature-map transfer budget in MiB (default 8)\n\
            --budget-kb N     ... or in KiB (overrides --budget-mb)\n\
            --device NAME     zc706 (default), vx485t, zedboard, vc709, ku060\n\
-           --policy NAME     hetero (default), conv, or wino\n\
+           --policy NAME     hetero (default), conv, wino, or sparse (hetero\n\
+                             plus sparse Winograd in the optimizer's menu)\n\
            --max-group N     max layers per fusion group (default 8)\n\
            --threads N       worker threads for the strategy search and the\n\
                              `run` executor; 0 = all cores (default),\n\
@@ -59,8 +65,12 @@ fn usage() -> ! {
                              and execute it through the batched kernels in one\n\
                              invocation (default 1; not valid with --fused)\n\
            --exec-algo NAME  CPU convolution backend for `run`: auto (default),\n\
-                             wino (batched Winograd F(4,3)), or direct\n\
-                             (blocked im2col+GEMM)\n\
+                             wino (batched Winograd F(4,3)), direct\n\
+                             (blocked im2col+GEMM), or sparse (transform-domain\n\
+                             pruned Winograd; see --sparsity)\n\
+           --sparsity T      sparse density: fraction of transformed\n\
+                             coefficients kept, in (0, 1] (default 0.25); only\n\
+                             valid with --exec-algo sparse or --policy sparse\n\
            --inject SPEC     deterministic fault injection (run, profile):\n\
                              comma-separated rules `kind@site[#occ]` with kind\n\
                              panic | slow:<ms> | sat | dram:<±bytes>; site is a\n\
@@ -126,6 +136,9 @@ struct Options {
     queue_depth: Option<usize>,
     /// Convolution backend for `run`; other commands must not set it.
     exec_algo: Option<ExecAlgo>,
+    /// `--sparsity`: kept-coefficient density in per mille; only valid
+    /// alongside a sparse backend or policy.
+    sparsity_pm: Option<u16>,
     /// `run` executes the optimized strategy's fusion groups instead of
     /// the layer-by-layer executor.
     fused: bool,
@@ -162,6 +175,7 @@ fn parse_options(args: &[String]) -> Options {
         batch_window_ms: None,
         queue_depth: None,
         exec_algo: None,
+        sparsity_pm: None,
         fused: false,
         reconfig_cycles: None,
         trace_out: None,
@@ -236,8 +250,11 @@ fn parse_options(args: &[String]) -> Options {
                     "hetero" => AlgoPolicy::heterogeneous(),
                     "conv" => AlgoPolicy::conventional_only(),
                     "wino" => AlgoPolicy::winograd_preferred(),
+                    // Density is patched in after the parse loop once
+                    // --sparsity (order-independent) is known.
+                    "sparse" => AlgoPolicy::heterogeneous_sparse(DEFAULT_SPARSITY_PM),
                     other => {
-                        eprintln!("unknown policy `{other}` (hetero | conv | wino)");
+                        eprintln!("unknown policy `{other}` (hetero | conv | wino | sparse)");
                         usage()
                     }
                 }
@@ -247,11 +264,22 @@ fn parse_options(args: &[String]) -> Options {
                     "auto" => ExecAlgo::Auto,
                     "wino" => ExecAlgo::Winograd,
                     "direct" => ExecAlgo::Direct,
+                    "sparse" => ExecAlgo::Sparse {
+                        density_pm: DEFAULT_SPARSITY_PM,
+                    },
                     other => {
-                        eprintln!("unknown exec algo `{other}` (auto | wino | direct)");
+                        eprintln!("unknown exec algo `{other}` (auto | wino | direct | sparse)");
                         usage()
                     }
                 })
+            }
+            "--sparsity" => {
+                let t: f64 = value("--sparsity").parse().unwrap_or_else(|_| usage());
+                if !(t > 0.0 && t <= 1.0) {
+                    eprintln!("--sparsity must be a density in (0, 1], got {t}");
+                    usage()
+                }
+                o.sparsity_pm = Some(((t * 1000.0).round() as u16).clamp(1, 1000))
             }
             "--max-group" => o.max_group = value("--max-group").parse().unwrap_or_else(|_| usage()),
             "--threads" => o.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
@@ -280,6 +308,14 @@ fn parse_options(args: &[String]) -> Options {
                 eprintln!("unknown option `{other}`");
                 usage()
             }
+        }
+    }
+    if let Some(pm) = o.sparsity_pm {
+        if let Some(ExecAlgo::Sparse { density_pm }) = &mut o.exec_algo {
+            *density_pm = pm;
+        }
+        if o.policy.sparse {
+            o.policy.sparse_density_pm = pm;
         }
     }
     if o.trace_out.is_some() || o.telemetry_json.is_some() {
@@ -886,6 +922,15 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// The sparse density in effect for roofline math: the backend's own if
+/// a sparse backend is selected, else the flag (or its default).
+fn sparse_density(o: &Options) -> u16 {
+    match o.exec_algo {
+        Some(ExecAlgo::Sparse { density_pm }) => density_pm,
+        _ => o.sparsity_pm.unwrap_or(DEFAULT_SPARSITY_PM),
+    }
+}
+
 /// Roofline attribution for one profiled layer: attainable GOPS at the
 /// layer's arithmetic intensity (on the selected device) and the achieved
 /// fraction of it. `None` for layers with no counted kernel flops.
@@ -894,15 +939,19 @@ fn roofline_attribution(
     p: &LayerProfile,
     roofline: &Roofline,
     device: &FpgaDevice,
+    sparsity_pm: u16,
 ) -> Option<(f64, f64)> {
     let LayerKind::Conv(c) = layer_kind else {
         return None;
     };
     let achieved = p.achieved_gflops()?;
-    let algorithm = if p.algo == "winograd" {
-        Algorithm::Winograd { m: 4 }
-    } else {
-        Algorithm::Conventional
+    let algorithm = match p.algo {
+        "winograd" => Algorithm::Winograd { m: 4 },
+        "sparse" => Algorithm::SparseWinograd {
+            m: 4,
+            density_pm: sparsity_pm,
+        },
+        _ => Algorithm::Conventional,
     };
     let roof = computational_roof_gops(device, algorithm, c.kernel);
     let point = roofline.evaluate(&p.name, p.conv.arithmetic_intensity(), roof);
@@ -949,7 +998,7 @@ fn cmd_profile(net: &Network, o: &Options) -> Result<(), TaskError> {
         let wall_ms = p.wall_ns as f64 / 1e6;
         match (
             p.achieved_gflops(),
-            roofline_attribution(&layer.kind, p, &roofline, &o.device),
+            roofline_attribution(&layer.kind, p, &roofline, &o.device, sparse_density(o)),
         ) {
             (Some(gflops), Some((attain, pct))) => println!(
                 "{:<16} {:<5} {:<9} {:>9.2} {:>10.2} {:>9.2} {:>12.1} {:>7.1}",
@@ -998,7 +1047,7 @@ fn write_profile_json(
     s.push_str("  \"layers\": [\n");
     for (idx, (layer, p)) in net.layers().iter().zip(profiles).enumerate() {
         let c = &p.conv;
-        let attribution = roofline_attribution(&layer.kind, p, roofline, &o.device);
+        let attribution = roofline_attribution(&layer.kind, p, roofline, &o.device, sparse_density(o));
         s.push_str("    {");
         s.push_str(&format!("\"name\": {}, ", json_str(&p.name)));
         s.push_str(&format!("\"kind\": {}, ", json_str(p.kind)));
@@ -1168,6 +1217,13 @@ fn main() -> ExitCode {
     if opts.exec_algo.is_some() && cmd != "run" && cmd != "profile" {
         eprintln!("error: --exec-algo only applies to the `run` and `profile` commands");
         return ExitCode::FAILURE;
+    }
+    if opts.sparsity_pm.is_some()
+        && !matches!(opts.exec_algo, Some(ExecAlgo::Sparse { .. }))
+        && !opts.policy.sparse
+    {
+        eprintln!("error: --sparsity requires --exec-algo sparse or --policy sparse");
+        return ExitCode::from(2);
     }
     if opts.fused && cmd != "run" && cmd != "profile" && cmd != "serve" {
         eprintln!("error: --fused only applies to the `run`, `profile`, and `serve` commands");

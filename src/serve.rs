@@ -28,7 +28,7 @@
 //! [`ServeEngine::submit`] — no silent queue growth.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -81,6 +81,13 @@ impl Default for ServeConfig {
 }
 
 /// One-slot rendezvous between the worker and a waiting client.
+///
+/// Both sides recover from mutex poisoning: the slot holds a single
+/// `Option` that is written exactly once, so there is no multi-step
+/// invariant a mid-update panic could leave half-applied. A panicking
+/// client must not stop the worker from answering, and a batch panic
+/// (already contained by `catch_unwind` in [`process_batch`]) must not
+/// turn every later [`Ticket::wait`] into a poison panic.
 struct ResponseSlot {
     result: Mutex<Option<Result<Tensor<f32>, String>>>,
     cond: Condvar,
@@ -94,17 +101,26 @@ impl ResponseSlot {
         }
     }
 
+    fn lock_result(&self) -> MutexGuard<'_, Option<Result<Tensor<f32>, String>>> {
+        self.result.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn fill(&self, r: Result<Tensor<f32>, String>) {
-        *self.result.lock().unwrap() = Some(r);
+        *self.lock_result() = Some(r);
         self.cond.notify_all();
     }
 
     fn wait(&self) -> Result<Tensor<f32>, String> {
-        let mut guard = self.result.lock().unwrap();
+        let mut guard = self.lock_result();
         loop {
             match guard.take() {
                 Some(r) => return r,
-                None => guard = self.cond.wait(guard).unwrap(),
+                None => {
+                    guard = self
+                        .cond
+                        .wait(guard)
+                        .unwrap_or_else(PoisonError::into_inner)
+                }
             }
         }
     }
@@ -509,6 +525,25 @@ mod tests {
         let batched = frame(1).repeat_frames(2);
         assert!(eng.submit(batched).is_err(), "submit takes single frames");
         eng.shutdown().unwrap();
+    }
+
+    #[test]
+    fn response_slot_survives_a_poisoning_client() {
+        // A client thread panics while holding the slot lock; the worker
+        // must still be able to fill it and a later waiter must still get
+        // the answer instead of a PoisonError panic.
+        let slot = Arc::new(ResponseSlot::new());
+        let poisoner = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                let _guard = slot.lock_result();
+                panic!("injected fault while holding the slot lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "poisoner must panic");
+        assert!(slot.result.is_poisoned(), "lock must actually be poisoned");
+        slot.fill(Err("answer after poisoning".into()));
+        assert_eq!(slot.wait(), Err("answer after poisoning".to_string()));
     }
 
     #[test]
